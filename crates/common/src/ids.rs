@@ -1,0 +1,134 @@
+//! Identifier newtypes.
+//!
+//! Every identifier the engine hands out is a dedicated newtype so that
+//! a transaction id can never be confused with an LSN at a call site.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Log sequence number.
+///
+/// LSNs are assigned by the log manager in strictly increasing order
+/// and stamped onto rows on every write, exactly as assumed by the
+/// paper (§1: "a log sequence number (LSN) is associated with each
+/// record"). [`Lsn::ZERO`] sorts before every real LSN and is used for
+/// freshly created rows that no logged operation has touched yet.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Lsn(pub u64);
+
+impl Lsn {
+    /// The null LSN; smaller than any LSN the log manager assigns.
+    pub const ZERO: Lsn = Lsn(0);
+    /// Largest possible LSN; useful as an upper bound in range scans.
+    pub const MAX: Lsn = Lsn(u64::MAX);
+
+    /// Next LSN in sequence.
+    #[must_use]
+    pub fn next(self) -> Lsn {
+        Lsn(self.0 + 1)
+    }
+
+    /// Whether this is the null LSN.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Debug for Lsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Lsn({})", self.0)
+    }
+}
+
+impl fmt::Display for Lsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Transaction identifier.
+///
+/// Ids are assigned in begin order, which the lock manager exploits for
+/// wait–die deadlock prevention: a lower id means an older transaction.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TxnId(pub u64);
+
+impl TxnId {
+    /// Whether `self` began before `other`.
+    pub fn is_older_than(self, other: TxnId) -> bool {
+        self.0 < other.0
+    }
+}
+
+impl fmt::Debug for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Txn({})", self.0)
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Table identifier, assigned by the catalog at `CREATE TABLE` time and
+/// stable across renames (renames matter for the split transformation's
+/// rename-in-place variant, paper §5.2).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TableId(pub u32);
+
+impl fmt::Debug for TableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Table({})", self.0)
+    }
+}
+
+/// Secondary-index identifier, unique within its table.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct IndexId(pub u32);
+
+impl fmt::Debug for IndexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Index({})", self.0)
+    }
+}
+
+/// Column position within a schema (0-based).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ColId(pub usize);
+
+impl fmt::Debug for ColId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Col({})", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lsn_ordering_and_next() {
+        assert!(Lsn::ZERO < Lsn(1));
+        assert_eq!(Lsn(41).next(), Lsn(42));
+        assert!(Lsn::ZERO.is_zero());
+        assert!(!Lsn(1).is_zero());
+        assert!(Lsn(7) < Lsn::MAX);
+    }
+
+    #[test]
+    fn txn_age_comparison() {
+        assert!(TxnId(1).is_older_than(TxnId(2)));
+        assert!(!TxnId(2).is_older_than(TxnId(2)));
+        assert!(!TxnId(3).is_older_than(TxnId(2)));
+    }
+
+    #[test]
+    fn debug_formats_are_stable() {
+        assert_eq!(format!("{:?}", Lsn(5)), "Lsn(5)");
+        assert_eq!(format!("{:?}", TxnId(5)), "Txn(5)");
+        assert_eq!(format!("{:?}", TableId(5)), "Table(5)");
+        assert_eq!(format!("{:?}", ColId(5)), "Col(5)");
+    }
+}

@@ -1,0 +1,178 @@
+//! Attribute values.
+//!
+//! morphdb stores dynamically typed rows of [`Value`]s. The type
+//! lattice is intentionally small (NULL, 64-bit integers, strings) —
+//! the paper's transformations are agnostic to the attribute domain,
+//! and every behaviour they exercise (key equality, join-attribute
+//! matching, NULL-extension of outer-join results) is expressible with
+//! these three variants.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A single attribute value.
+///
+/// `Value` has a total order with `Null` sorting first, then all
+/// integers, then all strings. The total order is what lets composite
+/// keys of values act as B-tree keys directly.
+///
+/// Note that unlike SQL three-valued logic, `Value::eq` treats two
+/// NULLs as equal. This is the behaviour the transformation framework
+/// needs: the special `r_null`/`s_null` records of a full outer join
+/// (§4.1) compare equal to themselves so index lookups can find them.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Value {
+    /// Absent value. Also used for the NULL-extended side of an outer
+    /// join result.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// UTF-8 string.
+    Str(String),
+}
+
+impl Value {
+    /// Convenience constructor for strings.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Whether the value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The integer inside, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The string inside, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Rank used to order across variants: Null < Int < Str.
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Int(_) => 1,
+            Value::Str(_) => 2,
+        }
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            _ => self.type_rank().cmp(&other.type_rank()),
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sorts_first() {
+        let mut vals = vec![Value::str("a"), Value::Int(0), Value::Null, Value::Int(-5)];
+        vals.sort();
+        assert_eq!(
+            vals,
+            vec![Value::Null, Value::Int(-5), Value::Int(0), Value::str("a")]
+        );
+    }
+
+    #[test]
+    fn nulls_compare_equal() {
+        // The transformation rules rely on being able to find the
+        // r_null / s_null join partners by equality.
+        assert_eq!(Value::Null, Value::Null);
+        assert_eq!(Value::Null.cmp(&Value::Null), Ordering::Equal);
+    }
+
+    #[test]
+    fn accessors() {
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Int(3).as_str(), None);
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert_eq!(Value::str("x").as_int(), None);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(7), Value::Int(7));
+        assert_eq!(Value::from("hi"), Value::str("hi"));
+        assert_eq!(Value::from(String::from("hi")), Value::str("hi"));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(-2).to_string(), "-2");
+        assert_eq!(Value::str("q").to_string(), "q");
+        assert_eq!(format!("{:?}", Value::str("q")), "\"q\"");
+    }
+
+    #[test]
+    fn strings_sort_after_ints() {
+        assert!(Value::Int(i64::MAX) < Value::str(""));
+        assert!(Value::Null < Value::Int(i64::MIN));
+    }
+}

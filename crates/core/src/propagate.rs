@@ -1,0 +1,460 @@
+//! The log propagator (§3.3).
+//!
+//! A [`Propagator`] owns a tail cursor into the WAL and a rule set
+//! ([`Rules`]), and drains the log through the rules in batches,
+//! paying the priority throttle between batches. Each *iteration*
+//! drains up to the tail position observed at entry, writes a fuzzy
+//! mark (the next iteration conceptually "reads the log after the
+//! previous fuzzy mark"), and reports the remaining backlog so the
+//! caller's analysis step can decide what happens next.
+//!
+//! After synchronization the same propagator keeps running in
+//! *post-sync* mode: it tracks the set of grandfathered transactions
+//! and releases their mirrored locks when it processes their
+//! commit / rollback-complete records — the paper's "source table
+//! locks held in the transformed tables are released as soon as the
+//! propagator has processed the abort log record of the lock owner"
+//! (§3.4).
+
+use crate::cc::Readiness;
+use crate::foj::FojMapping;
+use crate::report::IterationStats;
+use crate::split::SplitMapping;
+use crate::sync::proxy_owner;
+use crate::union::UnionMapping;
+use crate::throttle::Throttle;
+use morph_common::{DbResult, Key, Lsn, TableId, TxnId};
+use morph_engine::Database;
+use morph_storage::Table;
+use morph_wal::{LogRecord, TailCursor};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Upper bound on one propagation iteration's wall-clock time (see
+/// [`Propagator::iterate`]).
+pub const ITERATION_BUDGET: Duration = Duration::from_secs(2);
+
+/// The operator-specific rule set behind the propagator.
+pub enum Rules {
+    /// Full outer join (rules 1–7, § 4).
+    Foj(FojMapping),
+    /// Vertical split (rules 8–11, § 5).
+    Split(SplitMapping),
+    /// Horizontal union/merge (§7 "other relational operators").
+    Union(UnionMapping),
+}
+
+impl Rules {
+    /// Source tables whose log records are relevant.
+    pub fn source_ids(&self) -> Vec<TableId> {
+        match self {
+            Rules::Foj(m) => m.source_ids(),
+            Rules::Split(m) => m.source_ids(),
+            Rules::Union(m) => m.source_ids(),
+        }
+    }
+
+    /// Source table handles.
+    pub fn source_tables(&self, db: &Database) -> DbResult<Vec<Arc<Table>>> {
+        self.source_ids()
+            .into_iter()
+            .map(|id| db.catalog().get_by_id(id))
+            .collect()
+    }
+
+    /// Run the initial population step.
+    pub fn populate(&mut self, chunk: usize) -> DbResult<(usize, usize)> {
+        match self {
+            Rules::Foj(m) => m.populate(chunk),
+            Rules::Split(m) => m.populate(chunk),
+            Rules::Union(m) => m.populate(chunk),
+        }
+    }
+
+    fn apply(&mut self, lsn: Lsn, op: &morph_wal::LogOp) -> DbResult<()> {
+        match self {
+            Rules::Foj(m) => m.apply(lsn, op),
+            Rules::Split(m) => m.apply(lsn, op),
+            Rules::Union(m) => m.apply(lsn, op),
+        }
+    }
+
+    fn on_control(&mut self, lsn: Lsn, rec: &LogRecord) -> DbResult<()> {
+        match self {
+            Rules::Foj(_) | Rules::Union(_) => Ok(()),
+            Rules::Split(m) => m.on_control(lsn, rec),
+        }
+    }
+
+    /// Periodic maintenance: consistency-checker rounds for split.
+    pub fn maintenance(&mut self, db: &Database) -> DbResult<()> {
+        match self {
+            Rules::Foj(_) | Rules::Union(_) => Ok(()),
+            Rules::Split(m) => m.run_cc_round(db.log()),
+        }
+    }
+
+    /// Whether synchronization may start (§5.3 gating).
+    pub fn readiness(&self) -> Readiness {
+        match self {
+            Rules::Foj(_) | Rules::Union(_) => Readiness::Ready,
+            Rules::Split(m) => m.readiness(),
+        }
+    }
+
+    /// Target keys affected by a source-record lock (lock transfer).
+    pub fn target_keys_for(&self, table: TableId, key: &Key) -> Vec<(TableId, Key)> {
+        match self {
+            Rules::Foj(m) => m.target_keys_for(table, key),
+            Rules::Split(m) => m.target_keys_for(table, key),
+            Rules::Union(m) => m.target_keys_for(table, key),
+        }
+    }
+
+    /// Completed consistency-checker rounds (reporting).
+    pub fn cc_rounds(&self) -> usize {
+        match self {
+            Rules::Foj(_) | Rules::Union(_) => 0,
+            Rules::Split(m) => m.cc.rounds,
+        }
+    }
+}
+
+/// Post-synchronization bookkeeping: grandfathered transactions whose
+/// mirrored locks the propagator still guards.
+#[derive(Default, Debug)]
+pub struct PostSyncState {
+    /// Old transactions still running / rolling back.
+    pub old_txns: HashSet<TxnId>,
+}
+
+/// Drains the log through a rule set.
+pub struct Propagator {
+    cursor: TailCursor,
+    throttle: Throttle,
+    /// Set after synchronization: end-records of these transactions
+    /// release their mirrors.
+    post: Option<PostSyncState>,
+}
+
+impl Propagator {
+    /// A propagator starting at `start_lsn` (from the fuzzy mark) with
+    /// the given priority.
+    pub fn new(db: &Database, start_lsn: Lsn, priority: f64) -> Propagator {
+        Propagator {
+            cursor: db.log().tail(start_lsn),
+            throttle: Throttle::new(priority),
+            post: None,
+        }
+    }
+
+    /// Remaining log records behind the cursor.
+    pub fn backlog(&self, db: &Database) -> usize {
+        self.cursor.backlog(db.log())
+    }
+
+    /// The LSN the propagator will read next — the position log
+    /// truncation must not cross.
+    pub fn cursor_lsn(&self) -> Lsn {
+        self.cursor.next_lsn()
+    }
+
+    /// Current priority.
+    pub fn priority(&self) -> f64 {
+        self.throttle.priority()
+    }
+
+    /// Raise priority (non-convergence escalation).
+    pub fn escalate(&mut self, factor: f64) {
+        self.throttle.escalate(factor);
+    }
+
+    /// Enter post-synchronization mode guarding `old_txns`.
+    pub fn enter_post_sync(&mut self, old_txns: HashSet<TxnId>) {
+        self.post = Some(PostSyncState { old_txns });
+    }
+
+    /// Old transactions still outstanding (post-sync mode).
+    pub fn outstanding(&self) -> usize {
+        self.post.as_ref().map_or(0, |p| p.old_txns.len())
+    }
+
+    fn process(
+        &mut self,
+        db: &Database,
+        rules: &mut Rules,
+        sources: &[TableId],
+        lsn: Lsn,
+        rec: &LogRecord,
+    ) -> DbResult<bool> {
+        if let Some(op) = rec.op() {
+            if sources.contains(&op.table()) {
+                rules.apply(lsn, op)?;
+                return Ok(true);
+            }
+            return Ok(false);
+        }
+        match rec {
+            LogRecord::CcBegin { .. } | LogRecord::CcOk { .. } => {
+                rules.on_control(lsn, rec)?;
+                Ok(true)
+            }
+            LogRecord::Commit { txn } | LogRecord::AbortEnd { txn } => {
+                if let Some(post) = &mut self.post {
+                    if post.old_txns.remove(txn) {
+                        // §3.4: release the transaction's mirrored locks
+                        // now that its final state is reflected in the
+                        // transformed tables…
+                        db.locks().release_all(proxy_owner(*txn));
+                        // …and retire it from the frozen sources.
+                        for id in sources {
+                            if let Ok(t) = db.catalog().get_by_id(*id) {
+                                t.retire_allowed(*txn);
+                            }
+                        }
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    /// One propagation iteration: drain up to the tail observed at
+    /// entry, throttled, running maintenance every `cc_interval`
+    /// batches. Returns the iteration statistics.
+    ///
+    /// The iteration is additionally bounded by [`ITERATION_BUDGET`] of
+    /// wall-clock time: at very low priorities the throttle stretches a
+    /// single drain across minutes or hours, and the caller's analysis
+    /// step (deadline checks, non-convergence detection, external
+    /// aborts) must still get control at a reasonable cadence.
+    pub fn iterate(
+        &mut self,
+        db: &Database,
+        rules: &mut Rules,
+        batch_size: usize,
+        cc_interval: usize,
+        abort: &AtomicBool,
+    ) -> DbResult<IterationStats> {
+        let sources = rules.source_ids();
+        let target = db.log().last_lsn();
+        let t0 = Instant::now();
+        let mut records = 0usize;
+        let mut relevant = 0usize;
+        let mut batches = 0usize;
+        while self.cursor.next_lsn() <= target {
+            if abort.load(Ordering::Relaxed) || t0.elapsed() > ITERATION_BUDGET {
+                break;
+            }
+            let batch = self.cursor.next_batch(db.log(), batch_size);
+            if batch.is_empty() {
+                break;
+            }
+            let b0 = Instant::now();
+            for (lsn, rec) in &batch {
+                records += 1;
+                if self.process(db, rules, &sources, *lsn, rec)? {
+                    relevant += 1;
+                }
+            }
+            batches += 1;
+            if cc_interval > 0 && batches % cc_interval == 0 {
+                rules.maintenance(db)?;
+            }
+            self.throttle.pay(b0.elapsed());
+        }
+        // End of iteration: write the next fuzzy mark (§3.3 — each
+        // cycle is bracketed by marks) and run maintenance once. Idle
+        // iterations (post-sync polling) skip the mark so they do not
+        // flood the log.
+        if records > 0 {
+            db.write_fuzzy_mark();
+        }
+        rules.maintenance(db)?;
+        Ok(IterationStats {
+            records,
+            relevant,
+            duration: t0.elapsed(),
+            backlog_after: self.backlog(db),
+        })
+    }
+
+    /// Drain every record up to the tail observed at entry, without
+    /// throttling — the final latched propagation of the
+    /// synchronization step. A single pass suffices: the caller holds
+    /// exclusive latches on the source tables, so no further
+    /// source-table operation can reach the log (records appended
+    /// *after* the observed tail belong to other tables, or to
+    /// in-flight operations that the post-sync phase handles).
+    /// Returns the number of records processed.
+    pub fn drain_all(&mut self, db: &Database, rules: &mut Rules) -> DbResult<usize> {
+        let sources = rules.source_ids();
+        let mut n = 0usize;
+        let target = db.log().last_lsn();
+        while self.cursor.next_lsn() <= target {
+            // Never read past the target: the cursor must not skip
+            // records it has not processed.
+            let remaining = (target.0 - self.cursor.next_lsn().0 + 1) as usize;
+            let batch = self.cursor.next_batch(db.log(), remaining.min(1024));
+            if batch.is_empty() {
+                break;
+            }
+            for (lsn, rec) in &batch {
+                n += 1;
+                self.process(db, rules, &sources, *lsn, rec)?;
+            }
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::foj::{figure1_schemas, FojMapping};
+    use crate::spec::FojSpec;
+    use morph_common::Value;
+
+    fn setup() -> (Arc<Database>, Rules) {
+        let db = Arc::new(Database::new());
+        let (rs, ss) = figure1_schemas();
+        db.create_table("R", rs).unwrap();
+        db.create_table("S", ss).unwrap();
+        let m = FojMapping::prepare(&db, &FojSpec::new("R", "S", "T", "c", "c")).unwrap();
+        (db, Rules::Foj(m))
+    }
+
+    fn r_row(a: i64, c: &str) -> Vec<Value> {
+        vec![Value::Int(a), Value::str("b"), Value::str(c)]
+    }
+
+    #[test]
+    fn end_to_end_population_plus_propagation() {
+        let (db, mut rules) = setup();
+        // Pre-existing data.
+        let txn = db.begin();
+        for i in 0..20 {
+            db.insert(txn, "R", r_row(i, &format!("j{}", i % 4))).unwrap();
+        }
+        for j in 0..4 {
+            db.insert(
+                txn,
+                "S",
+                vec![Value::str(format!("j{j}")), Value::str("d")],
+            )
+            .unwrap();
+        }
+        db.commit(txn).unwrap();
+
+        let (_, start, _) = db.write_fuzzy_mark();
+        let mut prop = Propagator::new(&db, start, 1.0);
+        rules.populate(8).unwrap();
+
+        // Concurrent-ish updates after the fuzzy read.
+        let txn = db.begin();
+        db.insert(txn, "R", r_row(100, "j0")).unwrap();
+        db.delete(txn, "R", &Key::single(3)).unwrap();
+        db.update(txn, "R", &Key::single(4), &[(2, Value::str("j1"))])
+            .unwrap();
+        db.commit(txn).unwrap();
+
+        let abort = AtomicBool::new(false);
+        let stats = prop.iterate(&db, &mut rules, 16, 0, &abort).unwrap();
+        assert!(stats.records > 0);
+        assert!(stats.relevant > 0);
+        assert_eq!(prop.backlog(&db), 1, "only the trailing fuzzy mark");
+
+        let Rules::Foj(m) = &rules else { unreachable!() };
+        crate::foj::verify_against_reference(m).expect("converged to reference");
+    }
+
+    #[test]
+    fn drain_all_catches_up_completely() {
+        let (db, mut rules) = setup();
+        let (_, start, _) = db.write_fuzzy_mark();
+        rules.populate(8).unwrap();
+        let txn = db.begin();
+        for i in 0..50 {
+            db.insert(txn, "R", r_row(i, "j0")).unwrap();
+        }
+        db.commit(txn).unwrap();
+        let mut prop = Propagator::new(&db, start, 1.0);
+        let n = prop.drain_all(&db, &mut rules).unwrap();
+        assert!(n >= 52); // begin + 50 ops + commit (+ mark)
+        assert_eq!(prop.backlog(&db), 0);
+        let Rules::Foj(m) = &rules else { unreachable!() };
+        crate::foj::verify_against_reference(m).unwrap();
+    }
+
+    #[test]
+    fn post_sync_releases_mirrors_on_end_records() {
+        use morph_txn::{LockMode, LockOrigin};
+        let (db, mut rules) = setup();
+        let (_, start, _) = db.write_fuzzy_mark();
+        rules.populate(4).unwrap();
+        let mut prop = Propagator::new(&db, start, 1.0);
+
+        // A transaction that will be "old" at sync.
+        let old = db.begin();
+        db.insert(old, "R", r_row(1, "j0")).unwrap();
+
+        // Simulate the sync step: mirror a lock under the proxy owner.
+        let t_id = {
+            let Rules::Foj(m) = &rules else { unreachable!() };
+            m.t_table().id()
+        };
+        db.locks().grant_transferred(
+            proxy_owner(old),
+            t_id,
+            &Key::new([Value::Int(1), Value::str("j0")]),
+            LockMode::Exclusive,
+            LockOrigin::SourceR,
+        );
+        prop.enter_post_sync([old].into_iter().collect());
+        assert_eq!(prop.outstanding(), 1);
+
+        // Old txn commits; propagator processes the record and releases.
+        db.commit(old).unwrap();
+        prop.drain_all(&db, &mut rules).unwrap();
+        assert_eq!(prop.outstanding(), 0);
+        assert_eq!(db.locks().held_count(proxy_owner(old)), 0);
+    }
+
+    #[test]
+    fn throttled_iteration_still_completes() {
+        let (db, mut rules) = setup();
+        let (_, start, _) = db.write_fuzzy_mark();
+        rules.populate(4).unwrap();
+        let txn = db.begin();
+        for i in 0..30 {
+            db.insert(txn, "R", r_row(i, "j1")).unwrap();
+        }
+        db.commit(txn).unwrap();
+        let mut prop = Propagator::new(&db, start, 0.2);
+        let abort = AtomicBool::new(false);
+        let stats = prop.iterate(&db, &mut rules, 8, 0, &abort).unwrap();
+        assert!(stats.records >= 32);
+        let Rules::Foj(m) = &rules else { unreachable!() };
+        crate::foj::verify_against_reference(m).unwrap();
+    }
+
+    #[test]
+    fn abort_flag_stops_iteration_early() {
+        let (db, mut rules) = setup();
+        let (_, start, _) = db.write_fuzzy_mark();
+        rules.populate(4).unwrap();
+        let txn = db.begin();
+        for i in 0..100 {
+            db.insert(txn, "R", r_row(i, "j1")).unwrap();
+        }
+        db.commit(txn).unwrap();
+        let mut prop = Propagator::new(&db, start, 1.0);
+        let abort = AtomicBool::new(true); // pre-aborted
+        let stats = prop.iterate(&db, &mut rules, 8, 0, &abort).unwrap();
+        assert_eq!(stats.records, 0);
+    }
+}

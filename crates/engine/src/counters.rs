@@ -1,0 +1,57 @@
+//! Engine-level activity counters (lock-free; used by the workload
+//! harness to report throughput and by tests to assert behaviour).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters of engine activity.
+#[derive(Default, Debug)]
+pub struct Counters {
+    /// Transactions begun.
+    pub begins: AtomicU64,
+    /// Transactions committed.
+    pub commits: AtomicU64,
+    /// Transactions rolled back (for any reason).
+    pub aborts: AtomicU64,
+    /// Rollbacks caused by wait–die victimization.
+    pub deadlock_aborts: AtomicU64,
+    /// Rollbacks caused by schema-change dooming (§3.4).
+    pub doomed_aborts: AtomicU64,
+    /// Data operations executed (insert + update + delete).
+    pub ops: AtomicU64,
+}
+
+impl Counters {
+    /// Relaxed add (all counters are statistics, not synchronization).
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Relaxed read.
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of (begins, commits, aborts, ops).
+    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+        (
+            Self::get(&self.begins),
+            Self::get(&self.commits),
+            Self::get(&self.aborts),
+            Self::get(&self.ops),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let c = Counters::default();
+        Counters::bump(&c.begins);
+        Counters::bump(&c.begins);
+        Counters::bump(&c.commits);
+        assert_eq!(c.snapshot(), (2, 1, 0, 0));
+    }
+}

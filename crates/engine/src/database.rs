@@ -1,0 +1,1005 @@
+//! The transactional database facade.
+//!
+//! ## Operation protocol
+//!
+//! Every data operation follows the same sequence:
+//!
+//! 1. doomed / frozen-table checks,
+//! 2. exclusive (or shared, for reads) record lock via the wait–die
+//!    lock manager — strict 2PL, released only at commit / rollback
+//!    completion,
+//! 3. registered [`OpInterceptor`]s run (lock mirroring for
+//!    non-blocking-commit synchronization, trigger baselines),
+//! 4. **atomically under the table latch**: constraint checks, log
+//!    append, physical apply, row LSN stamp.
+//!
+//! Step 4's atomicity is load-bearing for the paper's correctness
+//! argument: a fuzzy scan (which takes the same latch per chunk) can
+//! never observe a physical change whose log record is not yet in the
+//! log, and a row's LSN stamp is never stale. Together with the fuzzy
+//! mark fixing `start_lsn` to the first LSN of the oldest active
+//! transaction, this yields Theorem 1's "no lost updates" guarantee.
+//!
+//! ## Rollback
+//!
+//! Rollback applies prepared inverse operations in reverse order, each
+//! logged as a CLR ([`LogRecord::Clr`]) *before* … strictly: atomically
+//! with … its physical application, then writes
+//! [`LogRecord::AbortEnd`]. The log propagator treats CLRs exactly like
+//! forward operations, which is how aborted work is washed out of
+//! transformed tables without ever scanning backwards.
+
+use crate::counters::Counters;
+use crate::interceptor::OpInterceptor;
+use crate::registry::{TxnCell, TxnRegistry};
+use morph_common::{DbError, DbResult, Key, Lsn, Schema, TxnId, Value};
+use morph_storage::{Catalog, Table};
+use morph_txn::{GranularMode, LockManager, LockManagerConfig, LockMode, TableLocks};
+use morph_wal::{LogManager, LogOp, LogRecord};
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A data operation about to be executed, as seen by interceptors.
+#[derive(Debug)]
+pub enum PlannedOp<'a> {
+    /// Row about to be inserted.
+    Insert { values: &'a [Value] },
+    /// Columns about to change on the row at `key`.
+    Update {
+        key: &'a Key,
+        cols: &'a [(usize, Value)],
+    },
+    /// Row at `key` about to be deleted.
+    Delete { key: &'a Key },
+    /// Row at `key` about to be read (shared lock).
+    Read { key: &'a Key },
+}
+
+impl PlannedOp<'_> {
+    /// The lock mode this operation takes.
+    pub fn lock_mode(&self) -> LockMode {
+        match self {
+            PlannedOp::Read { .. } => LockMode::Shared,
+            _ => LockMode::Exclusive,
+        }
+    }
+
+    /// The primary key the operation targets (pre-image key for
+    /// updates; for inserts, derived by the caller).
+    pub fn key(&self) -> Option<&Key> {
+        match self {
+            PlannedOp::Insert { .. } => None,
+            PlannedOp::Update { key, .. }
+            | PlannedOp::Delete { key }
+            | PlannedOp::Read { key } => Some(key),
+        }
+    }
+}
+
+/// RAII registration of a truncation-protected LSN (see
+/// [`Database::protect_log`]).
+pub struct LogProtection {
+    db: Arc<Database>,
+    token: u64,
+}
+
+impl LogProtection {
+    /// Move the protected point forward (the cursor advanced).
+    pub fn update(&self, lsn: Lsn) {
+        self.db.protected_lsns.write().insert(self.token, lsn);
+    }
+}
+
+impl Drop for LogProtection {
+    fn drop(&mut self) {
+        self.db.protected_lsns.write().remove(&self.token);
+    }
+}
+
+/// The morphdb database: catalog + WAL + lock manager + transactions.
+pub struct Database {
+    catalog: Catalog,
+    log: Arc<LogManager>,
+    locks: LockManager,
+    table_locks: TableLocks,
+    registry: TxnRegistry,
+    counters: Counters,
+    next_txn: AtomicU64,
+    interceptors: RwLock<Vec<(u64, Arc<dyn OpInterceptor>)>>,
+    next_interceptor: AtomicU64,
+    /// LSNs that log truncation must not cross (live propagation
+    /// cursors), keyed by protection token.
+    protected_lsns: RwLock<std::collections::HashMap<u64, Lsn>>,
+    next_protection: AtomicU64,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Database {
+    /// In-memory database with default lock-manager settings.
+    pub fn new() -> Database {
+        Self::with_log(Arc::new(LogManager::new()), LockManagerConfig::default())
+    }
+
+    /// Database with a caller-supplied log (e.g. file-backed or
+    /// preloaded for recovery) and lock configuration.
+    pub fn with_log(log: Arc<LogManager>, lock_config: LockManagerConfig) -> Database {
+        Database {
+            catalog: Catalog::new(),
+            log,
+            locks: LockManager::new(lock_config),
+            table_locks: TableLocks::new(lock_config.wait_timeout),
+            registry: TxnRegistry::new(),
+            counters: Counters::default(),
+            next_txn: AtomicU64::new(1),
+            interceptors: RwLock::new(Vec::new()),
+            next_interceptor: AtomicU64::new(1),
+            protected_lsns: RwLock::new(std::collections::HashMap::new()),
+            next_protection: AtomicU64::new(1),
+        }
+    }
+
+    // --- component access ---------------------------------------------
+
+    /// The table catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The write-ahead log.
+    pub fn log(&self) -> &LogManager {
+        &self.log
+    }
+
+    /// The record-lock manager (the transformation framework installs
+    /// transferred grants through this).
+    pub fn locks(&self) -> &LockManager {
+        &self.locks
+    }
+
+    /// The table-granular (intention) lock manager. Every data
+    /// operation takes IS/IX here before its record lock, so a
+    /// whole-table S/X lock ("multigranularity locking", §4.3 remark)
+    /// waits out record-level activity without polling.
+    pub fn table_locks(&self) -> &TableLocks {
+        &self.table_locks
+    }
+
+    /// Engine activity counters.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Convenience: create a table.
+    pub fn create_table(&self, name: &str, schema: Schema) -> DbResult<Arc<Table>> {
+        self.catalog.create_table(name, schema)
+    }
+
+    // --- transaction lifecycle ------------------------------------------
+
+    /// Begin a transaction.
+    pub fn begin(&self) -> TxnId {
+        let id = TxnId(self.next_txn.fetch_add(1, Ordering::Relaxed));
+        self.registry
+            .begin_with(id, || self.log.append(LogRecord::Begin { txn: id }));
+        Counters::bump(&self.counters.begins);
+        id
+    }
+
+    /// Commit. If the transaction was doomed by a synchronization step,
+    /// it is rolled back instead and `TxnDoomed` is returned.
+    pub fn commit(&self, txn: TxnId) -> DbResult<()> {
+        let cell = self.registry.get(txn)?;
+        if cell.is_doomed() {
+            self.rollback_cell(&cell)?;
+            Counters::bump(&self.counters.doomed_aborts);
+            return Err(DbError::TxnDoomed(txn));
+        }
+        self.log.append(LogRecord::Commit { txn });
+        self.log.flush()?;
+        self.registry.remove(txn);
+        self.locks.release_all(txn);
+        self.table_locks.release_all(txn);
+        Counters::bump(&self.counters.commits);
+        Ok(())
+    }
+
+    /// Roll the transaction back, emitting CLRs.
+    pub fn abort(&self, txn: TxnId) -> DbResult<()> {
+        let cell = self.registry.get(txn)?;
+        let was_doomed = cell.is_doomed();
+        self.rollback_cell(&cell)?;
+        if was_doomed {
+            Counters::bump(&self.counters.doomed_aborts);
+        }
+        Ok(())
+    }
+
+    fn rollback_cell(&self, cell: &Arc<TxnCell>) -> DbResult<()> {
+        let txn = cell.id;
+        self.log.append(LogRecord::Abort { txn });
+        let undo = std::mem::take(&mut cell.state.lock().undo);
+        let mut first_err = None;
+        for (undone_lsn, inverse) in undo.into_iter().rev() {
+            // Rollback must run to completion no matter what: skipping
+            // the lock release or leaving the transaction registered
+            // would wedge every future accessor of its records. A
+            // compensation can legitimately fail only when its table
+            // was dropped after the fact (a completed schema change
+            // discarding a source table), in which case the physical
+            // state no longer matters.
+            if let Err(e) = self.apply_clr(txn, undone_lsn, inverse) {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+        self.log.append(LogRecord::AbortEnd { txn });
+        self.log.flush()?;
+        self.registry.remove(txn);
+        self.locks.release_all(txn);
+        self.table_locks.release_all(txn);
+        Counters::bump(&self.counters.aborts);
+        match first_err {
+            // Dropped table: the compensation target no longer exists;
+            // the rollback is trivially complete for it.
+            None | Some(DbError::NoSuchTableId(_)) => Ok(()),
+            Some(e) => Err(DbError::Internal(format!(
+                "rollback of {txn} could not compensate an operation: {e}"
+            ))),
+        }
+    }
+
+    /// Apply one compensation: log the CLR and execute the inverse
+    /// operation atomically under the table latch.
+    fn apply_clr(&self, txn: TxnId, undone_lsn: Lsn, inverse: LogOp) -> DbResult<()> {
+        let table = self.catalog.get_by_id(inverse.table())?;
+        match &inverse {
+            LogOp::Insert { row, .. } => {
+                let row = row.clone();
+                let log = &self.log;
+                let rec = LogRecord::Clr {
+                    txn,
+                    undone_lsn,
+                    op: inverse.clone(),
+                };
+                table.insert_with(row, || Ok(log.append(rec)))?;
+            }
+            LogOp::Delete { key, .. } => {
+                let rec = LogRecord::Clr {
+                    txn,
+                    undone_lsn,
+                    op: inverse.clone(),
+                };
+                let log = &self.log;
+                table.delete_with(key, |_| {
+                    log.append(rec);
+                    Ok(())
+                })?;
+            }
+            LogOp::Update { key, new, .. } => {
+                let rec = LogRecord::Clr {
+                    txn,
+                    undone_lsn,
+                    op: inverse.clone(),
+                };
+                let log = &self.log;
+                table.update_with(key, new, |_| Ok(log.append(rec)))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether `txn` is still active.
+    pub fn is_active(&self, txn: TxnId) -> bool {
+        self.registry.is_active(txn)
+    }
+
+    /// Ids of all active transactions.
+    pub fn active_txns(&self) -> Vec<TxnId> {
+        self.registry.active_ids()
+    }
+
+    /// Doom a transaction: its next operation (and commit) fail with
+    /// [`DbError::TxnDoomed`], forcing the client to roll it back. Used
+    /// by non-blocking-abort synchronization (§3.4). Returns `false`
+    /// if the transaction already finished.
+    pub fn doom(&self, txn: TxnId) -> bool {
+        self.registry.doom(txn)
+    }
+
+    // --- fuzzy mark (§3.2) ------------------------------------------------
+
+    /// Append a fuzzy mark. Atomically (with respect to transaction
+    /// admission) snapshots the active transactions and computes the
+    /// LSN log propagation must start from: the first LSN of the
+    /// oldest active transaction, or the mark itself when the system
+    /// is quiescent. Returns `(mark_lsn, start_lsn, active)`.
+    pub fn write_fuzzy_mark(&self) -> (Lsn, Lsn, Vec<TxnId>) {
+        self.registry.with_admission_blocked(|active, oldest| {
+            let start = oldest.unwrap_or_else(|| self.log.last_lsn().next());
+            let mark = self.log.append(LogRecord::FuzzyMark {
+                active: active.clone(),
+                start_lsn: start,
+            });
+            (mark, start, active)
+        })
+    }
+
+    /// Append a checkpoint record: the active transactions and their
+    /// first LSNs. Restart recovery replays the whole log regardless
+    /// (the engine is main-memory), but checkpoints let log-shipping
+    /// and diagnostic tooling bound their scans, and keep the log
+    /// format compatible with disk-based consumers.
+    pub fn write_checkpoint(&self) -> Lsn {
+        self.registry.with_checkpoint_snapshot(|active| {
+            self.log.append(LogRecord::Checkpoint { active })
+        })
+    }
+
+    /// Register an LSN that log truncation must never cross (a live
+    /// propagation cursor). The returned guard moves the protected
+    /// point forward via [`LogProtection::update`] and releases it on
+    /// drop — so a transformation that dies on any path cannot leave a
+    /// stale protection pinning the log.
+    pub fn protect_log(self: &Arc<Self>, lsn: Lsn) -> LogProtection {
+        let token = self.next_protection.fetch_add(1, Ordering::Relaxed);
+        self.protected_lsns.write().insert(token, lsn);
+        LogProtection {
+            db: Arc::clone(self),
+            token,
+        }
+    }
+
+    /// Truncate the in-memory log up to (but excluding) the oldest LSN
+    /// anything still needs: the first LSN of any active transaction
+    /// and every registered protection ([`Database::protect_log`]).
+    /// Returns the number of records discarded. The file backend, if
+    /// any, keeps the complete archive for restart recovery.
+    pub fn truncate_log(&self) -> usize {
+        let oldest_protected = self.protected_lsns.read().values().copied().min();
+        let keep = self.registry.with_checkpoint_snapshot(|active| {
+            let oldest_txn = active.iter().map(|(_, l)| *l).min();
+            match (oldest_txn, oldest_protected) {
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                // Nothing needs the log: everything up to the tail may
+                // go (the next append is still totally ordered).
+                (None, None) => self.log.last_lsn().next(),
+            }
+        });
+        self.log.truncate_until(keep)
+    }
+
+    // --- interceptors ------------------------------------------------------
+
+    /// Register an interceptor; returns a token for removal.
+    pub fn add_interceptor(&self, i: Arc<dyn OpInterceptor>) -> u64 {
+        let token = self.next_interceptor.fetch_add(1, Ordering::Relaxed);
+        self.interceptors.write().push((token, i));
+        token
+    }
+
+    /// Remove a previously registered interceptor.
+    pub fn remove_interceptor(&self, token: u64) {
+        self.interceptors.write().retain(|(t, _)| *t != token);
+    }
+
+    fn run_interceptors(&self, txn: TxnId, table: &Table, op: &PlannedOp<'_>) -> DbResult<()> {
+        // Fast path: no interceptors registered.
+        let snapshot: Vec<Arc<dyn OpInterceptor>> = {
+            let g = self.interceptors.read();
+            if g.is_empty() {
+                return Ok(());
+            }
+            g.iter().map(|(_, i)| Arc::clone(i)).collect()
+        };
+        for i in snapshot {
+            i.before_op(self, txn, table, op)?;
+        }
+        Ok(())
+    }
+
+    // --- data operations ----------------------------------------------------
+
+    /// Acquire `mode` on `table` for `txn` unless an already-held mode
+    /// covers it (cached in the transaction cell, so the global
+    /// table-lock manager is consulted roughly twice per transaction
+    /// rather than once per operation).
+    fn ensure_table_lock(
+        &self,
+        cell: &TxnCell,
+        table: morph_common::TableId,
+        mode: GranularMode,
+    ) -> DbResult<()> {
+        {
+            let state = cell.state.lock();
+            if state
+                .table_modes
+                .iter()
+                .any(|(t, m)| *t == table && m.covers(mode))
+            {
+                return Ok(());
+            }
+        }
+        self.table_locks.lock(cell.id, table, mode)?;
+        let mut state = cell.state.lock();
+        match state.table_modes.iter_mut().find(|(t, _)| *t == table) {
+            Some((_, m)) => *m = m.combine(mode),
+            None => state.table_modes.push((table, mode)),
+        }
+        Ok(())
+    }
+
+    fn cell_for_op(&self, txn: TxnId) -> DbResult<Arc<TxnCell>> {
+        let cell = self.registry.get(txn)?;
+        if cell.is_doomed() {
+            return Err(DbError::TxnDoomed(txn));
+        }
+        Ok(cell)
+    }
+
+    /// Insert a row into the named table.
+    pub fn insert(&self, txn: TxnId, table: &str, values: Vec<Value>) -> DbResult<Key> {
+        let t = self.catalog.get(table)?;
+        self.insert_in(txn, &t, values)
+    }
+
+    /// Insert a row into a resolved table.
+    pub fn insert_in(&self, txn: TxnId, table: &Arc<Table>, values: Vec<Value>) -> DbResult<Key> {
+        let cell = self.cell_for_op(txn)?;
+        table.check_access(txn)?;
+        let schema = table.schema();
+        schema.validate(&values)?;
+        let key = schema.key_of(&values);
+        self.ensure_table_lock(&cell, table.id(), GranularMode::IntentionExclusive)?;
+        self.locks
+            .lock(txn, table.id(), &key, LockMode::Exclusive)?;
+        self.run_interceptors(txn, table, &PlannedOp::Insert { values: &values })?;
+
+        let op = LogOp::Insert {
+            table: table.id(),
+            row: values.clone(),
+        };
+        let mut lsn = Lsn::ZERO;
+        table.insert_with(values.clone(), || {
+            // Re-check access under the latch: a synchronization step
+            // may have frozen the table since the entry check.
+            table.check_access(txn)?;
+            lsn = self.log.append(LogRecord::Op { txn, op });
+            Ok(lsn)
+        })?;
+        cell.state.lock().undo.push((
+            lsn,
+            LogOp::Delete {
+                table: table.id(),
+                key: key.clone(),
+                old: values,
+            },
+        ));
+        Counters::bump(&self.counters.ops);
+        Ok(key)
+    }
+
+    /// Update columns of the row at `key` in the named table.
+    pub fn update(
+        &self,
+        txn: TxnId,
+        table: &str,
+        key: &Key,
+        cols: &[(usize, Value)],
+    ) -> DbResult<()> {
+        let t = self.catalog.get(table)?;
+        self.update_in(txn, &t, key, cols)
+    }
+
+    /// Update columns of the row at `key` in a resolved table.
+    pub fn update_in(
+        &self,
+        txn: TxnId,
+        table: &Arc<Table>,
+        key: &Key,
+        cols: &[(usize, Value)],
+    ) -> DbResult<()> {
+        let cell = self.cell_for_op(txn)?;
+        table.check_access(txn)?;
+        self.ensure_table_lock(&cell, table.id(), GranularMode::IntentionExclusive)?;
+        self.locks
+            .lock(txn, table.id(), key, LockMode::Exclusive)?;
+
+        // If primary-key columns change, the destination key must be
+        // locked too before anything is logged.
+        let schema = table.schema();
+        let pkey_changes = schema.pkey().iter().any(|p| cols.iter().any(|(i, _)| i == p));
+        if pkey_changes {
+            let row = table
+                .get(key)
+                .ok_or_else(|| DbError::KeyNotFound(format!("{key:?}")))?;
+            let mut new_values = row.values.clone();
+            for (i, v) in cols {
+                if *i < new_values.len() {
+                    new_values[*i] = v.clone();
+                }
+            }
+            let new_key = schema.key_of(&new_values);
+            if new_key != *key {
+                self.locks
+                    .lock(txn, table.id(), &new_key, LockMode::Exclusive)?;
+            }
+        }
+        self.run_interceptors(txn, table, &PlannedOp::Update { key, cols })?;
+
+        let mut lsn = Lsn::ZERO;
+        let outcome = table.update_with(key, cols, |plan| {
+            table.check_access(txn)?;
+            lsn = self.log.append(LogRecord::Op {
+                txn,
+                op: LogOp::Update {
+                    table: table.id(),
+                    key: key.clone(),
+                    old: plan.old_cols.clone(),
+                    new: cols.to_vec(),
+                },
+            });
+            Ok(lsn)
+        })?;
+        cell.state.lock().undo.push((
+            lsn,
+            LogOp::Update {
+                table: table.id(),
+                key: outcome.new_key,
+                old: cols.to_vec(),
+                new: outcome.old_cols,
+            },
+        ));
+        Counters::bump(&self.counters.ops);
+        Ok(())
+    }
+
+    /// Delete the row at `key` in the named table.
+    pub fn delete(&self, txn: TxnId, table: &str, key: &Key) -> DbResult<()> {
+        let t = self.catalog.get(table)?;
+        self.delete_in(txn, &t, key)
+    }
+
+    /// Delete the row at `key` in a resolved table.
+    pub fn delete_in(&self, txn: TxnId, table: &Arc<Table>, key: &Key) -> DbResult<()> {
+        let cell = self.cell_for_op(txn)?;
+        table.check_access(txn)?;
+        self.ensure_table_lock(&cell, table.id(), GranularMode::IntentionExclusive)?;
+        self.locks
+            .lock(txn, table.id(), key, LockMode::Exclusive)?;
+        self.run_interceptors(txn, table, &PlannedOp::Delete { key })?;
+
+        let mut pre_image = Vec::new();
+        let mut lsn = Lsn::ZERO;
+        table.delete_with(key, |row| {
+            table.check_access(txn)?;
+            pre_image = row.values.clone();
+            lsn = self.log.append(LogRecord::Op {
+                txn,
+                op: LogOp::Delete {
+                    table: table.id(),
+                    key: key.clone(),
+                    old: row.values.clone(),
+                },
+            });
+            Ok(())
+        })?;
+        cell.state.lock().undo.push((
+            lsn,
+            LogOp::Insert {
+                table: table.id(),
+                row: pre_image,
+            },
+        ));
+        Counters::bump(&self.counters.ops);
+        Ok(())
+    }
+
+    /// Read the row at `key` under a shared lock.
+    pub fn read(&self, txn: TxnId, table: &str, key: &Key) -> DbResult<Option<Vec<Value>>> {
+        let t = self.catalog.get(table)?;
+        self.read_in(txn, &t, key)
+    }
+
+    /// Read the row at `key` in a resolved table under a shared lock.
+    pub fn read_in(
+        &self,
+        txn: TxnId,
+        table: &Arc<Table>,
+        key: &Key,
+    ) -> DbResult<Option<Vec<Value>>> {
+        let cell = self.cell_for_op(txn)?;
+        table.check_access(txn)?;
+        self.ensure_table_lock(&cell, table.id(), GranularMode::IntentionShared)?;
+        self.locks.lock(txn, table.id(), key, LockMode::Shared)?;
+        self.run_interceptors(txn, table, &PlannedOp::Read { key })?;
+        Ok(table.get(key).map(|r| r.values))
+    }
+
+    /// Lock-free dirty read (the consistency checker's "read without
+    /// using locks", §5.3 — it still takes the short physical latch).
+    pub fn read_dirty(&self, table: &str, key: &Key) -> DbResult<Option<Vec<Value>>> {
+        Ok(self.catalog.get(table)?.get(key).map(|r| r.values))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morph_common::ColumnType;
+
+    fn db_with_table() -> (Database, Arc<Table>) {
+        let db = Database::new();
+        let schema = Schema::builder()
+            .column("id", ColumnType::Int)
+            .column("val", ColumnType::Str)
+            .primary_key(&["id"])
+            .build()
+            .unwrap();
+        let t = db.create_table("t", schema).unwrap();
+        (db, t)
+    }
+
+    fn row(id: i64, v: &str) -> Vec<Value> {
+        vec![Value::Int(id), Value::str(v)]
+    }
+
+    #[test]
+    fn insert_commit_visible() {
+        let (db, t) = db_with_table();
+        let txn = db.begin();
+        db.insert(txn, "t", row(1, "a")).unwrap();
+        db.commit(txn).unwrap();
+        assert_eq!(t.get(&Key::single(1)).unwrap().values, row(1, "a"));
+        assert_eq!(Counters::get(&db.counters().commits), 1);
+        // Log: Begin, Op, Commit.
+        assert_eq!(db.log().len(), 3);
+    }
+
+    #[test]
+    fn rollback_restores_everything_and_writes_clrs() {
+        let (db, t) = db_with_table();
+        let setup = db.begin();
+        db.insert(setup, "t", row(1, "keep")).unwrap();
+        db.insert(setup, "t", row(2, "victim")).unwrap();
+        db.commit(setup).unwrap();
+
+        let txn = db.begin();
+        db.insert(txn, "t", row(3, "new")).unwrap();
+        db.update(txn, "t", &Key::single(1), &[(1, Value::str("dirty"))])
+            .unwrap();
+        db.delete(txn, "t", &Key::single(2)).unwrap();
+        db.abort(txn).unwrap();
+
+        assert_eq!(t.get(&Key::single(1)).unwrap().values, row(1, "keep"));
+        assert_eq!(t.get(&Key::single(2)).unwrap().values, row(2, "victim"));
+        assert!(t.get(&Key::single(3)).is_none());
+
+        // 3 CLRs + Abort + AbortEnd present.
+        let mut clrs = 0;
+        let mut abort_end = 0;
+        for (_, rec) in db.log().read_range(Lsn(1), usize::MAX) {
+            match &*rec {
+                LogRecord::Clr { .. } => clrs += 1,
+                LogRecord::AbortEnd { .. } => abort_end += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(clrs, 3);
+        assert_eq!(abort_end, 1);
+        // Locks released.
+        assert_eq!(db.locks().held_count(txn), 0);
+    }
+
+    #[test]
+    fn rollback_of_pkey_move_restores_original_key() {
+        let (db, t) = db_with_table();
+        let setup = db.begin();
+        db.insert(setup, "t", row(1, "a")).unwrap();
+        db.commit(setup).unwrap();
+
+        let txn = db.begin();
+        db.update(txn, "t", &Key::single(1), &[(0, Value::Int(9))])
+            .unwrap();
+        assert!(t.get(&Key::single(9)).is_some());
+        db.abort(txn).unwrap();
+        assert!(t.get(&Key::single(9)).is_none());
+        assert_eq!(t.get(&Key::single(1)).unwrap().values, row(1, "a"));
+    }
+
+    #[test]
+    fn doomed_txn_rejected_and_rolled_back_on_commit() {
+        let (db, t) = db_with_table();
+        let txn = db.begin();
+        db.insert(txn, "t", row(1, "a")).unwrap();
+        assert!(db.doom(txn));
+        assert!(matches!(
+            db.insert(txn, "t", row(2, "b")),
+            Err(DbError::TxnDoomed(_))
+        ));
+        assert!(matches!(db.commit(txn), Err(DbError::TxnDoomed(_))));
+        // Commit performed the rollback.
+        assert!(t.get(&Key::single(1)).is_none());
+        assert!(!db.is_active(txn));
+        assert_eq!(Counters::get(&db.counters().doomed_aborts), 1);
+    }
+
+    #[test]
+    fn write_conflict_between_txns_respects_locks() {
+        let (db, _t) = db_with_table();
+        let t1 = db.begin();
+        let t2 = db.begin();
+        db.insert(t1, "t", row(1, "a")).unwrap();
+        // Younger t2 dies trying to touch the same record.
+        assert!(matches!(
+            db.update(t2, "t", &Key::single(1), &[(1, Value::str("x"))]),
+            Err(DbError::Deadlock(_))
+        ));
+        db.abort(t2).unwrap();
+        db.commit(t1).unwrap();
+    }
+
+    #[test]
+    fn read_takes_shared_lock() {
+        let (db, _t) = db_with_table();
+        let w = db.begin();
+        db.insert(w, "t", row(1, "a")).unwrap();
+        db.commit(w).unwrap();
+
+        let r1 = db.begin();
+        let r2 = db.begin();
+        assert_eq!(db.read(r1, "t", &Key::single(1)).unwrap(), Some(row(1, "a")));
+        assert_eq!(db.read(r2, "t", &Key::single(1)).unwrap(), Some(row(1, "a")));
+        // A younger writer dies against the two readers.
+        let w2 = db.begin();
+        assert!(matches!(
+            db.update(w2, "t", &Key::single(1), &[(1, Value::str("x"))]),
+            Err(DbError::Deadlock(_))
+        ));
+        db.abort(w2).unwrap();
+        db.commit(r1).unwrap();
+        db.commit(r2).unwrap();
+    }
+
+    #[test]
+    fn read_missing_row_is_none_dirty_read_needs_no_txn() {
+        let (db, _t) = db_with_table();
+        let txn = db.begin();
+        assert_eq!(db.read(txn, "t", &Key::single(404)).unwrap(), None);
+        db.commit(txn).unwrap();
+        assert_eq!(db.read_dirty("t", &Key::single(404)).unwrap(), None);
+        assert!(db.read_dirty("ghost", &Key::single(1)).is_err());
+    }
+
+    #[test]
+    fn fuzzy_mark_reports_active_and_start() {
+        let (db, _t) = db_with_table();
+        // Quiescent: start == mark lsn.
+        let (mark, start, active) = db.write_fuzzy_mark();
+        assert!(active.is_empty());
+        assert_eq!(mark, start);
+
+        let txn = db.begin();
+        db.insert(txn, "t", row(1, "a")).unwrap();
+        let (mark2, start2, active2) = db.write_fuzzy_mark();
+        assert_eq!(active2, vec![txn]);
+        // Start points at the Begin record of the active txn, which
+        // precedes its op and the mark.
+        assert!(start2 < mark2);
+        assert_eq!(
+            *db.log().read(start2).unwrap(),
+            LogRecord::Begin { txn }
+        );
+        db.commit(txn).unwrap();
+    }
+
+    #[test]
+    fn frozen_table_blocks_new_txn_allows_grandfathered() {
+        let (db, t) = db_with_table();
+        let old = db.begin();
+        db.insert(old, "t", row(1, "a")).unwrap();
+        t.freeze([old].into_iter().collect());
+        let newer = db.begin();
+        assert!(matches!(
+            db.insert(newer, "t", row(2, "b")),
+            Err(DbError::TableFrozen(_))
+        ));
+        db.insert(old, "t", row(3, "c")).unwrap();
+        db.commit(old).unwrap();
+        db.abort(newer).unwrap();
+    }
+
+    #[test]
+    fn ops_on_unknown_txn_fail() {
+        let (db, _t) = db_with_table();
+        assert!(matches!(
+            db.insert(TxnId(999), "t", row(1, "a")),
+            Err(DbError::TxnNotActive(_))
+        ));
+        assert!(matches!(db.commit(TxnId(999)), Err(DbError::TxnNotActive(_))));
+    }
+
+    #[test]
+    fn interceptor_can_veto_operations() {
+        struct Veto;
+        impl OpInterceptor for Veto {
+            fn before_op(
+                &self,
+                _db: &Database,
+                _txn: TxnId,
+                _table: &Table,
+                op: &PlannedOp<'_>,
+            ) -> DbResult<()> {
+                if matches!(op, PlannedOp::Delete { .. }) {
+                    return Err(DbError::Internal("deletes vetoed".into()));
+                }
+                Ok(())
+            }
+        }
+        let (db, t) = db_with_table();
+        let token = db.add_interceptor(Arc::new(Veto));
+        let txn = db.begin();
+        db.insert(txn, "t", row(1, "a")).unwrap();
+        assert!(db.delete(txn, "t", &Key::single(1)).is_err());
+        assert!(t.get(&Key::single(1)).is_some(), "veto must precede apply");
+        db.remove_interceptor(token);
+        db.delete(txn, "t", &Key::single(1)).unwrap();
+        db.commit(txn).unwrap();
+    }
+
+    #[test]
+    fn update_missing_key_fails_cleanly() {
+        let (db, _t) = db_with_table();
+        let txn = db.begin();
+        assert!(matches!(
+            db.update(txn, "t", &Key::single(404), &[(1, Value::str("x"))]),
+            Err(DbError::KeyNotFound(_))
+        ));
+        assert!(matches!(
+            db.delete(txn, "t", &Key::single(404)),
+            Err(DbError::KeyNotFound(_))
+        ));
+        // Txn still usable after a non-fatal error.
+        db.insert(txn, "t", row(1, "a")).unwrap();
+        db.commit(txn).unwrap();
+    }
+
+    #[test]
+    fn truncation_respects_active_txns_and_protections() {
+        let (db, _t) = db_with_table();
+        let db = Arc::new(db);
+        let setup = db.begin();
+        for i in 0..10 {
+            db.insert(setup, "t", row(i, "x")).unwrap();
+        }
+        db.commit(setup).unwrap();
+        let total = db.log().len();
+
+        // An active transaction pins the log at its Begin record.
+        let active = db.begin();
+        db.insert(active, "t", row(100, "y")).unwrap();
+        let dropped = db.truncate_log();
+        assert!(dropped > 0, "prefix before the active txn is reclaimable");
+        assert!(db.log().read(db.registry.get(active).unwrap().first_lsn).is_some());
+
+        // A protection guard pins it harder.
+        let guard = db.protect_log(Lsn(1)); // nothing below 1 → no-op
+        assert_eq!(db.truncate_log(), 0);
+        db.commit(active).unwrap();
+        assert_eq!(db.truncate_log(), 0, "guard still pins LSN 1");
+        drop(guard);
+        // Everything is now reclaimable.
+        assert!(db.truncate_log() > 0);
+        assert!(db.log().len() < total);
+        // The engine keeps working after truncation.
+        let txn = db.begin();
+        db.insert(txn, "t", row(200, "z")).unwrap();
+        db.commit(txn).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_records_active_txns() {
+        let (db, _t) = db_with_table();
+        let t1 = db.begin();
+        db.insert(t1, "t", row(1, "a")).unwrap();
+        let lsn = db.write_checkpoint();
+        match &*db.log().read(lsn).unwrap() {
+            LogRecord::Checkpoint { active } => {
+                assert_eq!(active.len(), 1);
+                assert_eq!(active[0].0, t1);
+                // First LSN points at the Begin record.
+                assert_eq!(
+                    *db.log().read(active[0].1).unwrap(),
+                    LogRecord::Begin { txn: t1 }
+                );
+            }
+            other => panic!("expected checkpoint, got {other:?}"),
+        }
+        db.commit(t1).unwrap();
+        // Quiescent checkpoint is empty; recovery replays across it.
+        let lsn = db.write_checkpoint();
+        match &*db.log().read(lsn).unwrap() {
+            LogRecord::Checkpoint { active } => assert!(active.is_empty()),
+            other => panic!("expected checkpoint, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn concurrent_transfer_workload_preserves_totals() {
+        // Classic bank-transfer invariant under concurrency: total is
+        // conserved across committed transfers despite deadlock aborts.
+        let db = Arc::new(Database::new());
+        let schema = Schema::builder()
+            .column("id", ColumnType::Int)
+            .column("balance", ColumnType::Int)
+            .primary_key(&["id"])
+            .build()
+            .unwrap();
+        let t = db.create_table("acct", schema).unwrap();
+        let setup = db.begin();
+        for i in 0..20 {
+            db.insert(setup, "acct", vec![Value::Int(i), Value::Int(100)])
+                .unwrap();
+        }
+        db.commit(setup).unwrap();
+
+        let mut handles = Vec::new();
+        for seed in 0..8u64 {
+            let db = Arc::clone(&db);
+            handles.push(std::thread::spawn(move || {
+                let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+                let mut rng = move || {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    x
+                };
+                for _ in 0..100 {
+                    let a = (rng() % 20) as i64;
+                    let b = (rng() % 20) as i64;
+                    if a == b {
+                        continue;
+                    }
+                    let txn = db.begin();
+                    let res = (|| -> DbResult<()> {
+                        let va = db
+                            .read(txn, "acct", &Key::single(a))?
+                            .ok_or(DbError::KeyNotFound("a".into()))?;
+                        let vb = db
+                            .read(txn, "acct", &Key::single(b))?
+                            .ok_or(DbError::KeyNotFound("b".into()))?;
+                        let (ba, bb) = (va[1].as_int().unwrap(), vb[1].as_int().unwrap());
+                        db.update(txn, "acct", &Key::single(a), &[(1, Value::Int(ba - 1))])?;
+                        db.update(txn, "acct", &Key::single(b), &[(1, Value::Int(bb + 1))])?;
+                        Ok(())
+                    })();
+                    match res {
+                        Ok(()) => {
+                            let _ = db.commit(txn);
+                        }
+                        Err(_) => {
+                            let _ = db.abort(txn);
+                        }
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total: i64 = t
+            .snapshot()
+            .iter()
+            .map(|(_, r)| r.values[1].as_int().unwrap())
+            .sum();
+        assert_eq!(total, 2000, "transfers must conserve the total");
+    }
+}

@@ -1,0 +1,36 @@
+//! Pre-operation hooks.
+//!
+//! Interceptors run after the engine has taken its own record lock and
+//! before anything is logged or applied. They exist for exactly two
+//! users in this code base:
+//!
+//! 1. **Non-blocking commit synchronization** (§3.4/§4.3): while old
+//!    transactions continue on the (frozen) source tables, every one of
+//!    their operations must first acquire the corresponding
+//!    origin-tagged lock on the transformed table, so that conflicts
+//!    with new transactions on the transformed table are detected under
+//!    the Figure-2 matrix.
+//! 2. The **trigger-based baseline** (Ronström's method, §2.1), which
+//!    applies the transformation synchronously inside the user
+//!    transaction — the approach the paper argues is more expensive
+//!    than log propagation, and which the ablation bench quantifies.
+//!
+//! Returning an error vetoes the operation before any state changes.
+
+use crate::database::{Database, PlannedOp};
+use morph_common::{DbResult, TxnId};
+use morph_storage::Table;
+
+/// A hook invoked before every data operation (see module docs).
+pub trait OpInterceptor: Send + Sync {
+    /// Inspect (and possibly veto or augment) an operation `txn` is
+    /// about to perform on `table`. The engine already holds the
+    /// operation's own record lock.
+    fn before_op(
+        &self,
+        db: &Database,
+        txn: TxnId,
+        table: &Table,
+        op: &PlannedOp<'_>,
+    ) -> DbResult<()>;
+}

@@ -1,0 +1,32 @@
+//! # morph-engine
+//!
+//! The transactional database facade tying storage, locking and the
+//! write-ahead log together. This is the substrate the paper assumes to
+//! exist (§1): strict two-phase record locking (every write takes an
+//! exclusive lock — "delta updates are not allowed"), redo **and** undo
+//! logging with LSNs, and rollback that emits **Compensating Log
+//! Records** so that the log can always be replayed strictly forward.
+//!
+//! The facade also exposes the three hooks the transformation framework
+//! needs and nothing more:
+//!
+//! * [`Database::write_fuzzy_mark`] — append a fuzzy mark carrying the
+//!   active-transaction snapshot and the LSN log propagation must start
+//!   from (§3.2),
+//! * [`Database::doom`] — condemn a transaction during non-blocking
+//!   abort synchronization (§3.4); its next operation fails and the
+//!   client must roll it back,
+//! * [`interceptor::OpInterceptor`] — a pre-operation hook used by the
+//!   non-blocking *commit* strategy (mirroring source-table locks onto
+//!   the transformed table) and by the trigger-based baseline of §2.1.
+
+pub mod counters;
+pub mod database;
+pub mod interceptor;
+pub mod recovery;
+pub mod registry;
+
+pub use counters::Counters;
+pub use database::{Database, LogProtection, PlannedOp};
+pub use interceptor::OpInterceptor;
+pub use recovery::{recover_into, RecoveryReport};

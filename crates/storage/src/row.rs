@@ -1,0 +1,120 @@
+//! Stored rows and their transformation metadata.
+
+use morph_common::{Lsn, Value};
+
+/// The C/U consistency flag of §5.3: transformed S-records whose
+/// contributing T-rows are known to agree carry `Consistent`; records
+/// that might disagree carry `Unknown` until the consistency checker
+/// certifies them.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ConsistencyFlag {
+    /// Known to be consistent ("C" in the paper).
+    Consistent,
+    /// Possibly inconsistent / not yet checked ("U" in the paper).
+    Unknown,
+}
+
+/// Which halves of a full-outer-join result row are populated.
+///
+/// A FOJ row is the join of (up to) one R-row and one S-row; rows
+/// without a join match are NULL-extended (joined with the special
+/// `r_null` / `s_null` records, §4.1). NULL attribute values alone
+/// cannot distinguish "joined with `s_null`" from "joined with an
+/// S-row whose non-key attributes are NULL", so the engine tracks
+/// presence explicitly, the way a real implementation would tag the
+/// physical record header.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Presence {
+    /// The R-part (left input) is populated.
+    pub left: bool,
+    /// The S-part (right input) is populated.
+    pub right: bool,
+}
+
+impl Presence {
+    /// Both halves present — every ordinary (non-transformed) row.
+    pub const BOTH: Presence = Presence {
+        left: true,
+        right: true,
+    };
+}
+
+impl Default for Presence {
+    fn default() -> Self {
+        Presence::BOTH
+    }
+}
+
+/// A stored row: attribute values plus the metadata the transformation
+/// framework needs.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Row {
+    /// Attribute values, positionally matching the table schema.
+    pub values: Vec<Value>,
+    /// State identifier: LSN of the last logged operation applied to
+    /// this row. For rows of a FOJ-transformed table this is *not* a
+    /// valid state identifier (§4.2) and the FOJ rules ignore it; the
+    /// split rules (§5.2) read and stamp it.
+    pub lsn: Lsn,
+    /// Reference counter for split S-records (§5): number of T-rows
+    /// currently contributing this S-part. 1 for ordinary rows.
+    pub counter: u32,
+    /// C/U flag for split-with-possibly-inconsistent-data (§5.3).
+    pub flag: ConsistencyFlag,
+    /// FOJ half-presence (see [`Presence`]). `BOTH` for ordinary rows.
+    pub presence: Presence,
+}
+
+impl Row {
+    /// An ordinary row: counter 1, consistent, both halves present.
+    pub fn new(values: Vec<Value>, lsn: Lsn) -> Row {
+        Row {
+            values,
+            lsn,
+            counter: 1,
+            flag: ConsistencyFlag::Consistent,
+            presence: Presence::BOTH,
+        }
+    }
+
+    /// Apply sparse column updates in place, returning the previous
+    /// values of the touched columns (for undo logging).
+    pub fn apply_updates(&mut self, cols: &[(usize, Value)]) -> Vec<(usize, Value)> {
+        let mut old = Vec::with_capacity(cols.len());
+        for (i, v) in cols {
+            old.push((*i, std::mem::replace(&mut self.values[*i], v.clone())));
+        }
+        old
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_row_defaults() {
+        let r = Row::new(vec![Value::Int(1)], Lsn(5));
+        assert_eq!(r.counter, 1);
+        assert_eq!(r.flag, ConsistencyFlag::Consistent);
+        assert_eq!(r.lsn, Lsn(5));
+    }
+
+    #[test]
+    fn apply_updates_returns_old_values() {
+        let mut r = Row::new(vec![Value::Int(1), Value::str("a"), Value::Null], Lsn(1));
+        let old = r.apply_updates(&[(1, Value::str("b")), (2, Value::Int(9))]);
+        assert_eq!(old, vec![(1, Value::str("a")), (2, Value::Null)]);
+        assert_eq!(
+            r.values,
+            vec![Value::Int(1), Value::str("b"), Value::Int(9)]
+        );
+    }
+
+    #[test]
+    fn apply_empty_update_is_noop() {
+        let mut r = Row::new(vec![Value::Int(1)], Lsn(1));
+        assert!(r.apply_updates(&[]).is_empty());
+        assert_eq!(r.values, vec![Value::Int(1)]);
+    }
+}

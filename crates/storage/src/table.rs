@@ -1,0 +1,818 @@
+//! Tables: primary-key B-tree heaps with secondary indexes, short
+//! physical latches, freeze states and the fuzzy scan.
+
+use crate::index::SecondaryIndex;
+use crate::row::Row;
+use morph_common::{DbError, DbResult, Key, Lsn, Schema, TableId, TxnId, Value};
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::collections::{BTreeMap, HashSet};
+use std::ops::Bound;
+use std::sync::Arc;
+
+/// Access state of a table.
+///
+/// After a non-blocking synchronization the source tables are *frozen*:
+/// only the transactions that were active at synchronization time (and
+/// are now rolling back, or — under non-blocking commit — running to
+/// completion) may still touch them (§3.4).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TableState {
+    /// Normal operation.
+    Active,
+    /// Only the listed transactions may operate on the table.
+    Frozen { allowed: HashSet<TxnId> },
+    /// The table is logically dropped; no transaction may touch it.
+    Dropped,
+}
+
+struct TableInner {
+    rows: BTreeMap<Key, Row>,
+    indexes: Vec<SecondaryIndex>,
+}
+
+/// Outcome of an update, reporting key movement and the pre-images
+/// needed for undo logging.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateOutcome {
+    /// Pre-update values of the touched columns.
+    pub old_cols: Vec<(usize, Value)>,
+    /// Key before the update.
+    pub old_key: Key,
+    /// Key after the update (differs if a primary-key column changed).
+    pub new_key: Key,
+    /// Row LSN before the update.
+    pub old_lsn: Lsn,
+}
+
+/// A main-memory table.
+///
+/// All physical operations take a short write latch on the row heap;
+/// [`Table::latch_exclusive`] exposes the same latch to the
+/// synchronization step, which holds it across the final log
+/// propagation iteration (§3.4) — this is what "latching the source
+/// tables" means in this engine.
+pub struct Table {
+    id: TableId,
+    name: RwLock<String>,
+    schema: RwLock<Schema>,
+    state: RwLock<TableState>,
+    inner: RwLock<TableInner>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(id: TableId, name: &str, schema: Schema) -> Table {
+        Table {
+            id,
+            name: RwLock::new(name.to_owned()),
+            schema: RwLock::new(schema),
+            state: RwLock::new(TableState::Active),
+            inner: RwLock::new(TableInner {
+                rows: BTreeMap::new(),
+                indexes: Vec::new(),
+            }),
+        }
+    }
+
+    /// Stable identifier.
+    pub fn id(&self) -> TableId {
+        self.id
+    }
+
+    /// Current name (tables can be renamed; §5.2 rename-in-place).
+    pub fn name(&self) -> String {
+        self.name.read().clone()
+    }
+
+    pub(crate) fn set_name(&self, name: &str) {
+        *self.name.write() = name.to_owned();
+    }
+
+    /// A clone of the current schema.
+    pub fn schema(&self) -> Schema {
+        self.schema.read().clone()
+    }
+
+    // --- access state -------------------------------------------------
+
+    /// Current access state.
+    pub fn state(&self) -> TableState {
+        self.state.read().clone()
+    }
+
+    /// Freeze the table for everyone but `allowed` (§3.4).
+    pub fn freeze(&self, allowed: HashSet<TxnId>) {
+        *self.state.write() = TableState::Frozen { allowed };
+    }
+
+    /// Remove one transaction from the frozen allow-list (it finished
+    /// rolling back / committing). Returns `true` when the allow-list
+    /// is now empty, i.e. the table can be physically dropped.
+    pub fn retire_allowed(&self, txn: TxnId) -> bool {
+        let mut st = self.state.write();
+        if let TableState::Frozen { allowed } = &mut *st {
+            allowed.remove(&txn);
+            allowed.is_empty()
+        } else {
+            false
+        }
+    }
+
+    /// Mark the table dropped.
+    pub fn mark_dropped(&self) {
+        *self.state.write() = TableState::Dropped;
+    }
+
+    /// Reactivate a frozen table (transformation aborted).
+    pub fn reactivate(&self) {
+        *self.state.write() = TableState::Active;
+    }
+
+    /// Check that `txn` may operate on this table in its current state.
+    pub fn check_access(&self, txn: TxnId) -> DbResult<()> {
+        match &*self.state.read() {
+            TableState::Active => Ok(()),
+            TableState::Frozen { allowed } if allowed.contains(&txn) => Ok(()),
+            TableState::Frozen { .. } | TableState::Dropped => {
+                Err(DbError::TableFrozen(self.id))
+            }
+        }
+    }
+
+    // --- indexes ------------------------------------------------------
+
+    /// Create a secondary index over the named columns. Existing rows
+    /// are indexed immediately (the preparation step creates indexes on
+    /// empty transformed tables, so this is cheap there).
+    pub fn add_index(&self, name: &str, columns: &[&str], unique: bool) -> DbResult<usize> {
+        let schema = self.schema.read();
+        let mut cols = Vec::with_capacity(columns.len());
+        for c in columns {
+            cols.push(schema.require(c)?);
+        }
+        drop(schema);
+        let mut inner = self.inner.write();
+        if inner.indexes.iter().any(|i| i.name == name) {
+            return Err(DbError::InvalidSchema(format!(
+                "index {name:?} already exists"
+            )));
+        }
+        let mut idx = SecondaryIndex::new(name, cols, unique);
+        for (pk, row) in &inner.rows {
+            idx.insert(&row.values, pk)?;
+        }
+        inner.indexes.push(idx);
+        Ok(inner.indexes.len() - 1)
+    }
+
+    /// Position of an index by name.
+    pub fn index_pos(&self, name: &str) -> Option<usize> {
+        self.inner
+            .read()
+            .indexes
+            .iter()
+            .position(|i| i.name == name)
+    }
+
+    /// Primary keys of rows whose index key equals `ik`.
+    pub fn index_lookup(&self, idx: usize, ik: &Key) -> Vec<Key> {
+        self.inner.read().indexes[idx].lookup(ik)
+    }
+
+    /// Number of rows under index key `ik`.
+    pub fn index_cardinality(&self, idx: usize, ik: &Key) -> usize {
+        self.inner.read().indexes[idx].cardinality(ik)
+    }
+
+    /// Rows (with their primary keys) whose index key equals `ik`,
+    /// fetched atomically under one latch acquisition — the consistency
+    /// checker and the propagation rules use this so that a row cannot
+    /// vanish between the index probe and the row fetch.
+    pub fn index_rows(&self, idx: usize, ik: &Key) -> Vec<(Key, Row)> {
+        let inner = self.inner.read();
+        inner.indexes[idx]
+            .lookup(ik)
+            .into_iter()
+            .filter_map(|pk| inner.rows.get(&pk).map(|r| (pk.clone(), r.clone())))
+            .collect()
+    }
+
+    // --- physical row operations ---------------------------------------
+
+    /// Insert a full row (ordinary path: counter 1, consistent flag).
+    pub fn insert(&self, values: Vec<Value>, lsn: Lsn) -> DbResult<Key> {
+        self.insert_row(Row::new(values, lsn))
+    }
+
+
+    /// Insert with the row's LSN produced *under the table latch* by
+    /// `mk_lsn` — the engine appends the log record inside the closure,
+    /// making "apply + log + stamp" atomic with respect to fuzzy scans
+    /// and the consistency checker. The closure is fallible so the
+    /// engine can re-check table access state under the latch (closing
+    /// the race against a concurrent synchronization freeze);
+    /// validation, constraint checks and the closure all run before
+    /// anything is mutated, so on failure nothing is logged or applied.
+    pub fn insert_with(
+        &self,
+        values: Vec<Value>,
+        mk_lsn: impl FnOnce() -> DbResult<Lsn>,
+    ) -> DbResult<Key> {
+        let schema = self.schema.read();
+        schema.validate(&values)?;
+        let key = schema.key_of(&values);
+        drop(schema);
+
+        let mut inner = self.inner.write();
+        if inner.rows.contains_key(&key) {
+            return Err(DbError::DuplicateKey(format!("{key:?}")));
+        }
+        for idx in &inner.indexes {
+            if idx.unique && idx.cardinality(&idx.key_of(&values)) > 0 {
+                return Err(DbError::UniqueViolation {
+                    index: idx.name.clone(),
+                    key: format!("{:?}", idx.key_of(&values)),
+                });
+            }
+        }
+        let lsn = mk_lsn()?;
+        let row = Row::new(values, lsn);
+        for idx in &mut inner.indexes {
+            idx.insert(&row.values, &key)
+                .expect("uniqueness pre-checked");
+        }
+        inner.rows.insert(key.clone(), row);
+        Ok(key)
+    }
+
+    /// Insert a row with explicit metadata (used by the propagator,
+    /// which controls counters, flags and LSN stamping itself).
+    pub fn insert_row(&self, row: Row) -> DbResult<Key> {
+        let values = row.values.clone();
+        let Row {
+            lsn,
+            counter,
+            flag,
+            presence,
+            ..
+        } = row;
+        let key = self.insert_with(values, || Ok(lsn))?;
+        // insert_with built an ordinary row; fix up the metadata.
+        self.with_row_mut(&key, |r| {
+            r.counter = counter;
+            r.flag = flag;
+            r.presence = presence;
+        });
+        Ok(key)
+    }
+
+    /// Delete by primary key, returning the removed row.
+    pub fn delete(&self, key: &Key) -> DbResult<Row> {
+        self.delete_with(key, |_| Ok(()))
+    }
+
+    /// Delete with a fallible logging closure run under the latch after
+    /// the row is found (receives the pre-image for undo logging) and
+    /// before it is removed; a closure error leaves the row untouched.
+    pub fn delete_with(
+        &self,
+        key: &Key,
+        log: impl FnOnce(&Row) -> DbResult<()>,
+    ) -> DbResult<Row> {
+        let mut inner = self.inner.write();
+        if !inner.rows.contains_key(key) {
+            return Err(DbError::KeyNotFound(format!("{key:?}")));
+        }
+        log(&inner.rows[key])?;
+        let row = inner.rows.remove(key).expect("checked above");
+        for idx in &mut inner.indexes {
+            idx.remove(&row.values, key);
+        }
+        Ok(row)
+    }
+
+    /// Sparse-column update by primary key. Handles primary-key column
+    /// changes by moving the row. `new_lsn` becomes the row's state
+    /// identifier.
+    pub fn update(
+        &self,
+        key: &Key,
+        cols: &[(usize, Value)],
+        new_lsn: Lsn,
+    ) -> DbResult<UpdateOutcome> {
+        self.update_with(key, cols, |_| Ok(new_lsn))
+    }
+
+    /// Update with the new LSN produced under the latch by `mk_lsn`,
+    /// which receives the update plan (old column values, key movement,
+    /// previous LSN) so the engine can append redo+undo information to
+    /// the log atomically with the physical change. The closure runs
+    /// before anything is mutated; on error the row is untouched.
+    pub fn update_with(
+        &self,
+        key: &Key,
+        cols: &[(usize, Value)],
+        mk_lsn: impl FnOnce(&UpdateOutcome) -> DbResult<Lsn>,
+    ) -> DbResult<UpdateOutcome> {
+        let schema = self.schema.read();
+        let pkey_cols = schema.pkey().to_vec();
+        let arity = schema.arity();
+        drop(schema);
+        for (i, _) in cols {
+            if *i >= arity {
+                return Err(DbError::ArityMismatch {
+                    expected: arity,
+                    got: *i + 1,
+                });
+            }
+        }
+
+        let mut inner = self.inner.write();
+        let row = inner
+            .rows
+            .get(key)
+            .ok_or_else(|| DbError::KeyNotFound(format!("{key:?}")))?;
+        let old_lsn = row.lsn;
+
+        let mut new_values = row.values.clone();
+        for (i, v) in cols {
+            new_values[*i] = v.clone();
+        }
+        let new_key = Key::project(&new_values, &pkey_cols);
+
+        if new_key != *key && inner.rows.contains_key(&new_key) {
+            return Err(DbError::DuplicateKey(format!("{new_key:?}")));
+        }
+        // Unique-index pre-check for the new image.
+        for idx in &inner.indexes {
+            if idx.unique {
+                let new_ik = idx.key_of(&new_values);
+                let old_ik = idx.key_of(&inner.rows[key].values);
+                if new_ik != old_ik && idx.cardinality(&new_ik) > 0 {
+                    return Err(DbError::UniqueViolation {
+                        index: idx.name.clone(),
+                        key: format!("{new_ik:?}"),
+                    });
+                }
+            }
+        }
+
+        // Compute the full outcome (pre-images included) before any
+        // mutation, so a closure error is side-effect free.
+        let old_cols: Vec<(usize, Value)> = {
+            let row = &inner.rows[key];
+            cols.iter()
+                .map(|(i, _)| (*i, row.values[*i].clone()))
+                .collect()
+        };
+        let outcome = UpdateOutcome {
+            old_cols,
+            old_key: key.clone(),
+            new_key: new_key.clone(),
+            old_lsn,
+        };
+        let lsn = mk_lsn(&outcome)?;
+
+        let mut row = inner.rows.remove(key).expect("checked above");
+        for idx in &mut inner.indexes {
+            idx.remove(&row.values, key);
+        }
+        row.apply_updates(cols);
+        row.lsn = lsn;
+        for idx in &mut inner.indexes {
+            idx.insert(&row.values, &new_key)
+                .expect("uniqueness pre-checked");
+        }
+        inner.rows.insert(new_key, row);
+
+        Ok(outcome)
+    }
+
+    /// Mutate a row in place under the latch (propagator-only path for
+    /// counter/flag/LSN maintenance that must not move the row).
+    ///
+    /// Returns `None` if the key does not exist. The closure must not
+    /// change columns that participate in the primary key or any index.
+    pub fn with_row_mut<R>(&self, key: &Key, f: impl FnOnce(&mut Row) -> R) -> Option<R> {
+        let mut inner = self.inner.write();
+        inner.rows.get_mut(key).map(f)
+    }
+
+    /// Clone of the row at `key`.
+    pub fn get(&self, key: &Key) -> Option<Row> {
+        self.inner.read().rows.get(key).cloned()
+    }
+
+    /// Whether a row with `key` exists.
+    pub fn contains(&self, key: &Key) -> bool {
+        self.inner.read().rows.contains_key(key)
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.inner.read().rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Consistent snapshot of all rows (takes the read latch once; test
+    /// and verification helper, not used on hot paths).
+    pub fn snapshot(&self) -> Vec<(Key, Row)> {
+        self.inner
+            .read()
+            .rows
+            .iter()
+            .map(|(k, r)| (k.clone(), r.clone()))
+            .collect()
+    }
+
+    // --- latches --------------------------------------------------------
+
+    /// Shared latch: blocks physical writes while held (used by the
+    /// consistency checker's lock-free read of contributing rows).
+    pub fn latch_shared(&self) -> RwLockReadGuard<'_, impl Sized> {
+        self.inner.read()
+    }
+
+    /// Exclusive latch: pauses *all* physical operations while held —
+    /// the §3.4 synchronization latch.
+    pub fn latch_exclusive(&self) -> RwLockWriteGuard<'_, impl Sized> {
+        self.inner.write()
+    }
+
+    // --- fuzzy scan ------------------------------------------------------
+
+    /// Begin a fuzzy scan: chunked, lock-free (transaction-wise)
+    /// iteration in primary-key order. Writers interleave between
+    /// chunks, so the result may mix states — by design (§2.2, §3.2).
+    pub fn fuzzy_scan(self: &Arc<Self>, chunk_size: usize) -> FuzzyScanner {
+        FuzzyScanner {
+            table: Arc::clone(self),
+            after: None,
+            chunk_size: chunk_size.max(1),
+        }
+    }
+
+    // --- schema surgery (rename-in-place split variant, §5.2) -----------
+
+    /// Project the table down to `keep` columns (positions in current
+    /// schema order), rewriting rows and rebuilding indexes. The
+    /// primary key must be contained in `keep`. Indexes referencing
+    /// dropped columns are themselves dropped.
+    pub fn project_columns(&self, keep: &[usize]) -> DbResult<()> {
+        let old_schema = self.schema.read().clone();
+        if !old_schema.covers_pkey(keep) {
+            return Err(DbError::InvalidSchema(
+                "cannot drop primary-key columns".into(),
+            ));
+        }
+        let mut b = Schema::builder();
+        for &i in keep {
+            let c = old_schema
+                .columns()
+                .get(i)
+                .ok_or_else(|| DbError::InvalidSchema(format!("no column {i}")))?;
+            b = if c.nullable {
+                b.nullable(&c.name, c.ty)
+            } else {
+                b.column(&c.name, c.ty)
+            };
+        }
+        let pkey_names: Vec<String> = old_schema
+            .pkey()
+            .iter()
+            .map(|&p| old_schema.columns()[p].name.clone())
+            .collect();
+        let pkey_refs: Vec<&str> = pkey_names.iter().map(String::as_str).collect();
+        let new_schema = b.primary_key(&pkey_refs).build()?;
+
+        let mut inner = self.inner.write();
+        let remap: Vec<usize> = keep.to_vec();
+        // Rebuild surviving indexes with remapped column positions.
+        let mut new_indexes = Vec::new();
+        for idx in &inner.indexes {
+            if let Some(new_cols) = idx
+                .cols
+                .iter()
+                .map(|c| remap.iter().position(|k| k == c))
+                .collect::<Option<Vec<_>>>()
+            {
+                new_indexes.push(SecondaryIndex::new(&idx.name, new_cols, idx.unique));
+            }
+        }
+        let old_rows = std::mem::take(&mut inner.rows);
+        for (_, mut row) in old_rows {
+            row.values = remap.iter().map(|&i| row.values[i].clone()).collect();
+            let key = new_schema.key_of(&row.values);
+            for idx in &mut new_indexes {
+                idx.insert(&row.values, &key)?;
+            }
+            inner.rows.insert(key, row);
+        }
+        inner.indexes = new_indexes;
+        drop(inner);
+        *self.schema.write() = new_schema;
+        Ok(())
+    }
+}
+
+/// Chunked fuzzy scanner (see [`Table::fuzzy_scan`]).
+pub struct FuzzyScanner {
+    table: Arc<Table>,
+    after: Option<Key>,
+    chunk_size: usize,
+}
+
+impl FuzzyScanner {
+    /// Next chunk of rows, or an empty vector when the scan is done.
+    pub fn next_chunk(&mut self) -> Vec<(Key, Row)> {
+        let inner = self.table.inner.read();
+        let range = match &self.after {
+            None => inner.rows.range::<Key, _>(..),
+            Some(k) => inner
+                .rows
+                .range::<Key, _>((Bound::Excluded(k.clone()), Bound::Unbounded)),
+        };
+        let chunk: Vec<(Key, Row)> = range
+            .take(self.chunk_size)
+            .map(|(k, r)| (k.clone(), r.clone()))
+            .collect();
+        if let Some((k, _)) = chunk.last() {
+            self.after = Some(k.clone());
+        }
+        chunk
+    }
+
+    /// Drain the remaining chunks into one vector.
+    pub fn collect_all(mut self) -> Vec<(Key, Row)> {
+        let mut out = Vec::new();
+        loop {
+            let chunk = self.next_chunk();
+            if chunk.is_empty() {
+                return out;
+            }
+            out.extend(chunk);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morph_common::ColumnType;
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .column("id", ColumnType::Int)
+            .column("j", ColumnType::Int)
+            .nullable("payload", ColumnType::Str)
+            .primary_key(&["id"])
+            .build()
+            .unwrap()
+    }
+
+    fn table() -> Arc<Table> {
+        Arc::new(Table::new(TableId(1), "t", schema()))
+    }
+
+    fn row(id: i64, j: i64) -> Vec<Value> {
+        vec![Value::Int(id), Value::Int(j), Value::str(format!("p{id}"))]
+    }
+
+    #[test]
+    fn insert_get_delete() {
+        let t = table();
+        let k = t.insert(row(1, 10), Lsn(1)).unwrap();
+        assert_eq!(k, Key::single(1));
+        assert_eq!(t.get(&k).unwrap().values, row(1, 10));
+        assert_eq!(t.len(), 1);
+        assert!(matches!(
+            t.insert(row(1, 99), Lsn(2)),
+            Err(DbError::DuplicateKey(_))
+        ));
+        let old = t.delete(&k).unwrap();
+        assert_eq!(old.values, row(1, 10));
+        assert!(t.is_empty());
+        assert!(matches!(t.delete(&k), Err(DbError::KeyNotFound(_))));
+    }
+
+    #[test]
+    fn update_plain_and_lsn_stamp() {
+        let t = table();
+        let k = t.insert(row(1, 10), Lsn(1)).unwrap();
+        let out = t
+            .update(&k, &[(2, Value::str("new"))], Lsn(5))
+            .unwrap();
+        assert_eq!(out.old_cols, vec![(2, Value::str("p1"))]);
+        assert_eq!(out.old_key, out.new_key);
+        assert_eq!(out.old_lsn, Lsn(1));
+        let r = t.get(&k).unwrap();
+        assert_eq!(r.lsn, Lsn(5));
+        assert_eq!(r.values[2], Value::str("new"));
+    }
+
+    #[test]
+    fn update_moves_row_on_pkey_change() {
+        let t = table();
+        let k = t.insert(row(1, 10), Lsn(1)).unwrap();
+        let out = t.update(&k, &[(0, Value::Int(2))], Lsn(2)).unwrap();
+        assert_eq!(out.new_key, Key::single(2));
+        assert!(t.get(&Key::single(1)).is_none());
+        assert!(t.get(&Key::single(2)).is_some());
+    }
+
+    #[test]
+    fn update_pkey_collision_rejected() {
+        let t = table();
+        t.insert(row(1, 10), Lsn(1)).unwrap();
+        t.insert(row(2, 20), Lsn(2)).unwrap();
+        assert!(matches!(
+            t.update(&Key::single(1), &[(0, Value::Int(2))], Lsn(3)),
+            Err(DbError::DuplicateKey(_))
+        ));
+        // Nothing changed.
+        assert_eq!(t.get(&Key::single(1)).unwrap().values, row(1, 10));
+    }
+
+    #[test]
+    fn update_out_of_range_column_rejected() {
+        let t = table();
+        t.insert(row(1, 10), Lsn(1)).unwrap();
+        assert!(matches!(
+            t.update(&Key::single(1), &[(9, Value::Int(0))], Lsn(2)),
+            Err(DbError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn secondary_index_tracks_all_mutations() {
+        let t = table();
+        let j = t.add_index("j_idx", &["j"], false).unwrap();
+        t.insert(row(1, 10), Lsn(1)).unwrap();
+        t.insert(row(2, 10), Lsn(2)).unwrap();
+        t.insert(row(3, 30), Lsn(3)).unwrap();
+        assert_eq!(t.index_lookup(j, &Key::single(10)).len(), 2);
+
+        // Update join attribute: moves index entry.
+        t.update(&Key::single(1), &[(1, Value::Int(30))], Lsn(4))
+            .unwrap();
+        assert_eq!(t.index_lookup(j, &Key::single(10)), vec![Key::single(2)]);
+        assert_eq!(t.index_cardinality(j, &Key::single(30)), 2);
+
+        // Delete removes entries.
+        t.delete(&Key::single(3)).unwrap();
+        assert_eq!(t.index_lookup(j, &Key::single(30)), vec![Key::single(1)]);
+    }
+
+    #[test]
+    fn index_on_existing_rows() {
+        let t = table();
+        t.insert(row(1, 10), Lsn(1)).unwrap();
+        t.insert(row(2, 10), Lsn(2)).unwrap();
+        let j = t.add_index("j_idx", &["j"], false).unwrap();
+        assert_eq!(t.index_cardinality(j, &Key::single(10)), 2);
+        assert!(t.add_index("j_idx", &["j"], false).is_err());
+        assert!(t.add_index("bad", &["nope"], false).is_err());
+    }
+
+    #[test]
+    fn unique_index_enforced_on_insert_and_update() {
+        let t = table();
+        t.add_index("u", &["j"], true).unwrap();
+        t.insert(row(1, 10), Lsn(1)).unwrap();
+        assert!(matches!(
+            t.insert(row(2, 10), Lsn(2)),
+            Err(DbError::UniqueViolation { .. })
+        ));
+        assert_eq!(t.len(), 1, "failed insert must not leave residue");
+        t.insert(row(2, 20), Lsn(2)).unwrap();
+        assert!(matches!(
+            t.update(&Key::single(2), &[(1, Value::Int(10))], Lsn(3)),
+            Err(DbError::UniqueViolation { .. })
+        ));
+        // Updating a row's unique value to itself is fine.
+        t.update(&Key::single(2), &[(1, Value::Int(20))], Lsn(4))
+            .unwrap();
+    }
+
+    #[test]
+    fn freeze_gates_access() {
+        let t = table();
+        assert!(t.check_access(TxnId(1)).is_ok());
+        t.freeze([TxnId(1)].into_iter().collect());
+        assert!(t.check_access(TxnId(1)).is_ok());
+        assert!(matches!(
+            t.check_access(TxnId(2)),
+            Err(DbError::TableFrozen(_))
+        ));
+        assert!(t.retire_allowed(TxnId(1)));
+        t.mark_dropped();
+        assert!(t.check_access(TxnId(1)).is_err());
+        t.reactivate();
+        assert!(t.check_access(TxnId(2)).is_ok());
+    }
+
+    #[test]
+    fn fuzzy_scan_sees_interleaved_writes_loosely() {
+        let t = table();
+        for i in 0..100 {
+            t.insert(row(i, i % 7), Lsn(i as u64 + 1)).unwrap();
+        }
+        let mut scan = t.fuzzy_scan(10);
+        let first = scan.next_chunk();
+        assert_eq!(first.len(), 10);
+        // A writer interleaves: deletes a row ahead of the cursor and
+        // inserts one behind it.
+        t.delete(&Key::single(50)).unwrap();
+        t.insert(row(3000, 0), Lsn(200)).unwrap(); // ahead (large key)
+        let rest: Vec<_> = std::iter::from_fn(|| {
+            let c = scan.next_chunk();
+            if c.is_empty() {
+                None
+            } else {
+                Some(c)
+            }
+        })
+        .flatten()
+        .collect();
+        let keys: Vec<i64> = rest.iter().filter_map(|(k, _)| k.0[0].as_int()).collect();
+        assert!(!keys.contains(&50), "deleted-ahead row must not appear");
+        assert!(keys.contains(&3000), "inserted-ahead row appears");
+    }
+
+    #[test]
+    fn fuzzy_scan_collect_all_matches_snapshot_when_quiescent() {
+        let t = table();
+        for i in 0..37 {
+            t.insert(row(i, 0), Lsn(1)).unwrap();
+        }
+        let scanned = t.fuzzy_scan(8).collect_all();
+        assert_eq!(scanned.len(), 37);
+        assert_eq!(scanned, t.snapshot());
+    }
+
+    #[test]
+    fn with_row_mut_edits_metadata() {
+        let t = table();
+        let k = t.insert(row(1, 10), Lsn(1)).unwrap();
+        let got = t.with_row_mut(&k, |r| {
+            r.counter = 7;
+            r.counter
+        });
+        assert_eq!(got, Some(7));
+        assert_eq!(t.get(&k).unwrap().counter, 7);
+        assert_eq!(t.with_row_mut(&Key::single(99), |_| ()), None);
+    }
+
+    #[test]
+    fn project_columns_rewrites_rows_and_schema() {
+        let t = table();
+        t.add_index("j_idx", &["j"], false).unwrap();
+        t.add_index("p_idx", &["payload"], false).unwrap();
+        for i in 0..5 {
+            t.insert(row(i, 10 + i), Lsn(1)).unwrap();
+        }
+        // Keep id + j, drop payload.
+        t.project_columns(&[0, 1]).unwrap();
+        let s = t.schema();
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.position_of("payload"), None);
+        assert_eq!(t.get(&Key::single(3)).unwrap().values.len(), 2);
+        // Index on a dropped column is gone; on a kept column survives.
+        assert!(t.index_pos("p_idx").is_none());
+        let j = t.index_pos("j_idx").unwrap();
+        assert_eq!(t.index_lookup(j, &Key::single(12)), vec![Key::single(2)]);
+    }
+
+    #[test]
+    fn project_cannot_drop_pkey() {
+        let t = table();
+        assert!(t.project_columns(&[1, 2]).is_err());
+    }
+
+    #[test]
+    fn exclusive_latch_blocks_writer() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let t = table();
+        t.insert(row(1, 1), Lsn(1)).unwrap();
+        let latch = t.latch_exclusive();
+        let done = Arc::new(AtomicBool::new(false));
+        let (t2, done2) = (Arc::clone(&t), Arc::clone(&done));
+        let h = std::thread::spawn(move || {
+            t2.insert(row(2, 2), Lsn(2)).unwrap();
+            done2.store(true, Ordering::SeqCst);
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert!(
+            !done.load(Ordering::SeqCst),
+            "writer must be paused by the latch"
+        );
+        drop(latch);
+        h.join().unwrap();
+        assert!(done.load(Ordering::SeqCst));
+        assert_eq!(t.len(), 2);
+    }
+}

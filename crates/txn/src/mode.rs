@@ -1,0 +1,52 @@
+//! Basic lock modes.
+
+/// Record lock mode: shared (read) or exclusive (write).
+///
+/// The paper's propagation proof (§4.2) assumes "all write operations
+/// on the source tables use exclusive locks; i.e. delta updates are not
+/// allowed" — morphdb's engine takes an exclusive lock for every
+/// insert/update/delete, satisfying that premise.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum LockMode {
+    /// Shared / read.
+    Shared,
+    /// Exclusive / write.
+    Exclusive,
+}
+
+impl LockMode {
+    /// Classic S/X compatibility: only shared–shared coexists.
+    pub fn compatible(self, other: LockMode) -> bool {
+        matches!((self, other), (LockMode::Shared, LockMode::Shared))
+    }
+
+    /// Whether holding `self` subsumes a request for `req`.
+    pub fn covers(self, req: LockMode) -> bool {
+        match (self, req) {
+            (LockMode::Exclusive, _) => true,
+            (LockMode::Shared, LockMode::Shared) => true,
+            (LockMode::Shared, LockMode::Exclusive) => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sx_compatibility() {
+        assert!(LockMode::Shared.compatible(LockMode::Shared));
+        assert!(!LockMode::Shared.compatible(LockMode::Exclusive));
+        assert!(!LockMode::Exclusive.compatible(LockMode::Shared));
+        assert!(!LockMode::Exclusive.compatible(LockMode::Exclusive));
+    }
+
+    #[test]
+    fn coverage() {
+        assert!(LockMode::Exclusive.covers(LockMode::Shared));
+        assert!(LockMode::Exclusive.covers(LockMode::Exclusive));
+        assert!(LockMode::Shared.covers(LockMode::Shared));
+        assert!(!LockMode::Shared.covers(LockMode::Exclusive));
+    }
+}

@@ -1,0 +1,138 @@
+//! Origin-tagged lock compatibility — Figure 2 of the paper.
+//!
+//! When a FOJ transformation synchronizes, locks held by transactions
+//! on the source tables R and S are transferred onto the transformed
+//! table T. An R-write and an S-write can land on the *same* T-record
+//! (it is the join of one row from each source) without actually
+//! conflicting — they modify disjoint attributes, and their real
+//! conflict, if any, was already resolved by the concurrency controller
+//! in the source table. The paper therefore extends the compatibility
+//! matrix (Figure 2):
+//!
+//! ```text
+//!        R.r  S.r  T.r  R.w  S.w  T.w
+//!  R.r    y    y    y    y    y    n
+//!  S.r    y    y    y    y    y    n
+//!  T.r    y    y    y    n    n    n
+//!  R.w    y    y    n    y    y    n
+//!  S.w    y    y    n    y    y    n
+//!  T.w    n    n    n    n    n    n
+//! ```
+//!
+//! In words: transferred locks (origin R or S) are always compatible
+//! with each other; locks taken natively on T (origin T) behave as
+//! ordinary S/X locks against each other; and a transferred lock is
+//! compatible with a native lock only when both are reads.
+
+use crate::mode::LockMode;
+
+/// Where a lock on a transformed table came from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum LockOrigin {
+    /// Transferred from source table R (for split: from source T onto
+    /// the R target).
+    SourceR,
+    /// Transferred from source table S.
+    SourceS,
+    /// Taken natively on the table by a new transaction (this is also
+    /// the origin of every ordinary lock outside a transformation).
+    Native,
+}
+
+impl LockOrigin {
+    /// Whether this lock was transferred from a source table.
+    pub fn is_transferred(self) -> bool {
+        !matches!(self, LockOrigin::Native)
+    }
+}
+
+/// The Figure-2 compatibility test for two lock grants on the same
+/// record of a transformed table.
+pub fn compatible(
+    (origin_a, mode_a): (LockOrigin, LockMode),
+    (origin_b, mode_b): (LockOrigin, LockMode),
+) -> bool {
+    match (origin_a.is_transferred(), origin_b.is_transferred()) {
+        // Two transferred locks never conflict: their true conflict was
+        // resolved in the source tables.
+        (true, true) => true,
+        // Two native locks: ordinary S/X.
+        (false, false) => mode_a.compatible(mode_b),
+        // Mixed: compatible only if both are reads.
+        _ => mode_a == LockMode::Shared && mode_b == LockMode::Shared,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use LockMode::{Exclusive as W, Shared as R};
+    use LockOrigin::{Native, SourceR, SourceS};
+
+    /// The six row/column labels of Figure 2, in the paper's order.
+    const LABELS: [(LockOrigin, LockMode); 6] = [
+        (SourceR, R), // R.r
+        (SourceS, R), // S.r
+        (Native, R),  // T.r
+        (SourceR, W), // R.w
+        (SourceS, W), // S.w
+        (Native, W),  // T.w
+    ];
+
+    /// Figure 2, transcribed literally (true = "y").
+    const FIGURE_2: [[bool; 6]; 6] = [
+        //        R.r    S.r    T.r    R.w    S.w    T.w
+        /*R.r*/ [true, true, true, true, true, false],
+        /*S.r*/ [true, true, true, true, true, false],
+        /*T.r*/ [true, true, true, false, false, false],
+        /*R.w*/ [true, true, false, true, true, false],
+        /*S.w*/ [true, true, false, true, true, false],
+        /*T.w*/ [false, false, false, false, false, false],
+    ];
+
+    #[test]
+    fn matrix_matches_paper_figure_2() {
+        for (i, &a) in LABELS.iter().enumerate() {
+            for (j, &b) in LABELS.iter().enumerate() {
+                assert_eq!(
+                    compatible(a, b),
+                    FIGURE_2[i][j],
+                    "mismatch at row {i} col {j}: {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_is_symmetric() {
+        for &a in &LABELS {
+            for &b in &LABELS {
+                assert_eq!(compatible(a, b), compatible(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn native_only_reduces_to_sx() {
+        assert!(compatible((Native, R), (Native, R)));
+        assert!(!compatible((Native, R), (Native, W)));
+        assert!(!compatible((Native, W), (Native, W)));
+    }
+
+    #[test]
+    fn transferred_writes_coexist() {
+        // The paper's motivating case: an R-write and an S-write landing
+        // on the same T record do not conflict.
+        assert!(compatible((SourceR, W), (SourceS, W)));
+        // Even two writes transferred from the same source table — they
+        // were serialized there already.
+        assert!(compatible((SourceR, W), (SourceR, W)));
+    }
+
+    #[test]
+    fn origin_is_transferred() {
+        assert!(SourceR.is_transferred());
+        assert!(SourceS.is_transferred());
+        assert!(!Native.is_transferred());
+    }
+}

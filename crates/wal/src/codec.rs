@@ -1,0 +1,460 @@
+//! Binary codec for log records.
+//!
+//! A small, hand-rolled, length-transparent binary format built on the
+//! [`bytes`] crate. Layout is tag-prefixed and little-endian
+//! throughout; strings are UTF-8 with a `u32` length prefix. The codec
+//! is total on the encode side and returns [`DbError::CorruptLog`] on
+//! any malformed input rather than panicking.
+
+use crate::record::{LogOp, LogRecord};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use morph_common::{DbError, DbResult, Key, Lsn, TableId, TxnId, Value};
+
+// Record tags.
+const T_BEGIN: u8 = 1;
+const T_COMMIT: u8 = 2;
+const T_ABORT: u8 = 3;
+const T_ABORT_END: u8 = 4;
+const T_OP: u8 = 5;
+const T_CLR: u8 = 6;
+const T_FUZZY: u8 = 7;
+const T_CC_BEGIN: u8 = 8;
+const T_CC_OK: u8 = 9;
+const T_CHECKPOINT: u8 = 10;
+
+// Op tags.
+const O_INSERT: u8 = 1;
+const O_DELETE: u8 = 2;
+const O_UPDATE: u8 = 3;
+
+// Value tags.
+const V_NULL: u8 = 0;
+const V_INT: u8 = 1;
+const V_STR: u8 = 2;
+
+/// Encode a record into a freshly allocated buffer.
+pub fn encode(rec: &LogRecord) -> Bytes {
+    let mut b = BytesMut::with_capacity(64);
+    encode_into(rec, &mut b);
+    b.freeze()
+}
+
+/// Encode a record, appending to `b`.
+pub fn encode_into(rec: &LogRecord, b: &mut BytesMut) {
+    match rec {
+        LogRecord::Begin { txn } => {
+            b.put_u8(T_BEGIN);
+            b.put_u64_le(txn.0);
+        }
+        LogRecord::Commit { txn } => {
+            b.put_u8(T_COMMIT);
+            b.put_u64_le(txn.0);
+        }
+        LogRecord::Abort { txn } => {
+            b.put_u8(T_ABORT);
+            b.put_u64_le(txn.0);
+        }
+        LogRecord::AbortEnd { txn } => {
+            b.put_u8(T_ABORT_END);
+            b.put_u64_le(txn.0);
+        }
+        LogRecord::Op { txn, op } => {
+            b.put_u8(T_OP);
+            b.put_u64_le(txn.0);
+            encode_op(op, b);
+        }
+        LogRecord::Clr {
+            txn,
+            undone_lsn,
+            op,
+        } => {
+            b.put_u8(T_CLR);
+            b.put_u64_le(txn.0);
+            b.put_u64_le(undone_lsn.0);
+            encode_op(op, b);
+        }
+        LogRecord::FuzzyMark { active, start_lsn } => {
+            b.put_u8(T_FUZZY);
+            b.put_u32_le(active.len() as u32);
+            for t in active {
+                b.put_u64_le(t.0);
+            }
+            b.put_u64_le(start_lsn.0);
+        }
+        LogRecord::CcBegin { split_key } => {
+            b.put_u8(T_CC_BEGIN);
+            encode_values(&split_key.0, b);
+        }
+        LogRecord::CcOk { split_key, image } => {
+            b.put_u8(T_CC_OK);
+            encode_values(&split_key.0, b);
+            encode_values(image, b);
+        }
+        LogRecord::Checkpoint { active } => {
+            b.put_u8(T_CHECKPOINT);
+            b.put_u32_le(active.len() as u32);
+            for (t, l) in active {
+                b.put_u64_le(t.0);
+                b.put_u64_le(l.0);
+            }
+        }
+    }
+}
+
+fn encode_op(op: &LogOp, b: &mut BytesMut) {
+    match op {
+        LogOp::Insert { table, row } => {
+            b.put_u8(O_INSERT);
+            b.put_u32_le(table.0);
+            encode_values(row, b);
+        }
+        LogOp::Delete { table, key, old } => {
+            b.put_u8(O_DELETE);
+            b.put_u32_le(table.0);
+            encode_values(&key.0, b);
+            encode_values(old, b);
+        }
+        LogOp::Update {
+            table,
+            key,
+            old,
+            new,
+        } => {
+            b.put_u8(O_UPDATE);
+            b.put_u32_le(table.0);
+            encode_values(&key.0, b);
+            encode_cols(old, b);
+            encode_cols(new, b);
+        }
+    }
+}
+
+fn encode_values(vals: &[Value], b: &mut BytesMut) {
+    b.put_u32_le(vals.len() as u32);
+    for v in vals {
+        encode_value(v, b);
+    }
+}
+
+fn encode_cols(cols: &[(usize, Value)], b: &mut BytesMut) {
+    b.put_u32_le(cols.len() as u32);
+    for (i, v) in cols {
+        b.put_u32_le(*i as u32);
+        encode_value(v, b);
+    }
+}
+
+fn encode_value(v: &Value, b: &mut BytesMut) {
+    match v {
+        Value::Null => b.put_u8(V_NULL),
+        Value::Int(i) => {
+            b.put_u8(V_INT);
+            b.put_i64_le(*i);
+        }
+        Value::Str(s) => {
+            b.put_u8(V_STR);
+            b.put_u32_le(s.len() as u32);
+            b.put_slice(s.as_bytes());
+        }
+    }
+}
+
+/// Decoding context: tracks the byte offset for error reporting.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn corrupt(&self, detail: &str) -> DbError {
+        DbError::CorruptLog {
+            offset: self.pos as u64,
+            detail: detail.to_owned(),
+        }
+    }
+
+    fn need(&self, n: usize) -> DbResult<()> {
+        if self.buf.len() - self.pos < n {
+            Err(self.corrupt("unexpected end of record"))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn u8(&mut self) -> DbResult<u8> {
+        self.need(1)?;
+        let mut s = &self.buf[self.pos..];
+        self.pos += 1;
+        Ok(s.get_u8())
+    }
+
+    fn u32(&mut self) -> DbResult<u32> {
+        self.need(4)?;
+        let mut s = &self.buf[self.pos..];
+        self.pos += 4;
+        Ok(s.get_u32_le())
+    }
+
+    fn u64(&mut self) -> DbResult<u64> {
+        self.need(8)?;
+        let mut s = &self.buf[self.pos..];
+        self.pos += 8;
+        Ok(s.get_u64_le())
+    }
+
+    fn i64(&mut self) -> DbResult<i64> {
+        self.need(8)?;
+        let mut s = &self.buf[self.pos..];
+        self.pos += 8;
+        Ok(s.get_i64_le())
+    }
+
+    fn bytes(&mut self, n: usize) -> DbResult<&'a [u8]> {
+        self.need(n)?;
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+}
+
+/// Decode a record previously produced by [`encode`]. The entire buffer
+/// must be consumed.
+pub fn decode(buf: &[u8]) -> DbResult<LogRecord> {
+    let mut r = Reader { buf, pos: 0 };
+    let rec = decode_record(&mut r)?;
+    if r.pos != buf.len() {
+        return Err(r.corrupt("trailing bytes after record"));
+    }
+    Ok(rec)
+}
+
+fn decode_record(r: &mut Reader<'_>) -> DbResult<LogRecord> {
+    let tag = r.u8()?;
+    Ok(match tag {
+        T_BEGIN => LogRecord::Begin {
+            txn: TxnId(r.u64()?),
+        },
+        T_COMMIT => LogRecord::Commit {
+            txn: TxnId(r.u64()?),
+        },
+        T_ABORT => LogRecord::Abort {
+            txn: TxnId(r.u64()?),
+        },
+        T_ABORT_END => LogRecord::AbortEnd {
+            txn: TxnId(r.u64()?),
+        },
+        T_OP => LogRecord::Op {
+            txn: TxnId(r.u64()?),
+            op: decode_op(r)?,
+        },
+        T_CLR => LogRecord::Clr {
+            txn: TxnId(r.u64()?),
+            undone_lsn: Lsn(r.u64()?),
+            op: decode_op(r)?,
+        },
+        T_FUZZY => {
+            let n = r.u32()? as usize;
+            let mut active = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                active.push(TxnId(r.u64()?));
+            }
+            LogRecord::FuzzyMark {
+                active,
+                start_lsn: Lsn(r.u64()?),
+            }
+        }
+        T_CC_BEGIN => LogRecord::CcBegin {
+            split_key: Key(decode_values(r)?),
+        },
+        T_CC_OK => LogRecord::CcOk {
+            split_key: Key(decode_values(r)?),
+            image: decode_values(r)?,
+        },
+        T_CHECKPOINT => {
+            let n = r.u32()? as usize;
+            let mut active = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                active.push((TxnId(r.u64()?), Lsn(r.u64()?)));
+            }
+            LogRecord::Checkpoint { active }
+        }
+        other => return Err(r.corrupt(&format!("unknown record tag {other}"))),
+    })
+}
+
+fn decode_op(r: &mut Reader<'_>) -> DbResult<LogOp> {
+    let tag = r.u8()?;
+    Ok(match tag {
+        O_INSERT => LogOp::Insert {
+            table: TableId(r.u32()?),
+            row: decode_values(r)?,
+        },
+        O_DELETE => LogOp::Delete {
+            table: TableId(r.u32()?),
+            key: Key(decode_values(r)?),
+            old: decode_values(r)?,
+        },
+        O_UPDATE => LogOp::Update {
+            table: TableId(r.u32()?),
+            key: Key(decode_values(r)?),
+            old: decode_cols(r)?,
+            new: decode_cols(r)?,
+        },
+        other => return Err(r.corrupt(&format!("unknown op tag {other}"))),
+    })
+}
+
+fn decode_values(r: &mut Reader<'_>) -> DbResult<Vec<Value>> {
+    let n = r.u32()? as usize;
+    let mut out = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        out.push(decode_value(r)?);
+    }
+    Ok(out)
+}
+
+fn decode_cols(r: &mut Reader<'_>) -> DbResult<Vec<(usize, Value)>> {
+    let n = r.u32()? as usize;
+    let mut out = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let i = r.u32()? as usize;
+        out.push((i, decode_value(r)?));
+    }
+    Ok(out)
+}
+
+fn decode_value(r: &mut Reader<'_>) -> DbResult<Value> {
+    let tag = r.u8()?;
+    Ok(match tag {
+        V_NULL => Value::Null,
+        V_INT => Value::Int(r.i64()?),
+        V_STR => {
+            let n = r.u32()? as usize;
+            let raw = r.bytes(n)?;
+            let s = std::str::from_utf8(raw)
+                .map_err(|_| r.corrupt("invalid UTF-8 in string value"))?;
+            Value::Str(s.to_owned())
+        }
+        other => return Err(r.corrupt(&format!("unknown value tag {other}"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(rec: LogRecord) {
+        let bytes = encode(&rec);
+        let back = decode(&bytes).expect("decode");
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn roundtrip_control_records() {
+        roundtrip(LogRecord::Begin { txn: TxnId(1) });
+        roundtrip(LogRecord::Commit { txn: TxnId(u64::MAX) });
+        roundtrip(LogRecord::Abort { txn: TxnId(0) });
+        roundtrip(LogRecord::AbortEnd { txn: TxnId(77) });
+    }
+
+    #[test]
+    fn roundtrip_ops() {
+        roundtrip(LogRecord::Op {
+            txn: TxnId(3),
+            op: LogOp::Insert {
+                table: TableId(1),
+                row: vec![Value::Int(-1), Value::Null, Value::str("héllo")],
+            },
+        });
+        roundtrip(LogRecord::Op {
+            txn: TxnId(3),
+            op: LogOp::Delete {
+                table: TableId(9),
+                key: Key::new([Value::Int(1), Value::str("k")]),
+                old: vec![Value::Int(1), Value::str("k"), Value::Null],
+            },
+        });
+        roundtrip(LogRecord::Clr {
+            txn: TxnId(3),
+            undone_lsn: Lsn(42),
+            op: LogOp::Update {
+                table: TableId(2),
+                key: Key::single(5),
+                old: vec![(0, Value::Int(1)), (2, Value::Null)],
+                new: vec![(0, Value::Int(2)), (2, Value::str("x"))],
+            },
+        });
+    }
+
+    #[test]
+    fn roundtrip_marks() {
+        roundtrip(LogRecord::FuzzyMark {
+            active: vec![TxnId(1), TxnId(2), TxnId(3)],
+            start_lsn: Lsn(100),
+        });
+        roundtrip(LogRecord::FuzzyMark {
+            active: vec![],
+            start_lsn: Lsn(1),
+        });
+        roundtrip(LogRecord::CcBegin {
+            split_key: Key::single("7050"),
+        });
+        roundtrip(LogRecord::CcOk {
+            split_key: Key::single("7050"),
+            image: vec![Value::str("7050"), Value::str("Trondheim")],
+        });
+        roundtrip(LogRecord::Checkpoint {
+            active: vec![(TxnId(4), Lsn(9)), (TxnId(5), Lsn(11))],
+        });
+    }
+
+    #[test]
+    fn truncated_input_is_corrupt_not_panic() {
+        let bytes = encode(&LogRecord::Op {
+            txn: TxnId(3),
+            op: LogOp::Insert {
+                table: TableId(1),
+                row: vec![Value::str("abcdefgh")],
+            },
+        });
+        for cut in 0..bytes.len() {
+            let err = decode(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, DbError::CorruptLog { .. }),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = encode(&LogRecord::Begin { txn: TxnId(1) }).to_vec();
+        bytes.push(0xAB);
+        assert!(matches!(
+            decode(&bytes),
+            Err(DbError::CorruptLog { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_tags_rejected() {
+        assert!(matches!(decode(&[99]), Err(DbError::CorruptLog { .. })));
+        // Op with bad op tag.
+        let mut b = BytesMut::new();
+        b.put_u8(T_OP);
+        b.put_u64_le(1);
+        b.put_u8(42);
+        assert!(matches!(decode(&b), Err(DbError::CorruptLog { .. })));
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut b = BytesMut::new();
+        b.put_u8(T_CC_BEGIN);
+        b.put_u32_le(1); // one value
+        b.put_u8(V_STR);
+        b.put_u32_le(2);
+        b.put_slice(&[0xFF, 0xFE]);
+        assert!(matches!(decode(&b), Err(DbError::CorruptLog { .. })));
+    }
+}

@@ -1,0 +1,174 @@
+//! File backend for the write-ahead log.
+//!
+//! Records are stored as `u32` little-endian length prefix + encoded
+//! body (see [`crate::codec`]). Appends are buffered; [`flush`]
+//! (called by the engine at commit) pushes bytes to the OS and syncs.
+//! [`read_all`] tolerates a torn final record (a crash mid-append)
+//! by truncating at the last complete record, the standard WAL
+//! recovery convention.
+//!
+//! [`flush`]: FileBackend::flush
+//! [`read_all`]: FileBackend::read_all
+
+use crate::codec;
+use crate::record::LogRecord;
+use morph_common::{DbError, DbResult};
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::Path;
+
+/// Append-only log file.
+pub struct FileBackend {
+    writer: BufWriter<File>,
+}
+
+impl FileBackend {
+    /// Open (or create) the log file at `path` for appending.
+    pub fn open(path: &Path) -> DbResult<FileBackend> {
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(FileBackend {
+            writer: BufWriter::new(file),
+        })
+    }
+
+    /// Buffer one encoded record.
+    pub fn append(&mut self, encoded: &[u8]) {
+        // Errors here are deferred to flush(): the in-memory log is the
+        // source of truth until a commit forces durability.
+        let len = (encoded.len() as u32).to_le_bytes();
+        let _ = self.writer.write_all(&len);
+        let _ = self.writer.write_all(encoded);
+    }
+
+    /// Push buffered bytes to the OS and fsync.
+    pub fn flush(&mut self) -> DbResult<()> {
+        self.writer.flush()?;
+        self.writer.get_ref().sync_data()?;
+        Ok(())
+    }
+
+    /// Read every complete record from the file at `path`. A torn tail
+    /// (fewer bytes than the last length prefix promises) is ignored;
+    /// a *decodable-length but corrupt* record is an error.
+    pub fn read_all(path: &Path) -> DbResult<Vec<LogRecord>> {
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        let mut records = Vec::new();
+        let mut pos = 0usize;
+        while pos + 4 <= bytes.len() {
+            let len = u32::from_le_bytes([
+                bytes[pos],
+                bytes[pos + 1],
+                bytes[pos + 2],
+                bytes[pos + 3],
+            ]) as usize;
+            if pos + 4 + len > bytes.len() {
+                break; // torn final record: stop here
+            }
+            let body = &bytes[pos + 4..pos + 4 + len];
+            let rec = codec::decode(body).map_err(|e| match e {
+                DbError::CorruptLog { offset, detail } => DbError::CorruptLog {
+                    offset: (pos + 4) as u64 + offset,
+                    detail,
+                },
+                other => other,
+            })?;
+            records.push(rec);
+            pos += 4 + len;
+        }
+        Ok(records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::LogRecord;
+    use morph_common::TxnId;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("morphwal-{}-{}", std::process::id(), name));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let path = tmp("roundtrip");
+        {
+            let mut be = FileBackend::open(&path).unwrap();
+            for i in 0..5 {
+                be.append(&codec::encode(&LogRecord::Begin { txn: TxnId(i) }));
+            }
+            be.flush().unwrap();
+        }
+        let recs = FileBackend::read_all(&path).unwrap();
+        assert_eq!(recs.len(), 5);
+        assert_eq!(recs[4], LogRecord::Begin { txn: TxnId(4) });
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated() {
+        let path = tmp("torn");
+        {
+            let mut be = FileBackend::open(&path).unwrap();
+            be.append(&codec::encode(&LogRecord::Begin { txn: TxnId(1) }));
+            be.flush().unwrap();
+        }
+        // Simulate a crash mid-append: a length prefix promising more
+        // bytes than exist.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&(1000u32).to_le_bytes()).unwrap();
+            f.write_all(&[1, 2, 3]).unwrap();
+        }
+        let recs = FileBackend::read_all(&path).unwrap();
+        assert_eq!(recs.len(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_body_is_an_error() {
+        let path = tmp("corrupt");
+        {
+            let mut f = File::create(&path).unwrap();
+            f.write_all(&(1u32).to_le_bytes()).unwrap();
+            f.write_all(&[250]).unwrap(); // bogus tag
+        }
+        assert!(matches!(
+            FileBackend::read_all(&path),
+            Err(DbError::CorruptLog { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let path = tmp("never-created");
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(
+            FileBackend::read_all(&path),
+            Err(DbError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn manager_with_file_persists() {
+        let path = tmp("manager");
+        {
+            let log = crate::LogManager::with_file(&path).unwrap();
+            log.append(LogRecord::Begin { txn: TxnId(9) });
+            log.append(LogRecord::Commit { txn: TxnId(9) });
+            log.flush().unwrap();
+        }
+        let recs = FileBackend::read_all(&path).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[1], LogRecord::Commit { txn: TxnId(9) });
+        std::fs::remove_file(&path).unwrap();
+    }
+}

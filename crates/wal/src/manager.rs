@@ -1,0 +1,384 @@
+//! The log manager.
+//!
+//! [`LogManager`] owns the sequential log: it assigns LSNs, serves
+//! random and tail reads, and (optionally) tees every record into a
+//! file backend for restart recovery. The log is the *only* channel
+//! through which the transformation framework observes user activity
+//! (the paper's headline property: "Only the log is used for change
+//! propagation").
+//!
+//! LSNs are 1-based: the record at LSN *n* is the *n*-th record ever
+//! appended. [`Lsn::ZERO`] therefore means "before any record".
+
+use crate::codec;
+use crate::file::FileBackend;
+use crate::record::LogRecord;
+use morph_common::{DbResult, Lsn};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+struct Inner {
+    /// Retained records; index `i` holds LSN `base + i + 1`.
+    records: Vec<Arc<LogRecord>>,
+    /// Number of records truncated away from the front: the record at
+    /// LSN `base` (and below) is no longer readable in memory.
+    base: u64,
+}
+
+/// Append-only, totally ordered log with tail readers.
+pub struct LogManager {
+    inner: Mutex<Inner>,
+    backend: Option<Mutex<FileBackend>>,
+}
+
+impl Default for LogManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogManager {
+    /// A purely in-memory log.
+    pub fn new() -> LogManager {
+        LogManager {
+            inner: Mutex::new(Inner {
+                records: Vec::new(),
+                base: 0,
+            }),
+            backend: None,
+        }
+    }
+
+    /// A log that also persists every record to `path` (length-prefixed
+    /// binary, see [`crate::codec`]). Existing contents are preserved;
+    /// use [`FileBackend::read_all`] before constructing the manager to
+    /// recover them.
+    pub fn with_file(path: &std::path::Path) -> DbResult<LogManager> {
+        Ok(LogManager {
+            inner: Mutex::new(Inner {
+                records: Vec::new(),
+                base: 0,
+            }),
+            backend: Some(Mutex::new(FileBackend::open(path)?)),
+        })
+    }
+
+    /// Construct a manager pre-loaded with recovered records (restart
+    /// recovery replays these before the database goes live).
+    pub fn with_records(records: Vec<LogRecord>) -> LogManager {
+        LogManager {
+            inner: Mutex::new(Inner {
+                records: records.into_iter().map(Arc::new).collect(),
+                base: 0,
+            }),
+            backend: None,
+        }
+    }
+
+    /// Append one record, returning its LSN.
+    pub fn append(&self, rec: LogRecord) -> Lsn {
+        if let Some(backend) = &self.backend {
+            backend.lock().append(&codec::encode(&rec));
+        }
+        let mut inner = self.inner.lock();
+        inner.records.push(Arc::new(rec));
+        Lsn(inner.base + inner.records.len() as u64)
+    }
+
+    /// LSN of the most recently appended record ([`Lsn::ZERO`] if the
+    /// log is empty).
+    pub fn last_lsn(&self) -> Lsn {
+        let inner = self.inner.lock();
+        Lsn(inner.base + inner.records.len() as u64)
+    }
+
+    /// Number of records currently retained in memory (appended minus
+    /// truncated).
+    pub fn len(&self) -> usize {
+        self.inner.lock().records.len()
+    }
+
+    /// LSN below which records have been truncated away: the first
+    /// readable record is `truncated_until() + 1`… unless nothing has
+    /// been truncated, in which case this is [`Lsn::ZERO`].
+    pub fn truncated_until(&self) -> Lsn {
+        Lsn(self.inner.lock().base)
+    }
+
+    /// Drop in-memory records with LSN *strictly below* `lsn`,
+    /// returning how many were discarded. The file backend (if any) is
+    /// untouched — it remains the complete archive that restart
+    /// recovery replays; in-memory truncation is the memory-bound knob
+    /// for long-running deployments (a propagation cursor must never be
+    /// truncated past, which [`morph-engine`]'s wrapper enforces).
+    ///
+    /// [`morph-engine`]: ../morph_engine/index.html
+    pub fn truncate_until(&self, lsn: Lsn) -> usize {
+        let mut inner = self.inner.lock();
+        if lsn.0 <= inner.base + 1 {
+            return 0;
+        }
+        let last = inner.base + inner.records.len() as u64;
+        let new_base = (lsn.0 - 1).min(last);
+        let drop_n = (new_base - inner.base) as usize;
+        inner.records.drain(..drop_n);
+        inner.base = new_base;
+        drop_n
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fetch a single record by LSN (`None` if out of range or
+    /// truncated away).
+    pub fn read(&self, lsn: Lsn) -> Option<Arc<LogRecord>> {
+        if lsn.is_zero() {
+            return None;
+        }
+        let inner = self.inner.lock();
+        if lsn.0 <= inner.base {
+            return None;
+        }
+        inner.records.get((lsn.0 - inner.base) as usize - 1).cloned()
+    }
+
+    /// Read up to `max` records starting at `from` (inclusive). Returns
+    /// records paired with their LSNs; an empty result means the caller
+    /// has caught up with the tail.
+    pub fn read_range(&self, from: Lsn, max: usize) -> Vec<(Lsn, Arc<LogRecord>)> {
+        if from.is_zero() {
+            return self.read_range(Lsn(1), max);
+        }
+        let inner = self.inner.lock();
+        // Reads below the truncation point start at the first retained
+        // record (callers that must never miss records — propagation
+        // cursors — are protected by the truncation guard upstream).
+        let start = (from.0.max(inner.base + 1) - inner.base - 1) as usize;
+        if start >= inner.records.len() {
+            return Vec::new();
+        }
+        let end = (start + max).min(inner.records.len());
+        inner.records[start..end]
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (Lsn(inner.base + (start + i + 1) as u64), Arc::clone(r)))
+            .collect()
+    }
+
+    /// How many records exist at or after `from` — the propagation
+    /// backlog used by the §3.3 convergence analysis.
+    pub fn backlog(&self, from: Lsn) -> usize {
+        let last = self.last_lsn();
+        if from.is_zero() {
+            return last.0 as usize;
+        }
+        (last.0 + 1).saturating_sub(from.0) as usize
+    }
+
+    /// Force buffered file-backend bytes to disk. No-op without a
+    /// backend. Called by the engine on commit (WAL rule).
+    pub fn flush(&self) -> DbResult<()> {
+        if let Some(backend) = &self.backend {
+            backend.lock().flush()?;
+        }
+        Ok(())
+    }
+
+    /// A cursor positioned at `from` for incremental tail reading.
+    pub fn tail(&self, from: Lsn) -> TailCursor {
+        TailCursor {
+            next: if from.is_zero() { Lsn(1) } else { from },
+        }
+    }
+}
+
+/// Incremental reader over the log tail. The log propagator holds one
+/// of these across propagation iterations; [`TailCursor::next_lsn`]
+/// after a drained batch is exactly the `start_lsn` to store in the
+/// next fuzzy mark.
+#[derive(Clone, Copy, Debug)]
+pub struct TailCursor {
+    next: Lsn,
+}
+
+impl TailCursor {
+    /// Read the next batch of at most `max` records.
+    pub fn next_batch(&mut self, log: &LogManager, max: usize) -> Vec<(Lsn, Arc<LogRecord>)> {
+        let batch = log.read_range(self.next, max);
+        if let Some((last, _)) = batch.last() {
+            self.next = last.next();
+        }
+        batch
+    }
+
+    /// The LSN the next batch will start from.
+    pub fn next_lsn(&self) -> Lsn {
+        self.next
+    }
+
+    /// Remaining records behind the tail.
+    pub fn backlog(&self, log: &LogManager) -> usize {
+        log.backlog(self.next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::LogRecord;
+    use morph_common::TxnId;
+
+    fn begin(n: u64) -> LogRecord {
+        LogRecord::Begin { txn: TxnId(n) }
+    }
+
+    #[test]
+    fn lsns_are_sequential_from_one() {
+        let log = LogManager::new();
+        assert!(log.is_empty());
+        assert_eq!(log.append(begin(1)), Lsn(1));
+        assert_eq!(log.append(begin(2)), Lsn(2));
+        assert_eq!(log.last_lsn(), Lsn(2));
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn read_by_lsn() {
+        let log = LogManager::new();
+        log.append(begin(7));
+        assert_eq!(*log.read(Lsn(1)).unwrap(), begin(7));
+        assert!(log.read(Lsn(2)).is_none());
+        assert!(log.read(Lsn::ZERO).is_none());
+    }
+
+    #[test]
+    fn read_range_clamps() {
+        let log = LogManager::new();
+        for i in 0..10 {
+            log.append(begin(i));
+        }
+        let batch = log.read_range(Lsn(8), 100);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch[0].0, Lsn(8));
+        assert_eq!(batch[2].0, Lsn(10));
+        assert!(log.read_range(Lsn(11), 5).is_empty());
+        // Lsn::ZERO means "from the start".
+        assert_eq!(log.read_range(Lsn::ZERO, 2).len(), 2);
+    }
+
+    #[test]
+    fn backlog_counts_inclusive() {
+        let log = LogManager::new();
+        for i in 0..5 {
+            log.append(begin(i));
+        }
+        assert_eq!(log.backlog(Lsn(1)), 5);
+        assert_eq!(log.backlog(Lsn(5)), 1);
+        assert_eq!(log.backlog(Lsn(6)), 0);
+        assert_eq!(log.backlog(Lsn::ZERO), 5);
+    }
+
+    #[test]
+    fn tail_cursor_drains_incrementally() {
+        let log = LogManager::new();
+        for i in 0..7 {
+            log.append(begin(i));
+        }
+        let mut cur = log.tail(Lsn(1));
+        let b1 = cur.next_batch(&log, 3);
+        assert_eq!(b1.len(), 3);
+        assert_eq!(cur.next_lsn(), Lsn(4));
+        assert_eq!(cur.backlog(&log), 4);
+        let b2 = cur.next_batch(&log, 10);
+        assert_eq!(b2.len(), 4);
+        assert!(cur.next_batch(&log, 10).is_empty());
+        // New appends become visible to the same cursor.
+        log.append(begin(99));
+        let b3 = cur.next_batch(&log, 10);
+        assert_eq!(b3.len(), 1);
+        assert_eq!(*b3[0].1, begin(99));
+    }
+
+    #[test]
+    fn concurrent_appends_get_unique_lsns() {
+        use std::collections::HashSet;
+        let log = std::sync::Arc::new(LogManager::new());
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let log = std::sync::Arc::clone(&log);
+            handles.push(std::thread::spawn(move || {
+                let mut seen = Vec::new();
+                for _ in 0..500 {
+                    seen.push(log.append(begin(t)));
+                }
+                seen
+            }));
+        }
+        let mut all = HashSet::new();
+        for h in handles {
+            for lsn in h.join().unwrap() {
+                assert!(all.insert(lsn), "duplicate LSN {lsn:?}");
+            }
+        }
+        assert_eq!(all.len(), 4000);
+        assert_eq!(log.last_lsn(), Lsn(4000));
+    }
+
+    #[test]
+    fn truncation_discards_prefix_only() {
+        let log = LogManager::new();
+        for i in 0..10 {
+            log.append(begin(i));
+        }
+        assert_eq!(log.truncate_until(Lsn(5)), 4);
+        assert_eq!(log.truncated_until(), Lsn(4));
+        assert_eq!(log.len(), 6);
+        assert_eq!(log.last_lsn(), Lsn(10));
+        // Truncated records are gone; retained ones keep their LSNs.
+        assert!(log.read(Lsn(4)).is_none());
+        assert_eq!(*log.read(Lsn(5)).unwrap(), begin(4));
+        assert_eq!(*log.read(Lsn(10)).unwrap(), begin(9));
+        // Appends continue in sequence.
+        assert_eq!(log.append(begin(99)), Lsn(11));
+        // Idempotent / below-base truncation is a no-op.
+        assert_eq!(log.truncate_until(Lsn(3)), 0);
+        assert_eq!(log.truncate_until(Lsn(5)), 0);
+    }
+
+    #[test]
+    fn read_range_after_truncation_clamps_to_base() {
+        let log = LogManager::new();
+        for i in 0..10 {
+            log.append(begin(i));
+        }
+        log.truncate_until(Lsn(7));
+        let batch = log.read_range(Lsn(1), 100);
+        assert_eq!(batch.len(), 4);
+        assert_eq!(batch[0].0, Lsn(7));
+        let mut cur = log.tail(Lsn(7));
+        assert_eq!(cur.next_batch(&log, 2).len(), 2);
+        assert_eq!(cur.next_lsn(), Lsn(9));
+    }
+
+    #[test]
+    fn truncate_everything_then_keep_appending() {
+        let log = LogManager::new();
+        for i in 0..5 {
+            log.append(begin(i));
+        }
+        assert_eq!(log.truncate_until(Lsn(6)), 5);
+        assert!(log.is_empty());
+        assert_eq!(log.last_lsn(), Lsn(5));
+        assert_eq!(log.append(begin(7)), Lsn(6));
+        assert_eq!(*log.read(Lsn(6)).unwrap(), begin(7));
+    }
+
+    #[test]
+    fn with_records_preloads() {
+        let log = LogManager::with_records(vec![begin(1), begin(2)]);
+        assert_eq!(log.last_lsn(), Lsn(2));
+        assert_eq!(*log.read(Lsn(2)).unwrap(), begin(2));
+    }
+}

@@ -1,0 +1,258 @@
+//! Log record types.
+//!
+//! A [`LogOp`] is the physical, redoable description of one data
+//! operation; a [`LogRecord`] wraps operations with the transaction
+//! control records (`Begin`/`Commit`/`Abort`/`AbortEnd`), CLRs, fuzzy
+//! marks and consistency-checker records that the transformation
+//! framework consumes.
+
+use morph_common::{Key, Lsn, TableId, TxnId, Value};
+
+/// A physical data operation, carrying enough for both redo (new
+/// image) and undo (old image).
+///
+/// Updates store *only the changed columns* — the paper leans on this
+/// in §4.2: "Update log records are less informative since they
+/// typically contain the primary key and updated attribute values
+/// only", which is why FOJ propagation rules 5–7 must reconstruct
+/// missing attribute values from the transformed table itself.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LogOp {
+    /// A full row was inserted.
+    Insert {
+        /// Target table.
+        table: TableId,
+        /// Complete row image.
+        row: Vec<Value>,
+    },
+    /// A row was deleted. `old` is the full pre-image (needed to undo).
+    Delete {
+        /// Target table.
+        table: TableId,
+        /// Primary key of the deleted row.
+        key: Key,
+        /// Full pre-image of the deleted row.
+        old: Vec<Value>,
+    },
+    /// Some columns of a row changed. `old`/`new` list `(column
+    /// position, value)` pairs for exactly the changed columns.
+    Update {
+        /// Target table.
+        table: TableId,
+        /// Primary key of the updated row (pre-update key).
+        key: Key,
+        /// Changed columns, pre-update values.
+        old: Vec<(usize, Value)>,
+        /// Changed columns, post-update values.
+        new: Vec<(usize, Value)>,
+    },
+}
+
+impl LogOp {
+    /// The table this operation touches.
+    pub fn table(&self) -> TableId {
+        match self {
+            LogOp::Insert { table, .. }
+            | LogOp::Delete { table, .. }
+            | LogOp::Update { table, .. } => *table,
+        }
+    }
+
+    /// The logical inverse of this operation, used to build CLRs during
+    /// rollback. Inverting an update swaps old and new column lists.
+    #[must_use]
+    pub fn inverse(&self) -> LogOp {
+        match self {
+            LogOp::Insert { table, row } => LogOp::Delete {
+                table: *table,
+                // The key is recomputed by the engine, which knows the
+                // schema; here we only need the structural inverse. The
+                // engine always builds CLRs via its own schema-aware
+                // path, so this variant stores an empty key that the
+                // engine replaces.
+                key: Key(vec![]),
+                old: row.clone(),
+            },
+            LogOp::Delete { table, old, .. } => LogOp::Insert {
+                table: *table,
+                row: old.clone(),
+            },
+            LogOp::Update {
+                table,
+                key,
+                old,
+                new,
+            } => LogOp::Update {
+                table: *table,
+                key: key.clone(),
+                old: new.clone(),
+                new: old.clone(),
+            },
+        }
+    }
+}
+
+/// One record of the write-ahead log.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LogRecord {
+    /// Transaction began.
+    Begin { txn: TxnId },
+    /// Transaction committed. The log propagator releases the
+    /// transaction's mirrored locks on transformed tables when it
+    /// processes this record (§4.3).
+    Commit { txn: TxnId },
+    /// Transaction rollback *started*. CLRs for the transaction follow.
+    Abort { txn: TxnId },
+    /// Transaction rollback *finished* — the "transaction aborted log
+    /// record" of §3.4: the propagator releases the transaction's locks
+    /// in the transformed tables when it encounters this.
+    AbortEnd { txn: TxnId },
+    /// A forward data operation executed under `txn`.
+    Op { txn: TxnId, op: LogOp },
+    /// Compensating Log Record: during rollback, `undone_lsn` was
+    /// undone by physically executing `op` (the inverse operation).
+    /// Redoing a CLR re-executes the compensation, which is what makes
+    /// fuzzy-copy repair purely forward (§2.2).
+    Clr {
+        txn: TxnId,
+        /// LSN of the forward record this CLR compensates.
+        undone_lsn: Lsn,
+        /// The physical compensation that was executed.
+        op: LogOp,
+    },
+    /// Fuzzy mark (§3.2): bounds a fuzzy read or a log-propagation
+    /// iteration. Carries the transactions active at the time and the
+    /// LSN from which propagation must (re)start — the first log record
+    /// of the oldest of those transactions, or this mark itself if none
+    /// are active.
+    FuzzyMark {
+        /// Transactions active on the source tables at mark time.
+        active: Vec<TxnId>,
+        /// Where log propagation must start reading.
+        start_lsn: Lsn,
+    },
+    /// Consistency checker (§5.3): CC started examining the S-record
+    /// with the given split-key.
+    CcBegin { split_key: Key },
+    /// Consistency checker: the T-rows contributing to `split_key`
+    /// agreed, and their common image is `image`. The propagator
+    /// upgrades the S-record's flag to Consistent iff nothing touched
+    /// it between `CcBegin` and this record.
+    CcOk { split_key: Key, image: Vec<Value> },
+    /// Checkpoint: active transactions and their last LSNs (used by
+    /// restart recovery to bound the redo pass).
+    Checkpoint { active: Vec<(TxnId, Lsn)> },
+}
+
+impl LogRecord {
+    /// The transaction this record belongs to, if any.
+    pub fn txn(&self) -> Option<TxnId> {
+        match self {
+            LogRecord::Begin { txn }
+            | LogRecord::Commit { txn }
+            | LogRecord::Abort { txn }
+            | LogRecord::AbortEnd { txn }
+            | LogRecord::Op { txn, .. }
+            | LogRecord::Clr { txn, .. } => Some(*txn),
+            _ => None,
+        }
+    }
+
+    /// The data operation inside, if this is an `Op` or `Clr` record.
+    /// CLRs are deliberately transparent here: the propagator redoes
+    /// them exactly like forward operations.
+    pub fn op(&self) -> Option<&LogOp> {
+        match self {
+            LogRecord::Op { op, .. } | LogRecord::Clr { op, .. } => Some(op),
+            _ => None,
+        }
+    }
+
+    /// Whether this record ends its transaction (commit or rollback
+    /// complete). Lock mirrors are released at these records.
+    pub fn ends_txn(&self) -> bool {
+        matches!(self, LogRecord::Commit { .. } | LogRecord::AbortEnd { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_update() -> LogOp {
+        LogOp::Update {
+            table: TableId(3),
+            key: Key::single(7),
+            old: vec![(1, Value::str("a"))],
+            new: vec![(1, Value::str("b"))],
+        }
+    }
+
+    #[test]
+    fn inverse_of_update_swaps_images() {
+        let inv = sample_update().inverse();
+        match inv {
+            LogOp::Update { old, new, .. } => {
+                assert_eq!(old, vec![(1, Value::str("b"))]);
+                assert_eq!(new, vec![(1, Value::str("a"))]);
+            }
+            other => panic!("expected update, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip_for_update() {
+        let op = sample_update();
+        assert_eq!(op.inverse().inverse(), op);
+    }
+
+    #[test]
+    fn inverse_of_delete_is_insert() {
+        let op = LogOp::Delete {
+            table: TableId(1),
+            key: Key::single(1),
+            old: vec![Value::Int(1), Value::str("x")],
+        };
+        match op.inverse() {
+            LogOp::Insert { table, row } => {
+                assert_eq!(table, TableId(1));
+                assert_eq!(row, vec![Value::Int(1), Value::str("x")]);
+            }
+            other => panic!("expected insert, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn record_accessors() {
+        let rec = LogRecord::Op {
+            txn: TxnId(5),
+            op: sample_update(),
+        };
+        assert_eq!(rec.txn(), Some(TxnId(5)));
+        assert!(rec.op().is_some());
+        assert!(!rec.ends_txn());
+
+        let commit = LogRecord::Commit { txn: TxnId(5) };
+        assert!(commit.ends_txn());
+        assert!(commit.op().is_none());
+
+        let abort_end = LogRecord::AbortEnd { txn: TxnId(5) };
+        assert!(abort_end.ends_txn());
+
+        let mark = LogRecord::FuzzyMark {
+            active: vec![TxnId(1)],
+            start_lsn: Lsn(10),
+        };
+        assert_eq!(mark.txn(), None);
+    }
+
+    #[test]
+    fn clr_is_transparent_to_op_accessor() {
+        let rec = LogRecord::Clr {
+            txn: TxnId(9),
+            undone_lsn: Lsn(4),
+            op: sample_update(),
+        };
+        assert_eq!(rec.op(), Some(&sample_update()));
+    }
+}

@@ -1,0 +1,202 @@
+//! The closed-loop client.
+//!
+//! Each client thread runs transactions back-to-back (zero think time,
+//! as in the paper's saturation-oriented setup): begin, perform
+//! `updates_per_txn` record updates — each hitting the transformation's
+//! source tables with probability `hot_fraction`, the dummy table
+//! otherwise — then commit. Deadlock victims, doomed transactions and
+//! frozen-table errors roll back and continue; after the schema switch
+//! removes the source tables, the hot share is redirected to the dummy
+//! table so the offered load stays constant.
+
+use crate::stats::SharedStats;
+use morph_common::{DbError, Key, Value};
+use morph_engine::Database;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Which tables take the "hot" (source-table) updates.
+#[derive(Clone, Debug)]
+pub enum HotSide {
+    /// Split benchmark: updates hit `T.b` (a column that is neither the
+    /// split attribute nor functionally dependent on it, so concurrent
+    /// clients preserve the functional dependency without
+    /// coordination).
+    SplitSource,
+    /// FOJ benchmark: updates hit `R.b`, with an `s_share` fraction
+    /// going to `S.d` instead (exercising the S-side rules).
+    FojSources {
+        /// Fraction of hot updates that target S.
+        s_share: f64,
+    },
+}
+
+/// Client behaviour knobs.
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// Updates per transaction (10 in the paper).
+    pub updates_per_txn: usize,
+    /// Fraction of updates targeting the source tables (0.2 / 0.8 in
+    /// Figure 4(c)).
+    pub hot_fraction: f64,
+    /// Hot-side routing.
+    pub hot: HotSide,
+    /// Key-space of the hot primary table (R or T).
+    pub hot_rows: usize,
+    /// Key-space of S (FOJ only).
+    pub hot_s_rows: usize,
+    /// Key-space of the dummy table.
+    pub dummy_rows: usize,
+    /// Optional pacing sleep per transaction (unoptimized builds /
+    /// low-rate scenarios).
+    pub pacing: Option<Duration>,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            updates_per_txn: 10,
+            hot_fraction: 0.2,
+            hot: HotSide::SplitSource,
+            hot_rows: crate::setup::SPLIT_ROWS,
+            hot_s_rows: 0,
+            dummy_rows: crate::setup::DUMMY_ROWS,
+            pacing: None,
+        }
+    }
+}
+
+pub(crate) struct Client {
+    pub db: Arc<Database>,
+    pub cfg: ClientConfig,
+    pub stats: Arc<SharedStats>,
+    pub stop: Arc<AtomicBool>,
+    /// Set (by any client) once the schema switch has been observed.
+    pub switched: Arc<AtomicBool>,
+    pub seed: u64,
+}
+
+enum UpdateOutcome {
+    Ok,
+    /// Retryable rollback (deadlock, lock timeout).
+    Conflict,
+    /// Schema-change event (doomed / frozen / vanished table).
+    Schema,
+}
+
+impl Client {
+    pub fn run(self) {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut serial = 0u64;
+        while !self.stop.load(Ordering::Relaxed) {
+            serial += 1;
+            let t0 = Instant::now();
+            let txn = self.db.begin();
+            let mut outcome = UpdateOutcome::Ok;
+            for _ in 0..self.cfg.updates_per_txn {
+                let hot = rng.gen_bool(self.cfg.hot_fraction)
+                    && !self.switched.load(Ordering::Relaxed);
+                let res = if hot {
+                    self.hot_update(&mut rng, txn, serial)
+                } else {
+                    self.dummy_update(&mut rng, txn, serial)
+                };
+                match res {
+                    UpdateOutcome::Ok => {}
+                    other => {
+                        outcome = other;
+                        break;
+                    }
+                }
+            }
+            // Client-observed response time includes the simulated
+            // network round trip (`pacing`): the paper measured
+            // response times at client nodes across a LAN, so the
+            // constant RTT is part of both the baseline and the
+            // during-change latency — exactly how relative response
+            // time (Figure 4(b)) is defined.
+            let rtt = self.cfg.pacing.unwrap_or_default();
+            match outcome {
+                UpdateOutcome::Ok => match self.db.commit(txn) {
+                    Ok(()) => self
+                        .stats
+                        .record_commit((t0.elapsed() + rtt).as_nanos() as u64),
+                    Err(DbError::TxnDoomed(_)) => self.stats.record_abort(true),
+                    Err(_) => self.stats.record_abort(false),
+                },
+                UpdateOutcome::Conflict => {
+                    let _ = self.db.abort(txn);
+                    self.stats.record_abort(false);
+                }
+                UpdateOutcome::Schema => {
+                    let _ = self.db.abort(txn);
+                    self.stats.record_abort(true);
+                }
+            }
+            if let Some(p) = self.cfg.pacing {
+                std::thread::sleep(p);
+            }
+        }
+    }
+
+    fn classify(&self, e: DbError) -> UpdateOutcome {
+        match e {
+            DbError::TxnDoomed(_) | DbError::TableFrozen(_) | DbError::NoSuchTable(_) => {
+                self.switched.store(true, Ordering::Relaxed);
+                UpdateOutcome::Schema
+            }
+            _ => UpdateOutcome::Conflict,
+        }
+    }
+
+    fn hot_update(&self, rng: &mut StdRng, txn: morph_common::TxnId, serial: u64) -> UpdateOutcome {
+        let (table, key, col) = match &self.cfg.hot {
+            HotSide::SplitSource => (
+                "T",
+                Key::single(rng.gen_range(0..self.cfg.hot_rows.max(1)) as i64),
+                1usize, // T.b
+            ),
+            HotSide::FojSources { s_share } => {
+                if rng.gen_bool(*s_share) && self.cfg.hot_s_rows > 0 {
+                    (
+                        "S",
+                        Key::single(rng.gen_range(0..self.cfg.hot_s_rows) as i64),
+                        1usize, // S.d
+                    )
+                } else {
+                    (
+                        "R",
+                        Key::single(rng.gen_range(0..self.cfg.hot_rows.max(1)) as i64),
+                        1usize, // R.b
+                    )
+                }
+            }
+        };
+        match self
+            .db
+            .update(txn, table, &key, &[(col, Value::str(format!("w{serial}")))])
+        {
+            Ok(()) => UpdateOutcome::Ok,
+            Err(e) => self.classify(e),
+        }
+    }
+
+    fn dummy_update(
+        &self,
+        rng: &mut StdRng,
+        txn: morph_common::TxnId,
+        serial: u64,
+    ) -> UpdateOutcome {
+        let key = Key::single(rng.gen_range(0..self.cfg.dummy_rows.max(1)) as i64);
+        match self
+            .db
+            .update(txn, "dummy", &key, &[(1, Value::str(format!("w{serial}")))])
+        {
+            Ok(()) => UpdateOutcome::Ok,
+            Err(e) => self.classify(e),
+        }
+    }
+}

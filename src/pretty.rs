@@ -1,0 +1,97 @@
+//! Small table pretty-printer used by the examples.
+
+use morph_storage::Table;
+
+/// Render a table's contents as an ASCII grid (rows in primary-key
+/// order). Intended for examples and debugging, not for large tables.
+pub fn render(table: &Table) -> String {
+    let schema = table.schema();
+    let mut headers: Vec<String> = schema.columns().iter().map(|c| c.name.clone()).collect();
+    headers.push("meta".to_owned());
+    let rows: Vec<Vec<String>> = table
+        .snapshot()
+        .into_iter()
+        .map(|(_, row)| {
+            let mut cells: Vec<String> =
+                row.values.iter().map(|v| v.to_string()).collect();
+            let mut meta = Vec::new();
+            if row.counter != 1 {
+                meta.push(format!("ctr={}", row.counter));
+            }
+            if row.flag == morph_storage::ConsistencyFlag::Unknown {
+                meta.push("U".to_owned());
+            }
+            if !row.presence.left {
+                meta.push("r∅".to_owned());
+            }
+            if !row.presence.right {
+                meta.push("s∅".to_owned());
+            }
+            cells.push(meta.join(","));
+            cells
+        })
+        .collect();
+
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in &rows {
+        for (i, c) in row.iter().enumerate() {
+            widths[i] = widths[i].max(c.chars().count());
+        }
+    }
+    let sep = |out: &mut String| {
+        out.push('+');
+        for w in &widths {
+            out.push_str(&"-".repeat(w + 2));
+            out.push('+');
+        }
+        out.push('\n');
+    };
+    let line = |out: &mut String, cells: &[String]| {
+        out.push('|');
+        for (i, c) in cells.iter().enumerate() {
+            let pad = widths[i] - c.chars().count();
+            out.push(' ');
+            out.push_str(c);
+            out.push_str(&" ".repeat(pad + 1));
+            out.push('|');
+        }
+        out.push('\n');
+    };
+
+    let mut out = String::new();
+    out.push_str(&format!("{} ({} rows)\n", table.name(), rows.len()));
+    sep(&mut out);
+    line(&mut out, &headers);
+    sep(&mut out);
+    for row in &rows {
+        line(&mut out, row);
+    }
+    sep(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morph_common::{ColumnType, Lsn, Schema, TableId, Value};
+
+    #[test]
+    fn renders_rows_and_metadata() {
+        let schema = Schema::builder()
+            .column("id", ColumnType::Int)
+            .nullable("name", ColumnType::Str)
+            .primary_key(&["id"])
+            .build()
+            .unwrap();
+        let t = Table::new(TableId(1), "people", schema);
+        t.insert(vec![Value::Int(1), Value::str("ann")], Lsn(1))
+            .unwrap();
+        t.insert(vec![Value::Int(2), Value::Null], Lsn(1)).unwrap();
+        t.with_row_mut(&morph_common::Key::single(2), |r| r.counter = 3);
+        let s = render(&t);
+        assert!(s.contains("people (2 rows)"));
+        assert!(s.contains("ann"));
+        assert!(s.contains("NULL"));
+        assert!(s.contains("ctr=3"));
+    }
+}

@@ -1,0 +1,276 @@
+//! The framework's core correctness property, tested through the real
+//! engine and log:
+//!
+//! > Start a fuzzy copy at an *arbitrary* point in a stream of
+//! > transactions — including transactions that later abort (their
+//! > CLRs must wash out through the same rules) — keep the stream
+//! > going, then drain the log. The transformed tables must equal the
+//! > operator applied to the final source state.
+//!
+//! Unlike the unit tests inside `morph-core` (which drive the rules
+//! directly), everything here goes through `Database` transactions, so
+//! the exact log the propagator sees — Begin/Op/Commit/Abort/CLR
+//! interleavings, fuzzy-mark placement, the §3.2 start-LSN contract —
+//! is the production one.
+
+use morphdb::core::foj::{self, FojMapping};
+use morphdb::core::propagate::{Propagator, Rules};
+use morphdb::core::split::{self, SplitMapping};
+use morphdb::core::{FojSpec, SplitSpec};
+use morphdb::{ColumnType, Database, DbError, Key, Schema, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+/// A random mutation step against the FOJ sources, executed inside its
+/// own transaction which randomly commits or aborts.
+fn random_foj_txn(db: &Database, rng: &mut StdRng, step: u64) {
+    let txn = db.begin();
+    let ops = rng.gen_range(1..4);
+    let mut ok = true;
+    for _ in 0..ops {
+        let r: Result<(), DbError> = match rng.gen_range(0..6) {
+            0 => {
+                let a = rng.gen_range(0..30i64);
+                db.insert(
+                    txn,
+                    "R",
+                    vec![
+                        Value::Int(a),
+                        Value::str(format!("b{step}")),
+                        Value::Int(rng.gen_range(0..6)),
+                    ],
+                )
+                .map(|_| ())
+            }
+            1 => {
+                let c = rng.gen_range(0..6i64);
+                db.insert(txn, "S", vec![Value::Int(c), Value::str(format!("d{step}"))])
+                    .map(|_| ())
+            }
+            2 => db.delete(txn, "R", &Key::single(rng.gen_range(0..30i64))),
+            3 => db.delete(txn, "S", &Key::single(rng.gen_range(0..6i64))),
+            4 => {
+                // R update: non-join payload or join move or pk move.
+                let a = rng.gen_range(0..30i64);
+                let cols = match rng.gen_range(0..3) {
+                    0 => vec![(1, Value::str(format!("b{step}")))],
+                    1 => vec![(2, Value::Int(rng.gen_range(0..6)))],
+                    _ => vec![(0, Value::Int(rng.gen_range(0..30)))],
+                };
+                db.update(txn, "R", &Key::single(a), &cols)
+            }
+            _ => {
+                // S update: payload or join(=pk) move.
+                let c = rng.gen_range(0..6i64);
+                let cols = if rng.gen_bool(0.5) {
+                    vec![(1, Value::str(format!("d{step}")))]
+                } else {
+                    vec![(0, Value::Int(rng.gen_range(0..6)))]
+                };
+                db.update(txn, "S", &Key::single(c), &cols)
+            }
+        };
+        if r.is_err() {
+            ok = false;
+            break;
+        }
+    }
+    if !ok || rng.gen_bool(0.2) {
+        let _ = db.abort(txn); // aborts produce CLRs the rules must handle
+    } else {
+        let _ = db.commit(txn);
+    }
+}
+
+fn foj_sources(db: &Database) {
+    let r = Schema::builder()
+        .column("a", ColumnType::Int)
+        .nullable("b", ColumnType::Str)
+        .nullable("c", ColumnType::Int)
+        .primary_key(&["a"])
+        .build()
+        .unwrap();
+    let s = Schema::builder()
+        .column("c", ColumnType::Int)
+        .nullable("d", ColumnType::Str)
+        .primary_key(&["c"])
+        .build()
+        .unwrap();
+    db.create_table("R", r).unwrap();
+    db.create_table("S", s).unwrap();
+}
+
+#[test]
+fn foj_fuzzy_copy_plus_log_drain_equals_reference() {
+    for seed in 0..20u64 {
+        let db = Arc::new(Database::new());
+        foj_sources(&db);
+        let mut rng = StdRng::seed_from_u64(seed * 101 + 7);
+
+        // Phase 1: history before the transformation starts.
+        let pre_steps = rng.gen_range(0..60);
+        for step in 0..pre_steps {
+            random_foj_txn(&db, &mut rng, step);
+        }
+
+        // Preparation + fuzzy mark + fuzzy population — exactly the
+        // framework sequence.
+        let mapping = FojMapping::prepare(&db, &FojSpec::new("R", "S", "T", "c", "c")).unwrap();
+        let (_, start_lsn, _) = db.write_fuzzy_mark();
+        let mut rules = Rules::Foj(mapping);
+        let mut prop = Propagator::new(&db, start_lsn, 1.0);
+        rules.populate(4).unwrap();
+
+        // Phase 2: more history while the copy exists.
+        for step in 0..rng.gen_range(10..120) {
+            random_foj_txn(&db, &mut rng, 10_000 + step);
+            // Occasionally interleave partial propagation.
+            if rng.gen_bool(0.2) {
+                let abort = AtomicBool::new(false);
+                let _ = prop.iterate(&db, &mut rules, 8, 0, &abort).unwrap();
+            }
+        }
+
+        // Phase 3: drain completely (no active txns remain).
+        prop.drain_all(&db, &mut rules).unwrap();
+
+        let Rules::Foj(m) = &rules else { unreachable!() };
+        if let Err(e) = foj::verify_against_reference(m) {
+            panic!("seed {seed}: T diverged from reference FOJ: {e}");
+        }
+    }
+}
+
+fn split_source(db: &Database) {
+    let t = Schema::builder()
+        .column("a", ColumnType::Int)
+        .nullable("b", ColumnType::Str)
+        .nullable("c", ColumnType::Int)
+        .nullable("d", ColumnType::Str)
+        .primary_key(&["a"])
+        .build()
+        .unwrap();
+    db.create_table("T", t).unwrap();
+}
+
+/// Split-side random transactions. The functional dependency c → d is
+/// maintained per-row (d := f(c)) so consistent-mode semantics hold.
+fn random_split_txn(db: &Database, rng: &mut StdRng, step: u64) {
+    let dep = |c: i64| format!("dep-{c}");
+    let txn = db.begin();
+    let ops = rng.gen_range(1..4);
+    let mut ok = true;
+    for _ in 0..ops {
+        let r: Result<(), DbError> = match rng.gen_range(0..4) {
+            0 => {
+                let a = rng.gen_range(0..30i64);
+                let c = rng.gen_range(0..6i64);
+                db.insert(
+                    txn,
+                    "T",
+                    vec![
+                        Value::Int(a),
+                        Value::str(format!("b{step}")),
+                        Value::Int(c),
+                        Value::str(dep(c)),
+                    ],
+                )
+                .map(|_| ())
+            }
+            1 => db.delete(txn, "T", &Key::single(rng.gen_range(0..30i64))),
+            2 => {
+                // Move a row to another split value (updating the
+                // dependent with it, as a consistent application would).
+                let a = rng.gen_range(0..30i64);
+                let c = rng.gen_range(0..6i64);
+                db.update(
+                    txn,
+                    "T",
+                    &Key::single(a),
+                    &[(2, Value::Int(c)), (3, Value::str(dep(c)))],
+                )
+            }
+            _ => {
+                let a = rng.gen_range(0..30i64);
+                db.update(
+                    txn,
+                    "T",
+                    &Key::single(a),
+                    &[(1, Value::str(format!("b{step}")))],
+                )
+            }
+        };
+        if r.is_err() {
+            ok = false;
+            break;
+        }
+    }
+    if !ok || rng.gen_bool(0.2) {
+        let _ = db.abort(txn);
+    } else {
+        let _ = db.commit(txn);
+    }
+}
+
+#[test]
+fn split_fuzzy_copy_plus_log_drain_equals_reference() {
+    for seed in 0..20u64 {
+        let db = Arc::new(Database::new());
+        split_source(&db);
+        let mut rng = StdRng::seed_from_u64(seed * 313 + 11);
+
+        for step in 0..rng.gen_range(0..60) {
+            random_split_txn(&db, &mut rng, step);
+        }
+
+        let spec = SplitSpec::new("T", "R_t", "S_t", &["a", "b", "c"], "c", &["d"]);
+        let mapping = SplitMapping::prepare(&db, &spec).unwrap();
+        let (_, start_lsn, _) = db.write_fuzzy_mark();
+        let mut rules = Rules::Split(mapping);
+        let mut prop = Propagator::new(&db, start_lsn, 1.0);
+        rules.populate(4).unwrap();
+
+        for step in 0..rng.gen_range(10..120) {
+            random_split_txn(&db, &mut rng, 10_000 + step);
+            if rng.gen_bool(0.2) {
+                let abort = AtomicBool::new(false);
+                let _ = prop.iterate(&db, &mut rules, 8, 0, &abort).unwrap();
+            }
+        }
+        prop.drain_all(&db, &mut rules).unwrap();
+
+        let Rules::Split(m) = &rules else { unreachable!() };
+        if let Err(e) = split::verify_against_reference(m) {
+            panic!("seed {seed}: split targets diverged: {e}");
+        }
+    }
+}
+
+#[test]
+fn split_rename_in_place_equivalence() {
+    for seed in 0..8u64 {
+        let db = Arc::new(Database::new());
+        split_source(&db);
+        let mut rng = StdRng::seed_from_u64(seed + 999);
+        for step in 0..30 {
+            random_split_txn(&db, &mut rng, step);
+        }
+        let spec = SplitSpec::new("T", "R_t", "S_t", &["a", "b", "c"], "c", &["d"])
+            .rename_in_place();
+        let mapping = SplitMapping::prepare(&db, &spec).unwrap();
+        let (_, start_lsn, _) = db.write_fuzzy_mark();
+        let mut rules = Rules::Split(mapping);
+        let mut prop = Propagator::new(&db, start_lsn, 1.0);
+        rules.populate(4).unwrap();
+        for step in 0..60 {
+            random_split_txn(&db, &mut rng, 10_000 + step);
+        }
+        prop.drain_all(&db, &mut rules).unwrap();
+        let Rules::Split(m) = &rules else { unreachable!() };
+        if let Err(e) = split::verify_against_reference(m) {
+            panic!("seed {seed}: rename-in-place split diverged: {e}");
+        }
+    }
+}
