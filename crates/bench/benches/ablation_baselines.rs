@@ -123,8 +123,7 @@ fn main() {
     for (label, prio) in [("log-prop p=1.0", 1.0), ("log-prop p=0.25", 0.25)] {
         let logprop = {
             let db = db_foj(s);
-            let runner =
-                WorkloadRunner::start(Arc::clone(&db), foj_client_cfg(s, 0.2), threads);
+            let runner = WorkloadRunner::start(Arc::clone(&db), foj_client_cfg(s, 0.2), threads);
             std::thread::sleep(s.warmup);
             let lp = PropagationLoop::start(Arc::clone(&db), Op::Foj, prio);
             let w = runner.measure(s.window);

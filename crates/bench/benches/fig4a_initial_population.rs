@@ -12,8 +12,8 @@
 //! "very similar results"), and FOJ (likewise).
 
 use morph_bench::{
-    banner, db_foj, db_split, foj_client_cfg, relative_point, scale, split_client_cfg,
-    threads_for, Csv, Op, PopulationLoop, WORKLOADS_THROUGHPUT,
+    banner, db_foj, db_split, foj_client_cfg, relative_point, scale, split_client_cfg, threads_for,
+    Csv, Op, PopulationLoop, WORKLOADS_THROUGHPUT,
 };
 use morph_workload::WorkloadRunner;
 use std::sync::Arc;

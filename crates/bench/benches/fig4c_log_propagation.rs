@@ -12,8 +12,8 @@
 //! log propagation for FOJ").
 
 use morph_bench::{
-    banner, db_foj, db_split, foj_client_cfg, relative_point, scale, split_client_cfg,
-    threads_for, Csv, Op, PropagationLoop, WORKLOADS_THROUGHPUT,
+    banner, db_foj, db_split, foj_client_cfg, relative_point, scale, split_client_cfg, threads_for,
+    Csv, Op, PropagationLoop, WORKLOADS_THROUGHPUT,
 };
 use morph_workload::WorkloadRunner;
 use std::sync::Arc;

@@ -9,9 +9,7 @@
 //! their setup) the propagation never finishes. Non-convergent runs are
 //! reported as `DNF`.
 
-use morph_bench::{
-    banner, bench_split_spec, db_split, scale, split_client_cfg, threads_for, Csv,
-};
+use morph_bench::{banner, bench_split_spec, db_split, scale, split_client_cfg, threads_for, Csv};
 use morph_core::{NonConvergencePolicy, TransformOptions, Transformer};
 use morph_workload::WorkloadRunner;
 use std::sync::Arc;
@@ -42,8 +40,7 @@ fn main() {
     );
     for p in priorities {
         let db = db_split(s);
-        let runner =
-            WorkloadRunner::start(Arc::clone(&db), split_client_cfg(s, 0.2), threads);
+        let runner = WorkloadRunner::start(Arc::clone(&db), split_client_cfg(s, 0.2), threads);
         std::thread::sleep(s.warmup);
         let baseline = runner.measure(s.window);
 

@@ -51,8 +51,13 @@ fn bench_locks(c: &mut Criterion) {
         b.iter(|| {
             i += 1;
             let txn = TxnId(i);
-            lm.lock(txn, TableId(1), &Key::single((i % 1024) as i64), LockMode::Exclusive)
-                .unwrap();
+            lm.lock(
+                txn,
+                TableId(1),
+                &Key::single((i % 1024) as i64),
+                LockMode::Exclusive,
+            )
+            .unwrap();
             lm.release_all(txn);
         });
     });
@@ -217,8 +222,7 @@ fn bench_population(c: &mut Criterion) {
             || {
                 let db = Arc::new(Database::new());
                 morph_workload::setup_foj_sources(&db, 5_000, 2_000).unwrap();
-                let m =
-                    FojMapping::prepare(&db, &FojSpec::new("R", "S", "T", "c", "c")).unwrap();
+                let m = FojMapping::prepare(&db, &FojSpec::new("R", "S", "T", "c", "c")).unwrap();
                 (db, m)
             },
             |(_db, m)| m.populate(1_024).unwrap(),

@@ -22,8 +22,8 @@
 //!   reduced-scale smoke version of every experiment (used by `cargo
 //!   bench` in CI-ish settings; the published numbers use full scale).
 
-use morph_core::{FojMapping, FojSpec, SplitMapping, SplitSpec};
-use morph_core::propagate::{Propagator, Rules};
+use morph_core::propagate::Propagator;
+use morph_core::{FojMapping, FojSpec, SplitMapping, SplitSpec, TransformOperator};
 use morph_engine::Database;
 use morph_workload::{
     setup_dummy, setup_foj_sources, setup_split_source, ClientConfig, HotSide, WorkloadRunner,
@@ -50,7 +50,7 @@ pub struct Scale {
 
 /// Whether `MORPH_QUICK=1` is set.
 pub fn quick() -> bool {
-    std::env::var("MORPH_QUICK").map_or(false, |v| v == "1")
+    std::env::var("MORPH_QUICK").is_ok_and(|v| v == "1")
 }
 
 /// The active scale (paper scale unless `MORPH_QUICK=1`).
@@ -103,7 +103,7 @@ pub fn full_threads() -> usize {
         if quick() {
             return 10;
         }
-        if std::env::var("MORPH_CALIBRATE").map_or(false, |v| v == "1") {
+        if std::env::var("MORPH_CALIBRATE").is_ok_and(|v| v == "1") {
             eprintln!("calibrating 100% workload (client count maximizing throughput)…");
             let s = scale();
             let n = morph_workload::runner::calibrate_full_workload(
@@ -126,9 +126,8 @@ pub fn threads_for(pct: u32) -> usize {
 
 /// `target/experiments/` (created on demand).
 pub fn exp_dir() -> PathBuf {
-    let mut dir = PathBuf::from(
-        std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into()),
-    );
+    let mut dir =
+        PathBuf::from(std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into()));
     dir.push("experiments");
     std::fs::create_dir_all(&dir).expect("experiments dir");
     dir
@@ -313,25 +312,25 @@ impl PropagationLoop {
         let ready = Arc::new(AtomicBool::new(false));
         let ready2 = Arc::clone(&ready);
         let handle = std::thread::spawn(move || {
-            let mut rules = match op {
+            let mut oper: Box<dyn TransformOperator> = match op {
                 Op::Split | Op::SplitCc => {
                     let spec =
                         bench_split_spec("__bench_prop_r", "__bench_prop_s", op == Op::SplitCc);
-                    Rules::Split(SplitMapping::prepare(&db, &spec).expect("prepare"))
+                    Box::new(SplitMapping::prepare(&db, &spec).expect("prepare"))
                 }
                 Op::Foj => {
                     let spec = bench_foj_spec("__bench_prop_t");
-                    Rules::Foj(FojMapping::prepare(&db, &spec).expect("prepare"))
+                    Box::new(FojMapping::prepare(&db, &spec).expect("prepare"))
                 }
             };
             let (_, start_lsn, _) = db.write_fuzzy_mark();
             let mut prop = Propagator::new(&db, start_lsn, priority);
-            rules.populate(1_024).expect("populate");
+            oper.populate(1_024).expect("populate");
             let abort = AtomicBool::new(false);
             let mut records = 0usize;
             while !stop2.load(Ordering::Relaxed) {
                 let stats = prop
-                    .iterate(&db, &mut rules, 256, 16, &abort)
+                    .iterate(&db, &mut *oper, 256, 16, &abort)
                     .expect("iterate");
                 records += stats.records;
                 if !ready2.load(Ordering::Relaxed) && stats.backlog_after < 2_000 {
@@ -394,8 +393,7 @@ pub fn merge_windows(
 ) -> morph_workload::WindowStats {
     let duration = a.duration + b.duration;
     let committed = a.committed + b.committed;
-    let total_lat =
-        a.mean_latency_ms * a.committed as f64 + b.mean_latency_ms * b.committed as f64;
+    let total_lat = a.mean_latency_ms * a.committed as f64 + b.mean_latency_ms * b.committed as f64;
     morph_workload::WindowStats {
         duration,
         committed,

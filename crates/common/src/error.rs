@@ -111,7 +111,10 @@ impl fmt::Display for DbError {
             DbError::MissingCandidateKey(m) => {
                 write!(f, "transformed table lacks a source candidate key: {m}")
             }
-            DbError::CannotConverge { iterations, backlog } => write!(
+            DbError::CannotConverge {
+                iterations,
+                backlog,
+            } => write!(
                 f,
                 "log propagation cannot converge after {iterations} iterations \
                  (backlog {backlog} records); raise priority or abort"
@@ -173,7 +176,7 @@ mod tests {
 
     #[test]
     fn io_conversion() {
-        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let io = std::io::Error::other("boom");
         let e: DbError = io.into();
         assert!(matches!(e, DbError::Io(ref m) if m.contains("boom")));
     }

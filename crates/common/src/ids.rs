@@ -3,7 +3,6 @@
 //! Every identifier the engine hands out is a dedicated newtype so that
 //! a transaction id can never be confused with an LSN at a call site.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Log sequence number.
@@ -13,7 +12,7 @@ use std::fmt;
 /// paper (§1: "a log sequence number (LSN) is associated with each
 /// record"). [`Lsn::ZERO`] sorts before every real LSN and is used for
 /// freshly created rows that no logged operation has touched yet.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Lsn(pub u64);
 
 impl Lsn {
@@ -50,7 +49,7 @@ impl fmt::Display for Lsn {
 ///
 /// Ids are assigned in begin order, which the lock manager exploits for
 /// wait–die deadlock prevention: a lower id means an older transaction.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TxnId(pub u64);
 
 impl TxnId {
@@ -75,7 +74,7 @@ impl fmt::Display for TxnId {
 /// Table identifier, assigned by the catalog at `CREATE TABLE` time and
 /// stable across renames (renames matter for the split transformation's
 /// rename-in-place variant, paper §5.2).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TableId(pub u32);
 
 impl fmt::Debug for TableId {
@@ -85,7 +84,7 @@ impl fmt::Debug for TableId {
 }
 
 /// Secondary-index identifier, unique within its table.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct IndexId(pub u32);
 
 impl fmt::Debug for IndexId {
@@ -95,7 +94,7 @@ impl fmt::Debug for IndexId {
 }
 
 /// Column position within a schema (0-based).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ColId(pub usize);
 
 impl fmt::Debug for ColId {

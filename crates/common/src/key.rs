@@ -7,11 +7,10 @@
 //! `Value` itself is totally ordered.
 
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An ordered tuple of values identifying a record (or an index entry).
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Key(pub Vec<Value>);
 
 impl Key {

@@ -9,10 +9,9 @@
 
 use crate::error::{DbError, DbResult};
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 
 /// Declared type of a column.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum ColumnType {
     /// 64-bit signed integer.
     Int,
@@ -26,18 +25,18 @@ impl ColumnType {
     /// Whether `v` is admissible for this column type (NULL is checked
     /// separately via [`Column::nullable`]).
     pub fn admits(self, v: &Value) -> bool {
-        match (self, v) {
-            (_, Value::Null) => true,
-            (ColumnType::Int, Value::Int(_)) => true,
-            (ColumnType::Str, Value::Str(_)) => true,
-            (ColumnType::Any, _) => true,
-            _ => false,
-        }
+        matches!(
+            (self, v),
+            (_, Value::Null)
+                | (ColumnType::Int, Value::Int(_))
+                | (ColumnType::Str, Value::Str(_))
+                | (ColumnType::Any, _)
+        )
     }
 }
 
 /// One column of a schema.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Column {
     /// Column name, unique within the schema.
     pub name: String,
@@ -50,7 +49,7 @@ pub struct Column {
 }
 
 /// A table schema: ordered columns plus the primary-key column set.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Schema {
     columns: Vec<Column>,
     /// Positions (into `columns`) of the primary-key columns, in key

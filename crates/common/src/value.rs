@@ -7,7 +7,6 @@
 //! matching, NULL-extension of outer-join results) is expressible with
 //! these three variants.
 
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
@@ -21,7 +20,7 @@ use std::fmt;
 /// NULLs as equal. This is the behaviour the transformation framework
 /// needs: the special `r_null`/`s_null` records of a full outer join
 /// (§4.1) compare equal to themselves so index lookups can find them.
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub enum Value {
     /// Absent value. Also used for the NULL-extended side of an outer
     /// join result.

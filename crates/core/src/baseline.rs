@@ -18,8 +18,8 @@
 
 use crate::foj::FojMapping;
 use crate::spec::FojSpec;
-use crate::split::SplitMapping;
 use crate::spec::SplitSpec;
+use crate::split::SplitMapping;
 use morph_common::{DbError, DbResult, Lsn, TxnId};
 use morph_engine::{Database, OpInterceptor, PlannedOp};
 use morph_storage::Table;
@@ -69,10 +69,7 @@ fn freeze_and_wait(db: &Database, sources: &[Arc<Table>], deadline: Duration) ->
 /// Blocking `insert into T select … from R full outer join S`.
 pub fn blocking_foj(db: &Arc<Database>, spec: &FojSpec) -> DbResult<BlockingReport> {
     let mapping = FojMapping::prepare(db, spec)?;
-    let sources = vec![
-        Arc::clone(mapping.r_table()),
-        Arc::clone(mapping.s_table()),
-    ];
+    let sources = vec![Arc::clone(mapping.r_table()), Arc::clone(mapping.s_table())];
     let t0 = Instant::now();
     freeze_and_wait(db, &sources, Duration::from_secs(30))?;
     // Sources are quiescent: the "fuzzy" scan is now an exact scan.
@@ -229,8 +226,7 @@ mod tests {
     #[test]
     fn blocking_foj_copies_everything_and_drops_sources() {
         let db = db_with_sources();
-        let report =
-            blocking_foj(&db, &FojSpec::new("R", "S", "T", "c", "c")).unwrap();
+        let report = blocking_foj(&db, &FojSpec::new("R", "S", "T", "c", "c")).unwrap();
         assert_eq!(report.rows_written, 50);
         assert!(report.blocked > Duration::ZERO);
         assert!(!db.catalog().exists("R"));
@@ -272,8 +268,7 @@ mod tests {
     #[test]
     fn trigger_maintenance_keeps_target_current() {
         let db = db_with_sources();
-        let tm =
-            TriggerMaintenance::install(&db, &FojSpec::new("R", "S", "T", "c", "c")).unwrap();
+        let tm = TriggerMaintenance::install(&db, &FojSpec::new("R", "S", "T", "c", "c")).unwrap();
         // Ops after installation flow through the trigger synchronously.
         let txn = db.begin();
         db.insert(

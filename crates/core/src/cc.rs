@@ -183,12 +183,14 @@ mod tests {
 
     #[test]
     fn touch_voids_matching_pending_only() {
-        let mut cc = CcState::default();
-        cc.pending = Some(PendingCc {
-            key: k(5),
-            begin_lsn: Lsn(1),
-            touched: false,
-        });
+        let mut cc = CcState {
+            pending: Some(PendingCc {
+                key: k(5),
+                begin_lsn: Lsn(1),
+                touched: false,
+            }),
+            ..CcState::default()
+        };
         cc.note_touch(&Value::Int(4));
         assert!(!cc.pending.as_ref().unwrap().touched);
         cc.note_touch(&Value::Int(5));

@@ -25,12 +25,14 @@
 use morph_common::{ColumnType, DbError, DbResult, Key, Lsn, Schema, TableId, Value};
 use morph_engine::Database;
 use morph_storage::row::Presence;
-use morph_storage::{Row, Table};
+use morph_storage::{Row, Table, WriteSession};
 use morph_wal::LogOp;
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
+use crate::operator::{scan_source_throttled, TransformOperator};
 use crate::spec::FojSpec;
+use crate::throttle::Throttle;
 
 const LEFT: Presence = Presence {
     left: true,
@@ -223,9 +225,15 @@ impl FojMapping {
     // --- write helpers -----------------------------------------------------
 
     /// Insert a T row, treating an existing identical key as "already
-    /// reflected" (Theorem 1).
-    fn insert_t(&self, values: Vec<Value>, presence: Presence, lsn: Lsn) -> DbResult<()> {
-        match self.t.insert_row(Row {
+    /// reflected" (Theorem 1). Writes through the open session on T.
+    fn insert_t(
+        &self,
+        ts: &mut WriteSession<'_>,
+        values: Vec<Value>,
+        presence: Presence,
+        lsn: Lsn,
+    ) -> DbResult<()> {
+        match ts.insert_row(Row {
             values,
             lsn,
             counter: 1,
@@ -243,14 +251,15 @@ impl FojMapping {
     /// row's (possibly moved) key.
     fn set_row(
         &self,
+        ts: &mut WriteSession<'_>,
         key: &Key,
         cols: &[(usize, Value)],
         presence: Presence,
         lsn: Lsn,
     ) -> DbResult<Option<Key>> {
-        match self.t.update(key, cols, lsn) {
+        match ts.update(key, cols, lsn) {
             Ok(out) => {
-                self.t.with_row_mut(&out.new_key, |r| r.presence = presence);
+                ts.with_row_mut(&out.new_key, |r| r.presence = presence);
                 Ok(Some(out.new_key))
             }
             Err(DbError::KeyNotFound(_)) | Err(DbError::DuplicateKey(_)) => Ok(None),
@@ -284,19 +293,29 @@ impl FojMapping {
     // --- dispatch ------------------------------------------------------------
 
     /// Apply one logged source-table operation to T. Operations on
-    /// other tables must be filtered out by the caller.
+    /// other tables must be filtered out by the caller. Opens a write
+    /// session on T for the single record; the batched path
+    /// ([`TransformOperator::apply_batch`]) shares one session across a
+    /// whole batch.
     pub fn apply(&self, lsn: Lsn, op: &LogOp) -> DbResult<()> {
+        let t = Arc::clone(&self.t);
+        let mut ts = t.write_session();
+        self.apply_in(&mut ts, lsn, op)
+    }
+
+    /// Rule dispatch against an already-open session on T.
+    fn apply_in(&self, ts: &mut WriteSession<'_>, lsn: Lsn, op: &LogOp) -> DbResult<()> {
         if op.table() == self.r.id() {
             match op {
-                LogOp::Insert { row, .. } => self.r_insert(row, lsn),
-                LogOp::Delete { key, .. } => self.r_delete(key, lsn),
-                LogOp::Update { key, old, new, .. } => self.r_update(key, old, new, lsn),
+                LogOp::Insert { row, .. } => self.r_insert(ts, row, lsn),
+                LogOp::Delete { key, .. } => self.r_delete(ts, key, lsn),
+                LogOp::Update { key, old, new, .. } => self.r_update(ts, key, old, new, lsn),
             }
         } else if op.table() == self.s.id() {
             match op {
-                LogOp::Insert { row, .. } => self.s_insert(row, lsn),
-                LogOp::Delete { key, .. } => self.s_delete(key, lsn),
-                LogOp::Update { key, old, new, .. } => self.s_update(key, old, new, lsn),
+                LogOp::Insert { row, .. } => self.s_insert(ts, row, lsn),
+                LogOp::Delete { key, .. } => self.s_delete(ts, key, lsn),
+                LogOp::Update { key, old, new, .. } => self.s_update(ts, key, old, new, lsn),
             }
         } else {
             Ok(())
@@ -330,7 +349,7 @@ impl FojMapping {
     /// the FOJ operator, insert the initial image into T. Returns
     /// `(rows_read, rows_written)`.
     pub fn populate(&self, chunk_size: usize) -> DbResult<(usize, usize)> {
-        self.populate_throttled(chunk_size, &mut crate::throttle::Throttle::new(1.0))
+        self.populate_throttled(chunk_size, &mut Throttle::new(1.0))
     }
 
     /// Like [`FojMapping::populate`] but paying the given throttle per
@@ -340,47 +359,38 @@ impl FojMapping {
     pub fn populate_throttled(
         &self,
         chunk_size: usize,
-        throttle: &mut crate::throttle::Throttle,
+        throttle: &mut Throttle,
     ) -> DbResult<(usize, usize)> {
         use std::time::Instant;
-        let mut read = 0usize;
         let mut r_rows: Vec<Vec<Value>> = Vec::new();
-        let mut scan = self.r.fuzzy_scan(chunk_size);
-        loop {
-            let t0 = Instant::now();
-            let chunk = scan.next_chunk();
-            if chunk.is_empty() {
-                break;
-            }
-            read += chunk.len();
-            r_rows.extend(chunk.into_iter().map(|(_, row)| row.values));
-            throttle.pay(t0.elapsed());
-        }
+        let mut read = scan_source_throttled(&self.r, chunk_size, throttle, |batch| {
+            r_rows.extend(batch.into_iter().map(|(_, row)| row.values));
+            Ok(())
+        })?;
         let mut s_rows: Vec<Vec<Value>> = Vec::new();
-        let mut scan = self.s.fuzzy_scan(chunk_size);
-        loop {
-            let t0 = Instant::now();
-            let chunk = scan.next_chunk();
-            if chunk.is_empty() {
-                break;
-            }
-            read += chunk.len();
-            s_rows.extend(chunk.into_iter().map(|(_, row)| row.values));
-            throttle.pay(t0.elapsed());
-        }
+        read += scan_source_throttled(&self.s, chunk_size, throttle, |batch| {
+            s_rows.extend(batch.into_iter().map(|(_, row)| row.values));
+            Ok(())
+        })?;
         let t0 = Instant::now();
         let image = reference_foj(self, &r_rows, &s_rows);
         throttle.pay(t0.elapsed());
         let written = image.len();
-        let mut since_pay = Instant::now();
-        for (i, (values, presence)) in image.into_iter().enumerate() {
-            // Duplicate keys can occur if a concurrent writer slipped a
-            // row into the scans twice-joined; the rules repair it.
-            let _ = self.insert_t(values, presence, Lsn::ZERO);
-            if i % chunk_size == chunk_size - 1 {
-                throttle.pay(since_pay.elapsed());
-                since_pay = Instant::now();
+        // Insert the image chunk-wise, one write session per chunk, so
+        // the latch is held only briefly while concurrent writers run.
+        let mut it = image.into_iter().peekable();
+        while it.peek().is_some() {
+            let t0 = Instant::now();
+            let t = Arc::clone(&self.t);
+            let mut ts = t.write_session();
+            for (values, presence) in it.by_ref().take(chunk_size.max(1)) {
+                // Duplicate keys can occur if a concurrent writer
+                // slipped a row into the scans twice-joined; the rules
+                // repair it.
+                let _ = self.insert_t(&mut ts, values, presence, Lsn::ZERO);
             }
+            drop(ts);
+            throttle.pay(t0.elapsed());
         }
         Ok((read, written))
     }
@@ -404,17 +414,17 @@ impl FojMapping {
 
     // --- Rule 1: insert r^y_x ------------------------------------------------
 
-    fn r_insert(&self, r_vals: &[Value], lsn: Lsn) -> DbResult<()> {
+    fn r_insert(&self, ts: &mut WriteSession<'_>, r_vals: &[Value], lsn: Lsn) -> DbResult<()> {
         let y = self.rpk_of_r(r_vals);
-        if !self.t.index_lookup(self.idx_rpk, &y).is_empty() {
+        if !ts.index_lookup(self.idx_rpk, &y).is_empty() {
             return Ok(()); // t^y exists: already reflected (Theorem 1)
         }
         let x = &r_vals[self.r_join];
         if x.is_null() {
             // A NULL join attribute never matches: standalone row.
-            return self.insert_t(self.t_from_r(r_vals), LEFT, lsn);
+            return self.insert_t(ts, self.t_from_r(r_vals), LEFT, lsn);
         }
-        let rows_x = self.t.index_rows(self.idx_join, &self.join_key(x));
+        let rows_x = ts.index_rows(self.idx_join, &self.join_key(x));
 
         if !self.many {
             if let Some((k, _)) = rows_x
@@ -422,13 +432,13 @@ impl FojMapping {
                 .find(|(_, row)| row.presence.right && !row.presence.left)
             {
                 // t_null_x found: absorb r into it.
-                self.set_row(k, &self.r_fill_cols(r_vals), Presence::BOTH, lsn)?;
+                self.set_row(ts, k, &self.r_fill_cols(r_vals), Presence::BOTH, lsn)?;
             } else if let Some((_, row)) = rows_x.iter().find(|(_, row)| row.presence.right) {
                 // t^v_x found: borrow its S half.
                 let s_vals = self.s_part(&row.values);
-                self.insert_t(self.t_join(r_vals, &s_vals), Presence::BOTH, lsn)?;
+                self.insert_t(ts, self.t_join(r_vals, &s_vals), Presence::BOTH, lsn)?;
             } else {
-                self.insert_t(self.t_from_r(r_vals), LEFT, lsn)?;
+                self.insert_t(ts, self.t_from_r(r_vals), LEFT, lsn)?;
             }
             return Ok(());
         }
@@ -444,24 +454,24 @@ impl FojMapping {
             let spk = self.spk_of_t(&row.values);
             if seen.insert(spk) {
                 let s_vals = self.s_part(&row.values);
-                self.insert_t(self.t_join(r_vals, &s_vals), Presence::BOTH, lsn)?;
+                self.insert_t(ts, self.t_join(r_vals, &s_vals), Presence::BOTH, lsn)?;
                 matched = true;
                 if !row.presence.left {
                     // It was a t_null_x placeholder; s now has a match.
-                    let _ = self.t.delete(k);
+                    let _ = ts.delete(k);
                 }
             }
         }
         if !matched {
-            self.insert_t(self.t_from_r(r_vals), LEFT, lsn)?;
+            self.insert_t(ts, self.t_from_r(r_vals), LEFT, lsn)?;
         }
         Ok(())
     }
 
     // --- Rule 3: delete r^y ----------------------------------------------------
 
-    fn r_delete(&self, y: &Key, lsn: Lsn) -> DbResult<()> {
-        let rows_y = self.t.index_rows(self.idx_rpk, y);
+    fn r_delete(&self, ts: &mut WriteSession<'_>, y: &Key, lsn: Lsn) -> DbResult<()> {
+        let rows_y = ts.index_rows(self.idx_rpk, y);
         if rows_y.is_empty() {
             return Ok(()); // already reflected
         }
@@ -470,17 +480,16 @@ impl FojMapping {
             if row.presence.right {
                 // Guarantee the S half survives somewhere (FOJ).
                 let spk = self.spk_of_t(&row.values);
-                let survives = self
-                    .t
+                let survives = ts
                     .index_rows(self.idx_spk, &spk)
                     .iter()
                     .any(|(k2, r2)| !doomed.contains(k2) && r2.presence.right);
                 if !survives {
                     let s_vals = self.s_part(&row.values);
-                    self.insert_t(self.t_from_s(&s_vals), RIGHT, lsn)?;
+                    self.insert_t(ts, self.t_from_s(&s_vals), RIGHT, lsn)?;
                 }
             }
-            let _ = self.t.delete(k);
+            let _ = ts.delete(k);
         }
         Ok(())
     }
@@ -489,12 +498,13 @@ impl FojMapping {
 
     fn r_update(
         &self,
+        ts: &mut WriteSession<'_>,
         y: &Key,
         old: &[(usize, Value)],
         new: &[(usize, Value)],
         lsn: Lsn,
     ) -> DbResult<()> {
-        let rows_y = self.t.index_rows(self.idx_rpk, y);
+        let rows_y = ts.index_rows(self.idx_rpk, y);
         if rows_y.is_empty() {
             return Ok(()); // Theorem 1: newer state already reflected
         }
@@ -503,7 +513,7 @@ impl FojMapping {
         if !join_changed {
             // Rule 7 (R side): update the R columns in place.
             for (k, row) in &rows_y {
-                self.set_row(k, new, row.presence, lsn)?;
+                self.set_row(ts, k, new, row.presence, lsn)?;
             }
             return Ok(());
         }
@@ -534,36 +544,35 @@ impl FojMapping {
         for (k, row) in &rows_y {
             if row.presence.right {
                 let spk = self.spk_of_t(&row.values);
-                let survives = self
-                    .t
+                let survives = ts
                     .index_rows(self.idx_spk, &spk)
                     .iter()
                     .any(|(k2, r2)| !doomed.contains(k2) && r2.presence.right);
                 if !survives {
                     let s_vals = self.s_part(&row.values);
-                    self.insert_t(self.t_from_s(&s_vals), RIGHT, lsn)?;
+                    self.insert_t(ts, self.t_from_s(&s_vals), RIGHT, lsn)?;
                 }
             }
-            let _ = self.t.delete(k);
+            let _ = ts.delete(k);
         }
 
         // Insert side: r_new joins whatever carries z.
         let z = r_new[self.r_join].clone();
         if z.is_null() {
-            return self.insert_t(self.t_from_r(&r_new), LEFT, lsn);
+            return self.insert_t(ts, self.t_from_r(&r_new), LEFT, lsn);
         }
-        let rows_z = self.t.index_rows(self.idx_join, &self.join_key(&z));
+        let rows_z = ts.index_rows(self.idx_join, &self.join_key(&z));
         if !self.many {
             if let Some((k2, _)) = rows_z
                 .iter()
                 .find(|(_, r2)| r2.presence.right && !r2.presence.left)
             {
-                self.set_row(k2, &self.r_fill_cols(&r_new), Presence::BOTH, lsn)?;
+                self.set_row(ts, k2, &self.r_fill_cols(&r_new), Presence::BOTH, lsn)?;
             } else if let Some((_, r2)) = rows_z.iter().find(|(_, r2)| r2.presence.right) {
                 let s_vals = self.s_part(&r2.values);
-                self.insert_t(self.t_join(&r_new, &s_vals), Presence::BOTH, lsn)?;
+                self.insert_t(ts, self.t_join(&r_new, &s_vals), Presence::BOTH, lsn)?;
             } else {
-                self.insert_t(self.t_from_r(&r_new), LEFT, lsn)?;
+                self.insert_t(ts, self.t_from_r(&r_new), LEFT, lsn)?;
             }
             return Ok(());
         }
@@ -576,32 +585,32 @@ impl FojMapping {
             let spk = self.spk_of_t(&r2.values);
             if seen.insert(spk) {
                 let s_vals = self.s_part(&r2.values);
-                self.insert_t(self.t_join(&r_new, &s_vals), Presence::BOTH, lsn)?;
+                self.insert_t(ts, self.t_join(&r_new, &s_vals), Presence::BOTH, lsn)?;
                 matched = true;
                 if !r2.presence.left {
-                    let _ = self.t.delete(k2);
+                    let _ = ts.delete(k2);
                 }
             }
         }
         if !matched {
-            self.insert_t(self.t_from_r(&r_new), LEFT, lsn)?;
+            self.insert_t(ts, self.t_from_r(&r_new), LEFT, lsn)?;
         }
         Ok(())
     }
 
     // --- Rule 2: insert s^x -------------------------------------------------------
 
-    fn s_insert(&self, s_vals: &[Value], lsn: Lsn) -> DbResult<()> {
+    fn s_insert(&self, ts: &mut WriteSession<'_>, s_vals: &[Value], lsn: Lsn) -> DbResult<()> {
         let x = &s_vals[self.s_join];
         if self.many {
             let u = self.spk_of_s(s_vals);
-            if !self.t.index_lookup(self.idx_spk, &u).is_empty() {
+            if !ts.index_lookup(self.idx_spk, &u).is_empty() {
                 return Ok(()); // already reflected
             }
             if x.is_null() {
-                return self.insert_t(self.t_from_s(s_vals), RIGHT, lsn);
+                return self.insert_t(ts, self.t_from_s(s_vals), RIGHT, lsn);
             }
-            let rows_x = self.t.index_rows(self.idx_join, &self.join_key(x));
+            let rows_x = ts.index_rows(self.idx_join, &self.join_key(x));
             let mut seen = BTreeSet::new();
             let mut matched = false;
             for (k, row) in &rows_x {
@@ -611,26 +620,26 @@ impl FojMapping {
                 let ypk = self.rpk_of_t(&row.values);
                 if seen.insert(ypk) {
                     let r_vals = self.r_part(&row.values);
-                    self.insert_t(self.t_join(&r_vals, s_vals), Presence::BOTH, lsn)?;
+                    self.insert_t(ts, self.t_join(&r_vals, s_vals), Presence::BOTH, lsn)?;
                     matched = true;
                     if !row.presence.right {
                         // r's placeholder is now matched.
-                        let _ = self.t.delete(k);
+                        let _ = ts.delete(k);
                     }
                 }
             }
             if !matched {
-                self.insert_t(self.t_from_s(s_vals), RIGHT, lsn)?;
+                self.insert_t(ts, self.t_from_s(s_vals), RIGHT, lsn)?;
             }
             return Ok(());
         }
 
         if x.is_null() {
-            return self.insert_t(self.t_from_s(s_vals), RIGHT, lsn);
+            return self.insert_t(ts, self.t_from_s(s_vals), RIGHT, lsn);
         }
-        let rows_x = self.t.index_rows(self.idx_join, &self.join_key(x));
+        let rows_x = ts.index_rows(self.idx_join, &self.join_key(x));
         if rows_x.is_empty() {
-            return self.insert_t(self.t_from_s(s_vals), RIGHT, lsn);
+            return self.insert_t(ts, self.t_from_s(s_vals), RIGHT, lsn);
         }
         // Fill every row still joined with s_null; rows already joined
         // with a real S row are up to date (Theorem 1).
@@ -638,7 +647,7 @@ impl FojMapping {
         let mut filled = false;
         for (k, row) in &rows_x {
             if !row.presence.right {
-                self.set_row(k, &fill, Presence::BOTH, lsn)?;
+                self.set_row(ts, k, &fill, Presence::BOTH, lsn)?;
                 filled = true;
             }
         }
@@ -648,7 +657,7 @@ impl FojMapping {
             // partners and the placeholder must go.
             for (k, row) in &rows_x {
                 if row.presence.right && !row.presence.left {
-                    let _ = self.t.delete(k);
+                    let _ = ts.delete(k);
                 }
             }
         }
@@ -657,8 +666,8 @@ impl FojMapping {
 
     // --- Rule 4: delete s^x ----------------------------------------------------------
 
-    fn s_delete(&self, spk: &Key, lsn: Lsn) -> DbResult<()> {
-        let rows_u = self.t.index_rows(self.idx_spk, spk);
+    fn s_delete(&self, ts: &mut WriteSession<'_>, spk: &Key, lsn: Lsn) -> DbResult<()> {
+        let rows_u = ts.index_rows(self.idx_spk, spk);
         if rows_u.is_empty() {
             return Ok(());
         }
@@ -671,23 +680,22 @@ impl FojMapping {
                 if self.many {
                     // Keep r alive if this was its last pairing.
                     let ypk = self.rpk_of_t(&row.values);
-                    let survives = self
-                        .t
+                    let survives = ts
                         .index_rows(self.idx_rpk, &ypk)
                         .iter()
                         .any(|(k2, r2)| k2 != k && r2.presence.left);
                     if !survives {
                         let r_vals = self.r_part(&row.values);
-                        self.insert_t(self.t_from_r(&r_vals), LEFT, lsn)?;
+                        self.insert_t(ts, self.t_from_r(&r_vals), LEFT, lsn)?;
                     }
-                    let _ = self.t.delete(k);
+                    let _ = ts.delete(k);
                 } else {
                     // One-to-many: clear the S half in place.
-                    self.set_row(k, &self.s_clear_cols(), LEFT, lsn)?;
+                    self.set_row(ts, k, &self.s_clear_cols(), LEFT, lsn)?;
                 }
             } else {
                 // t_null_x placeholder: remove it.
-                let _ = self.t.delete(k);
+                let _ = ts.delete(k);
             }
         }
         Ok(())
@@ -697,13 +705,14 @@ impl FojMapping {
 
     fn s_update(
         &self,
+        ts: &mut WriteSession<'_>,
         spk: &Key,
         old: &[(usize, Value)],
         new: &[(usize, Value)],
         lsn: Lsn,
     ) -> DbResult<()> {
         let join_changed = new.iter().any(|(i, _)| *i == self.s_join);
-        let rows_u = self.t.index_rows(self.idx_spk, spk);
+        let rows_u = ts.index_rows(self.idx_spk, spk);
         if rows_u.is_empty() {
             return Ok(()); // not reflected / newer state
         }
@@ -716,7 +725,7 @@ impl FojMapping {
                 .collect();
             for (k, row) in &rows_u {
                 if row.presence.right {
-                    self.set_row(k, &cols, row.presence, lsn)?;
+                    self.set_row(ts, k, &cols, row.presence, lsn)?;
                 }
             }
             return Ok(());
@@ -747,9 +756,67 @@ impl FojMapping {
         }
 
         // Delete side (like delete of s^x)…
-        self.s_delete(spk, lsn)?;
+        self.s_delete(ts, spk, lsn)?;
         // …followed by insert of s^z.
-        self.s_insert(&s_new, lsn)
+        self.s_insert(ts, &s_new, lsn)
+    }
+}
+
+impl TransformOperator for FojMapping {
+    fn source_ids(&self) -> Vec<TableId> {
+        FojMapping::source_ids(self)
+    }
+
+    /// FOJ propagation rules 1–7 (§4.2). Content-based idempotence: no
+    /// LSN gating, decisions come from presence/index lookups on T.
+    fn apply(&mut self, lsn: Lsn, op: &LogOp) -> DbResult<()> {
+        FojMapping::apply(self, lsn, op)
+    }
+
+    /// One write session on T for the whole batch — a single latch
+    /// round trip instead of one per record.
+    fn apply_batch(&mut self, batch: &[(Lsn, LogOp)]) -> DbResult<()> {
+        let t = Arc::clone(&self.t);
+        let mut ts = t.write_session();
+        for (lsn, op) in batch {
+            self.apply_in(&mut ts, *lsn, op)?;
+        }
+        Ok(())
+    }
+
+    /// Rules 5 and 6 guard on the *logged pre-image* of the join
+    /// attribute against T's current content; an intermediate update
+    /// can therefore be load-bearing and only deletes may coalesce
+    /// earlier records away.
+    fn coalesce_policy(&self) -> crate::operator::CoalescePolicy {
+        crate::operator::CoalescePolicy::DeleteOnly
+    }
+
+    /// The join attribute is the column those guards read.
+    fn coalesce_barrier_cols(&self, table: TableId) -> Vec<usize> {
+        if table == self.r.id() {
+            vec![self.r_join]
+        } else if table == self.s.id() {
+            vec![self.s_join]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn populate_throttled(
+        &mut self,
+        chunk: usize,
+        throttle: &mut Throttle,
+    ) -> DbResult<(usize, usize)> {
+        FojMapping::populate_throttled(self, chunk, throttle)
+    }
+
+    fn target_keys_for(&self, table: TableId, key: &Key) -> Vec<(TableId, Key)> {
+        FojMapping::target_keys_for(self, table, key)
+    }
+
+    fn mirror_map(&self) -> crate::sync::MirrorMap {
+        FojMapping::mirror_map(self)
     }
 }
 
@@ -761,7 +828,8 @@ pub fn reference_foj(
     s_rows: &[Vec<Value>],
 ) -> Vec<(Vec<Value>, Presence)> {
     // Hash join on the join attribute (NULLs never participate).
-    let mut by_join: std::collections::HashMap<&Value, Vec<usize>> = std::collections::HashMap::new();
+    let mut by_join: std::collections::HashMap<&Value, Vec<usize>> =
+        std::collections::HashMap::new();
     for (si, s) in s_rows.iter().enumerate() {
         if !s[m.s_join].is_null() {
             by_join.entry(&s[m.s_join]).or_default().push(si);
@@ -791,7 +859,7 @@ pub fn reference_foj(
         }
     }
     let schema = m.t.schema();
-    out.sort_by(|a, b| schema.key_of(&a.0).cmp(&schema.key_of(&b.0)));
+    out.sort_by_key(|a| schema.key_of(&a.0));
     out
 }
 
@@ -801,12 +869,11 @@ pub fn verify_against_reference(m: &FojMapping) -> Result<(), String> {
     let r_rows: Vec<Vec<Value>> = m.r.snapshot().into_iter().map(|(_, r)| r.values).collect();
     let s_rows: Vec<Vec<Value>> = m.s.snapshot().into_iter().map(|(_, r)| r.values).collect();
     let expect = reference_foj(m, &r_rows, &s_rows);
-    let got: Vec<(Vec<Value>, Presence)> = m
-        .t
-        .snapshot()
-        .into_iter()
-        .map(|(_, r)| (r.values, r.presence))
-        .collect();
+    let got: Vec<(Vec<Value>, Presence)> =
+        m.t.snapshot()
+            .into_iter()
+            .map(|(_, r)| (r.values, r.presence))
+            .collect();
     if expect.len() != got.len() {
         return Err(format!(
             "row count mismatch: expected {}, got {}\nexpected: {:?}\ngot: {:?}",
@@ -890,14 +957,8 @@ mod tests {
     }
 
     fn ins(m: &FojMapping, t: &Arc<Table>, row: Vec<Value>, lsn: u64) {
-        m.apply(
-            Lsn(lsn),
-            &LogOp::Insert {
-                table: t.id(),
-                row,
-            },
-        )
-        .unwrap();
+        m.apply(Lsn(lsn), &LogOp::Insert { table: t.id(), row })
+            .unwrap();
     }
 
     fn verify(m: &FojMapping) {
@@ -925,14 +986,26 @@ mod tests {
             let lsn = self.next();
             self.m.r.insert(row.clone(), lsn).unwrap();
             self.m
-                .apply(lsn, &LogOp::Insert { table: self.m.r.id(), row })
+                .apply(
+                    lsn,
+                    &LogOp::Insert {
+                        table: self.m.r.id(),
+                        row,
+                    },
+                )
                 .unwrap();
         }
         fn insert_s(&mut self, row: Vec<Value>) {
             let lsn = self.next();
             self.m.s.insert(row.clone(), lsn).unwrap();
             self.m
-                .apply(lsn, &LogOp::Insert { table: self.m.s.id(), row })
+                .apply(
+                    lsn,
+                    &LogOp::Insert {
+                        table: self.m.s.id(),
+                        row,
+                    },
+                )
                 .unwrap();
         }
         fn delete_r(&mut self, key: Key) {
@@ -941,7 +1014,11 @@ mod tests {
             self.m
                 .apply(
                     lsn,
-                    &LogOp::Delete { table: self.m.r.id(), key, old: old.values },
+                    &LogOp::Delete {
+                        table: self.m.r.id(),
+                        key,
+                        old: old.values,
+                    },
                 )
                 .unwrap();
         }
@@ -951,7 +1028,11 @@ mod tests {
             self.m
                 .apply(
                     lsn,
-                    &LogOp::Delete { table: self.m.s.id(), key, old: old.values },
+                    &LogOp::Delete {
+                        table: self.m.s.id(),
+                        key,
+                        old: old.values,
+                    },
                 )
                 .unwrap();
         }
@@ -1367,10 +1448,7 @@ mod tests {
                                 _ => {
                                     let nk = rng.gen_range(100..112);
                                     if m.s.get(&Key::single(nk)).is_none() {
-                                        d.update_s(
-                                            Key::single(sid),
-                                            vec![(0, Value::Int(nk))],
-                                        );
+                                        d.update_s(Key::single(sid), vec![(0, Value::Int(nk))]);
                                     }
                                 }
                             }

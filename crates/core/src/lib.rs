@@ -45,6 +45,7 @@
 pub mod baseline;
 pub mod cc;
 pub mod foj;
+pub mod operator;
 pub mod propagate;
 pub mod report;
 pub mod spec;
@@ -57,8 +58,11 @@ pub mod transform;
 pub mod union;
 
 pub use foj::FojMapping;
+pub use operator::{CoalescePolicy, TransformOperator};
 pub use report::{IterationStats, PopulationStats, SyncStats, TransformReport};
-pub use spec::{FojSpec, NonConvergencePolicy, SplitMode, SplitSpec, SyncStrategy, TransformOptions};
+pub use spec::{
+    FojSpec, NonConvergencePolicy, SplitMode, SplitSpec, SyncStrategy, TransformOptions,
+};
 pub use split::SplitMapping;
 pub use transform::{TransformHandle, Transformer};
 pub use union::{UnionMapping, UnionSpec};

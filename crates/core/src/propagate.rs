@@ -1,12 +1,29 @@
-//! The log propagator (§3.3).
+//! The log propagator (§3.3), batched and operator-generic.
 //!
-//! A [`Propagator`] owns a tail cursor into the WAL and a rule set
-//! ([`Rules`]), and drains the log through the rules in batches,
-//! paying the priority throttle between batches. Each *iteration*
-//! drains up to the tail position observed at entry, writes a fuzzy
-//! mark (the next iteration conceptually "reads the log after the
-//! previous fuzzy mark"), and reports the remaining backlog so the
-//! caller's analysis step can decide what happens next.
+//! A [`Propagator`] owns a tail cursor into the WAL and drains the log
+//! through a [`TransformOperator`]'s propagation rules, paying the
+//! priority throttle between batches. Each *iteration* drains up to
+//! the tail position observed at entry, writes a fuzzy mark (the next
+//! iteration conceptually "reads the log after the previous fuzzy
+//! mark"), and reports the remaining backlog so the caller's analysis
+//! step can decide what happens next.
+//!
+//! ## The batched pipeline
+//!
+//! Relevant data records are not applied one at a time. The propagator
+//! accumulates them into a *run*, [coalesces](coalesce) records the
+//! operator's [`CoalescePolicy`] allows to be dropped, and hands the
+//! survivors to [`TransformOperator::apply_batch`] — which opens one
+//! write session per target table for the whole run, paying one latch
+//! round trip per run instead of per record. A run is flushed:
+//!
+//! * before a control record (`CcBegin`/`CcOk`) reaches
+//!   [`TransformOperator::on_control`] — the §5.3 checker must observe
+//!   every prior touch before certifying;
+//! * before a grandfathered transaction's end record releases its
+//!   mirrored locks (post-sync mode) — the transaction's final state
+//!   must be in the transformed tables first;
+//! * at the end of every cursor batch.
 //!
 //! After synchronization the same propagator keeps running in
 //! *post-sync* mode: it tracks the set of grandfathered transactions
@@ -16,110 +33,149 @@
 //! propagator has processed the abort log record of the lock owner"
 //! (§3.4).
 
-use crate::cc::Readiness;
-use crate::foj::FojMapping;
+use crate::operator::{CoalescePolicy, TransformOperator};
 use crate::report::IterationStats;
-use crate::split::SplitMapping;
 use crate::sync::proxy_owner;
-use crate::union::UnionMapping;
 use crate::throttle::Throttle;
-use morph_common::{DbResult, Key, Lsn, TableId, TxnId};
+use morph_common::{DbResult, Key, Lsn, Schema, TableId, TxnId};
 use morph_engine::Database;
-use morph_storage::Table;
-use morph_wal::{LogRecord, TailCursor};
-use std::collections::HashSet;
+use morph_wal::{LogOp, LogRecord, TailCursor};
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Upper bound on one propagation iteration's wall-clock time (see
 /// [`Propagator::iterate`]).
 pub const ITERATION_BUDGET: Duration = Duration::from_secs(2);
 
-/// The operator-specific rule set behind the propagator.
-pub enum Rules {
-    /// Full outer join (rules 1–7, § 4).
-    Foj(FojMapping),
-    /// Vertical split (rules 8–11, § 5).
-    Split(SplitMapping),
-    /// Horizontal union/merge (§7 "other relational operators").
-    Union(UnionMapping),
+/// Per-drain context: everything about the operator the pipeline needs
+/// record-by-record, resolved once per drain instead of per record.
+struct DrainCtx {
+    sources: Vec<TableId>,
+    /// Source schemas, for computing a record's subject key. Source
+    /// schemas cannot change while propagation runs (rename-in-place
+    /// projection happens strictly after the final drain).
+    schemas: HashMap<TableId, Schema>,
+    /// Per-source barrier columns (see
+    /// [`TransformOperator::coalesce_barrier_cols`]).
+    barriers: HashMap<TableId, Vec<usize>>,
+    policy: CoalescePolicy,
 }
 
-impl Rules {
-    /// Source tables whose log records are relevant.
-    pub fn source_ids(&self) -> Vec<TableId> {
-        match self {
-            Rules::Foj(m) => m.source_ids(),
-            Rules::Split(m) => m.source_ids(),
-            Rules::Union(m) => m.source_ids(),
+impl DrainCtx {
+    fn new(db: &Database, op: &dyn TransformOperator) -> DrainCtx {
+        let sources = op.source_ids();
+        let mut schemas = HashMap::new();
+        let mut barriers = HashMap::new();
+        for id in &sources {
+            if let Ok(t) = db.catalog().get_by_id(*id) {
+                schemas.insert(*id, t.schema());
+            }
+            barriers.insert(*id, op.coalesce_barrier_cols(*id));
+        }
+        DrainCtx {
+            sources,
+            schemas,
+            barriers,
+            policy: op.coalesce_policy(),
         }
     }
+}
 
-    /// Source table handles.
-    pub fn source_tables(&self, db: &Database) -> DbResult<Vec<Arc<Table>>> {
-        self.source_ids()
-            .into_iter()
-            .map(|id| db.catalog().get_by_id(id))
-            .collect()
+/// Drop records of `run` whose effect on the transformed tables is
+/// provably erased by a later record in the same run, to the extent
+/// `ctx.policy` allows. Never reorders; only drops.
+///
+/// The *subject* of a record is its row's source-table primary key.
+/// Within one subject, a forward pass tracks which earlier records are
+/// still pending (= droppable):
+///
+/// * an **insert** is pending until a delete of the same subject drops
+///   it;
+/// * a **delete** drops every pending record of its subject and is
+///   itself never dropped (applying a delete for an absent row is a
+///   no-op under every rule set);
+/// * an **update** under [`CoalescePolicy::Full`] drops pending earlier
+///   updates whose column set is a subset of its own, then becomes
+///   pending itself; under [`CoalescePolicy::DeleteOnly`] it merely
+///   becomes pending;
+/// * an update touching a **primary-key column** is a barrier: it voids
+///   all pending records for both the old and the moved-to subject and
+///   is never dropped (later records reference the new key; pairing
+///   them across the move is unsound);
+/// * an update touching an operator-declared **barrier column** voids
+///   its subject's pending records likewise (§4.2 guard columns, shared
+///   S-record feeds).
+fn coalesce(run: Vec<(Lsn, LogOp)>, ctx: &DrainCtx) -> Vec<(Lsn, LogOp)> {
+    if ctx.policy == CoalescePolicy::None || run.len() < 2 {
+        return run;
     }
-
-    /// Run the initial population step.
-    pub fn populate(&mut self, chunk: usize) -> DbResult<(usize, usize)> {
-        match self {
-            Rules::Foj(m) => m.populate(chunk),
-            Rules::Split(m) => m.populate(chunk),
-            Rules::Union(m) => m.populate(chunk),
+    let mut keep = vec![true; run.len()];
+    // Pending (still droppable) record indices per subject.
+    let mut pending: HashMap<(TableId, Key), Vec<usize>> = HashMap::new();
+    for (i, (_, op)) in run.iter().enumerate() {
+        let table = op.table();
+        let Some(schema) = ctx.schemas.get(&table) else {
+            continue;
+        };
+        match op {
+            LogOp::Insert { row, .. } => {
+                pending
+                    .entry((table, schema.key_of(row)))
+                    .or_default()
+                    .push(i);
+            }
+            LogOp::Delete { key, .. } => {
+                if let Some(idxs) = pending.remove(&(table, key.clone())) {
+                    for j in idxs {
+                        keep[j] = false;
+                    }
+                }
+            }
+            LogOp::Update { key, new, .. } => {
+                let pkey = schema.pkey();
+                if new.iter().any(|(c, _)| pkey.contains(c)) {
+                    // Key move: void both subjects, drop nothing.
+                    pending.remove(&(table, key.clone()));
+                    let mut moved = key.clone();
+                    for (c, v) in new {
+                        if let Some(p) = pkey.iter().position(|pc| pc == c) {
+                            moved.0[p] = v.clone();
+                        }
+                    }
+                    pending.remove(&(table, moved));
+                    continue;
+                }
+                let barrier = ctx
+                    .barriers
+                    .get(&table)
+                    .is_some_and(|bs| new.iter().any(|(c, _)| bs.contains(c)));
+                if barrier {
+                    pending.remove(&(table, key.clone()));
+                    continue;
+                }
+                let slot = pending.entry((table, key.clone())).or_default();
+                if ctx.policy == CoalescePolicy::Full {
+                    slot.retain(|&j| match &run[j].1 {
+                        LogOp::Update { new: prev, .. }
+                            if prev.iter().all(|(c, _)| new.iter().any(|(c2, _)| c2 == c)) =>
+                        {
+                            keep[j] = false;
+                            false
+                        }
+                        // Inserts stay pending (droppable by delete only),
+                        // as do updates with columns this one lacks.
+                        _ => true,
+                    });
+                }
+                slot.push(i);
+            }
         }
     }
-
-    fn apply(&mut self, lsn: Lsn, op: &morph_wal::LogOp) -> DbResult<()> {
-        match self {
-            Rules::Foj(m) => m.apply(lsn, op),
-            Rules::Split(m) => m.apply(lsn, op),
-            Rules::Union(m) => m.apply(lsn, op),
-        }
-    }
-
-    fn on_control(&mut self, lsn: Lsn, rec: &LogRecord) -> DbResult<()> {
-        match self {
-            Rules::Foj(_) | Rules::Union(_) => Ok(()),
-            Rules::Split(m) => m.on_control(lsn, rec),
-        }
-    }
-
-    /// Periodic maintenance: consistency-checker rounds for split.
-    pub fn maintenance(&mut self, db: &Database) -> DbResult<()> {
-        match self {
-            Rules::Foj(_) | Rules::Union(_) => Ok(()),
-            Rules::Split(m) => m.run_cc_round(db.log()),
-        }
-    }
-
-    /// Whether synchronization may start (§5.3 gating).
-    pub fn readiness(&self) -> Readiness {
-        match self {
-            Rules::Foj(_) | Rules::Union(_) => Readiness::Ready,
-            Rules::Split(m) => m.readiness(),
-        }
-    }
-
-    /// Target keys affected by a source-record lock (lock transfer).
-    pub fn target_keys_for(&self, table: TableId, key: &Key) -> Vec<(TableId, Key)> {
-        match self {
-            Rules::Foj(m) => m.target_keys_for(table, key),
-            Rules::Split(m) => m.target_keys_for(table, key),
-            Rules::Union(m) => m.target_keys_for(table, key),
-        }
-    }
-
-    /// Completed consistency-checker rounds (reporting).
-    pub fn cc_rounds(&self) -> usize {
-        match self {
-            Rules::Foj(_) | Rules::Union(_) => 0,
-            Rules::Split(m) => m.cc.rounds,
-        }
-    }
+    let mut keep_it = keep.into_iter();
+    let mut run = run;
+    run.retain(|_| keep_it.next().unwrap());
+    run
 }
 
 /// Post-synchronization bookkeeping: grandfathered transactions whose
@@ -130,13 +186,15 @@ pub struct PostSyncState {
     pub old_txns: HashSet<TxnId>,
 }
 
-/// Drains the log through a rule set.
+/// Drains the log through a transformation operator's rules.
 pub struct Propagator {
     cursor: TailCursor,
     throttle: Throttle,
     /// Set after synchronization: end-records of these transactions
     /// release their mirrors.
     post: Option<PostSyncState>,
+    /// Records dropped by the coalescer over this propagator's life.
+    coalesced: usize,
 }
 
 impl Propagator {
@@ -147,6 +205,7 @@ impl Propagator {
             cursor: db.log().tail(start_lsn),
             throttle: Throttle::new(priority),
             post: None,
+            coalesced: 0,
         }
     }
 
@@ -171,6 +230,11 @@ impl Propagator {
         self.throttle.escalate(factor);
     }
 
+    /// Records dropped by the coalescer so far.
+    pub fn coalesced(&self) -> usize {
+        self.coalesced
+    }
+
     /// Enter post-synchronization mode guarding `old_txns`.
     pub fn enter_post_sync(&mut self, old_txns: HashSet<TxnId>) {
         self.post = Some(PostSyncState { old_txns });
@@ -181,41 +245,67 @@ impl Propagator {
         self.post.as_ref().map_or(0, |p| p.old_txns.len())
     }
 
+    /// Coalesce and apply the accumulated run.
+    fn flush(
+        &mut self,
+        op: &mut dyn TransformOperator,
+        ctx: &DrainCtx,
+        run: &mut Vec<(Lsn, LogOp)>,
+    ) -> DbResult<()> {
+        if run.is_empty() {
+            return Ok(());
+        }
+        let before = run.len();
+        let batch = coalesce(std::mem::take(run), ctx);
+        self.coalesced += before - batch.len();
+        op.apply_batch(&batch)
+    }
+
+    /// Handle one log record: defer relevant data ops into `run`, flush
+    /// and react to control / transaction-end records. Returns whether
+    /// the record was relevant to this transformation.
     fn process(
         &mut self,
         db: &Database,
-        rules: &mut Rules,
-        sources: &[TableId],
+        op: &mut dyn TransformOperator,
+        ctx: &DrainCtx,
+        run: &mut Vec<(Lsn, LogOp)>,
         lsn: Lsn,
         rec: &LogRecord,
     ) -> DbResult<bool> {
-        if let Some(op) = rec.op() {
-            if sources.contains(&op.table()) {
-                rules.apply(lsn, op)?;
+        if let Some(logop) = rec.op() {
+            if ctx.schemas.contains_key(&logop.table()) {
+                run.push((lsn, logop.clone()));
                 return Ok(true);
             }
             return Ok(false);
         }
         match rec {
             LogRecord::CcBegin { .. } | LogRecord::CcOk { .. } => {
-                rules.on_control(lsn, rec)?;
+                // The checker must observe every prior touch before a
+                // certification is judged (§5.3).
+                self.flush(op, ctx, run)?;
+                op.on_control(lsn, rec)?;
                 Ok(true)
             }
             LogRecord::Commit { txn } | LogRecord::AbortEnd { txn } => {
-                if let Some(post) = &mut self.post {
-                    if post.old_txns.remove(txn) {
-                        // §3.4: release the transaction's mirrored locks
-                        // now that its final state is reflected in the
-                        // transformed tables…
-                        db.locks().release_all(proxy_owner(*txn));
-                        // …and retire it from the frozen sources.
-                        for id in sources {
-                            if let Ok(t) = db.catalog().get_by_id(*id) {
-                                t.retire_allowed(*txn);
-                            }
-                        }
-                        return Ok(true);
+                let guarded = self.post.as_ref().is_some_and(|p| p.old_txns.contains(txn));
+                if guarded {
+                    // §3.4: release the transaction's mirrored locks
+                    // now that its final state is reflected in the
+                    // transformed tables (flush makes that true)…
+                    self.flush(op, ctx, run)?;
+                    if let Some(post) = &mut self.post {
+                        post.old_txns.remove(txn);
                     }
+                    db.locks().release_all(proxy_owner(*txn));
+                    // …and retire it from the frozen sources.
+                    for id in &ctx.sources {
+                        if let Ok(t) = db.catalog().get_by_id(*id) {
+                            t.retire_allowed(*txn);
+                        }
+                    }
+                    return Ok(true);
                 }
                 Ok(false)
             }
@@ -235,14 +325,15 @@ impl Propagator {
     pub fn iterate(
         &mut self,
         db: &Database,
-        rules: &mut Rules,
+        op: &mut dyn TransformOperator,
         batch_size: usize,
         cc_interval: usize,
         abort: &AtomicBool,
     ) -> DbResult<IterationStats> {
-        let sources = rules.source_ids();
+        let ctx = DrainCtx::new(db, op);
         let target = db.log().last_lsn();
         let t0 = Instant::now();
+        let mut run: Vec<(Lsn, LogOp)> = Vec::new();
         let mut records = 0usize;
         let mut relevant = 0usize;
         let mut batches = 0usize;
@@ -257,13 +348,14 @@ impl Propagator {
             let b0 = Instant::now();
             for (lsn, rec) in &batch {
                 records += 1;
-                if self.process(db, rules, &sources, *lsn, rec)? {
+                if self.process(db, op, &ctx, &mut run, *lsn, rec)? {
                     relevant += 1;
                 }
             }
+            self.flush(op, &ctx, &mut run)?;
             batches += 1;
-            if cc_interval > 0 && batches % cc_interval == 0 {
-                rules.maintenance(db)?;
+            if cc_interval > 0 && batches.is_multiple_of(cc_interval) {
+                op.maintenance(db)?;
             }
             self.throttle.pay(b0.elapsed());
         }
@@ -274,7 +366,7 @@ impl Propagator {
         if records > 0 {
             db.write_fuzzy_mark();
         }
-        rules.maintenance(db)?;
+        op.maintenance(db)?;
         Ok(IterationStats {
             records,
             relevant,
@@ -291,22 +383,39 @@ impl Propagator {
     /// *after* the observed tail belong to other tables, or to
     /// in-flight operations that the post-sync phase handles).
     /// Returns the number of records processed.
-    pub fn drain_all(&mut self, db: &Database, rules: &mut Rules) -> DbResult<usize> {
-        let sources = rules.source_ids();
+    pub fn drain_all(&mut self, db: &Database, op: &mut dyn TransformOperator) -> DbResult<usize> {
+        self.drain_with_batch(db, op, 1024)
+    }
+
+    /// [`Propagator::drain_all`] with an explicit cursor batch size —
+    /// the run (and thus coalescing and latch-amortization) window.
+    /// Exposed for the batch-size microbenchmarks; `drain_all`'s 1024
+    /// is the right default everywhere else.
+    pub fn drain_with_batch(
+        &mut self,
+        db: &Database,
+        op: &mut dyn TransformOperator,
+        batch_size: usize,
+    ) -> DbResult<usize> {
+        let ctx = DrainCtx::new(db, op);
+        let mut run: Vec<(Lsn, LogOp)> = Vec::new();
         let mut n = 0usize;
         let target = db.log().last_lsn();
         while self.cursor.next_lsn() <= target {
             // Never read past the target: the cursor must not skip
             // records it has not processed.
             let remaining = (target.0 - self.cursor.next_lsn().0 + 1) as usize;
-            let batch = self.cursor.next_batch(db.log(), remaining.min(1024));
+            let batch = self
+                .cursor
+                .next_batch(db.log(), remaining.min(batch_size.max(1)));
             if batch.is_empty() {
                 break;
             }
             for (lsn, rec) in &batch {
                 n += 1;
-                self.process(db, rules, &sources, *lsn, rec)?;
+                self.process(db, op, &ctx, &mut run, *lsn, rec)?;
             }
+            self.flush(op, &ctx, &mut run)?;
         }
         Ok(n)
     }
@@ -318,14 +427,15 @@ mod tests {
     use crate::foj::{figure1_schemas, FojMapping};
     use crate::spec::FojSpec;
     use morph_common::Value;
+    use std::sync::Arc;
 
-    fn setup() -> (Arc<Database>, Rules) {
+    fn setup() -> (Arc<Database>, FojMapping) {
         let db = Arc::new(Database::new());
         let (rs, ss) = figure1_schemas();
         db.create_table("R", rs).unwrap();
         db.create_table("S", ss).unwrap();
         let m = FojMapping::prepare(&db, &FojSpec::new("R", "S", "T", "c", "c")).unwrap();
-        (db, Rules::Foj(m))
+        (db, m)
     }
 
     fn r_row(a: i64, c: &str) -> Vec<Value> {
@@ -334,25 +444,22 @@ mod tests {
 
     #[test]
     fn end_to_end_population_plus_propagation() {
-        let (db, mut rules) = setup();
+        let (db, mut m) = setup();
         // Pre-existing data.
         let txn = db.begin();
         for i in 0..20 {
-            db.insert(txn, "R", r_row(i, &format!("j{}", i % 4))).unwrap();
+            db.insert(txn, "R", r_row(i, &format!("j{}", i % 4)))
+                .unwrap();
         }
         for j in 0..4 {
-            db.insert(
-                txn,
-                "S",
-                vec![Value::str(format!("j{j}")), Value::str("d")],
-            )
-            .unwrap();
+            db.insert(txn, "S", vec![Value::str(format!("j{j}")), Value::str("d")])
+                .unwrap();
         }
         db.commit(txn).unwrap();
 
         let (_, start, _) = db.write_fuzzy_mark();
         let mut prop = Propagator::new(&db, start, 1.0);
-        rules.populate(8).unwrap();
+        m.populate(8).unwrap();
 
         // Concurrent-ish updates after the fuzzy read.
         let txn = db.begin();
@@ -363,39 +470,37 @@ mod tests {
         db.commit(txn).unwrap();
 
         let abort = AtomicBool::new(false);
-        let stats = prop.iterate(&db, &mut rules, 16, 0, &abort).unwrap();
+        let stats = prop.iterate(&db, &mut m, 16, 0, &abort).unwrap();
         assert!(stats.records > 0);
         assert!(stats.relevant > 0);
         assert_eq!(prop.backlog(&db), 1, "only the trailing fuzzy mark");
 
-        let Rules::Foj(m) = &rules else { unreachable!() };
-        crate::foj::verify_against_reference(m).expect("converged to reference");
+        crate::foj::verify_against_reference(&m).expect("converged to reference");
     }
 
     #[test]
     fn drain_all_catches_up_completely() {
-        let (db, mut rules) = setup();
+        let (db, mut m) = setup();
         let (_, start, _) = db.write_fuzzy_mark();
-        rules.populate(8).unwrap();
+        m.populate(8).unwrap();
         let txn = db.begin();
         for i in 0..50 {
             db.insert(txn, "R", r_row(i, "j0")).unwrap();
         }
         db.commit(txn).unwrap();
         let mut prop = Propagator::new(&db, start, 1.0);
-        let n = prop.drain_all(&db, &mut rules).unwrap();
+        let n = prop.drain_all(&db, &mut m).unwrap();
         assert!(n >= 52); // begin + 50 ops + commit (+ mark)
         assert_eq!(prop.backlog(&db), 0);
-        let Rules::Foj(m) = &rules else { unreachable!() };
-        crate::foj::verify_against_reference(m).unwrap();
+        crate::foj::verify_against_reference(&m).unwrap();
     }
 
     #[test]
     fn post_sync_releases_mirrors_on_end_records() {
         use morph_txn::{LockMode, LockOrigin};
-        let (db, mut rules) = setup();
+        let (db, mut m) = setup();
         let (_, start, _) = db.write_fuzzy_mark();
-        rules.populate(4).unwrap();
+        m.populate(4).unwrap();
         let mut prop = Propagator::new(&db, start, 1.0);
 
         // A transaction that will be "old" at sync.
@@ -403,10 +508,7 @@ mod tests {
         db.insert(old, "R", r_row(1, "j0")).unwrap();
 
         // Simulate the sync step: mirror a lock under the proxy owner.
-        let t_id = {
-            let Rules::Foj(m) = &rules else { unreachable!() };
-            m.t_table().id()
-        };
+        let t_id = m.t_table().id();
         db.locks().grant_transferred(
             proxy_owner(old),
             t_id,
@@ -419,16 +521,16 @@ mod tests {
 
         // Old txn commits; propagator processes the record and releases.
         db.commit(old).unwrap();
-        prop.drain_all(&db, &mut rules).unwrap();
+        prop.drain_all(&db, &mut m).unwrap();
         assert_eq!(prop.outstanding(), 0);
         assert_eq!(db.locks().held_count(proxy_owner(old)), 0);
     }
 
     #[test]
     fn throttled_iteration_still_completes() {
-        let (db, mut rules) = setup();
+        let (db, mut m) = setup();
         let (_, start, _) = db.write_fuzzy_mark();
-        rules.populate(4).unwrap();
+        m.populate(4).unwrap();
         let txn = db.begin();
         for i in 0..30 {
             db.insert(txn, "R", r_row(i, "j1")).unwrap();
@@ -436,17 +538,16 @@ mod tests {
         db.commit(txn).unwrap();
         let mut prop = Propagator::new(&db, start, 0.2);
         let abort = AtomicBool::new(false);
-        let stats = prop.iterate(&db, &mut rules, 8, 0, &abort).unwrap();
+        let stats = prop.iterate(&db, &mut m, 8, 0, &abort).unwrap();
         assert!(stats.records >= 32);
-        let Rules::Foj(m) = &rules else { unreachable!() };
-        crate::foj::verify_against_reference(m).unwrap();
+        crate::foj::verify_against_reference(&m).unwrap();
     }
 
     #[test]
     fn abort_flag_stops_iteration_early() {
-        let (db, mut rules) = setup();
+        let (db, mut m) = setup();
         let (_, start, _) = db.write_fuzzy_mark();
-        rules.populate(4).unwrap();
+        m.populate(4).unwrap();
         let txn = db.begin();
         for i in 0..100 {
             db.insert(txn, "R", r_row(i, "j1")).unwrap();
@@ -454,7 +555,184 @@ mod tests {
         db.commit(txn).unwrap();
         let mut prop = Propagator::new(&db, start, 1.0);
         let abort = AtomicBool::new(true); // pre-aborted
-        let stats = prop.iterate(&db, &mut rules, 8, 0, &abort).unwrap();
+        let stats = prop.iterate(&db, &mut m, 8, 0, &abort).unwrap();
         assert_eq!(stats.records, 0);
+    }
+
+    // --- coalescer unit tests ------------------------------------------
+
+    fn ctx_for(db: &Database, m: &FojMapping) -> DrainCtx {
+        DrainCtx::new(db, m)
+    }
+
+    fn full_ctx(mut ctx: DrainCtx) -> DrainCtx {
+        ctx.policy = CoalescePolicy::Full;
+        ctx
+    }
+
+    #[test]
+    fn coalesce_delete_swallows_insert_and_updates() {
+        let (db, m) = setup();
+        let r_id = db.catalog().get("R").unwrap().id();
+        let run = vec![
+            (
+                Lsn(1),
+                LogOp::Insert {
+                    table: r_id,
+                    row: r_row(1, "j0"),
+                },
+            ),
+            (
+                Lsn(2),
+                LogOp::Update {
+                    table: r_id,
+                    key: Key::single(1),
+                    old: vec![(1, Value::str("b"))],
+                    new: vec![(1, Value::str("b2"))],
+                },
+            ),
+            (
+                Lsn(3),
+                LogOp::Delete {
+                    table: r_id,
+                    key: Key::single(1),
+                    old: r_row(1, "j0"),
+                },
+            ),
+        ];
+        let out = coalesce(run, &ctx_for(&db, &m));
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0].1, LogOp::Delete { .. }));
+    }
+
+    #[test]
+    fn coalesce_join_attribute_update_is_a_barrier() {
+        let (db, m) = setup();
+        let r_id = db.catalog().get("R").unwrap().id();
+        // Column 2 is R's join attribute: the update voids pending
+        // coalescing, so the later delete swallows nothing.
+        let run = vec![
+            (
+                Lsn(1),
+                LogOp::Insert {
+                    table: r_id,
+                    row: r_row(1, "j0"),
+                },
+            ),
+            (
+                Lsn(2),
+                LogOp::Update {
+                    table: r_id,
+                    key: Key::single(1),
+                    old: vec![(2, Value::str("j0"))],
+                    new: vec![(2, Value::str("j1"))],
+                },
+            ),
+            (
+                Lsn(3),
+                LogOp::Delete {
+                    table: r_id,
+                    key: Key::single(1),
+                    old: r_row(1, "j1"),
+                },
+            ),
+        ];
+        let out = coalesce(run, &ctx_for(&db, &m));
+        assert_eq!(out.len(), 3, "nothing may be dropped across the barrier");
+    }
+
+    #[test]
+    fn coalesce_pkey_move_voids_both_subjects() {
+        let (db, m) = setup();
+        let r_id = db.catalog().get("R").unwrap().id();
+        // Insert y2, move y1 -> y2's key... impossible in a real log;
+        // model the sound behavior anyway: pending for both old and new
+        // subjects is voided, so the final delete drops nothing.
+        let run = vec![
+            (
+                Lsn(1),
+                LogOp::Insert {
+                    table: r_id,
+                    row: r_row(2, "j0"),
+                },
+            ),
+            (
+                Lsn(2),
+                LogOp::Update {
+                    table: r_id,
+                    key: Key::single(1),
+                    old: vec![(0, Value::Int(1))],
+                    new: vec![(0, Value::Int(2))],
+                },
+            ),
+            (
+                Lsn(3),
+                LogOp::Delete {
+                    table: r_id,
+                    key: Key::single(2),
+                    old: r_row(2, "j0"),
+                },
+            ),
+        ];
+        let out = coalesce(run, &full_ctx(ctx_for(&db, &m)));
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn coalesce_full_update_subsumes_subset_updates() {
+        let (db, m) = setup();
+        let r_id = db.catalog().get("R").unwrap().id();
+        let upd = |lsn: u64, v: &str| {
+            (
+                Lsn(lsn),
+                LogOp::Update {
+                    table: r_id,
+                    key: Key::single(1),
+                    old: vec![(1, Value::str("x"))],
+                    new: vec![(1, Value::str(v))],
+                },
+            )
+        };
+        let run = vec![upd(1, "a"), upd(2, "b"), upd(3, "c")];
+        let out = coalesce(run, &full_ctx(ctx_for(&db, &m)));
+        assert_eq!(out.len(), 1);
+        let LogOp::Update { new, .. } = &out[0].1 else {
+            panic!()
+        };
+        assert_eq!(new[0].1, Value::str("c"));
+        // DeleteOnly keeps all three.
+        let run = vec![upd(1, "a"), upd(2, "b"), upd(3, "c")];
+        assert_eq!(coalesce(run, &ctx_for(&db, &m)).len(), 3);
+    }
+
+    #[test]
+    fn coalesced_batch_converges_to_reference() {
+        let (db, mut m) = setup();
+        let (_, start, _) = db.write_fuzzy_mark();
+        m.populate(8).unwrap();
+        let txn = db.begin();
+        for i in 0..10 {
+            db.insert(txn, "R", r_row(i, "j0")).unwrap();
+        }
+        // Churn: repeated updates and a delete that supersede records.
+        for round in 0..5 {
+            for i in 0..10 {
+                db.update(
+                    txn,
+                    "R",
+                    &Key::single(i),
+                    &[(1, Value::str(format!("b{round}")))],
+                )
+                .unwrap();
+            }
+        }
+        db.delete(txn, "R", &Key::single(7)).unwrap();
+        db.commit(txn).unwrap();
+        let mut prop = Propagator::new(&db, start, 1.0);
+        let abort = AtomicBool::new(false);
+        // One big batch so the coalescer sees the whole churn at once.
+        prop.iterate(&db, &mut m, 4096, 0, &abort).unwrap();
+        assert!(prop.coalesced() > 0, "churn must have been coalesced");
+        crate::foj::verify_against_reference(&m).unwrap();
     }
 }

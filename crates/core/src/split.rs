@@ -22,10 +22,12 @@
 //! log.
 
 use crate::cc::{CcState, PendingCc, Readiness};
+use crate::operator::{scan_source_throttled, CoalescePolicy, TransformOperator};
 use crate::spec::{SplitMode, SplitSpec};
+use crate::throttle::Throttle;
 use morph_common::{DbError, DbResult, Key, Lsn, Schema, TableId, Value};
 use morph_engine::Database;
-use morph_storage::{ConsistencyFlag, Row, Table};
+use morph_storage::{ConsistencyFlag, Row, Table, WriteSession};
 use morph_wal::{LogManager, LogOp, LogRecord};
 use std::sync::Arc;
 
@@ -90,8 +92,7 @@ impl SplitMapping {
             let pos = ts.require(name)?;
             if pos == split_t {
                 return Err(DbError::InvalidSchema(
-                    "the split column is implicitly part of S; do not list it in s_dep_cols"
-                        .into(),
+                    "the split column is implicitly part of S; do not list it in s_dep_cols".into(),
                 ));
             }
             s_cols.push(pos);
@@ -104,9 +105,7 @@ impl SplitMapping {
             let c = &ts.columns()[pos];
             sb = sb.nullable(&c.name, c.ty);
         }
-        let s_schema = sb
-            .primary_key(&[&ts.columns()[split_t].name])
-            .build()?;
+        let s_schema = sb.primary_key(&[&ts.columns()[split_t].name]).build()?;
         let s = db.catalog().create_table(&spec.s_target, s_schema)?;
 
         let (r, p) = match spec.mode {
@@ -127,7 +126,10 @@ impl SplitMapping {
                     .collect();
                 let pk_refs: Vec<&str> = pk_names.iter().map(String::as_str).collect();
                 let r_schema = rb.primary_key(&pk_refs).build()?;
-                (Some(db.catalog().create_table(&spec.r_target, r_schema)?), None)
+                (
+                    Some(db.catalog().create_table(&spec.r_target, r_schema)?),
+                    None,
+                )
             }
             SplitMode::RenameInPlace => {
                 // P: T's key columns + the split value, keyed like T.
@@ -245,126 +247,118 @@ impl SplitMapping {
 
     // --- the R side, abstracted over the two modes -------------------------
 
-    /// Current (LSN, split value) of the R-part for key `y`.
-    fn r_get(&self, y: &Key) -> Option<(Lsn, Value)> {
+    /// The table playing the R role: R itself in separate mode, the P
+    /// bookkeeping table in rename-in-place mode.
+    fn r_side(&self) -> &Arc<Table> {
+        match self.mode {
+            SplitMode::SeparateR => self.r.as_ref().expect("separate mode"),
+            SplitMode::RenameInPlace => self.p.as_ref().expect("in-place mode"),
+        }
+    }
+
+    /// Decode (LSN, split value) from an R-side row.
+    fn decode_r(&self, row: &Row) -> (Lsn, Value) {
         match self.mode {
             SplitMode::SeparateR => {
-                let r = self.r.as_ref().expect("separate mode");
-                let row = r.get(y)?;
                 let split_in_r = self
                     .r_cols
                     .iter()
                     .position(|&c| c == self.split_t)
                     .expect("split col in r_cols");
-                Some((row.lsn, row.values[split_in_r].clone()))
+                (row.lsn, row.values[split_in_r].clone())
             }
             SplitMode::RenameInPlace => {
-                let p = self.p.as_ref().expect("in-place mode");
-                let row = p.get(y)?;
-                let split_in_p = p
-                    .schema()
-                    .arity()
-                    .checked_sub(1)
-                    .filter(|_| !self.t_pk.contains(&self.split_t));
-                let v = match split_in_p {
-                    Some(last) => row.values[last].clone(),
+                let v = if self.t_pk.contains(&self.split_t) {
                     // Split col is part of the key; find its position.
-                    None => {
-                        let pos = self
-                            .t_pk
-                            .iter()
-                            .position(|&c| c == self.split_t)
-                            .expect("split in pkey");
-                        row.values[pos].clone()
-                    }
+                    let pos = self
+                        .t_pk
+                        .iter()
+                        .position(|&c| c == self.split_t)
+                        .expect("split in pkey");
+                    row.values[pos].clone()
+                } else {
+                    // P layout: key columns then the split value last.
+                    row.values[row.values.len() - 1].clone()
                 };
-                Some((row.lsn, v))
+                (row.lsn, v)
             }
         }
     }
 
-    fn r_insert(&self, t_vals: &[Value], lsn: Lsn) -> DbResult<()> {
-        match self.mode {
-            SplitMode::SeparateR => {
-                let r = self.r.as_ref().expect("separate mode");
-                match r.insert_row(Row::new(self.r_part(t_vals), lsn)) {
-                    Ok(_) | Err(DbError::DuplicateKey(_)) => Ok(()),
-                    Err(e) => Err(e),
-                }
-            }
+    /// Current (LSN, split value) of the R-part for key `y`, read
+    /// through the table (lock transfer runs outside rule sessions).
+    fn r_get(&self, y: &Key) -> Option<(Lsn, Value)> {
+        let row = self.r_side().get(y)?;
+        Some(self.decode_r(&row))
+    }
+
+    /// Session variant of [`SplitMapping::r_get`] for the rules.
+    fn r_get_in(&self, rs: &WriteSession<'_>, y: &Key) -> Option<(Lsn, Value)> {
+        let row = rs.get(y)?;
+        Some(self.decode_r(&row))
+    }
+
+    fn r_insert(&self, rs: &mut WriteSession<'_>, t_vals: &[Value], lsn: Lsn) -> DbResult<()> {
+        let vals = match self.mode {
+            SplitMode::SeparateR => self.r_part(t_vals),
             SplitMode::RenameInPlace => {
-                let p = self.p.as_ref().expect("in-place mode");
-                let mut vals: Vec<Value> =
-                    self.t_pk.iter().map(|&i| t_vals[i].clone()).collect();
+                let mut vals: Vec<Value> = self.t_pk.iter().map(|&i| t_vals[i].clone()).collect();
                 if !self.t_pk.contains(&self.split_t) {
                     vals.push(t_vals[self.split_t].clone());
                 }
-                match p.insert_row(Row::new(vals, lsn)) {
-                    Ok(_) | Err(DbError::DuplicateKey(_)) => Ok(()),
-                    Err(e) => Err(e),
-                }
+                vals
             }
+        };
+        match rs.insert_row(Row::new(vals, lsn)) {
+            Ok(_) | Err(DbError::DuplicateKey(_)) => Ok(()),
+            Err(e) => Err(e),
         }
     }
 
-    fn r_delete(&self, y: &Key) -> DbResult<()> {
-        let table = match self.mode {
-            SplitMode::SeparateR => self.r.as_ref().expect("separate mode"),
-            SplitMode::RenameInPlace => self.p.as_ref().expect("in-place mode"),
-        };
-        match table.delete(y) {
+    fn r_delete(&self, rs: &mut WriteSession<'_>, y: &Key) -> DbResult<()> {
+        match rs.delete(y) {
             Ok(_) | Err(DbError::KeyNotFound(_)) => Ok(()),
             Err(e) => Err(e),
         }
     }
 
     /// Apply T-column updates to the R side; `new` uses T positions.
-    fn r_update(&self, y: &Key, new: &[(usize, Value)], lsn: Lsn) -> DbResult<()> {
-        match self.mode {
-            SplitMode::SeparateR => {
-                let r = self.r.as_ref().expect("separate mode");
-                let cols: Vec<(usize, Value)> = new
-                    .iter()
-                    .filter_map(|(t_pos, v)| {
-                        self.r_cols
-                            .iter()
-                            .position(|c| c == t_pos)
-                            .map(|r_pos| (r_pos, v.clone()))
-                    })
-                    .collect();
-                match r.update(y, &cols, lsn) {
-                    Ok(_) => Ok(()),
-                    Err(DbError::KeyNotFound(_)) => Ok(()),
-                    Err(e) => Err(e),
-                }
-            }
+    fn r_update(
+        &self,
+        rs: &mut WriteSession<'_>,
+        y: &Key,
+        new: &[(usize, Value)],
+        lsn: Lsn,
+    ) -> DbResult<()> {
+        let layout: Vec<usize> = match self.mode {
+            SplitMode::SeparateR => self.r_cols.clone(),
             SplitMode::RenameInPlace => {
-                let p = self.p.as_ref().expect("in-place mode");
                 let mut p_layout: Vec<usize> = self.t_pk.clone();
                 if !self.t_pk.contains(&self.split_t) {
                     p_layout.push(self.split_t);
                 }
-                let cols: Vec<(usize, Value)> = new
-                    .iter()
-                    .filter_map(|(t_pos, v)| {
-                        p_layout
-                            .iter()
-                            .position(|c| c == t_pos)
-                            .map(|p_pos| (p_pos, v.clone()))
-                    })
-                    .collect();
-                if cols.is_empty() {
-                    // Update touches neither key nor split columns; P
-                    // still tracks the LSN.
-                    p.with_row_mut(y, |row| row.lsn = lsn);
-                    return Ok(());
-                }
-                match p.update(y, &cols, lsn) {
-                    Ok(_) => Ok(()),
-                    Err(DbError::KeyNotFound(_)) => Ok(()),
-                    Err(e) => Err(e),
-                }
+                p_layout
             }
+        };
+        let cols: Vec<(usize, Value)> = new
+            .iter()
+            .filter_map(|(t_pos, v)| {
+                layout
+                    .iter()
+                    .position(|c| c == t_pos)
+                    .map(|pos| (pos, v.clone()))
+            })
+            .collect();
+        if cols.is_empty() && self.mode == SplitMode::RenameInPlace {
+            // Update touches neither key nor split columns; P still
+            // tracks the LSN.
+            rs.with_row_mut(y, |row| row.lsn = lsn);
+            return Ok(());
+        }
+        match rs.update(y, &cols, lsn) {
+            Ok(_) => Ok(()),
+            Err(DbError::KeyNotFound(_)) => Ok(()),
+            Err(e) => Err(e),
         }
     }
 
@@ -372,12 +366,18 @@ impl SplitMapping {
 
     /// Rule 8's S half: absorb one contribution of `s_vals` under split
     /// value `x` (counter ++ or fresh insert).
-    fn s_absorb(&mut self, x: &Value, s_vals: &[Value], lsn: Lsn) -> DbResult<()> {
+    fn s_absorb(
+        &mut self,
+        ss: &mut WriteSession<'_>,
+        x: &Value,
+        s_vals: &[Value],
+        lsn: Lsn,
+    ) -> DbResult<()> {
         let key = self.s_key(x);
         if self.check {
             self.cc.note_touch(x);
         }
-        let existed = self.s.with_row_mut(&key, |row| {
+        let existed = ss.with_row_mut(&key, |row| {
             row.counter += 1;
             if row.lsn < lsn {
                 row.lsn = lsn;
@@ -397,7 +397,7 @@ impl SplitMapping {
                 Ok(())
             }
             None => {
-                self.s.insert_row(Row {
+                ss.insert_row(Row {
                     values: s_vals.to_vec(),
                     lsn,
                     counter: 1,
@@ -410,12 +410,12 @@ impl SplitMapping {
     }
 
     /// Rule 9's S half: release one contribution under split value `x`.
-    fn s_release(&mut self, x: &Value, lsn: Lsn) -> DbResult<()> {
+    fn s_release(&mut self, ss: &mut WriteSession<'_>, x: &Value, lsn: Lsn) -> DbResult<()> {
         let key = self.s_key(x);
         if self.check {
             self.cc.note_touch(x);
         }
-        let drop_row = self.s.with_row_mut(&key, |row| {
+        let drop_row = ss.with_row_mut(&key, |row| {
             row.counter = row.counter.saturating_sub(1);
             // Rule 9: the LSN is stamped even though the operation's
             // subject row no longer exists — sequential propagation
@@ -427,7 +427,7 @@ impl SplitMapping {
             row.counter == 0
         });
         if drop_row == Some(true) {
-            let _ = self.s.delete(&key);
+            let _ = ss.delete(&key);
             if self.check {
                 self.cc.mark_consistent(&key); // gone ⇒ no longer unknown
             }
@@ -442,56 +442,94 @@ impl SplitMapping {
         vec![self.t.id()]
     }
 
-    /// Apply one logged source-table operation (rules 8–11).
+    /// Apply one logged source-table operation (rules 8–11), paying one
+    /// latch round trip per target for this single record. The batched
+    /// path ([`TransformOperator::apply_batch`]) amortizes the sessions
+    /// over a whole batch instead.
     pub fn apply(&mut self, lsn: Lsn, op: &LogOp) -> DbResult<()> {
         if op.table() != self.t.id() {
             return Ok(());
         }
+        let r_side = Arc::clone(self.r_side());
+        let s = Arc::clone(&self.s);
+        let mut rs = r_side.write_session();
+        let mut ss = s.write_session();
+        self.apply_in(&mut rs, &mut ss, lsn, op)
+    }
+
+    /// Rule dispatch within open R-side and S write sessions. Sessions
+    /// are always opened in that order (R-side, then S) so concurrent
+    /// batch appliers cannot deadlock.
+    fn apply_in(
+        &mut self,
+        rs: &mut WriteSession<'_>,
+        ss: &mut WriteSession<'_>,
+        lsn: Lsn,
+        op: &LogOp,
+    ) -> DbResult<()> {
+        if op.table() != self.t.id() {
+            return Ok(());
+        }
         match op {
-            LogOp::Insert { row, .. } => self.rule8_insert(row, lsn),
-            LogOp::Delete { key, .. } => self.rule9_delete(key, lsn),
-            LogOp::Update { key, new, .. } => self.rule10_11_update(key, new, lsn),
+            LogOp::Insert { row, .. } => self.rule8_insert(rs, ss, row, lsn),
+            LogOp::Delete { key, .. } => self.rule9_delete(rs, ss, key, lsn),
+            LogOp::Update { key, new, .. } => self.rule10_11_update(rs, ss, key, new, lsn),
         }
     }
 
     /// Rule 8: insert t^y_x.
-    fn rule8_insert(&mut self, t_vals: &[Value], lsn: Lsn) -> DbResult<()> {
+    fn rule8_insert(
+        &mut self,
+        rs: &mut WriteSession<'_>,
+        ss: &mut WriteSession<'_>,
+        t_vals: &[Value],
+        lsn: Lsn,
+    ) -> DbResult<()> {
         let y = Key::project(t_vals, &self.t_pk);
-        if self.r_get(&y).is_some() {
+        if self.r_get_in(rs, &y).is_some() {
             return Ok(()); // already reflected (Theorem 1)
         }
-        self.r_insert(t_vals, lsn)?;
+        self.r_insert(rs, t_vals, lsn)?;
         let x = self.split_val(t_vals);
-        self.s_absorb(&x, &self.s_part(t_vals), lsn)
+        let s_vals = self.s_part(t_vals);
+        self.s_absorb(ss, &x, &s_vals, lsn)
     }
 
     /// Rule 9: delete t^y.
-    fn rule9_delete(&mut self, y: &Key, lsn: Lsn) -> DbResult<()> {
-        let Some((rlsn, x)) = self.r_get(y) else {
+    fn rule9_delete(
+        &mut self,
+        rs: &mut WriteSession<'_>,
+        ss: &mut WriteSession<'_>,
+        y: &Key,
+        lsn: Lsn,
+    ) -> DbResult<()> {
+        let Some((rlsn, x)) = self.r_get_in(rs, y) else {
             return Ok(());
         };
         if rlsn >= lsn {
             return Ok(()); // newer state already reflected
         }
-        self.r_delete(y)?;
-        self.s_release(&x, lsn)
+        self.r_delete(rs, y)?;
+        self.s_release(ss, &x, lsn)
     }
 
     /// Rules 10 + 11: update t^y.
     fn rule10_11_update(
         &mut self,
+        rs: &mut WriteSession<'_>,
+        ss: &mut WriteSession<'_>,
         y: &Key,
         new: &[(usize, Value)],
         lsn: Lsn,
     ) -> DbResult<()> {
-        let Some((rlsn, x_pre)) = self.r_get(y) else {
+        let Some((rlsn, x_pre)) = self.r_get_in(rs, y) else {
             return Ok(());
         };
         if rlsn >= lsn {
             return Ok(()); // rule 10's LSN gate — S side is skipped too
         }
         // Rule 10: apply the R half (possibly moving the key).
-        self.r_update(y, new, lsn)?;
+        self.r_update(rs, y, new, lsn)?;
 
         // Rule 11: the S half, gated on rule 10 having applied.
         let split_changed = new.iter().any(|(i, _)| *i == self.split_t);
@@ -512,7 +550,7 @@ impl SplitMapping {
                 .expect("split_changed");
             // Treated as delete of s^x followed by insert of s^z
             // (rule 11). Read s^x's image *before* releasing it.
-            let s_old = self.s.get(&self.s_key(&x_pre));
+            let s_old = ss.get(&self.s_key(&x_pre));
             let mut s_new = match &s_old {
                 Some(row) => row.values.clone(),
                 None => vec![Value::Null; self.s_cols.len()],
@@ -521,8 +559,8 @@ impl SplitMapping {
             for (s_pos, v) in &dep_updates {
                 s_new[*s_pos] = v.clone();
             }
-            self.s_release(&x_pre, lsn)?;
-            self.s_absorb(&z, &s_new, lsn)?;
+            self.s_release(ss, &x_pre, lsn)?;
+            self.s_absorb(ss, &z, &s_new, lsn)?;
             return Ok(());
         }
 
@@ -536,7 +574,7 @@ impl SplitMapping {
             self.cc.note_touch(&x_pre);
         }
         let all_deps = dep_updates.len() == self.s_cols.len() - 1;
-        let flagged = self.s.with_row_mut(&key, |row| {
+        let flagged = ss.with_row_mut(&key, |row| {
             if row.lsn >= lsn {
                 return None;
             }
@@ -570,35 +608,34 @@ impl SplitMapping {
     /// Fuzzy-scan the source and build the initial images. Returns
     /// `(rows_read, rows_written)`.
     pub fn populate(&mut self, chunk_size: usize) -> DbResult<(usize, usize)> {
-        self.populate_throttled(chunk_size, &mut crate::throttle::Throttle::new(1.0))
+        self.populate_throttled(chunk_size, &mut Throttle::new(1.0))
     }
 
     /// Like [`SplitMapping::populate`] but paying the given throttle
     /// per fuzzy-scan chunk (fine-grained low-priority population).
+    /// Each chunk is written under one R-side and one S write session.
     pub fn populate_throttled(
         &mut self,
         chunk_size: usize,
-        throttle: &mut crate::throttle::Throttle,
+        throttle: &mut Throttle,
     ) -> DbResult<(usize, usize)> {
-        let mut scan = self.t.fuzzy_scan(chunk_size);
-        let mut read = 0;
-        let mut written = 0;
-        loop {
-            let t0 = std::time::Instant::now();
-            let chunk = scan.next_chunk();
-            if chunk.is_empty() {
-                break;
-            }
+        let t = Arc::clone(&self.t);
+        let r_side = Arc::clone(self.r_side());
+        let s = Arc::clone(&self.s);
+        let mut written = 0usize;
+        let read = scan_source_throttled(&t, chunk_size, throttle, |chunk| {
+            let mut rs = r_side.write_session();
+            let mut ss = s.write_session();
             for (_, row) in chunk {
-                read += 1;
-                let before = self.s.len();
-                self.r_insert(&row.values, row.lsn)?;
+                let before = ss.len();
+                self.r_insert(&mut rs, &row.values, row.lsn)?;
                 let x = self.split_val(&row.values);
-                self.s_absorb(&x, &self.s_part(&row.values), row.lsn)?;
-                written += 1 + (self.s.len() - before);
+                let s_vals = self.s_part(&row.values);
+                self.s_absorb(&mut ss, &x, &s_vals, row.lsn)?;
+                written += 1 + (ss.len() - before);
             }
-            throttle.pay(t0.elapsed());
-        }
+            Ok(())
+        })?;
         Ok((read, written))
     }
 
@@ -657,17 +694,16 @@ impl SplitMapping {
             return Ok(());
         }
         match rec {
-            LogRecord::CcBegin { split_key } => {
+            LogRecord::CcBegin { split_key }
                 // Normally already pending (we logged it ourselves); on
                 // restart-style replays, re-arm.
-                if self.cc.pending.is_none() {
+                if self.cc.pending.is_none() => {
                     self.cc.pending = Some(PendingCc {
                         key: split_key.clone(),
                         begin_lsn: _lsn,
                         touched: false,
                     });
                 }
-            }
             LogRecord::CcOk { split_key, image } => {
                 let Some(p) = self.cc.pending.take() else {
                     return Ok(());
@@ -735,13 +771,111 @@ impl SplitMapping {
     }
 }
 
+impl TransformOperator for SplitMapping {
+    fn source_ids(&self) -> Vec<TableId> {
+        SplitMapping::source_ids(self)
+    }
+
+    fn apply(&mut self, lsn: Lsn, op: &LogOp) -> DbResult<()> {
+        SplitMapping::apply(self, lsn, op)
+    }
+
+    fn apply_batch(&mut self, batch: &[(Lsn, LogOp)]) -> DbResult<()> {
+        let r_side = Arc::clone(self.r_side());
+        let s = Arc::clone(&self.s);
+        let mut rs = r_side.write_session();
+        let mut ss = s.write_session();
+        for (lsn, op) in batch {
+            self.apply_in(&mut rs, &mut ss, *lsn, op)?;
+        }
+        Ok(())
+    }
+
+    fn coalesce_policy(&self) -> CoalescePolicy {
+        if self.check {
+            // §5.3: the checker must see every touch of an S-record to
+            // void in-flight certification rounds.
+            CoalescePolicy::None
+        } else {
+            CoalescePolicy::Full
+        }
+    }
+
+    /// S-relevant columns feed shared S-records: rule 11 builds a moved
+    /// row's S-image from the *current* shared record, so a transient
+    /// value another row's move could observe must not be dropped. Only
+    /// pure R-part updates coalesce.
+    fn coalesce_barrier_cols(&self, table: TableId) -> Vec<usize> {
+        if table == self.t.id() {
+            self.s_cols.clone()
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn populate_throttled(
+        &mut self,
+        chunk: usize,
+        throttle: &mut Throttle,
+    ) -> DbResult<(usize, usize)> {
+        SplitMapping::populate_throttled(self, chunk, throttle)
+    }
+
+    fn target_keys_for(&self, table: TableId, key: &Key) -> Vec<(TableId, Key)> {
+        SplitMapping::target_keys_for(self, table, key)
+    }
+
+    fn mirror_map(&self) -> crate::sync::MirrorMap {
+        SplitMapping::mirror_map(self)
+    }
+
+    fn readiness(&self) -> Readiness {
+        SplitMapping::readiness(self)
+    }
+
+    fn maintenance(&mut self, db: &Database) -> DbResult<()> {
+        self.run_cc_round(db.log())
+    }
+
+    fn on_control(&mut self, lsn: Lsn, rec: &LogRecord) -> DbResult<()> {
+        SplitMapping::on_control(self, lsn, rec)
+    }
+
+    fn cc_rounds(&self) -> usize {
+        self.cc.rounds
+    }
+
+    fn renames_source(&self) -> bool {
+        self.mode == SplitMode::RenameInPlace
+    }
+
+    fn publish(&self, db: &Database) -> DbResult<()> {
+        // Rename-in-place completion: give T its R name. Dependent
+        // columns are projected away in `finalize`.
+        match self.rename_target() {
+            Some(target) => db.catalog().rename(&self.t.name(), &target),
+            None => Ok(()),
+        }
+    }
+
+    fn finalize(&self, _db: &Database) -> DbResult<()> {
+        if self.mode == SplitMode::RenameInPlace {
+            // Project the dependent columns away now that no old
+            // transaction can touch them (briefly latches R).
+            self.t.project_columns(&self.r_cols)?;
+        }
+        Ok(())
+    }
+}
+
+/// Sorted R rows plus (S row, reference counter) pairs — what a split
+/// should produce from a consistent source image.
+pub type ReferenceSplit = (Vec<Vec<Value>>, Vec<(Vec<Value>, u32)>);
+
 /// Reference split — the oracle for tests. Panics-free: returns an
 /// error if the source data violates the functional dependency (which
 /// consistent-mode tests treat as a bug and CC tests expect).
-pub fn reference_split(
-    m: &SplitMapping,
-    t_rows: &[Vec<Value>],
-) -> Result<(Vec<Vec<Value>>, Vec<(Vec<Value>, u32)>), String> {
+pub fn reference_split(m: &SplitMapping, t_rows: &[Vec<Value>]) -> Result<ReferenceSplit, String> {
     let mut r_rows: Vec<Vec<Value>> = t_rows.iter().map(|t| m.r_part(t)).collect();
     r_rows.sort();
 
@@ -774,8 +908,11 @@ pub fn verify_against_reference(m: &SplitMapping) -> Result<(), String> {
     let (expect_r, expect_s) = reference_split(m, &t_rows)?;
 
     if let Some(r) = &m.r {
-        let mut got_r: Vec<Vec<Value>> =
-            r.snapshot().into_iter().map(|(_, row)| row.values).collect();
+        let mut got_r: Vec<Vec<Value>> = r
+            .snapshot()
+            .into_iter()
+            .map(|(_, row)| row.values)
+            .collect();
         got_r.sort();
         if got_r != expect_r {
             return Err(format!(
@@ -793,12 +930,11 @@ pub fn verify_against_reference(m: &SplitMapping) -> Result<(), String> {
         }
     }
 
-    let got_s: Vec<(Vec<Value>, u32)> = m
-        .s
-        .snapshot()
-        .into_iter()
-        .map(|(_, row)| (row.values, row.counter))
-        .collect();
+    let got_s: Vec<(Vec<Value>, u32)> =
+        m.s.snapshot()
+            .into_iter()
+            .map(|(_, row)| (row.values, row.counter))
+            .collect();
     if got_s != expect_s {
         return Err(format!(
             "S mismatch:\nexpected {expect_s:?}\ngot      {got_s:?}"
@@ -871,7 +1007,13 @@ mod tests {
             let lsn = self.next();
             self.m.t.insert(row.clone(), lsn).unwrap();
             self.m
-                .apply(lsn, &LogOp::Insert { table: self.m.t.id(), row })
+                .apply(
+                    lsn,
+                    &LogOp::Insert {
+                        table: self.m.t.id(),
+                        row,
+                    },
+                )
                 .unwrap();
         }
         fn delete(&mut self, key: Key) {
@@ -880,7 +1022,11 @@ mod tests {
             self.m
                 .apply(
                     lsn,
-                    &LogOp::Delete { table: self.m.t.id(), key, old: old.values },
+                    &LogOp::Delete {
+                        table: self.m.t.id(),
+                        key,
+                        old: old.values,
+                    },
                 )
                 .unwrap();
         }
@@ -953,7 +1099,7 @@ mod tests {
         d.delete(Key::single(2));
         verify(d.m);
         assert!(d.m.s_table().is_empty());
-        drop(d);
+        let _ = d;
         // Stale delete replay ignored (r gone).
         m.apply(
             Lsn(1),
@@ -972,7 +1118,7 @@ mod tests {
         let (_db, mut m) = setup();
         let mut d = Driver::new(&mut m);
         d.insert(t_row(1, "a", "c1", "d1")); // lsn 1
-        drop(d);
+        let _ = d;
         // A delete with an older LSN than the row is ignored (the
         // initial image was fresher than this log record).
         m.apply(
@@ -1091,7 +1237,10 @@ mod tests {
         let mut d = Driver::new(&mut m);
         d.insert(t_row(1, "a", "c1", "d1"));
         d.insert(t_row(2, "b", "c1", "d1"));
-        d.update(Key::single(1), vec![(2, Value::str("c2")), (3, Value::str("d2"))]);
+        d.update(
+            Key::single(1),
+            vec![(2, Value::str("c2")), (3, Value::str("d2"))],
+        );
         d.delete(Key::single(2));
         verify(&m);
         let p = m.p_table().unwrap();
@@ -1234,10 +1383,8 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(seed * 17 + 3);
             let splits = ["s0", "s1", "s2", "s3"];
             // Current dependent value per split value (consistency!).
-            let mut dep: std::collections::HashMap<&str, String> = splits
-                .iter()
-                .map(|s| (*s, format!("dep-{s}")))
-                .collect();
+            let mut dep: std::collections::HashMap<&str, String> =
+                splits.iter().map(|s| (*s, format!("dep-{s}"))).collect();
             let mut d = Driver::new(&mut m);
             for step in 0..300 {
                 match rng.gen_range(0..5) {
@@ -1261,10 +1408,7 @@ mod tests {
                             let c = splits[rng.gen_range(0..splits.len())];
                             d.update(
                                 Key::single(a),
-                                vec![
-                                    (2, Value::str(c)),
-                                    (3, Value::str(dep[c].clone())),
-                                ],
+                                vec![(2, Value::str(c)), (3, Value::str(dep[c].clone()))],
                             );
                         }
                     }
@@ -1275,14 +1419,13 @@ mod tests {
                         let c = splits[rng.gen_range(0..splits.len())];
                         let nv = format!("dep-{c}-{step}");
                         dep.insert(c, nv.clone());
-                        let carriers: Vec<Key> = d
-                            .m
-                            .t
-                            .snapshot()
-                            .into_iter()
-                            .filter(|(_, row)| row.values[2] == Value::str(c))
-                            .map(|(k, _)| k)
-                            .collect();
+                        let carriers: Vec<Key> =
+                            d.m.t
+                                .snapshot()
+                                .into_iter()
+                                .filter(|(_, row)| row.values[2] == Value::str(c))
+                                .map(|(k, _)| k)
+                                .collect();
                         for k in carriers {
                             d.update(k, vec![(3, Value::str(nv.clone()))]);
                         }
@@ -1291,10 +1434,7 @@ mod tests {
                         // Non-split, non-dependent update.
                         let a = rng.gen_range(0..24);
                         if d.m.t.get(&Key::single(a)).is_some() {
-                            d.update(
-                                Key::single(a),
-                                vec![(1, Value::str(format!("b{step}")))],
-                            );
+                            d.update(Key::single(a), vec![(1, Value::str(format!("b{step}")))]);
                         }
                     }
                 }
@@ -1333,10 +1473,7 @@ mod tests {
                             let c = splits[rng.gen_range(0..splits.len())];
                             d.update(
                                 Key::single(a),
-                                vec![
-                                    (2, Value::str(c)),
-                                    (3, Value::str(format!("dep-{c}"))),
-                                ],
+                                vec![(2, Value::str(c)), (3, Value::str(format!("dep-{c}")))],
                             );
                         }
                     }

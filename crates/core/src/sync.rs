@@ -26,9 +26,10 @@
 //! record (§3.4), which happens strictly later. The proxy owner
 //! decouples the two lifetimes.
 
-use crate::propagate::{Propagator, Rules};
+use crate::operator::{source_tables, TransformOperator};
+use crate::propagate::Propagator;
 use crate::report::SyncStats;
-use crate::spec::{SplitMode, SyncStrategy, TransformOptions};
+use crate::spec::{SyncStrategy, TransformOptions};
 use morph_common::{DbError, DbResult, Key, TableId, TxnId, Value};
 use morph_engine::{Database, OpInterceptor, PlannedOp};
 use morph_storage::Table;
@@ -121,10 +122,7 @@ impl MirrorMap {
                         } else {
                             // Rows that will absorb / pair with the new
                             // record: everything on its join value.
-                            let jv = values
-                                .get(join_pos)
-                                .cloned()
-                                .unwrap_or(Value::Null);
+                            let jv = values.get(join_pos).cloned().unwrap_or(Value::Null);
                             t.index_lookup(*idx_join, &Key::new([jv]))
                                 .into_iter()
                                 .map(|k| (t.id(), k, origin))
@@ -262,27 +260,27 @@ pub struct SyncOutcome {
 /// Run the synchronization step.
 pub fn synchronize(
     db: &Arc<Database>,
-    rules: &mut Rules,
+    oper: &mut dyn TransformOperator,
     prop: &mut Propagator,
     options: &TransformOptions,
 ) -> DbResult<SyncOutcome> {
     match options.strategy {
-        SyncStrategy::BlockingCommit => blocking_commit(db, rules, prop, options),
+        SyncStrategy::BlockingCommit => blocking_commit(db, oper, prop, options),
         SyncStrategy::NonBlockingAbort | SyncStrategy::NonBlockingCommit => {
-            non_blocking(db, rules, prop, options)
+            non_blocking(db, oper, prop, options)
         }
     }
 }
 
-fn sorted_sources(db: &Database, rules: &Rules) -> DbResult<Vec<Arc<Table>>> {
-    let mut sources = rules.source_tables(db)?;
+fn sorted_sources(db: &Database, oper: &dyn TransformOperator) -> DbResult<Vec<Arc<Table>>> {
+    let mut sources = source_tables(db, oper)?;
     sources.sort_by_key(|t| t.id());
     Ok(sources)
 }
 
 fn transfer_locks(
     db: &Database,
-    rules: &Rules,
+    oper: &dyn TransformOperator,
     sources: &[Arc<Table>],
 ) -> (HashSet<TxnId>, usize) {
     let mut old = HashSet::new();
@@ -300,7 +298,7 @@ fn transfer_locks(
                 LockOrigin::SourceS
             };
             for (key, mode) in held {
-                for (tid, tkey) in rules.target_keys_for(src.id(), &key) {
+                for (tid, tkey) in oper.target_keys_for(src.id(), &key) {
                     db.locks()
                         .grant_transferred(proxy_owner(txn), tid, &tkey, mode, origin);
                     transferred += 1;
@@ -315,51 +313,41 @@ fn transfer_locks(
 /// land on the transformed tables.
 fn switch_catalog(
     _db: &Database,
-    rules: &Rules,
+    oper: &dyn TransformOperator,
     sources: &[Arc<Table>],
     old: &HashSet<TxnId>,
 ) -> DbResult<()> {
-    match rules {
-        Rules::Foj(_) | Rules::Union(_) => {
-            for src in sources {
-                src.freeze(old.iter().copied().collect());
-            }
-        }
-        Rules::Split(m) => match m.mode() {
-            SplitMode::SeparateR => {
-                for src in sources {
-                    src.freeze(old.iter().copied().collect());
-                }
-            }
-            SplitMode::RenameInPlace => {
-                // T becomes R in place. The table stays Active: old
-                // transactions keep operating on it legitimately (their
-                // log records still resolve by table id), and new
-                // transactions reach it under its new name. The rename
-                // itself happens right after the latch is released —
-                // it is an O(1) catalog pointer swap either way.
-            }
-        },
+    if oper.renames_source() {
+        // The source becomes a target in place (§5.2 rename-in-place).
+        // The table stays Active: old transactions keep operating on it
+        // legitimately (their log records still resolve by table id),
+        // and new transactions reach it under its new name. The rename
+        // itself happens right after the latch is released — it is an
+        // O(1) catalog pointer swap either way.
+        return Ok(());
+    }
+    for src in sources {
+        src.freeze(old.iter().copied().collect());
     }
     Ok(())
 }
 
 fn non_blocking(
     db: &Arc<Database>,
-    rules: &mut Rules,
+    oper: &mut dyn TransformOperator,
     prop: &mut Propagator,
     options: &TransformOptions,
 ) -> DbResult<SyncOutcome> {
-    let sources = sorted_sources(db, rules)?;
+    let sources = sorted_sources(db, oper)?;
     let t0 = Instant::now();
     let guards: Vec<_> = sources.iter().map(|t| t.latch_exclusive()).collect();
 
     // Final propagation: after this, the transformed tables are in the
     // same state as the (latched) sources.
-    let final_records = prop.drain_all(db, rules)?;
+    let final_records = prop.drain_all(db, oper)?;
 
     // Transfer locks of still-active transactions (§3.4/§4.3).
-    let (old, locks_transferred) = transfer_locks(db, rules, &sources);
+    let (old, locks_transferred) = transfer_locks(db, oper, &sources);
 
     // Strategy-specific treatment of the old transactions.
     let interceptor_token = match options.strategy {
@@ -370,13 +358,8 @@ fn non_blocking(
             None
         }
         SyncStrategy::NonBlockingCommit => {
-            let map = match rules {
-                Rules::Foj(m) => m.mirror_map(),
-                Rules::Split(m) => m.mirror_map(),
-                Rules::Union(m) => m.mirror_map(),
-            };
             let token = db.add_interceptor(Arc::new(MirrorInterceptor {
-                map,
+                map: oper.mirror_map(),
                 old_txns: old.clone(),
                 sources: sources.iter().map(|t| t.id()).collect(),
             }));
@@ -385,17 +368,15 @@ fn non_blocking(
         SyncStrategy::BlockingCommit => unreachable!("handled elsewhere"),
     };
 
-    switch_catalog(db, rules, &sources, &old)?;
+    switch_catalog(db, oper, &sources, &old)?;
     drop(guards);
     let latch_pause = t0.elapsed();
 
     // Rename-in-place publishes outside the latch (the rename itself is
     // a catalog pointer swap; doing it after unlatching keeps the pause
     // honest — the name flip is atomic either way).
-    if let Rules::Split(m) = rules {
-        if m.mode() == SplitMode::RenameInPlace {
-            finish_rename(db, m)?;
-        }
+    if oper.renames_source() {
+        oper.publish(db)?;
     }
 
     prop.enter_post_sync(old.clone());
@@ -414,11 +395,11 @@ fn non_blocking(
 
 fn blocking_commit(
     db: &Arc<Database>,
-    rules: &mut Rules,
+    oper: &mut dyn TransformOperator,
     prop: &mut Propagator,
     options: &TransformOptions,
 ) -> DbResult<SyncOutcome> {
-    let sources = sorted_sources(db, rules)?;
+    let sources = sorted_sources(db, oper)?;
     let t0 = Instant::now();
 
     // Block new transactions; let current lock holders finish.
@@ -434,10 +415,7 @@ fn blocking_commit(
     for src in &sources {
         src.freeze(holders.clone());
     }
-    let wait_deadline = Instant::now()
-        + options
-            .deadline
-            .unwrap_or(Duration::from_secs(60));
+    let wait_deadline = Instant::now() + options.deadline.unwrap_or(Duration::from_secs(60));
     while holders.iter().any(|t| db.is_active(*t)) {
         if Instant::now() > wait_deadline {
             for src in &sources {
@@ -450,16 +428,13 @@ fn blocking_commit(
         std::thread::sleep(Duration::from_micros(200));
     }
 
-    // Final drain under the latch, then drop the sources outright.
+    // Final drain under the latch; then either publish the renamed
+    // source or drop the sources outright.
     let guards: Vec<_> = sources.iter().map(|t| t.latch_exclusive()).collect();
-    let final_records = prop.drain_all(db, rules)?;
+    let final_records = prop.drain_all(db, oper)?;
     drop(guards);
-    if let Rules::Split(m) = &mut *rules {
-        if m.mode() == SplitMode::RenameInPlace {
-            finish_rename(db, m)?;
-        } else {
-            db.catalog().drop_table(&m.t_table().name())?;
-        }
+    if oper.renames_source() {
+        oper.publish(db)?;
     } else {
         for src in &sources {
             db.catalog().drop_table(&src.name())?;
@@ -480,14 +455,4 @@ fn blocking_commit(
         old_txns: HashSet::new(),
         interceptor_token: None,
     })
-}
-
-/// Rename-in-place completion: give T its R name. Dependent columns
-/// are projected away later (post phase).
-fn finish_rename(db: &Database, m: &crate::split::SplitMapping) -> DbResult<()> {
-    let t = m.t_table();
-    let target = m
-        .rename_target()
-        .ok_or_else(|| DbError::Internal("rename target missing".into()))?;
-    db.catalog().rename(&t.name(), &target)
 }

@@ -15,7 +15,8 @@
 
 use crate::cc::Readiness;
 use crate::foj::FojMapping;
-use crate::propagate::{Propagator, Rules};
+use crate::operator::TransformOperator;
+use crate::propagate::Propagator;
 use crate::report::{PopulationStats, TransformReport};
 use crate::spec::{FojSpec, NonConvergencePolicy, SplitMode, SplitSpec, TransformOptions};
 use crate::split::SplitMapping;
@@ -83,8 +84,7 @@ impl Transformer {
     ) -> TransformHandle {
         let abort = Arc::new(AtomicBool::new(false));
         let abort2 = Arc::clone(&abort);
-        let join =
-            std::thread::spawn(move || Self::run_union_with(&db, spec, options, &abort2));
+        let join = std::thread::spawn(move || Self::run_union_with(&db, spec, options, &abort2));
         TransformHandle { join, abort }
     }
 
@@ -102,7 +102,7 @@ impl Transformer {
             targets: vec![spec.target.clone()],
             internal: vec![],
         };
-        Self::drive(db, Rules::Union(mapping), options, abort, t0, prepare, names)
+        Self::drive(db, Box::new(mapping), options, abort, t0, prepare, names)
     }
 
     /// Spawn a FOJ transformation on a background thread.
@@ -143,7 +143,7 @@ impl Transformer {
             targets: vec![spec.target.clone()],
             internal: vec![],
         };
-        Self::drive(db, Rules::Foj(mapping), options, abort, t0, prepare, names)
+        Self::drive(db, Box::new(mapping), options, abort, t0, prepare, names)
     }
 
     fn run_split_with(
@@ -156,10 +156,7 @@ impl Transformer {
         let mapping = SplitMapping::prepare(db, &spec)?;
         let prepare = t0.elapsed();
         let (targets, internal) = match spec.mode {
-            SplitMode::SeparateR => (
-                vec![spec.r_target.clone(), spec.s_target.clone()],
-                vec![],
-            ),
+            SplitMode::SeparateR => (vec![spec.r_target.clone(), spec.s_target.clone()], vec![]),
             SplitMode::RenameInPlace => (
                 vec![spec.s_target.clone()],
                 vec![format!("__morph_p_{}", spec.source)],
@@ -170,13 +167,13 @@ impl Transformer {
             targets,
             internal,
         };
-        Self::drive(db, Rules::Split(mapping), options, abort, t0, prepare, names)
+        Self::drive(db, Box::new(mapping), options, abort, t0, prepare, names)
     }
 
-    /// The common four-step driver.
+    /// The common four-step driver, generic over the operator.
     fn drive(
         db: &Arc<Database>,
-        mut rules: Rules,
+        mut oper: Box<dyn TransformOperator>,
         options: TransformOptions,
         abort: &AtomicBool,
         t0: Instant,
@@ -198,7 +195,7 @@ impl Transformer {
         // reclamation on long-running systems) never outruns us; the
         // guard self-releases on every exit path.
         let log_guard = db.protect_log(start_lsn);
-        let (rows_read, rows_written) = match rules.populate(options.population_chunk) {
+        let (rows_read, rows_written) = match oper.populate(options.population_chunk) {
             Ok(v) => v,
             Err(e) => {
                 cleanup(db);
@@ -227,7 +224,7 @@ impl Transformer {
             }
             let stats = match prop.iterate(
                 db,
-                &mut rules,
+                &mut *oper,
                 options.batch_size,
                 options.cc_interval,
                 abort,
@@ -247,13 +244,16 @@ impl Transformer {
             // transaction admission and memmoves the retained log, so
             // it only runs once a sizable span has accumulated.
             log_guard.update(prop.cursor_lsn());
-            if prop.cursor_lsn().0.saturating_sub(db.log().truncated_until().0)
+            if prop
+                .cursor_lsn()
+                .0
+                .saturating_sub(db.log().truncated_until().0)
                 > TRUNCATE_SPAN
             {
                 db.truncate_log();
             }
 
-            let readiness = rules.readiness();
+            let readiness = oper.readiness();
             if backlog <= options.sync_threshold {
                 match readiness {
                     Readiness::Ready => break,
@@ -264,8 +264,7 @@ impl Transformer {
                             cleanup(db);
                             return Err(DbError::InconsistentSplitData {
                                 key: format!("{keys:?}"),
-                                detail: "contributing rows disagree; repair the source data"
-                                    .into(),
+                                detail: "contributing rows disagree; repair the source data".into(),
                             });
                         }
                     }
@@ -301,7 +300,7 @@ impl Transformer {
         }
 
         // --- synchronization (§3.4) ---
-        let outcome = match synchronize(db, &mut rules, &mut prop, &options) {
+        let outcome = match synchronize(db, &mut *oper, &mut prop, &options) {
             Ok(o) => o,
             Err(e) => {
                 cleanup(db);
@@ -325,14 +324,17 @@ impl Transformer {
             }
             let stats = prop.iterate(
                 db,
-                &mut rules,
+                &mut *oper,
                 options.batch_size,
                 options.cc_interval,
                 abort,
             )?;
             report.post_records += stats.records;
             log_guard.update(prop.cursor_lsn());
-            if prop.cursor_lsn().0.saturating_sub(db.log().truncated_until().0)
+            if prop
+                .cursor_lsn()
+                .0
+                .saturating_sub(db.log().truncated_until().0)
                 > TRUNCATE_SPAN
             {
                 db.truncate_log();
@@ -350,14 +352,10 @@ impl Transformer {
         for name in &names.internal {
             let _ = db.catalog().drop_table(name);
         }
-        if let Rules::Split(m) = &rules {
-            if m.mode() == SplitMode::RenameInPlace {
-                // Project the dependent columns away now that no old
-                // transaction can touch them (briefly latches R).
-                let positions = m.r_col_positions().to_vec();
-                m.t_table().project_columns(&positions)?;
-            }
-        }
+        // Final schema surgery — a rename-in-place split projects the
+        // dependent columns away now that no old transaction can touch
+        // them (briefly latches R); a no-op for the other operators.
+        oper.finalize(db)?;
         if !options.retain_sources {
             for name in &names.sources {
                 // Blocking commit (or a rename) may already have
@@ -365,7 +363,7 @@ impl Transformer {
                 let _ = db.catalog().drop_table(name);
             }
         }
-        report.cc_rounds = rules.cc_rounds();
+        report.cc_rounds = oper.cc_rounds();
         report.total = t0.elapsed();
         Ok(report)
     }
@@ -431,12 +429,8 @@ mod tests {
             .unwrap();
         }
         for j in 0..rows_s {
-            db.insert(
-                txn,
-                "S",
-                vec![Value::str(format!("j{j}")), Value::str("d")],
-            )
-            .unwrap();
+            db.insert(txn, "S", vec![Value::str(format!("j{j}")), Value::str("d")])
+                .unwrap();
         }
         db.commit(txn).unwrap();
         db
@@ -472,12 +466,7 @@ mod tests {
                 i += 1;
                 let txn = db2.begin();
                 let key = Key::single((i % 200) as i64);
-                let res = db2.update(
-                    txn,
-                    "R",
-                    &key,
-                    &[(1, Value::str(format!("w{i}")))],
-                );
+                let res = db2.update(txn, "R", &key, &[(1, Value::str(format!("w{i}")))]);
                 match res {
                     Ok(()) => {
                         if db2.commit(txn).is_ok() {
@@ -499,9 +488,9 @@ mod tests {
         });
 
         let spec = FojSpec::new("R", "S", "T", "c", "c");
-        let options = opts().priority(0.8).non_convergence(
-            crate::spec::NonConvergencePolicy::Escalate { factor: 2.0 },
-        );
+        let options = opts()
+            .priority(0.8)
+            .non_convergence(crate::spec::NonConvergencePolicy::Escalate { factor: 2.0 });
         let handle = Transformer::spawn_foj(Arc::clone(&db), spec, options);
         let report = handle.join().expect("transformation");
         stop.store(true, Ordering::Relaxed);
@@ -588,8 +577,7 @@ mod tests {
             // tables: prepare() would recreate tables, so verify
             // manually through reference_split.
             let t = db.catalog().get("T").unwrap();
-            let t_rows: Vec<Vec<Value>> =
-                t.snapshot().into_iter().map(|(_, r)| r.values).collect();
+            let t_rows: Vec<Vec<Value>> = t.snapshot().into_iter().map(|(_, r)| r.values).collect();
             t_rows
         };
         assert_eq!(m.len(), 300);
@@ -605,11 +593,8 @@ mod tests {
 
         let spec = FojSpec::new("R", "S", "T", "c", "c");
         let db2 = Arc::clone(&db);
-        let handle = Transformer::spawn_foj(
-            db2,
-            spec,
-            opts().strategy(SyncStrategy::NonBlockingAbort),
-        );
+        let handle =
+            Transformer::spawn_foj(db2, spec, opts().strategy(SyncStrategy::NonBlockingAbort));
         // Wait until the old transaction is doomed, then roll it back
         // (a real client would see TxnDoomed on its next operation).
         let t0 = Instant::now();
@@ -639,9 +624,7 @@ mod tests {
         // Dirty update was rolled back: T must not contain it.
         let t = db.catalog().get("T").unwrap();
         let rows = t.snapshot();
-        assert!(rows
-            .iter()
-            .all(|(_, r)| r.values[1] != Value::str("dirty")));
+        assert!(rows.iter().all(|(_, r)| r.values[1] != Value::str("dirty")));
     }
 
     #[test]
@@ -676,7 +659,8 @@ mod tests {
         let t = db.catalog().get("T").unwrap();
         let rows = t.snapshot();
         assert!(
-            rows.iter().any(|(_, r)| r.values[1] == Value::str("survives")),
+            rows.iter()
+                .any(|(_, r)| r.values[1] == Value::str("survives")),
             "committed old-txn work must be in T"
         );
         assert!(rows.iter().any(|(_, r)| r.values[1] == Value::str("late")));
@@ -686,12 +670,8 @@ mod tests {
     fn blocking_commit_strategy_completes() {
         let db = db_with_sources(40, 4);
         let spec = FojSpec::new("R", "S", "T", "c", "c");
-        let report = Transformer::run_foj(
-            &db,
-            spec,
-            opts().strategy(SyncStrategy::BlockingCommit),
-        )
-        .unwrap();
+        let report =
+            Transformer::run_foj(&db, spec, opts().strategy(SyncStrategy::BlockingCommit)).unwrap();
         assert_eq!(report.sync.strategy, SyncStrategy::BlockingCommit);
         assert_eq!(db.catalog().get("T").unwrap().len(), 40);
     }
@@ -743,7 +723,11 @@ mod tests {
             db.insert(
                 txn,
                 "T",
-                vec![Value::Int(i), Value::str(&c), Value::str(format!("dep-{c}"))],
+                vec![
+                    Value::Int(i),
+                    Value::str(&c),
+                    Value::str(format!("dep-{c}")),
+                ],
             )
             .unwrap();
         }

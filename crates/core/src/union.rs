@@ -11,11 +11,13 @@
 //! *do* have valid state identifiers, and the propagation rules are the
 //! simple LSN-gated forms (the same discipline as the split rules'
 //! R side, §5.2) — making union also a minimal, readable template for
-//! adding further operators to [`crate::propagate::Rules`].
+//! implementing further [`TransformOperator`]s.
 
+use crate::operator::{scan_source_throttled, CoalescePolicy, TransformOperator};
+use crate::throttle::Throttle;
 use morph_common::{ColumnType, DbError, DbResult, Key, Lsn, Schema, TableId, Value};
 use morph_engine::Database;
-use morph_storage::{Row, Table};
+use morph_storage::{Row, Table, WriteSession};
 use morph_wal::LogOp;
 use std::sync::Arc;
 
@@ -135,26 +137,34 @@ impl UnionMapping {
         cols.iter().map(|(i, v)| (*i + 1, v.clone())).collect()
     }
 
-    /// Initial population: fuzzy-scan both sources.
+    /// Initial population: fuzzy-scan both sources (unthrottled).
     pub fn populate(&self, chunk_size: usize) -> DbResult<(usize, usize)> {
+        self.populate_throttled(chunk_size, &mut Throttle::new(1.0))
+    }
+
+    /// Initial population paying the given throttle per fuzzy-scan
+    /// chunk; each chunk is written under one target write session.
+    pub fn populate_throttled(
+        &self,
+        chunk_size: usize,
+        throttle: &mut Throttle,
+    ) -> DbResult<(usize, usize)> {
+        let t = Arc::clone(&self.t);
         let mut read = 0;
         let mut written = 0;
         for src in [&self.r, &self.s] {
-            let mut scan = src.fuzzy_scan(chunk_size);
-            loop {
-                let chunk = scan.next_chunk();
-                if chunk.is_empty() {
-                    break;
-                }
+            let src_id = src.id();
+            read += scan_source_throttled(src, chunk_size, throttle, |chunk| {
+                let mut ts = t.write_session();
                 for (_, row) in chunk {
-                    read += 1;
-                    let values = self.t_row(src.id(), &row.values);
-                    match self.t.insert_row(Row::new(values, row.lsn)) {
+                    let values = self.t_row(src_id, &row.values);
+                    match ts.insert_row(Row::new(values, row.lsn)) {
                         Ok(_) | Err(DbError::DuplicateKey(_)) => written += 1,
                         Err(e) => return Err(e),
                     }
                 }
-            }
+                Ok(())
+            })?;
         }
         Ok((read, written))
     }
@@ -162,6 +172,13 @@ impl UnionMapping {
     /// Apply one logged source operation (LSN-gated, like the split
     /// rules' R side).
     pub fn apply(&self, lsn: Lsn, op: &LogOp) -> DbResult<()> {
+        let t = Arc::clone(&self.t);
+        let mut ts = t.write_session();
+        self.apply_in(&mut ts, lsn, op)
+    }
+
+    /// Rule dispatch within an open target write session.
+    fn apply_in(&self, ts: &mut WriteSession<'_>, lsn: Lsn, op: &LogOp) -> DbResult<()> {
         let table = op.table();
         if table != self.r.id() && table != self.s.id() {
             return Ok(());
@@ -169,30 +186,26 @@ impl UnionMapping {
         match op {
             LogOp::Insert { row, .. } => {
                 let tkey = self.t_key(table, &self.r.schema().key_of(row));
-                if self.t.contains(&tkey) {
+                if ts.contains(&tkey) {
                     return Ok(()); // already reflected
                 }
-                self.t
-                    .insert_row(Row::new(self.t_row(table, row), lsn))
+                ts.insert_row(Row::new(self.t_row(table, row), lsn))
                     .map(|_| ())
             }
             LogOp::Delete { key, .. } => {
                 let tkey = self.t_key(table, key);
-                match self.t.get(&tkey) {
+                match ts.get(&tkey) {
                     None => Ok(()),
                     Some(row) if row.lsn >= lsn => Ok(()), // newer state
-                    Some(_) => self.t.delete(&tkey).map(|_| ()),
+                    Some(_) => ts.delete(&tkey).map(|_| ()),
                 }
             }
             LogOp::Update { key, new, .. } => {
                 let tkey = self.t_key(table, key);
-                match self.t.get(&tkey) {
+                match ts.get(&tkey) {
                     None => Ok(()),
                     Some(row) if row.lsn >= lsn => Ok(()),
-                    Some(_) => self
-                        .t
-                        .update(&tkey, &Self::t_cols(new), lsn)
-                        .map(|_| ()),
+                    Some(_) => ts.update(&tkey, &Self::t_cols(new), lsn).map(|_| ()),
                 }
             }
         }
@@ -217,6 +230,47 @@ impl UnionMapping {
             return Vec::new();
         }
         vec![(self.t.id(), self.t_key(table, key))]
+    }
+}
+
+impl TransformOperator for UnionMapping {
+    fn source_ids(&self) -> Vec<TableId> {
+        UnionMapping::source_ids(self)
+    }
+
+    fn apply(&mut self, lsn: Lsn, op: &LogOp) -> DbResult<()> {
+        UnionMapping::apply(self, lsn, op)
+    }
+
+    fn apply_batch(&mut self, batch: &[(Lsn, LogOp)]) -> DbResult<()> {
+        let t = Arc::clone(&self.t);
+        let mut ts = t.write_session();
+        for (lsn, op) in batch {
+            self.apply_in(&mut ts, *lsn, op)?;
+        }
+        Ok(())
+    }
+
+    fn coalesce_policy(&self) -> CoalescePolicy {
+        // Purely LSN-gated, one target row per source row: an update may
+        // swallow earlier same-column updates, a delete everything.
+        CoalescePolicy::Full
+    }
+
+    fn populate_throttled(
+        &mut self,
+        chunk: usize,
+        throttle: &mut Throttle,
+    ) -> DbResult<(usize, usize)> {
+        UnionMapping::populate_throttled(self, chunk, throttle)
+    }
+
+    fn target_keys_for(&self, table: TableId, key: &Key) -> Vec<(TableId, Key)> {
+        UnionMapping::target_keys_for(self, table, key)
+    }
+
+    fn mirror_map(&self) -> crate::sync::MirrorMap {
+        UnionMapping::mirror_map(self)
     }
 }
 
@@ -349,8 +403,14 @@ mod tests {
                         if src.get(&key).is_none() {
                             let row = vec![key.0[0].clone(), Value::str(format!("v{step}"))];
                             src.insert(row.clone(), Lsn(lsn)).unwrap();
-                            m.apply(Lsn(lsn), &LogOp::Insert { table: src.id(), row })
-                                .unwrap();
+                            m.apply(
+                                Lsn(lsn),
+                                &LogOp::Insert {
+                                    table: src.id(),
+                                    row,
+                                },
+                            )
+                            .unwrap();
                         }
                     }
                     1 => {

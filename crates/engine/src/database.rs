@@ -70,9 +70,9 @@ impl PlannedOp<'_> {
     pub fn key(&self) -> Option<&Key> {
         match self {
             PlannedOp::Insert { .. } => None,
-            PlannedOp::Update { key, .. }
-            | PlannedOp::Delete { key }
-            | PlannedOp::Read { key } => Some(key),
+            PlannedOp::Update { key, .. } | PlannedOp::Delete { key } | PlannedOp::Read { key } => {
+                Some(key)
+            }
         }
     }
 }
@@ -337,9 +337,8 @@ impl Database {
     /// and diagnostic tooling bound their scans, and keep the log
     /// format compatible with disk-based consumers.
     pub fn write_checkpoint(&self) -> Lsn {
-        self.registry.with_checkpoint_snapshot(|active| {
-            self.log.append(LogRecord::Checkpoint { active })
-        })
+        self.registry
+            .with_checkpoint_snapshot(|active| self.log.append(LogRecord::Checkpoint { active }))
     }
 
     /// Register an LSN that log truncation must never cross (a live
@@ -510,13 +509,15 @@ impl Database {
         let cell = self.cell_for_op(txn)?;
         table.check_access(txn)?;
         self.ensure_table_lock(&cell, table.id(), GranularMode::IntentionExclusive)?;
-        self.locks
-            .lock(txn, table.id(), key, LockMode::Exclusive)?;
+        self.locks.lock(txn, table.id(), key, LockMode::Exclusive)?;
 
         // If primary-key columns change, the destination key must be
         // locked too before anything is logged.
         let schema = table.schema();
-        let pkey_changes = schema.pkey().iter().any(|p| cols.iter().any(|(i, _)| i == p));
+        let pkey_changes = schema
+            .pkey()
+            .iter()
+            .any(|p| cols.iter().any(|(i, _)| i == p));
         if pkey_changes {
             let row = table
                 .get(key)
@@ -573,8 +574,7 @@ impl Database {
         let cell = self.cell_for_op(txn)?;
         table.check_access(txn)?;
         self.ensure_table_lock(&cell, table.id(), GranularMode::IntentionExclusive)?;
-        self.locks
-            .lock(txn, table.id(), key, LockMode::Exclusive)?;
+        self.locks.lock(txn, table.id(), key, LockMode::Exclusive)?;
         self.run_interceptors(txn, table, &PlannedOp::Delete { key })?;
 
         let mut pre_image = Vec::new();
@@ -756,8 +756,14 @@ mod tests {
 
         let r1 = db.begin();
         let r2 = db.begin();
-        assert_eq!(db.read(r1, "t", &Key::single(1)).unwrap(), Some(row(1, "a")));
-        assert_eq!(db.read(r2, "t", &Key::single(1)).unwrap(), Some(row(1, "a")));
+        assert_eq!(
+            db.read(r1, "t", &Key::single(1)).unwrap(),
+            Some(row(1, "a"))
+        );
+        assert_eq!(
+            db.read(r2, "t", &Key::single(1)).unwrap(),
+            Some(row(1, "a"))
+        );
         // A younger writer dies against the two readers.
         let w2 = db.begin();
         assert!(matches!(
@@ -794,10 +800,7 @@ mod tests {
         // Start points at the Begin record of the active txn, which
         // precedes its op and the mark.
         assert!(start2 < mark2);
-        assert_eq!(
-            *db.log().read(start2).unwrap(),
-            LogRecord::Begin { txn }
-        );
+        assert_eq!(*db.log().read(start2).unwrap(), LogRecord::Begin { txn });
         db.commit(txn).unwrap();
     }
 
@@ -824,7 +827,10 @@ mod tests {
             db.insert(TxnId(999), "t", row(1, "a")),
             Err(DbError::TxnNotActive(_))
         ));
-        assert!(matches!(db.commit(TxnId(999)), Err(DbError::TxnNotActive(_))));
+        assert!(matches!(
+            db.commit(TxnId(999)),
+            Err(DbError::TxnNotActive(_))
+        ));
     }
 
     #[test]
@@ -888,7 +894,10 @@ mod tests {
         db.insert(active, "t", row(100, "y")).unwrap();
         let dropped = db.truncate_log();
         assert!(dropped > 0, "prefix before the active txn is reclaimable");
-        assert!(db.log().read(db.registry.get(active).unwrap().first_lsn).is_some());
+        assert!(db
+            .log()
+            .read(db.registry.get(active).unwrap().first_lsn)
+            .is_some());
 
         // A protection guard pins it harder.
         let guard = db.protect_log(Lsn(1)); // nothing below 1 → no-op

@@ -66,7 +66,9 @@ pub fn recover_into(db: &Database, records: &[LogRecord]) -> DbResult<RecoveryRe
                     info.ops.push((lsn, op.clone()));
                 }
             }
-            LogRecord::Clr { txn, undone_lsn, .. } => {
+            LogRecord::Clr {
+                txn, undone_lsn, ..
+            } => {
                 if let Some(info) = txns.get_mut(txn) {
                     info.compensated.insert(*undone_lsn);
                 }
@@ -321,11 +323,7 @@ mod tests {
             .collect();
         let db3 = Database::new();
         db3.catalog()
-            .create_table_with_id(
-                db2.catalog().get("t").unwrap().id(),
-                "t",
-                schema(),
-            )
+            .create_table_with_id(db2.catalog().get("t").unwrap().id(), "t", schema())
             .unwrap();
         let report2 = recover_into(&db3, &records).unwrap();
         assert!(report2.losers.is_empty());

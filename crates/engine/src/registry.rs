@@ -111,10 +111,7 @@ impl TxnRegistry {
     /// Run `f` with a consistent snapshot of (active ids, oldest first
     /// LSN) while *blocking transaction admission* — the fuzzy-mark
     /// primitive. `f` typically appends the mark to the log.
-    pub fn with_admission_blocked<R>(
-        &self,
-        f: impl FnOnce(Vec<TxnId>, Option<Lsn>) -> R,
-    ) -> R {
+    pub fn with_admission_blocked<R>(&self, f: impl FnOnce(Vec<TxnId>, Option<Lsn>) -> R) -> R {
         let map = self.map.write();
         let active: Vec<TxnId> = map.keys().copied().collect();
         let oldest = map.values().map(|c| c.first_lsn).min();
@@ -123,13 +120,9 @@ impl TxnRegistry {
 
     /// Run `f` with the active transactions and their first LSNs while
     /// blocking admission (checkpointing).
-    pub fn with_checkpoint_snapshot<R>(
-        &self,
-        f: impl FnOnce(Vec<(TxnId, Lsn)>) -> R,
-    ) -> R {
+    pub fn with_checkpoint_snapshot<R>(&self, f: impl FnOnce(Vec<(TxnId, Lsn)>) -> R) -> R {
         let map = self.map.write();
-        let entries: Vec<(TxnId, Lsn)> =
-            map.values().map(|c| (c.id, c.first_lsn)).collect();
+        let entries: Vec<(TxnId, Lsn)> = map.values().map(|c| (c.id, c.first_lsn)).collect();
         f(entries)
     }
 
@@ -166,10 +159,7 @@ mod tests {
         assert_eq!(reg.get(TxnId(1)).unwrap().id, TxnId(1));
         reg.remove(TxnId(1));
         assert!(!reg.is_active(TxnId(1)));
-        assert!(matches!(
-            reg.get(TxnId(1)),
-            Err(DbError::TxnNotActive(_))
-        ));
+        assert!(matches!(reg.get(TxnId(1)), Err(DbError::TxnNotActive(_))));
     }
 
     #[test]

@@ -26,4 +26,4 @@ pub mod table;
 pub use catalog::Catalog;
 pub use index::SecondaryIndex;
 pub use row::{ConsistencyFlag, Row};
-pub use table::{FuzzyScanner, Table, TableState};
+pub use table::{FuzzyScanner, Table, TableState, WriteSession};

@@ -30,6 +30,151 @@ struct TableInner {
     indexes: Vec<SecondaryIndex>,
 }
 
+impl TableInner {
+    /// Validate + constraint-check an insert; returns the key without
+    /// mutating anything (so a fallible logging closure can run between
+    /// the checks and the mutation).
+    fn check_insert(&self, schema: &Schema, values: &[Value]) -> DbResult<Key> {
+        schema.validate(values)?;
+        let key = schema.key_of(values);
+        if self.rows.contains_key(&key) {
+            return Err(DbError::DuplicateKey(format!("{key:?}")));
+        }
+        for idx in &self.indexes {
+            if idx.unique && idx.cardinality(&idx.key_of(values)) > 0 {
+                return Err(DbError::UniqueViolation {
+                    index: idx.name.clone(),
+                    key: format!("{:?}", idx.key_of(values)),
+                });
+            }
+        }
+        Ok(key)
+    }
+
+    fn insert_unchecked(&mut self, key: Key, row: Row) -> Key {
+        for idx in &mut self.indexes {
+            idx.insert(&row.values, &key)
+                .expect("uniqueness pre-checked");
+        }
+        self.rows.insert(key.clone(), row);
+        key
+    }
+
+    fn insert_with(
+        &mut self,
+        schema: &Schema,
+        values: Vec<Value>,
+        mk_lsn: impl FnOnce() -> DbResult<Lsn>,
+    ) -> DbResult<Key> {
+        let key = self.check_insert(schema, &values)?;
+        let lsn = mk_lsn()?;
+        Ok(self.insert_unchecked(key, Row::new(values, lsn)))
+    }
+
+    /// Insert a row with explicit metadata in one pass (counter, flag,
+    /// presence and LSN are taken from `row` verbatim).
+    fn insert_row(&mut self, schema: &Schema, row: Row) -> DbResult<Key> {
+        let key = self.check_insert(schema, &row.values)?;
+        Ok(self.insert_unchecked(key, row))
+    }
+
+    fn delete_with(&mut self, key: &Key, log: impl FnOnce(&Row) -> DbResult<()>) -> DbResult<Row> {
+        if !self.rows.contains_key(key) {
+            return Err(DbError::KeyNotFound(format!("{key:?}")));
+        }
+        log(&self.rows[key])?;
+        let row = self.rows.remove(key).expect("checked above");
+        for idx in &mut self.indexes {
+            idx.remove(&row.values, key);
+        }
+        Ok(row)
+    }
+
+    fn update_with(
+        &mut self,
+        pkey_cols: &[usize],
+        arity: usize,
+        key: &Key,
+        cols: &[(usize, Value)],
+        mk_lsn: impl FnOnce(&UpdateOutcome) -> DbResult<Lsn>,
+    ) -> DbResult<UpdateOutcome> {
+        for (i, _) in cols {
+            if *i >= arity {
+                return Err(DbError::ArityMismatch {
+                    expected: arity,
+                    got: *i + 1,
+                });
+            }
+        }
+        let row = self
+            .rows
+            .get(key)
+            .ok_or_else(|| DbError::KeyNotFound(format!("{key:?}")))?;
+        let old_lsn = row.lsn;
+
+        let mut new_values = row.values.clone();
+        for (i, v) in cols {
+            new_values[*i] = v.clone();
+        }
+        let new_key = Key::project(&new_values, pkey_cols);
+
+        if new_key != *key && self.rows.contains_key(&new_key) {
+            return Err(DbError::DuplicateKey(format!("{new_key:?}")));
+        }
+        // Unique-index pre-check for the new image.
+        for idx in &self.indexes {
+            if idx.unique {
+                let new_ik = idx.key_of(&new_values);
+                let old_ik = idx.key_of(&self.rows[key].values);
+                if new_ik != old_ik && idx.cardinality(&new_ik) > 0 {
+                    return Err(DbError::UniqueViolation {
+                        index: idx.name.clone(),
+                        key: format!("{new_ik:?}"),
+                    });
+                }
+            }
+        }
+
+        // Compute the full outcome (pre-images included) before any
+        // mutation, so a closure error is side-effect free.
+        let old_cols: Vec<(usize, Value)> = {
+            let row = &self.rows[key];
+            cols.iter()
+                .map(|(i, _)| (*i, row.values[*i].clone()))
+                .collect()
+        };
+        let outcome = UpdateOutcome {
+            old_cols,
+            old_key: key.clone(),
+            new_key: new_key.clone(),
+            old_lsn,
+        };
+        let lsn = mk_lsn(&outcome)?;
+
+        let mut row = self.rows.remove(key).expect("checked above");
+        for idx in &mut self.indexes {
+            idx.remove(&row.values, key);
+        }
+        row.apply_updates(cols);
+        row.lsn = lsn;
+        for idx in &mut self.indexes {
+            idx.insert(&row.values, &new_key)
+                .expect("uniqueness pre-checked");
+        }
+        self.rows.insert(new_key, row);
+
+        Ok(outcome)
+    }
+
+    fn index_rows(&self, idx: usize, ik: &Key) -> Vec<(Key, Row)> {
+        self.indexes[idx]
+            .lookup(ik)
+            .into_iter()
+            .filter_map(|pk| self.rows.get(&pk).map(|r| (pk.clone(), r.clone())))
+            .collect()
+    }
+}
+
 /// Outcome of an update, reporting key movement and the pre-images
 /// needed for undo logging.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -133,9 +278,7 @@ impl Table {
         match &*self.state.read() {
             TableState::Active => Ok(()),
             TableState::Frozen { allowed } if allowed.contains(&txn) => Ok(()),
-            TableState::Frozen { .. } | TableState::Dropped => {
-                Err(DbError::TableFrozen(self.id))
-            }
+            TableState::Frozen { .. } | TableState::Dropped => Err(DbError::TableFrozen(self.id)),
         }
     }
 
@@ -189,12 +332,7 @@ impl Table {
     /// checker and the propagation rules use this so that a row cannot
     /// vanish between the index probe and the row fetch.
     pub fn index_rows(&self, idx: usize, ik: &Key) -> Vec<(Key, Row)> {
-        let inner = self.inner.read();
-        inner.indexes[idx]
-            .lookup(ik)
-            .into_iter()
-            .filter_map(|pk| inner.rows.get(&pk).map(|r| (pk.clone(), r.clone())))
-            .collect()
+        self.inner.read().index_rows(idx, ik)
     }
 
     // --- physical row operations ---------------------------------------
@@ -203,7 +341,6 @@ impl Table {
     pub fn insert(&self, values: Vec<Value>, lsn: Lsn) -> DbResult<Key> {
         self.insert_row(Row::new(values, lsn))
     }
-
 
     /// Insert with the row's LSN produced *under the table latch* by
     /// `mk_lsn` — the engine appends the log record inside the closure,
@@ -219,51 +356,16 @@ impl Table {
         mk_lsn: impl FnOnce() -> DbResult<Lsn>,
     ) -> DbResult<Key> {
         let schema = self.schema.read();
-        schema.validate(&values)?;
-        let key = schema.key_of(&values);
-        drop(schema);
-
-        let mut inner = self.inner.write();
-        if inner.rows.contains_key(&key) {
-            return Err(DbError::DuplicateKey(format!("{key:?}")));
-        }
-        for idx in &inner.indexes {
-            if idx.unique && idx.cardinality(&idx.key_of(&values)) > 0 {
-                return Err(DbError::UniqueViolation {
-                    index: idx.name.clone(),
-                    key: format!("{:?}", idx.key_of(&values)),
-                });
-            }
-        }
-        let lsn = mk_lsn()?;
-        let row = Row::new(values, lsn);
-        for idx in &mut inner.indexes {
-            idx.insert(&row.values, &key)
-                .expect("uniqueness pre-checked");
-        }
-        inner.rows.insert(key.clone(), row);
-        Ok(key)
+        self.inner.write().insert_with(&schema, values, mk_lsn)
     }
 
     /// Insert a row with explicit metadata (used by the propagator,
-    /// which controls counters, flags and LSN stamping itself).
+    /// which controls counters, flags and LSN stamping itself). One
+    /// pass under one latch acquisition; the metadata is taken from
+    /// `row` verbatim.
     pub fn insert_row(&self, row: Row) -> DbResult<Key> {
-        let values = row.values.clone();
-        let Row {
-            lsn,
-            counter,
-            flag,
-            presence,
-            ..
-        } = row;
-        let key = self.insert_with(values, || Ok(lsn))?;
-        // insert_with built an ordinary row; fix up the metadata.
-        self.with_row_mut(&key, |r| {
-            r.counter = counter;
-            r.flag = flag;
-            r.presence = presence;
-        });
-        Ok(key)
+        let schema = self.schema.read();
+        self.inner.write().insert_row(&schema, row)
     }
 
     /// Delete by primary key, returning the removed row.
@@ -274,21 +376,8 @@ impl Table {
     /// Delete with a fallible logging closure run under the latch after
     /// the row is found (receives the pre-image for undo logging) and
     /// before it is removed; a closure error leaves the row untouched.
-    pub fn delete_with(
-        &self,
-        key: &Key,
-        log: impl FnOnce(&Row) -> DbResult<()>,
-    ) -> DbResult<Row> {
-        let mut inner = self.inner.write();
-        if !inner.rows.contains_key(key) {
-            return Err(DbError::KeyNotFound(format!("{key:?}")));
-        }
-        log(&inner.rows[key])?;
-        let row = inner.rows.remove(key).expect("checked above");
-        for idx in &mut inner.indexes {
-            idx.remove(&row.values, key);
-        }
-        Ok(row)
+    pub fn delete_with(&self, key: &Key, log: impl FnOnce(&Row) -> DbResult<()>) -> DbResult<Row> {
+        self.inner.write().delete_with(key, log)
     }
 
     /// Sparse-column update by primary key. Handles primary-key column
@@ -318,74 +407,9 @@ impl Table {
         let pkey_cols = schema.pkey().to_vec();
         let arity = schema.arity();
         drop(schema);
-        for (i, _) in cols {
-            if *i >= arity {
-                return Err(DbError::ArityMismatch {
-                    expected: arity,
-                    got: *i + 1,
-                });
-            }
-        }
-
-        let mut inner = self.inner.write();
-        let row = inner
-            .rows
-            .get(key)
-            .ok_or_else(|| DbError::KeyNotFound(format!("{key:?}")))?;
-        let old_lsn = row.lsn;
-
-        let mut new_values = row.values.clone();
-        for (i, v) in cols {
-            new_values[*i] = v.clone();
-        }
-        let new_key = Key::project(&new_values, &pkey_cols);
-
-        if new_key != *key && inner.rows.contains_key(&new_key) {
-            return Err(DbError::DuplicateKey(format!("{new_key:?}")));
-        }
-        // Unique-index pre-check for the new image.
-        for idx in &inner.indexes {
-            if idx.unique {
-                let new_ik = idx.key_of(&new_values);
-                let old_ik = idx.key_of(&inner.rows[key].values);
-                if new_ik != old_ik && idx.cardinality(&new_ik) > 0 {
-                    return Err(DbError::UniqueViolation {
-                        index: idx.name.clone(),
-                        key: format!("{new_ik:?}"),
-                    });
-                }
-            }
-        }
-
-        // Compute the full outcome (pre-images included) before any
-        // mutation, so a closure error is side-effect free.
-        let old_cols: Vec<(usize, Value)> = {
-            let row = &inner.rows[key];
-            cols.iter()
-                .map(|(i, _)| (*i, row.values[*i].clone()))
-                .collect()
-        };
-        let outcome = UpdateOutcome {
-            old_cols,
-            old_key: key.clone(),
-            new_key: new_key.clone(),
-            old_lsn,
-        };
-        let lsn = mk_lsn(&outcome)?;
-
-        let mut row = inner.rows.remove(key).expect("checked above");
-        for idx in &mut inner.indexes {
-            idx.remove(&row.values, key);
-        }
-        row.apply_updates(cols);
-        row.lsn = lsn;
-        for idx in &mut inner.indexes {
-            idx.insert(&row.values, &new_key)
-                .expect("uniqueness pre-checked");
-        }
-        inner.rows.insert(new_key, row);
-
-        Ok(outcome)
+        self.inner
+            .write()
+            .update_with(&pkey_cols, arity, key, cols, mk_lsn)
     }
 
     /// Mutate a row in place under the latch (propagator-only path for
@@ -441,6 +465,28 @@ impl Table {
     /// the §3.4 synchronization latch.
     pub fn latch_exclusive(&self) -> RwLockWriteGuard<'_, impl Sized> {
         self.inner.write()
+    }
+
+    /// Open a write session: one exclusive latch acquisition amortized
+    /// over a whole batch of physical operations. The batched log
+    /// propagator drains a group of records through one session instead
+    /// of paying a latch round trip per record.
+    ///
+    /// The session snapshots the schema at open; concurrent schema
+    /// surgery (`project_columns`) on a table with an open session is
+    /// excluded by the latch itself. While a session is open every
+    /// access to this table from the owning thread must go through the
+    /// session — the latch is not re-entrant.
+    pub fn write_session(&self) -> WriteSession<'_> {
+        let schema = self.schema.read().clone();
+        let pkey = schema.pkey().to_vec();
+        let arity = schema.arity();
+        WriteSession {
+            schema,
+            pkey,
+            arity,
+            inner: self.inner.write(),
+        }
     }
 
     // --- fuzzy scan ------------------------------------------------------
@@ -516,6 +562,94 @@ impl Table {
         drop(inner);
         *self.schema.write() = new_schema;
         Ok(())
+    }
+}
+
+/// An open write session on one table: the exclusive latch held across
+/// many physical operations (see [`Table::write_session`]).
+///
+/// The method surface mirrors [`Table`]'s propagator-facing operations
+/// (`insert_row`, `delete`, `update`, `with_row_mut`, reads and index
+/// probes) so rule code can be written once against either.
+pub struct WriteSession<'a> {
+    schema: Schema,
+    pkey: Vec<usize>,
+    arity: usize,
+    inner: RwLockWriteGuard<'a, TableInner>,
+}
+
+impl WriteSession<'_> {
+    /// Schema snapshot taken when the session was opened.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Insert a full row (ordinary metadata: counter 1, consistent).
+    pub fn insert(&mut self, values: Vec<Value>, lsn: Lsn) -> DbResult<Key> {
+        self.inner.insert_row(&self.schema, Row::new(values, lsn))
+    }
+
+    /// Insert a row with explicit metadata.
+    pub fn insert_row(&mut self, row: Row) -> DbResult<Key> {
+        self.inner.insert_row(&self.schema, row)
+    }
+
+    /// Delete by primary key, returning the removed row.
+    pub fn delete(&mut self, key: &Key) -> DbResult<Row> {
+        self.inner.delete_with(key, |_| Ok(()))
+    }
+
+    /// Sparse-column update by primary key (moves the row on a
+    /// primary-key change).
+    pub fn update(
+        &mut self,
+        key: &Key,
+        cols: &[(usize, Value)],
+        new_lsn: Lsn,
+    ) -> DbResult<UpdateOutcome> {
+        self.inner
+            .update_with(&self.pkey, self.arity, key, cols, |_| Ok(new_lsn))
+    }
+
+    /// Mutate a row in place (counter/flag/LSN maintenance; must not
+    /// change key or indexed columns).
+    pub fn with_row_mut<R>(&mut self, key: &Key, f: impl FnOnce(&mut Row) -> R) -> Option<R> {
+        self.inner.rows.get_mut(key).map(f)
+    }
+
+    /// Clone of the row at `key`.
+    pub fn get(&self, key: &Key) -> Option<Row> {
+        self.inner.rows.get(key).cloned()
+    }
+
+    /// Whether a row with `key` exists.
+    pub fn contains(&self, key: &Key) -> bool {
+        self.inner.rows.contains_key(key)
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.inner.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.inner.rows.is_empty()
+    }
+
+    /// Primary keys of rows whose index key equals `ik`.
+    pub fn index_lookup(&self, idx: usize, ik: &Key) -> Vec<Key> {
+        self.inner.indexes[idx].lookup(ik)
+    }
+
+    /// Number of rows under index key `ik`.
+    pub fn index_cardinality(&self, idx: usize, ik: &Key) -> usize {
+        self.inner.indexes[idx].cardinality(ik)
+    }
+
+    /// Rows (with primary keys) whose index key equals `ik`.
+    pub fn index_rows(&self, idx: usize, ik: &Key) -> Vec<(Key, Row)> {
+        self.inner.index_rows(idx, ik)
     }
 }
 
@@ -603,9 +737,7 @@ mod tests {
     fn update_plain_and_lsn_stamp() {
         let t = table();
         let k = t.insert(row(1, 10), Lsn(1)).unwrap();
-        let out = t
-            .update(&k, &[(2, Value::str("new"))], Lsn(5))
-            .unwrap();
+        let out = t.update(&k, &[(2, Value::str("new"))], Lsn(5)).unwrap();
         assert_eq!(out.old_cols, vec![(2, Value::str("p1"))]);
         assert_eq!(out.old_key, out.new_key);
         assert_eq!(out.old_lsn, Lsn(1));
@@ -791,6 +923,39 @@ mod tests {
     fn project_cannot_drop_pkey() {
         let t = table();
         assert!(t.project_columns(&[1, 2]).is_err());
+    }
+
+    #[test]
+    fn write_session_batches_ops_under_one_latch() {
+        let t = table();
+        let j = t.add_index("j_idx", &["j"], false).unwrap();
+        {
+            let mut s = t.write_session();
+            s.insert(row(1, 10), Lsn(1)).unwrap();
+            s.insert(row(2, 20), Lsn(2)).unwrap();
+            s.update(&Key::single(1), &[(1, Value::Int(20))], Lsn(3))
+                .unwrap();
+            assert_eq!(s.index_lookup(j, &Key::single(20)).len(), 2);
+            s.delete(&Key::single(2)).unwrap();
+            assert!(s.contains(&Key::single(1)));
+            assert_eq!(s.len(), 1);
+            assert_eq!(s.get(&Key::single(1)).unwrap().lsn, Lsn(3));
+        }
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&Key::single(1)).unwrap().values[1], Value::Int(20));
+        assert_eq!(t.index_cardinality(j, &Key::single(20)), 1);
+    }
+
+    #[test]
+    fn write_session_insert_row_keeps_metadata() {
+        let t = table();
+        let mut r = Row::new(row(1, 10), Lsn(4));
+        r.counter = 3;
+        let mut s = t.write_session();
+        let k = s.insert_row(r).unwrap();
+        let got = s.get(&k).unwrap();
+        assert_eq!(got.counter, 3);
+        assert_eq!(got.lsn, Lsn(4));
     }
 
     #[test]

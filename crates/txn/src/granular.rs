@@ -66,7 +66,8 @@ impl GranularMode {
     pub fn compatible(self, other: GranularMode) -> bool {
         const M: [[bool; 5]; 5] = [
             //        IS     IX     S      SIX    X
-            /*IS */ [true, true, true, true, false],
+            /*IS */
+            [true, true, true, true, false],
             /*IX */ [true, true, false, false, false],
             /*S  */ [true, false, true, false, false],
             /*SIX*/ [true, false, false, false, false],
@@ -99,9 +100,7 @@ impl GranularMode {
             return other;
         }
         match (self, other) {
-            (Shared, IntentionExclusive) | (IntentionExclusive, Shared) => {
-                SharedIntentionExclusive
-            }
+            (Shared, IntentionExclusive) | (IntentionExclusive, Shared) => SharedIntentionExclusive,
             _ => Exclusive,
         }
     }
@@ -168,9 +167,7 @@ impl TableLocks {
             if conflicting.iter().any(|h| !txn.is_older_than(*h)) {
                 return Err(DbError::Deadlock(txn));
             }
-            if Instant::now() >= deadline
-                || self.cv.wait_until(&mut state, deadline).timed_out()
-            {
+            if Instant::now() >= deadline || self.cv.wait_until(&mut state, deadline).timed_out() {
                 return Err(DbError::LockTimeout(txn));
             }
         }
@@ -234,7 +231,10 @@ mod tests {
         assert!(SharedIntentionExclusive.covers(Shared));
         assert!(!IntentionShared.covers(IntentionExclusive));
         assert_eq!(Shared.combine(IntentionExclusive), SharedIntentionExclusive);
-        assert_eq!(IntentionShared.combine(IntentionExclusive), IntentionExclusive);
+        assert_eq!(
+            IntentionShared.combine(IntentionExclusive),
+            IntentionExclusive
+        );
         assert_eq!(Shared.combine(Exclusive), Exclusive);
     }
 

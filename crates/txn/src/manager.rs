@@ -94,7 +94,9 @@ impl LockManager {
                     cv: Condvar::new(),
                 })
                 .collect(),
-            held: (0..HELD_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            held: (0..HELD_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
             config,
         }
     }
@@ -110,7 +112,11 @@ impl LockManager {
     }
 
     fn note_held(&self, txn: TxnId, lk: LockKey) {
-        self.held_shard(txn).lock().entry(txn).or_default().insert(lk);
+        self.held_shard(txn)
+            .lock()
+            .entry(txn)
+            .or_default()
+            .insert(lk);
     }
 
     /// Acquire an ordinary (native-origin) record lock, blocking under
@@ -155,8 +161,8 @@ impl LockManager {
                     .grants
                     .iter()
                     .filter(|g| {
-                        !(g.txn == txn && g.origin == origin)
-                            && !compatible((g.origin, g.mode), (origin, mode))
+                        let own = g.txn == txn && g.origin == origin;
+                        !own && !compatible((g.origin, g.mode), (origin, mode))
                     })
                     .collect();
                 if conflicting.is_empty() {
@@ -172,9 +178,7 @@ impl LockManager {
                 let conflicting: Vec<&Grant> = entry
                     .grants
                     .iter()
-                    .filter(|g| {
-                        g.txn != txn && !compatible((g.origin, g.mode), (origin, mode))
-                    })
+                    .filter(|g| g.txn != txn && !compatible((g.origin, g.mode), (origin, mode)))
                     .collect();
                 if conflicting.is_empty() {
                     entry.grants.push(Grant { txn, mode, origin });
@@ -194,10 +198,7 @@ impl LockManager {
             if now >= deadline {
                 return Err(DbError::LockTimeout(txn));
             }
-            let timed_out = shard
-                .cv
-                .wait_until(&mut map, deadline)
-                .timed_out();
+            let timed_out = shard.cv.wait_until(&mut map, deadline).timed_out();
             if timed_out {
                 return Err(DbError::LockTimeout(txn));
             }
@@ -230,8 +231,8 @@ impl LockManager {
                 return true;
             }
             let conflict = entry.grants.iter().any(|g| {
-                !(g.txn == txn && g.origin == origin)
-                    && !compatible((g.origin, g.mode), (origin, mode))
+                let own = g.txn == txn && g.origin == origin;
+                !own && !compatible((g.origin, g.mode), (origin, mode))
             });
             if !conflict {
                 entry.grants[own].mode = LockMode::Exclusive;
@@ -415,11 +416,10 @@ mod tests {
         m.lock(TxnId(1), T, &k, LockMode::Shared).unwrap();
         m.lock(TxnId(1), T, &k, LockMode::Shared).unwrap();
         m.lock(TxnId(1), T, &k, LockMode::Exclusive).unwrap(); // upgrade, sole holder
-        assert_eq!(m.holders(T, &k), vec![(
-            TxnId(1),
-            LockMode::Exclusive,
-            LockOrigin::Native
-        )]);
+        assert_eq!(
+            m.holders(T, &k),
+            vec![(TxnId(1), LockMode::Exclusive, LockOrigin::Native)]
+        );
         // X covers a later S request.
         m.lock(TxnId(1), T, &k, LockMode::Shared).unwrap();
         assert_eq!(m.held_count(TxnId(1)), 1);
@@ -484,7 +484,13 @@ mod tests {
         let k = Key::single(1);
         m.lock(TxnId(1), T, &k, LockMode::Exclusive).unwrap();
         assert!(!m.try_lock_tagged(TxnId(2), T, &k, LockMode::Shared, LockOrigin::Native));
-        assert!(m.try_lock_tagged(TxnId(2), T, &Key::single(2), LockMode::Shared, LockOrigin::Native));
+        assert!(m.try_lock_tagged(
+            TxnId(2),
+            T,
+            &Key::single(2),
+            LockMode::Shared,
+            LockOrigin::Native
+        ));
     }
 
     #[test]
@@ -520,8 +526,10 @@ mod tests {
     #[test]
     fn held_keys_in_reports_table_locks() {
         let m = mgr();
-        m.lock(TxnId(1), T, &Key::single(1), LockMode::Exclusive).unwrap();
-        m.lock(TxnId(1), T, &Key::single(2), LockMode::Shared).unwrap();
+        m.lock(TxnId(1), T, &Key::single(1), LockMode::Exclusive)
+            .unwrap();
+        m.lock(TxnId(1), T, &Key::single(2), LockMode::Shared)
+            .unwrap();
         m.lock(TxnId(1), TableId(2), &Key::single(3), LockMode::Shared)
             .unwrap();
         let mut keys = m.held_keys_in(TxnId(1), T);

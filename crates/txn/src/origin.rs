@@ -82,7 +82,8 @@ mod tests {
     /// Figure 2, transcribed literally (true = "y").
     const FIGURE_2: [[bool; 6]; 6] = [
         //        R.r    S.r    T.r    R.w    S.w    T.w
-        /*R.r*/ [true, true, true, true, true, false],
+        /*R.r*/
+        [true, true, true, true, true, false],
         /*S.r*/ [true, true, true, true, true, false],
         /*T.r*/ [true, true, true, false, false, false],
         /*R.w*/ [true, true, false, true, true, false],

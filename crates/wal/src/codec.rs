@@ -331,8 +331,8 @@ fn decode_value(r: &mut Reader<'_>) -> DbResult<Value> {
         V_STR => {
             let n = r.u32()? as usize;
             let raw = r.bytes(n)?;
-            let s = std::str::from_utf8(raw)
-                .map_err(|_| r.corrupt("invalid UTF-8 in string value"))?;
+            let s =
+                std::str::from_utf8(raw).map_err(|_| r.corrupt("invalid UTF-8 in string value"))?;
             Value::Str(s.to_owned())
         }
         other => return Err(r.corrupt(&format!("unknown value tag {other}"))),
@@ -352,7 +352,9 @@ mod tests {
     #[test]
     fn roundtrip_control_records() {
         roundtrip(LogRecord::Begin { txn: TxnId(1) });
-        roundtrip(LogRecord::Commit { txn: TxnId(u64::MAX) });
+        roundtrip(LogRecord::Commit {
+            txn: TxnId(u64::MAX),
+        });
         roundtrip(LogRecord::Abort { txn: TxnId(0) });
         roundtrip(LogRecord::AbortEnd { txn: TxnId(77) });
     }
@@ -430,10 +432,7 @@ mod tests {
     fn trailing_garbage_rejected() {
         let mut bytes = encode(&LogRecord::Begin { txn: TxnId(1) }).to_vec();
         bytes.push(0xAB);
-        assert!(matches!(
-            decode(&bytes),
-            Err(DbError::CorruptLog { .. })
-        ));
+        assert!(matches!(decode(&bytes), Err(DbError::CorruptLog { .. })));
     }
 
     #[test]

@@ -25,10 +25,7 @@ pub struct FileBackend {
 impl FileBackend {
     /// Open (or create) the log file at `path` for appending.
     pub fn open(path: &Path) -> DbResult<FileBackend> {
-        let file = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(path)?;
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
         Ok(FileBackend {
             writer: BufWriter::new(file),
         })
@@ -59,12 +56,9 @@ impl FileBackend {
         let mut records = Vec::new();
         let mut pos = 0usize;
         while pos + 4 <= bytes.len() {
-            let len = u32::from_le_bytes([
-                bytes[pos],
-                bytes[pos + 1],
-                bytes[pos + 2],
-                bytes[pos + 3],
-            ]) as usize;
+            let len =
+                u32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]])
+                    as usize;
             if pos + 4 + len > bytes.len() {
                 break; // torn final record: stop here
             }
@@ -151,10 +145,7 @@ mod tests {
     fn missing_file_is_io_error() {
         let path = tmp("never-created");
         std::fs::remove_file(&path).ok();
-        assert!(matches!(
-            FileBackend::read_all(&path),
-            Err(DbError::Io(_))
-        ));
+        assert!(matches!(FileBackend::read_all(&path), Err(DbError::Io(_))));
     }
 
     #[test]

@@ -141,7 +141,10 @@ impl LogManager {
         if lsn.0 <= inner.base {
             return None;
         }
-        inner.records.get((lsn.0 - inner.base) as usize - 1).cloned()
+        inner
+            .records
+            .get((lsn.0 - inner.base) as usize - 1)
+            .cloned()
     }
 
     /// Read up to `max` records starting at `from` (inclusive). Returns

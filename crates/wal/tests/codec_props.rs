@@ -35,14 +35,18 @@ fn op_strategy() -> impl Strategy<Value = LogOp> {
                 old,
             }
         }),
-        (any::<u32>(), values_strategy(), cols_strategy(), cols_strategy()).prop_map(
-            |(t, k, old, new)| LogOp::Update {
+        (
+            any::<u32>(),
+            values_strategy(),
+            cols_strategy(),
+            cols_strategy()
+        )
+            .prop_map(|(t, k, old, new)| LogOp::Update {
                 table: TableId(t),
                 key: Key(k),
                 old,
                 new,
-            }
-        ),
+            }),
     ]
 }
 
@@ -52,10 +56,7 @@ fn record_strategy() -> impl Strategy<Value = LogRecord> {
         any::<u64>().prop_map(|t| LogRecord::Commit { txn: TxnId(t) }),
         any::<u64>().prop_map(|t| LogRecord::Abort { txn: TxnId(t) }),
         any::<u64>().prop_map(|t| LogRecord::AbortEnd { txn: TxnId(t) }),
-        (any::<u64>(), op_strategy()).prop_map(|(t, op)| LogRecord::Op {
-            txn: TxnId(t),
-            op,
-        }),
+        (any::<u64>(), op_strategy()).prop_map(|(t, op)| LogRecord::Op { txn: TxnId(t), op }),
         (any::<u64>(), any::<u64>(), op_strategy()).prop_map(|(t, l, op)| LogRecord::Clr {
             txn: TxnId(t),
             undone_lsn: Lsn(l),

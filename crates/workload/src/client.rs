@@ -97,8 +97,8 @@ impl Client {
             let txn = self.db.begin();
             let mut outcome = UpdateOutcome::Ok;
             for _ in 0..self.cfg.updates_per_txn {
-                let hot = rng.gen_bool(self.cfg.hot_fraction)
-                    && !self.switched.load(Ordering::Relaxed);
+                let hot =
+                    rng.gen_bool(self.cfg.hot_fraction) && !self.switched.load(Ordering::Relaxed);
                 let res = if hot {
                     self.hot_update(&mut rng, txn, serial)
                 } else {

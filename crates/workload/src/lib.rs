@@ -29,5 +29,8 @@ pub mod stats;
 
 pub use client::{ClientConfig, HotSide};
 pub use runner::{RelativeRun, WindowStats, WorkloadRunner};
-pub use setup::{setup_dummy, setup_foj_sources, setup_split_source, FOJ_R_ROWS, FOJ_S_ROWS, SPLIT_ROWS, SPLIT_VALUES};
+pub use setup::{
+    setup_dummy, setup_foj_sources, setup_split_source, FOJ_R_ROWS, FOJ_S_ROWS, SPLIT_ROWS,
+    SPLIT_VALUES,
+};
 pub use stats::SharedStats;

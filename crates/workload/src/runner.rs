@@ -231,12 +231,7 @@ mod tests {
 
     #[test]
     fn calibration_returns_positive_thread_count() {
-        let n = calibrate_full_workload(
-            small_split_db,
-            &cfg_split(),
-            4,
-            Duration::from_millis(60),
-        );
+        let n = calibrate_full_workload(small_split_db, &cfg_split(), 4, Duration::from_millis(60));
         assert!((1..=4).contains(&n));
     }
 

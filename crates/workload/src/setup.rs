@@ -15,11 +15,7 @@ pub const SPLIT_VALUES: usize = 20_000;
 /// Dummy-table size (absorbs the non-source share of updates).
 pub const DUMMY_ROWS: usize = 50_000;
 
-fn bulk_insert(
-    db: &Database,
-    table: &str,
-    rows: impl Iterator<Item = Vec<Value>>,
-) -> DbResult<()> {
+fn bulk_insert(db: &Database, table: &str, rows: impl Iterator<Item = Vec<Value>>) -> DbResult<()> {
     // Batches keep any single transaction's undo chain bounded.
     let mut txn = db.begin();
     let mut n = 0;

@@ -175,7 +175,7 @@ mod tests {
         let p50 = d.percentile_ns(0.50);
         let p99 = d.percentile_ns(0.99);
         assert!(p50 <= p99);
-        assert!(p50 >= 1_000 && p50 <= 4_096, "p50={p50}");
+        assert!((1_000..=4_096).contains(&p50), "p50={p50}");
         assert!(p99 >= 1_000_000, "p99={p99}");
     }
 

@@ -13,9 +13,9 @@
 //! ```
 
 use morphdb::engine::recover_into;
+use morphdb::txn::LockManagerConfig;
 use morphdb::wal::{file::FileBackend, LogManager};
 use morphdb::{ColumnType, Database, Key, Schema, Value};
-use morphdb::txn::LockManagerConfig;
 use std::sync::Arc;
 
 fn schema() -> Schema {
@@ -72,7 +72,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("recovered log: {} records", records.len());
 
     let db = Database::new();
-    db.catalog().create_table_with_id(table_id, "accounts", schema())?;
+    db.catalog()
+        .create_table_with_id(table_id, "accounts", schema())?;
     let report = recover_into(&db, &records)?;
     println!(
         "analysis/redo/undo: {} operations redone, {} loser transaction(s) rolled back, {} CLRs written\n",

@@ -52,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     db.commit(txn)?;
     println!("source table (note customers 1 and 134 disagree on 7050's city):\n");
-    println!("{}", morphdb::pretty::render(&*db.catalog().get("customers")?));
+    println!(
+        "{}",
+        morphdb::pretty::render(&*db.catalog().get("customers")?)
+    );
 
     let spec = || {
         SplitSpec::new(
@@ -101,8 +104,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.cc_rounds, report.sync.latch_pause
     );
 
-    println!("{}", morphdb::pretty::render(&*db.catalog().get("customers_base")?));
-    println!("{}", morphdb::pretty::render(&*db.catalog().get("postal_codes")?));
+    println!(
+        "{}",
+        morphdb::pretty::render(&*db.catalog().get("customers_base")?)
+    );
+    println!(
+        "{}",
+        morphdb::pretty::render(&*db.catalog().get("postal_codes")?)
+    );
     println!("(ctr=2 on 7050: two customers share that postal code; all flags are C)");
     Ok(())
 }

@@ -46,13 +46,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )?;
     }
     for c in 0..8i64 {
-        db.insert(txn, "customers", vec![Value::Int(c), Value::str(format!("cust{c}"))])?;
+        db.insert(
+            txn,
+            "customers",
+            vec![Value::Int(c), Value::str(format!("cust{c}"))],
+        )?;
     }
     db.commit(txn)?;
 
     // A long-running transaction, active when synchronization fires.
     let old = db.begin();
-    db.update(old, "orders", &Key::single(5), &[(1, Value::str("old-txn-work"))])?;
+    db.update(
+        old,
+        "orders",
+        &Key::single(5),
+        &[(1, Value::str("old-txn-work"))],
+    )?;
     println!("old transaction {old} holds a lock on orders[5]");
 
     println!("launching the FOJ transformation with the non-blocking COMMIT strategy…");
@@ -77,7 +86,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A NEW transaction can use the transformed table immediately…
     let fresh = db.begin();
     let t_key = Key::new([Value::Int(50), Value::Int(2)]); // (order_id, cust)
-    db.update(fresh, "orders_denorm", &t_key, &[(1, Value::str("new-world"))])?;
+    db.update(
+        fresh,
+        "orders_denorm",
+        &t_key,
+        &[(1, Value::str("new-world"))],
+    )?;
     db.commit(fresh)?;
     println!("new transaction updated orders_denorm[50] without waiting");
 
@@ -85,7 +99,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // protected: a new writer conflicts per Figure 2 (T.w vs R.w = n).
     let blocked = db.begin();
     let locked_key = Key::new([Value::Int(5), Value::Int(5)]);
-    match db.update(blocked, "orders_denorm", &locked_key, &[(1, Value::str("clash"))]) {
+    match db.update(
+        blocked,
+        "orders_denorm",
+        &locked_key,
+        &[(1, Value::str("clash"))],
+    ) {
         Err(DbError::Deadlock(_)) | Err(DbError::LockTimeout(_)) => {
             println!("new transaction correctly blocked on the mirrored lock of {old}");
         }
@@ -97,9 +116,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The old transaction continues on the frozen source and COMMITS —
     // nothing it did is lost ("nonconflicting transactions are not
     // aborted due to the transformation").
-    db.update(old, "orders", &Key::single(6), &[(1, Value::str("late-work"))])?;
+    db.update(
+        old,
+        "orders",
+        &Key::single(6),
+        &[(1, Value::str("late-work"))],
+    )?;
     db.commit(old)?;
-    println!("{old} committed on the frozen source; propagation washes its work into the new table");
+    println!(
+        "{old} committed on the frozen source; propagation washes its work into the new table"
+    );
 
     let report = handle.join()?;
     println!(
@@ -122,7 +148,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // And the once-locked record is writable again.
     let after = db.begin();
-    db.update(after, "orders_denorm", &locked_key, &[(1, Value::str("free"))])?;
+    db.update(
+        after,
+        "orders_denorm",
+        &locked_key,
+        &[(1, Value::str("free"))],
+    )?;
     db.commit(after)?;
     println!("record released after the propagator processed {old}'s commit — soft transformation complete.");
     Ok(())

@@ -61,10 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         db.insert(txn, "plans", vec![Value::Int(p), Value::str("flat")])?;
     }
     db.commit(txn)?;
-    println!(
-        "seeded {} subscribers on {} rate plans",
-        SUBSCRIBERS, PLANS
-    );
+    println!("seeded {} subscribers on {} rate plans", SUBSCRIBERS, PLANS);
 
     // Call-processing workload: profile updates on subscribers (these
     // are the hot updates the propagator must chase) plus billing

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Repository CI gate: formatting, lints, tier-1 build + tests.
+#
+#   scripts/ci.sh          # everything
+#   scripts/ci.sh quick    # skip the release build (lints + debug tests)
+#
+# fmt/clippy run only when the toolchain provides them, so the script
+# also works on minimal rust installations.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick="${1:-}"
+
+if cargo fmt --version >/dev/null 2>&1; then
+    echo "== cargo fmt --check"
+    cargo fmt --all -- --check
+else
+    echo "== cargo fmt unavailable, skipping"
+fi
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "== cargo clippy -D warnings"
+    cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo "== cargo clippy unavailable, skipping"
+fi
+
+if [ "$quick" != "quick" ]; then
+    echo "== cargo build --release (tier-1)"
+    cargo build --release
+fi
+
+echo "== cargo test (tier-1)"
+cargo test -q
+
+echo "CI OK"

@@ -1,0 +1,424 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the benchmarking surface the workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, `Criterion`,
+//! `benchmark_group`, `Bencher::iter`/`iter_batched`, `Throughput`,
+//! `BatchSize`, `black_box` — with a real warmup + sampled-median
+//! measurement loop. No plotting, no statistical regression analysis;
+//! results are printed as `ns/iter` (plus derived throughput) and are
+//! retrievable programmatically via [`Criterion::measurements`] so
+//! benches can persist their own result files.
+//!
+//! When invoked with `--test` (as `cargo test --benches` does), every
+//! benchmark runs exactly once as a smoke test.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup; mirrors `criterion::BatchSize`.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+impl BatchSize {
+    fn batch_len(self) -> usize {
+        match self {
+            BatchSize::SmallInput => 64,
+            BatchSize::LargeInput => 16,
+            BatchSize::PerIteration => 1,
+        }
+    }
+}
+
+/// Work-per-iteration annotation; mirrors `criterion::Throughput`.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// One finished benchmark measurement.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// `group/function` identifier.
+    pub id: String,
+    /// Median wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Total iterations executed during measurement.
+    pub iterations: u64,
+    /// Declared throughput, if any.
+    pub throughput: Option<Throughput>,
+}
+
+impl Measurement {
+    /// Elements (or bytes) per second implied by the declared
+    /// throughput, if any.
+    pub fn per_second(&self) -> Option<f64> {
+        let units = match self.throughput? {
+            Throughput::Elements(n) | Throughput::Bytes(n) => n,
+        };
+        if self.ns_per_iter == 0.0 {
+            return None;
+        }
+        Some(units as f64 * 1e9 / self.ns_per_iter)
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Config {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    quick: bool,
+}
+
+/// Benchmark driver; mirrors `criterion::Criterion`.
+pub struct Criterion {
+    config: Config,
+    filter: Option<String>,
+    measurements: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let quick = args.iter().any(|a| a == "--test");
+        // First free arg (not a flag or a flag's value) filters by name.
+        let mut filter = None;
+        let mut skip_value = false;
+        for a in &args {
+            if skip_value {
+                skip_value = false;
+                continue;
+            }
+            if a == "--bench" || a == "--test" {
+                continue;
+            }
+            if a.starts_with("--") {
+                skip_value = !a.contains('=');
+                continue;
+            }
+            filter = Some(a.clone());
+            break;
+        }
+        Criterion {
+            config: Config {
+                sample_size: 20,
+                measurement_time: Duration::from_secs(1),
+                warm_up_time: Duration::from_millis(300),
+                quick,
+            },
+            filter,
+            measurements: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id.into(), None, f);
+        self
+    }
+
+    /// All measurements recorded so far (shim extension, used by
+    /// benches that persist JSON result files).
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+
+    fn run_one<F>(&mut self, id: String, throughput: Option<Throughput>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            config: self.config,
+            ns_per_iter: 0.0,
+            iterations: 0,
+        };
+        f(&mut b);
+        let m = Measurement {
+            id,
+            ns_per_iter: b.ns_per_iter,
+            iterations: b.iterations,
+            throughput,
+        };
+        if self.config.quick {
+            println!("{}: ok (smoke test)", m.id);
+        } else {
+            let thrpt = m
+                .per_second()
+                .map(|r| format!("  thrpt: {}/s", human(r)))
+                .unwrap_or_default();
+            println!(
+                "{:<48} time: {}/iter{}",
+                m.id,
+                human_ns(m.ns_per_iter),
+                thrpt
+            );
+        }
+        self.measurements.push(m);
+    }
+}
+
+/// Named group of related benchmarks; mirrors
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.config.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.config.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let throughput = self.throughput;
+        self.criterion.run_one(id, throughput, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Timing loop handle; mirrors `criterion::Bencher`.
+pub struct Bencher {
+    config: Config,
+    ns_per_iter: f64,
+    iterations: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.config.quick {
+            black_box(routine());
+            self.iterations = 1;
+            return;
+        }
+        // Warmup, which doubles as the per-iteration estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        let mut chunk: u64 = 1;
+        while warm_start.elapsed() < self.config.warm_up_time {
+            for _ in 0..chunk {
+                black_box(routine());
+            }
+            warm_iters += chunk;
+            chunk = chunk.saturating_mul(2).min(1 << 20);
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(0.5);
+
+        let samples = self.config.sample_size;
+        let sample_ns = self.config.measurement_time.as_nanos() as f64 / samples as f64;
+        let iters_per_sample = ((sample_ns / est_ns) as u64).max(1);
+        let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            per_iter.push(t0.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+            self.iterations += iters_per_sample;
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = per_iter[per_iter.len() / 2];
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        if self.config.quick {
+            black_box(routine(setup()));
+            self.iterations = 1;
+            return;
+        }
+        let batch = size.batch_len();
+        // Warmup + estimate (setup excluded from the estimate's timing
+        // by measuring only the routine portion).
+        let mut est_ns = 0.5f64;
+        let warm_start = Instant::now();
+        let mut measured: u64 = 0;
+        let mut routine_ns: u128 = 0;
+        while warm_start.elapsed() < self.config.warm_up_time {
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let t0 = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            routine_ns += t0.elapsed().as_nanos();
+            measured += batch as u64;
+        }
+        if measured > 0 {
+            est_ns = (routine_ns as f64 / measured as f64).max(0.5);
+        }
+
+        let samples = self.config.sample_size;
+        let sample_ns = self.config.measurement_time.as_nanos() as f64 / samples as f64;
+        let iters_per_sample = ((sample_ns / est_ns) as u64).max(1);
+        let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let mut ns: u128 = 0;
+            let mut done: u64 = 0;
+            while done < iters_per_sample {
+                let n = batch.min((iters_per_sample - done) as usize);
+                let inputs: Vec<I> = (0..n).map(|_| setup()).collect();
+                let t0 = Instant::now();
+                for input in inputs {
+                    black_box(routine(input));
+                }
+                ns += t0.elapsed().as_nanos();
+                done += n as u64;
+            }
+            per_iter.push(ns as f64 / iters_per_sample as f64);
+            self.iterations += iters_per_sample;
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = per_iter[per_iter.len() / 2];
+    }
+
+    pub fn iter_batched_ref<I, O, S, F>(&mut self, setup: S, mut routine: F, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> O,
+    {
+        self.iter_batched(setup, |mut input| routine(&mut input), size);
+    }
+}
+
+fn human_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn human(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.2} G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2} M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2} K", rate / 1e3)
+    } else {
+        format!("{rate:.1} ")
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(1));
+        g.bench_function("add", |b| {
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_add(black_box(3));
+                x
+            });
+        });
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 16],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            );
+        });
+        g.finish();
+        assert_eq!(c.measurements().len(), 2);
+        assert!(c.measurements().iter().all(|m| m.iterations > 0));
+    }
+}

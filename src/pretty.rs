@@ -12,8 +12,7 @@ pub fn render(table: &Table) -> String {
         .snapshot()
         .into_iter()
         .map(|(_, row)| {
-            let mut cells: Vec<String> =
-                row.values.iter().map(|v| v.to_string()).collect();
+            let mut cells: Vec<String> = row.values.iter().map(|v| v.to_string()).collect();
             let mut meta = Vec::new();
             if row.counter != 1 {
                 meta.push(format!("ctr={}", row.counter));

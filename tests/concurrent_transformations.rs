@@ -68,7 +68,8 @@ fn disjoint_foj_and_split_run_concurrently() {
         .unwrap();
     }
     for j in 0..50i64 {
-        db.insert(txn, "S", vec![Value::Int(j), Value::str("d")]).unwrap();
+        db.insert(txn, "S", vec![Value::Int(j), Value::str("d")])
+            .unwrap();
     }
     db.commit(txn).unwrap();
 
@@ -108,7 +109,14 @@ fn disjoint_foj_and_split_run_concurrently() {
     );
     let h2 = Transformer::spawn_split(
         Arc::clone(&db),
-        SplitSpec::new("U", "U_base", "U_groups", &["k", "payload", "grp"], "grp", &["dep"]),
+        SplitSpec::new(
+            "U",
+            "U_base",
+            "U_groups",
+            &["k", "payload", "grp"],
+            "grp",
+            &["dep"],
+        ),
         opts,
     );
     let rep1 = h1.join().expect("FOJ transformation");

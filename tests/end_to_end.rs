@@ -170,7 +170,11 @@ fn split_under_live_workload_matches_independent_oracle() {
     let r2 = db.catalog().get("R2").unwrap();
     assert_eq!(r2.len(), exp_r.len());
     for (k, row) in r2.snapshot() {
-        assert_eq!(Some(&row.values), exp_r.get(&k.0[0]), "R2 mismatch at {k:?}");
+        assert_eq!(
+            Some(&row.values),
+            exp_r.get(&k.0[0]),
+            "R2 mismatch at {k:?}"
+        );
     }
     let s2 = db.catalog().get("S2").unwrap();
     assert_eq!(s2.len(), exp_s.len());

@@ -53,12 +53,10 @@ fn run_txn(db: &Database, model: &mut BTreeMap<i64, i64>, steps: &[Step], commit
         let res = match step {
             Step::Insert { id, v } => db
                 .insert(txn, "t", vec![Value::Int(*id), Value::Int(*v)])
-                .map(|_| ())
-                .and_then(|()| {
+                .map(|_| {
                     if shadow.insert(*id, *v).is_some() {
                         unreachable!("engine must have rejected duplicate")
                     }
-                    Ok(())
                 }),
             Step::Update { id, v } => db
                 .update(txn, "t", &Key::single(*id), &[(1, Value::Int(*v))])

@@ -115,12 +115,8 @@ fn foj_then_split_recovers_the_decomposition() {
     let opts = TransformOptions::default().deadline(Duration::from_secs(60));
 
     // Denormalize…
-    let report1 = Transformer::run_foj(
-        &db,
-        FojSpec::new("R", "S", "T", "c", "c"),
-        opts.clone(),
-    )
-    .expect("FOJ transformation");
+    let report1 = Transformer::run_foj(&db, FojSpec::new("R", "S", "T", "c", "c"), opts.clone())
+        .expect("FOJ transformation");
     assert!(!db.catalog().exists("R") && !db.catalog().exists("S"));
     assert_eq!(db.catalog().get("T").unwrap().len(), 600);
 
@@ -200,8 +196,7 @@ fn many_to_many_foj_full_transformation() {
     }
     db.commit(txn).unwrap();
 
-    let spec = FojSpec::new("students", "sessions", "timetable", "course", "course")
-        .many_to_many();
+    let spec = FojSpec::new("students", "sessions", "timetable", "course", "course").many_to_many();
     let report = Transformer::run_foj(
         &db,
         spec,
@@ -214,7 +209,6 @@ fn many_to_many_foj_full_transformation() {
     assert_eq!(t.len(), 60 * 3);
     assert!(report.population.rows_written >= 180);
 }
-
 
 #[test]
 fn union_merge_full_transformation_under_load() {
@@ -250,7 +244,7 @@ fn union_merge_full_transformation_under_load() {
         while !stop2.load(Ordering::Relaxed) {
             i += 1;
             let txn = db2.begin();
-            let table = if i % 2 == 0 { "eu" } else { "us" };
+            let table = if i.is_multiple_of(2) { "eu" } else { "us" };
             let key = Key::single((i % 100) as i64);
             match db2.update(txn, table, &key, &[(1, Value::str(format!("w{i}")))]) {
                 Ok(()) => {

@@ -34,7 +34,8 @@ fn sources(db: &Database, rows: usize) {
         .unwrap();
     }
     for j in 0..10i64 {
-        db.insert(txn, "S", vec![Value::Int(j), Value::str("d")]).unwrap();
+        db.insert(txn, "S", vec![Value::Int(j), Value::str("d")])
+            .unwrap();
     }
     db.commit(txn).unwrap();
 }
@@ -107,12 +108,13 @@ fn non_blocking_commit_blocks_new_txn_until_old_commit_propagates() {
     // Wait for the switch (R freezes for new transactions).
     let t0 = Instant::now();
     loop {
-        if db.catalog().get("R").unwrap().state()
-            != morphdb::storage::TableState::Active
-        {
+        if db.catalog().get("R").unwrap().state() != morphdb::storage::TableState::Active {
             break;
         }
-        assert!(t0.elapsed() < Duration::from_secs(25), "sync never happened");
+        assert!(
+            t0.elapsed() < Duration::from_secs(25),
+            "sync never happened"
+        );
         std::thread::sleep(Duration::from_micros(500));
     }
 
@@ -141,7 +143,11 @@ fn non_blocking_commit_blocks_new_txn_until_old_commit_propagates() {
 
     // Both old-transaction updates are visible in T.
     let t = db.catalog().get("T").unwrap();
-    let vals: Vec<Value> = t.snapshot().iter().map(|(_, r)| r.values[1].clone()).collect();
+    let vals: Vec<Value> = t
+        .snapshot()
+        .iter()
+        .map(|(_, r)| r.values[1].clone())
+        .collect();
     assert!(vals.contains(&Value::str("v2")));
     assert!(vals.contains(&Value::str("after")));
 }
@@ -207,7 +213,10 @@ fn split_sync_with_active_source_lock_holder_does_not_deadlock() {
         }
     }
     let report = handle.join().expect("split transformation");
-    assert!(report.sync.old_txns >= 1, "the holder must be grandfathered");
+    assert!(
+        report.sync.old_txns >= 1,
+        "the holder must be grandfathered"
+    );
     assert!(report.sync.locks_transferred >= 1);
     // The doomed txn's work is absent from the targets.
     let r2 = db.catalog().get("R2").unwrap();

@@ -14,7 +14,7 @@
 //! is the production one.
 
 use morphdb::core::foj::{self, FojMapping};
-use morphdb::core::propagate::{Propagator, Rules};
+use morphdb::core::propagate::Propagator;
 use morphdb::core::split::{self, SplitMapping};
 use morphdb::core::{FojSpec, SplitSpec};
 use morphdb::{ColumnType, Database, DbError, Key, Schema, Value};
@@ -46,8 +46,12 @@ fn random_foj_txn(db: &Database, rng: &mut StdRng, step: u64) {
             }
             1 => {
                 let c = rng.gen_range(0..6i64);
-                db.insert(txn, "S", vec![Value::Int(c), Value::str(format!("d{step}"))])
-                    .map(|_| ())
+                db.insert(
+                    txn,
+                    "S",
+                    vec![Value::Int(c), Value::str(format!("d{step}"))],
+                )
+                .map(|_| ())
             }
             2 => db.delete(txn, "R", &Key::single(rng.gen_range(0..30i64))),
             3 => db.delete(txn, "S", &Key::single(rng.gen_range(0..6i64))),
@@ -119,9 +123,9 @@ fn foj_fuzzy_copy_plus_log_drain_equals_reference() {
         // framework sequence.
         let mapping = FojMapping::prepare(&db, &FojSpec::new("R", "S", "T", "c", "c")).unwrap();
         let (_, start_lsn, _) = db.write_fuzzy_mark();
-        let mut rules = Rules::Foj(mapping);
+        let mut m = mapping;
         let mut prop = Propagator::new(&db, start_lsn, 1.0);
-        rules.populate(4).unwrap();
+        m.populate(4).unwrap();
 
         // Phase 2: more history while the copy exists.
         for step in 0..rng.gen_range(10..120) {
@@ -129,15 +133,14 @@ fn foj_fuzzy_copy_plus_log_drain_equals_reference() {
             // Occasionally interleave partial propagation.
             if rng.gen_bool(0.2) {
                 let abort = AtomicBool::new(false);
-                let _ = prop.iterate(&db, &mut rules, 8, 0, &abort).unwrap();
+                let _ = prop.iterate(&db, &mut m, 8, 0, &abort).unwrap();
             }
         }
 
         // Phase 3: drain completely (no active txns remain).
-        prop.drain_all(&db, &mut rules).unwrap();
+        prop.drain_all(&db, &mut m).unwrap();
 
-        let Rules::Foj(m) = &rules else { unreachable!() };
-        if let Err(e) = foj::verify_against_reference(m) {
+        if let Err(e) = foj::verify_against_reference(&m) {
             panic!("seed {seed}: T diverged from reference FOJ: {e}");
         }
     }
@@ -228,21 +231,20 @@ fn split_fuzzy_copy_plus_log_drain_equals_reference() {
         let spec = SplitSpec::new("T", "R_t", "S_t", &["a", "b", "c"], "c", &["d"]);
         let mapping = SplitMapping::prepare(&db, &spec).unwrap();
         let (_, start_lsn, _) = db.write_fuzzy_mark();
-        let mut rules = Rules::Split(mapping);
+        let mut m = mapping;
         let mut prop = Propagator::new(&db, start_lsn, 1.0);
-        rules.populate(4).unwrap();
+        m.populate(4).unwrap();
 
         for step in 0..rng.gen_range(10..120) {
             random_split_txn(&db, &mut rng, 10_000 + step);
             if rng.gen_bool(0.2) {
                 let abort = AtomicBool::new(false);
-                let _ = prop.iterate(&db, &mut rules, 8, 0, &abort).unwrap();
+                let _ = prop.iterate(&db, &mut m, 8, 0, &abort).unwrap();
             }
         }
-        prop.drain_all(&db, &mut rules).unwrap();
+        prop.drain_all(&db, &mut m).unwrap();
 
-        let Rules::Split(m) = &rules else { unreachable!() };
-        if let Err(e) = split::verify_against_reference(m) {
+        if let Err(e) = split::verify_against_reference(&m) {
             panic!("seed {seed}: split targets diverged: {e}");
         }
     }
@@ -257,19 +259,18 @@ fn split_rename_in_place_equivalence() {
         for step in 0..30 {
             random_split_txn(&db, &mut rng, step);
         }
-        let spec = SplitSpec::new("T", "R_t", "S_t", &["a", "b", "c"], "c", &["d"])
-            .rename_in_place();
+        let spec =
+            SplitSpec::new("T", "R_t", "S_t", &["a", "b", "c"], "c", &["d"]).rename_in_place();
         let mapping = SplitMapping::prepare(&db, &spec).unwrap();
         let (_, start_lsn, _) = db.write_fuzzy_mark();
-        let mut rules = Rules::Split(mapping);
+        let mut m = mapping;
         let mut prop = Propagator::new(&db, start_lsn, 1.0);
-        rules.populate(4).unwrap();
+        m.populate(4).unwrap();
         for step in 0..60 {
             random_split_txn(&db, &mut rng, 10_000 + step);
         }
-        prop.drain_all(&db, &mut rules).unwrap();
-        let Rules::Split(m) = &rules else { unreachable!() };
-        if let Err(e) = split::verify_against_reference(m) {
+        prop.drain_all(&db, &mut m).unwrap();
+        if let Err(e) = split::verify_against_reference(&m) {
             panic!("seed {seed}: rename-in-place split diverged: {e}");
         }
     }
