@@ -325,7 +325,7 @@ impl PropagationLoop {
             };
             let (_, start_lsn, _) = db.write_fuzzy_mark();
             let mut prop = Propagator::new(&db, start_lsn, priority);
-            oper.populate(1_024).expect("populate");
+            oper.populate(&db, 1_024).expect("populate");
             let abort = AtomicBool::new(false);
             let mut records = 0usize;
             while !stop2.load(Ordering::Relaxed) {

@@ -77,6 +77,12 @@ pub enum DbError {
     Io(String),
     /// The on-disk log is corrupt at the given byte offset.
     CorruptLog { offset: u64, detail: String },
+
+    // --- simulation ---
+    /// A simulated crash was injected at the named crash point. Only
+    /// ever produced by the deterministic crash harness (`morph-sim`);
+    /// the payload names the point so failures reproduce from traces.
+    SimulatedCrash(String),
 }
 
 impl fmt::Display for DbError {
@@ -127,6 +133,9 @@ impl fmt::Display for DbError {
             DbError::Io(m) => write!(f, "I/O error: {m}"),
             DbError::CorruptLog { offset, detail } => {
                 write!(f, "corrupt log at offset {offset}: {detail}")
+            }
+            DbError::SimulatedCrash(point) => {
+                write!(f, "simulated crash at point {point}")
             }
         }
     }

@@ -361,14 +361,26 @@ impl FojMapping {
         chunk_size: usize,
         throttle: &mut Throttle,
     ) -> DbResult<(usize, usize)> {
+        self.populate_with(None, chunk_size, throttle)
+    }
+
+    /// [`FojMapping::populate_throttled`] with the database handle
+    /// threaded through so the fuzzy scan reports per-chunk crash
+    /// points (crash simulation).
+    pub(crate) fn populate_with(
+        &self,
+        db: Option<&Database>,
+        chunk_size: usize,
+        throttle: &mut Throttle,
+    ) -> DbResult<(usize, usize)> {
         use std::time::Instant;
         let mut r_rows: Vec<Vec<Value>> = Vec::new();
-        let mut read = scan_source_throttled(&self.r, chunk_size, throttle, |batch| {
+        let mut read = scan_source_throttled(db, &self.r, chunk_size, throttle, |batch| {
             r_rows.extend(batch.into_iter().map(|(_, row)| row.values));
             Ok(())
         })?;
         let mut s_rows: Vec<Vec<Value>> = Vec::new();
-        read += scan_source_throttled(&self.s, chunk_size, throttle, |batch| {
+        read += scan_source_throttled(db, &self.s, chunk_size, throttle, |batch| {
             s_rows.extend(batch.into_iter().map(|(_, row)| row.values));
             Ok(())
         })?;
@@ -380,6 +392,9 @@ impl FojMapping {
         // the latch is held only briefly while concurrent writers run.
         let mut it = image.into_iter().peekable();
         while it.peek().is_some() {
+            if let Some(db) = db {
+                db.crash_point("populate.chunk")?;
+            }
             let t0 = Instant::now();
             let t = Arc::clone(&self.t);
             let mut ts = t.write_session();
@@ -805,10 +820,11 @@ impl TransformOperator for FojMapping {
 
     fn populate_throttled(
         &mut self,
+        db: &Database,
         chunk: usize,
         throttle: &mut Throttle,
     ) -> DbResult<(usize, usize)> {
-        FojMapping::populate_throttled(self, chunk, throttle)
+        FojMapping::populate_with(self, Some(db), chunk, throttle)
     }
 
     fn target_keys_for(&self, table: TableId, key: &Key) -> Vec<(TableId, Key)> {

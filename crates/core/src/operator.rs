@@ -143,16 +143,20 @@ pub trait TransformOperator: Send {
     }
 
     /// Initial population by fuzzy read (§3.2), paying the priority
-    /// throttle per chunk. Returns `(rows_read, rows_written)`.
+    /// throttle per chunk. Returns `(rows_read, rows_written)`. The
+    /// database handle feeds the per-chunk crash point
+    /// (`populate.chunk`) that the deterministic crash harness kills
+    /// fuzzy copies at.
     fn populate_throttled(
         &mut self,
+        db: &Database,
         chunk: usize,
         throttle: &mut Throttle,
     ) -> DbResult<(usize, usize)>;
 
     /// Unthrottled population (tests and full-priority runs).
-    fn populate(&mut self, chunk: usize) -> DbResult<(usize, usize)> {
-        self.populate_throttled(chunk, &mut Throttle::new(1.0))
+    fn populate(&mut self, db: &Database, chunk: usize) -> DbResult<(usize, usize)> {
+        self.populate_throttled(db, chunk, &mut Throttle::new(1.0))
     }
 
     /// Target keys a record lock on `(table, key)` must be mirrored to
@@ -220,7 +224,12 @@ pub fn source_tables(db: &Database, op: &dyn TransformOperator) -> DbResult<Vec<
 /// table in primary-key chunks, paying the priority throttle for the
 /// work each chunk took. All three operators' `populate_throttled`
 /// implementations are built on this.
+///
+/// With a database handle the scan reports the `populate.chunk` crash
+/// point between chunks (no write session is open there, so the crash
+/// harness may both inject workload and kill the run at that point).
 pub(crate) fn scan_source_throttled(
+    db: Option<&Database>,
     table: &Arc<Table>,
     chunk: usize,
     throttle: &mut Throttle,
@@ -229,6 +238,9 @@ pub(crate) fn scan_source_throttled(
     let mut scan = table.fuzzy_scan(chunk);
     let mut rows = 0usize;
     loop {
+        if let Some(db) = db {
+            db.crash_point("populate.chunk")?;
+        }
         let t0 = Instant::now();
         let batch = scan.next_chunk();
         if batch.is_empty() {

@@ -341,6 +341,9 @@ impl Propagator {
             if abort.load(Ordering::Relaxed) || t0.elapsed() > ITERATION_BUDGET {
                 break;
             }
+            // Crash-simulation point *inside* a propagation iteration,
+            // between cursor batches (no write session open here).
+            db.crash_point("propagate.batch")?;
             let batch = self.cursor.next_batch(db.log(), batch_size);
             if batch.is_empty() {
                 break;
@@ -402,6 +405,8 @@ impl Propagator {
         let mut n = 0usize;
         let target = db.log().last_lsn();
         while self.cursor.next_lsn() <= target {
+            // Crash-simulation point inside the final latched drain.
+            db.crash_point("propagate.drain.batch")?;
             // Never read past the target: the cursor must not skip
             // records it has not processed.
             let remaining = (target.0 - self.cursor.next_lsn().0 + 1) as usize;

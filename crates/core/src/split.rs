@@ -619,11 +619,23 @@ impl SplitMapping {
         chunk_size: usize,
         throttle: &mut Throttle,
     ) -> DbResult<(usize, usize)> {
+        self.populate_with(None, chunk_size, throttle)
+    }
+
+    /// [`SplitMapping::populate_throttled`] with the database handle
+    /// threaded through so the fuzzy scan reports per-chunk crash
+    /// points (crash simulation).
+    pub(crate) fn populate_with(
+        &mut self,
+        db: Option<&Database>,
+        chunk_size: usize,
+        throttle: &mut Throttle,
+    ) -> DbResult<(usize, usize)> {
         let t = Arc::clone(&self.t);
         let r_side = Arc::clone(self.r_side());
         let s = Arc::clone(&self.s);
         let mut written = 0usize;
-        let read = scan_source_throttled(&t, chunk_size, throttle, |chunk| {
+        let read = scan_source_throttled(db, &t, chunk_size, throttle, |chunk| {
             let mut rs = r_side.write_session();
             let mut ss = s.write_session();
             for (_, row) in chunk {
@@ -815,10 +827,11 @@ impl TransformOperator for SplitMapping {
 
     fn populate_throttled(
         &mut self,
+        db: &Database,
         chunk: usize,
         throttle: &mut Throttle,
     ) -> DbResult<(usize, usize)> {
-        SplitMapping::populate_throttled(self, chunk, throttle)
+        SplitMapping::populate_with(self, Some(db), chunk, throttle)
     }
 
     fn target_keys_for(&self, table: TableId, key: &Key) -> Vec<(TableId, Key)> {

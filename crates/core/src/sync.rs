@@ -338,13 +338,32 @@ fn non_blocking(
     prop: &mut Propagator,
     options: &TransformOptions,
 ) -> DbResult<SyncOutcome> {
+    // Crash-simulation points, named per strategy so the crash matrix
+    // can enumerate kills inside each of the three strategies.
+    let (p_latched, p_drained, p_treated, p_switched) = match options.strategy {
+        SyncStrategy::NonBlockingAbort => (
+            "sync.nba.latched",
+            "sync.nba.drained",
+            "sync.nba.treated",
+            "sync.nba.switched",
+        ),
+        SyncStrategy::NonBlockingCommit => (
+            "sync.nbc.latched",
+            "sync.nbc.drained",
+            "sync.nbc.treated",
+            "sync.nbc.switched",
+        ),
+        SyncStrategy::BlockingCommit => unreachable!("handled elsewhere"),
+    };
     let sources = sorted_sources(db, oper)?;
     let t0 = Instant::now();
     let guards: Vec<_> = sources.iter().map(|t| t.latch_exclusive()).collect();
+    db.crash_point(p_latched)?;
 
     // Final propagation: after this, the transformed tables are in the
     // same state as the (latched) sources.
     let final_records = prop.drain_all(db, oper)?;
+    db.crash_point(p_drained)?;
 
     // Transfer locks of still-active transactions (§3.4/§4.3).
     let (old, locks_transferred) = transfer_locks(db, oper, &sources);
@@ -367,10 +386,24 @@ fn non_blocking(
         }
         SyncStrategy::BlockingCommit => unreachable!("handled elsewhere"),
     };
+    let un_intercept = |db: &Database, e: DbError| {
+        if let Some(tok) = interceptor_token {
+            db.remove_interceptor(tok);
+        }
+        Err(e)
+    };
+    if let Err(e) = db.crash_point(p_treated) {
+        return un_intercept(db, e);
+    }
 
-    switch_catalog(db, oper, &sources, &old)?;
+    if let Err(e) = switch_catalog(db, oper, &sources, &old) {
+        return un_intercept(db, e);
+    }
     drop(guards);
     let latch_pause = t0.elapsed();
+    if let Err(e) = db.crash_point(p_switched) {
+        return un_intercept(db, e);
+    }
 
     // Rename-in-place publishes outside the latch (the rename itself is
     // a catalog pointer swap; doing it after unlatching keeps the pause
@@ -415,6 +448,12 @@ fn blocking_commit(
     for src in &sources {
         src.freeze(holders.clone());
     }
+    if let Err(e) = db.crash_point("sync.bc.frozen") {
+        for src in &sources {
+            src.reactivate();
+        }
+        return Err(e);
+    }
     let wait_deadline = Instant::now() + options.deadline.unwrap_or(Duration::from_secs(60));
     while holders.iter().any(|t| db.is_active(*t)) {
         if Instant::now() > wait_deadline {
@@ -428,10 +467,13 @@ fn blocking_commit(
         std::thread::sleep(Duration::from_micros(200));
     }
 
+    db.crash_point("sync.bc.quiesced")?;
+
     // Final drain under the latch; then either publish the renamed
     // source or drop the sources outright.
     let guards: Vec<_> = sources.iter().map(|t| t.latch_exclusive()).collect();
     let final_records = prop.drain_all(db, oper)?;
+    db.crash_point("sync.bc.drained")?;
     drop(guards);
     if oper.renames_source() {
         oper.publish(db)?;

@@ -188,6 +188,10 @@ impl Transformer {
         let cleanup = |db: &Database| Self::cleanup(db, &names);
 
         // --- initial population (§3.2) ---
+        if let Err(e) = db.crash_point("transform.prepared") {
+            cleanup(db);
+            return Err(e);
+        }
         let p0 = Instant::now();
         let (_, start_lsn, _) = db.write_fuzzy_mark();
         let mut prop = Propagator::new(db, start_lsn, options.priority);
@@ -195,13 +199,17 @@ impl Transformer {
         // reclamation on long-running systems) never outruns us; the
         // guard self-releases on every exit path.
         let log_guard = db.protect_log(start_lsn);
-        let (rows_read, rows_written) = match oper.populate(options.population_chunk) {
+        let (rows_read, rows_written) = match oper.populate(db, options.population_chunk) {
             Ok(v) => v,
             Err(e) => {
                 cleanup(db);
                 return Err(e);
             }
         };
+        if let Err(e) = db.crash_point("transform.populated") {
+            cleanup(db);
+            return Err(e);
+        }
         report.population = PopulationStats {
             duration: p0.elapsed(),
             rows_read,
@@ -212,6 +220,11 @@ impl Transformer {
         let mut prev_backlog = usize::MAX;
         let mut growth_streak = 0u32;
         loop {
+            // Crash-simulation point *between* propagation iterations.
+            if let Err(e) = db.crash_point("transform.iteration") {
+                cleanup(db);
+                return Err(e);
+            }
             if abort.load(Ordering::Relaxed) {
                 cleanup(db);
                 return Err(DbError::TransformationAborted("aborted by request".into()));
@@ -300,6 +313,10 @@ impl Transformer {
         }
 
         // --- synchronization (§3.4) ---
+        if let Err(e) = db.crash_point("transform.pre_sync") {
+            cleanup(db);
+            return Err(e);
+        }
         let outcome = match synchronize(db, &mut *oper, &mut prop, &options) {
             Ok(o) => o,
             Err(e) => {
@@ -308,6 +325,14 @@ impl Transformer {
             }
         };
         report.sync = outcome.stats;
+        // Post-sync crash point: targets are published; the abort path
+        // must no longer delete them, only drop the interceptor.
+        if let Err(e) = db.crash_point("transform.synced") {
+            if let Some(tok) = outcome.interceptor_token {
+                db.remove_interceptor(tok);
+            }
+            return Err(e);
+        }
 
         // --- post-synchronization propagation ---
         let post0 = Instant::now();
@@ -347,6 +372,7 @@ impl Transformer {
             db.remove_interceptor(tok);
         }
         report.post_duration = post0.elapsed();
+        db.crash_point("transform.finalizing")?;
 
         // --- final catalog cleanup ---
         for name in &names.internal {

@@ -149,12 +149,24 @@ impl UnionMapping {
         chunk_size: usize,
         throttle: &mut Throttle,
     ) -> DbResult<(usize, usize)> {
+        self.populate_with(None, chunk_size, throttle)
+    }
+
+    /// [`UnionMapping::populate_throttled`] with the database handle
+    /// threaded through so the fuzzy scan reports per-chunk crash
+    /// points (crash simulation).
+    pub(crate) fn populate_with(
+        &self,
+        db: Option<&Database>,
+        chunk_size: usize,
+        throttle: &mut Throttle,
+    ) -> DbResult<(usize, usize)> {
         let t = Arc::clone(&self.t);
         let mut read = 0;
         let mut written = 0;
         for src in [&self.r, &self.s] {
             let src_id = src.id();
-            read += scan_source_throttled(src, chunk_size, throttle, |chunk| {
+            read += scan_source_throttled(db, src, chunk_size, throttle, |chunk| {
                 let mut ts = t.write_session();
                 for (_, row) in chunk {
                     let values = self.t_row(src_id, &row.values);
@@ -259,10 +271,11 @@ impl TransformOperator for UnionMapping {
 
     fn populate_throttled(
         &mut self,
+        db: &Database,
         chunk: usize,
         throttle: &mut Throttle,
     ) -> DbResult<(usize, usize)> {
-        UnionMapping::populate_throttled(self, chunk, throttle)
+        UnionMapping::populate_with(self, Some(db), chunk, throttle)
     }
 
     fn target_keys_for(&self, table: TableId, key: &Key) -> Vec<(TableId, Key)> {

@@ -37,7 +37,7 @@ use morph_storage::{Catalog, Table};
 use morph_txn::{GranularMode, LockManager, LockManagerConfig, LockMode, TableLocks};
 use morph_wal::{LogManager, LogOp, LogRecord};
 use parking_lot::RwLock;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A data operation about to be executed, as seen by interceptors.
@@ -77,6 +77,25 @@ impl PlannedOp<'_> {
     }
 }
 
+/// Observer of named execution points inside long-running engine and
+/// transformation code, installed with [`Database::set_crash_hook`].
+///
+/// This is the spine of the deterministic crash simulator: the hook
+/// sees every `crash_point` a run passes through (in a deterministic
+/// order for a deterministic workload), may inject workload activity
+/// at safe points, and kills the run by returning
+/// [`DbError::SimulatedCrash`] — which unwinds the transformation
+/// exactly as a process kill would leave the *durable* state, once the
+/// fault backend drops its unflushed bytes.
+///
+/// Production code never installs a hook; [`Database::crash_point`] is
+/// a single relaxed atomic load in that case.
+pub trait CrashHook: Send + Sync {
+    /// Called at the named point. Returning an error aborts the
+    /// surrounding operation (the simulated kill).
+    fn at(&self, db: &Database, point: &str) -> DbResult<()>;
+}
+
 /// RAII registration of a truncation-protected LSN (see
 /// [`Database::protect_log`]).
 pub struct LogProtection {
@@ -112,6 +131,8 @@ pub struct Database {
     /// cursors), keyed by protection token.
     protected_lsns: RwLock<std::collections::HashMap<u64, Lsn>>,
     next_protection: AtomicU64,
+    crash_hook: RwLock<Option<Arc<dyn CrashHook>>>,
+    has_crash_hook: AtomicBool,
 }
 
 impl Default for Database {
@@ -141,6 +162,35 @@ impl Database {
             next_interceptor: AtomicU64::new(1),
             protected_lsns: RwLock::new(std::collections::HashMap::new()),
             next_protection: AtomicU64::new(1),
+            crash_hook: RwLock::new(None),
+            has_crash_hook: AtomicBool::new(false),
+        }
+    }
+
+    // --- crash points (simulation only) -------------------------------
+
+    /// Install the crash-simulation hook (see [`CrashHook`]).
+    pub fn set_crash_hook(&self, hook: Arc<dyn CrashHook>) {
+        *self.crash_hook.write() = Some(hook);
+        self.has_crash_hook.store(true, Ordering::Release);
+    }
+
+    /// Remove the crash-simulation hook.
+    pub fn clear_crash_hook(&self) {
+        *self.crash_hook.write() = None;
+        self.has_crash_hook.store(false, Ordering::Release);
+    }
+
+    /// Report reaching the named execution point to the installed
+    /// [`CrashHook`], if any. One atomic load when no hook is set.
+    pub fn crash_point(&self, point: &str) -> DbResult<()> {
+        if !self.has_crash_hook.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let hook = self.crash_hook.read().clone();
+        match hook {
+            Some(h) => h.at(self, point),
+            None => Ok(()),
         }
     }
 

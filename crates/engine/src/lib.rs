@@ -27,6 +27,6 @@ pub mod recovery;
 pub mod registry;
 
 pub use counters::Counters;
-pub use database::{Database, LogProtection, PlannedOp};
+pub use database::{CrashHook, Database, LogProtection, PlannedOp};
 pub use interceptor::OpInterceptor;
 pub use recovery::{recover_into, RecoveryReport};

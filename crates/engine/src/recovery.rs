@@ -11,7 +11,11 @@
 //! itself is *not* made crash-persistent — an interrupted
 //! transformation simply restarts from its preparation step, which is
 //! safe because transformed tables are invisible to users until
-//! synchronization completes.
+//! synchronization completes. That claim is regression-pinned by the
+//! crash simulator: `crates/sim/tests/crash_matrix.rs` kills
+//! transformations at every instrumented point, recovers from the
+//! torn log, restarts from preparation, and demands equivalence with
+//! an uninterrupted run (see `morph-sim` and DESIGN.md §9).
 
 use crate::database::Database;
 use morph_common::{DbResult, Lsn, TxnId};

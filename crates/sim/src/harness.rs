@@ -1,0 +1,489 @@
+//! The deterministic crash-and-recovery harness.
+//!
+//! One [`run_sim`] call is one simulated universe, fully determined by
+//! its [`SimConfig`]:
+//!
+//! 1. Build a [`Database`] whose WAL backend is a seeded
+//!    [`FaultBackend`] (volatile buffer + durable prefix).
+//! 2. Create the scenario's source tables, seed them, and point a
+//!    deterministic [`StepWorkload`] at them.
+//! 3. Install a [`CrashHook`]: at every instrumented crash point it
+//!    (a) kills the run with [`DbError::SimulatedCrash`] if the armed
+//!    kill matches this point's n-th occurrence, and (b) otherwise
+//!    injects a few complete workload transactions — so user activity
+//!    is interleaved with fuzzy copy, propagation batches, and every
+//!    step of all three synchronization strategies.
+//! 4. Run the transformation synchronously.
+//! 5. If the kill fired: tear the WAL at a seeded byte offset
+//!    ([`FaultHandle::crash`]), decode the durable prefix, rebuild a
+//!    fresh database, replay the log with `recover_into`, and check
+//!    the **Theorem 1 oracle**:
+//!      * recovered sources ≡ the workload's committed-state model
+//!        (no lost updates — valid because every workload step is a
+//!        complete flushed transaction, so only transformation
+//!        bookkeeping can sit in the torn tail);
+//!      * re-running the same transformation from preparation on the
+//!        recovered database succeeds (the §3.5 recovery story:
+//!        transformations are not themselves redo-logged, they are
+//!        simply restarted);
+//!      * the transformed tables then equal those produced by an
+//!        uninterrupted run over the same source state — comparing
+//!        values, split counters, C/U flags, and FOJ presence bits,
+//!        key by key.
+//!
+//! Everything — workload choices, injection counts, tear offset — is
+//! drawn from RNGs seeded from `SimConfig::seed`, and the run is
+//! single-threaded, so the same config replays the same trace byte for
+//! byte. The trace is the debugging artifact: a failure report prints
+//! the seed, the kill point, and the full trace.
+
+use crate::scenario::Scenario;
+use morph_common::{DbError, DbResult, Key, Schema, TableId, Value};
+use morph_core::SyncStrategy;
+use morph_engine::{recover_into, CrashHook, Database};
+use morph_storage::row::Presence;
+use morph_storage::ConsistencyFlag;
+use morph_txn::LockManagerConfig;
+use morph_wal::{FaultBackend, FaultConfig, FaultHandle, LogManager};
+use morph_workload::{StepStats, StepWorkload};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Kill the run at the `occurrence`-th time (1-based) execution passes
+/// the named crash point.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Kill {
+    pub point: String,
+    pub occurrence: usize,
+}
+
+impl Kill {
+    pub fn new(point: &str, occurrence: usize) -> Kill {
+        Kill {
+            point: point.to_owned(),
+            occurrence,
+        }
+    }
+}
+
+/// Full description of one simulated universe.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    pub seed: u64,
+    pub scenario: Scenario,
+    pub strategy: SyncStrategy,
+    /// `None` = let the transformation complete (census run).
+    pub kill: Option<Kill>,
+    /// Maximum workload transactions the hook injects across the whole
+    /// run. Keeps propagation convergent: once the budget is spent the
+    /// workload quiesces and the backlog drains.
+    pub inject_budget: usize,
+}
+
+impl SimConfig {
+    pub fn new(seed: u64, scenario: Scenario, strategy: SyncStrategy) -> SimConfig {
+        SimConfig {
+            seed,
+            scenario,
+            strategy,
+            kill: None,
+            inject_budget: 40,
+        }
+    }
+
+    #[must_use]
+    pub fn kill_at(mut self, point: &str, occurrence: usize) -> SimConfig {
+        self.kill = Some(Kill::new(point, occurrence));
+        self
+    }
+}
+
+/// How the simulated universe ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// No kill fired; the transformation completed and the live
+    /// transformed tables passed the oracle.
+    CompletedClean,
+    /// The armed kill fired; recovery, re-transformation, and the
+    /// Theorem 1 oracle all passed.
+    KilledAndRecovered,
+    /// A kill was armed but execution never reached that occurrence
+    /// before the transformation completed (the clean-run oracle was
+    /// still checked).
+    KillNotReached,
+}
+
+/// Successful simulation outcome.
+#[derive(Debug)]
+pub struct SimReport {
+    pub verdict: Verdict,
+    /// Deterministic event trace (crash points, injections, kill,
+    /// recovery milestones).
+    pub trace: Vec<String>,
+    /// How many times each crash point fired (census for kill
+    /// enumeration).
+    pub point_counts: BTreeMap<String, usize>,
+    /// Log records that survived the simulated crash (0 for clean
+    /// runs).
+    pub durable_records: usize,
+    pub workload: StepStats,
+}
+
+/// An oracle violation (or harness-level inconsistency): the bug
+/// report. `render()` prints everything needed to replay it.
+#[derive(Debug, Clone)]
+pub struct SimFailure {
+    pub seed: u64,
+    pub scenario: &'static str,
+    pub strategy: SyncStrategy,
+    pub kill: Option<Kill>,
+    pub detail: String,
+    pub trace: Vec<String>,
+}
+
+impl SimFailure {
+    /// Human-readable failure report: seed, crash point, full trace.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("=== simulation failure ===\n");
+        out.push_str(&format!(
+            "seed={} scenario={} strategy={:?}\n",
+            self.seed, self.scenario, self.strategy
+        ));
+        match &self.kill {
+            Some(k) => out.push_str(&format!(
+                "kill point: {} (occurrence {})\n",
+                k.point, k.occurrence
+            )),
+            None => out.push_str("kill point: none (census run)\n"),
+        }
+        out.push_str(&format!("detail: {}\n", self.detail));
+        out.push_str("trace:\n");
+        for line in &self.trace {
+            out.push_str("  ");
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Crash points where the hook may inject workload transactions. Only
+/// points where no table latches are held: the injection runs complete
+/// transactions on the *same thread*, so injecting under a sync latch
+/// would self-deadlock (and real user activity is locked out there
+/// anyway — that is what the latch is for).
+const INJECTION_POINTS: [&str; 3] = ["populate.chunk", "propagate.batch", "transform.iteration"];
+
+struct HookInner {
+    rng: StdRng,
+    workload: StepWorkload,
+    counts: BTreeMap<String, usize>,
+    trace: Vec<String>,
+    kill: Option<Kill>,
+    inject_budget: usize,
+}
+
+/// The [`CrashHook`] installed on the database under test.
+struct SimHook {
+    inner: Mutex<HookInner>,
+}
+
+impl CrashHook for SimHook {
+    fn at(&self, db: &Database, point: &str) -> DbResult<()> {
+        let mut g = self.inner.lock();
+        let n = {
+            let c = g.counts.entry(point.to_owned()).or_insert(0);
+            *c += 1;
+            *c
+        };
+        g.trace.push(format!("point:{point}#{n}"));
+        if let Some(kill) = &g.kill {
+            if kill.point == point && kill.occurrence == n {
+                g.trace.push(format!("KILL:{point}#{n}"));
+                return Err(DbError::SimulatedCrash(format!("{point}#{n}")));
+            }
+        }
+        if g.inject_budget > 0 && INJECTION_POINTS.contains(&point) {
+            let steps = g.rng.gen_range(0..=2usize).min(g.inject_budget);
+            for _ in 0..steps {
+                g.inject_budget -= 1;
+                let outcome = g.workload.step(db);
+                g.trace.push(format!("inject:{outcome:?}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A committed row as the oracle compares it: values plus every piece
+/// of transformation metadata Theorem 1 is entitled to (state
+/// identifiers — LSNs — are excluded: two equivalent histories reach
+/// the same state through different log positions).
+type OracleRow = (Vec<Value>, u32, ConsistencyFlag, Presence);
+
+fn oracle_snapshot(db: &Database, table: &str) -> DbResult<BTreeMap<Key, OracleRow>> {
+    let t = db.catalog().get(table)?;
+    Ok(t.snapshot()
+        .into_iter()
+        .map(|(k, r)| (k, (r.values, r.counter, r.flag, r.presence)))
+        .collect())
+}
+
+fn values_snapshot(db: &Database, table: &str) -> DbResult<BTreeMap<Key, Vec<Value>>> {
+    let t = db.catalog().get(table)?;
+    Ok(t.snapshot()
+        .into_iter()
+        .map(|(k, r)| (k, r.values))
+        .collect())
+}
+
+/// Render the first difference between two keyed maps, for failure
+/// reports.
+fn first_diff<V: PartialEq + std::fmt::Debug>(
+    label: &str,
+    got: &BTreeMap<Key, V>,
+    want: &BTreeMap<Key, V>,
+) -> Option<String> {
+    for (k, v) in want {
+        match got.get(k) {
+            None => return Some(format!("{label}: missing key {k:?} (want {v:?})")),
+            Some(g) if g != v => return Some(format!("{label}: key {k:?}: got {g:?}, want {v:?}")),
+            _ => {}
+        }
+    }
+    for k in got.keys() {
+        if !want.contains_key(k) {
+            return Some(format!("{label}: spurious key {k:?}"));
+        }
+    }
+    None
+}
+
+struct SimRun {
+    db: Arc<Database>,
+    fault: FaultHandle,
+    hook: Arc<SimHook>,
+    /// `(id, name, schema)` of every source table, creation order.
+    sources: Vec<(TableId, String, Schema)>,
+}
+
+/// Build the faulty universe: fault-backed WAL, database, sources,
+/// seed rows, workload, hook.
+fn build(cfg: &SimConfig) -> Result<SimRun, SimFailure> {
+    let fail = |detail: String| SimFailure {
+        seed: cfg.seed,
+        scenario: cfg.scenario.tag(),
+        strategy: cfg.strategy,
+        kill: cfg.kill.clone(),
+        detail,
+        trace: Vec::new(),
+    };
+
+    let (backend, fault) = FaultBackend::new(FaultConfig::crash_only(cfg.seed));
+    let log = Arc::new(LogManager::with_backend(Box::new(backend)));
+    let db = Arc::new(Database::with_log(log, LockManagerConfig::default()));
+
+    let mut sources = Vec::new();
+    for (name, schema) in cfg.scenario.source_schemas() {
+        let t = db
+            .create_table(&name, schema.clone())
+            .map_err(|e| fail(format!("create_table({name}): {e}")))?;
+        sources.push((t.id(), name, schema));
+    }
+    cfg.scenario
+        .seed_rows(&db)
+        .map_err(|e| fail(format!("seed rows: {e}")))?;
+
+    let mut workload = StepWorkload::new(cfg.seed ^ 0x9e37_79b9_7f4a_7c15, cfg.scenario.profiles());
+    for (_, name, _) in &sources {
+        let rows = values_snapshot(&db, name).map_err(|e| fail(format!("snapshot: {e}")))?;
+        workload.absorb_existing(name, rows);
+    }
+
+    let hook = Arc::new(SimHook {
+        inner: Mutex::new(HookInner {
+            rng: StdRng::seed_from_u64(cfg.seed ^ 0x5851_f42d_4c95_7f2d),
+            workload,
+            counts: BTreeMap::new(),
+            trace: Vec::new(),
+            kill: cfg.kill.clone(),
+            inject_budget: cfg.inject_budget,
+        }),
+    });
+    db.set_crash_hook(hook.clone());
+
+    Ok(SimRun {
+        db,
+        fault,
+        hook,
+        sources,
+    })
+}
+
+/// Replay the scenario on a pristine database seeded with exactly
+/// `model` as source contents, with no hook and no faults, and return
+/// the oracle snapshots of the transformed tables.
+fn reference_targets(
+    cfg: &SimConfig,
+    sources: &[(TableId, String, Schema)],
+    model: &BTreeMap<String, BTreeMap<Key, Vec<Value>>>,
+) -> DbResult<BTreeMap<String, BTreeMap<Key, OracleRow>>> {
+    let db = Arc::new(Database::new());
+    for (_, name, schema) in sources {
+        db.create_table(name, schema.clone())?;
+    }
+    for (_, name, _) in sources {
+        let rows = &model[name];
+        if rows.is_empty() {
+            continue;
+        }
+        let txn = db.begin();
+        for values in rows.values() {
+            db.insert(txn, name, values.clone())?;
+        }
+        db.commit(txn)?;
+    }
+    cfg.scenario.run(&db, cfg.strategy)?;
+    let mut out = BTreeMap::new();
+    for target in cfg.scenario.target_names() {
+        out.insert(target.to_owned(), oracle_snapshot(&db, target)?);
+    }
+    Ok(out)
+}
+
+/// Check transformed tables on `db` against the clean reference run.
+fn check_targets(
+    cfg: &SimConfig,
+    db: &Database,
+    sources: &[(TableId, String, Schema)],
+    model: &BTreeMap<String, BTreeMap<Key, Vec<Value>>>,
+    label: &str,
+) -> Result<(), String> {
+    let reference =
+        reference_targets(cfg, sources, model).map_err(|e| format!("reference run failed: {e}"))?;
+    for target in cfg.scenario.target_names() {
+        let got =
+            oracle_snapshot(db, target).map_err(|e| format!("{label}: snapshot({target}): {e}"))?;
+        if let Some(diff) = first_diff(&format!("{label}:{target}"), &got, &reference[target]) {
+            return Err(diff);
+        }
+    }
+    Ok(())
+}
+
+/// Run one simulated universe. See module docs for the exact pipeline.
+pub fn run_sim(cfg: &SimConfig) -> Result<SimReport, SimFailure> {
+    let run = build(cfg)?;
+    let result = cfg.scenario.run(&run.db, cfg.strategy);
+
+    // Pull the hook's state out; the transformation is done with it.
+    run.db.clear_crash_hook();
+    let (mut trace, point_counts, model, stats) = {
+        let g = run.hook.inner.lock();
+        let model: BTreeMap<String, BTreeMap<Key, Vec<Value>>> = run
+            .sources
+            .iter()
+            .map(|(_, name, _)| {
+                (
+                    name.clone(),
+                    g.workload.model(name).cloned().unwrap_or_default(),
+                )
+            })
+            .collect();
+        (g.trace.clone(), g.counts.clone(), model, g.workload.stats)
+    };
+
+    let fail = |detail: String, trace: &[String]| SimFailure {
+        seed: cfg.seed,
+        scenario: cfg.scenario.tag(),
+        strategy: cfg.strategy,
+        kill: cfg.kill.clone(),
+        detail,
+        trace: trace.to_vec(),
+    };
+
+    match result {
+        Ok(_report) => {
+            // Clean completion (kill absent or never reached): the live
+            // transformed tables must already satisfy Theorem 1.
+            check_targets(cfg, &run.db, &run.sources, &model, "live")
+                .map_err(|d| fail(d, &trace))?;
+            let verdict = if cfg.kill.is_some() {
+                Verdict::KillNotReached
+            } else {
+                Verdict::CompletedClean
+            };
+            Ok(SimReport {
+                verdict,
+                trace,
+                point_counts,
+                durable_records: 0,
+                workload: stats,
+            })
+        }
+        Err(DbError::SimulatedCrash(_)) => {
+            // ---- the crash ----
+            let durable_bytes = run.fault.crash();
+            let durable = run
+                .fault
+                .durable_records()
+                .map_err(|e| fail(format!("torn durable log failed to decode: {e}"), &trace))?;
+            trace.push(format!(
+                "crash: {} records ({durable_bytes} bytes) durable",
+                durable.len()
+            ));
+
+            // ---- restart: fresh database, same table ids, replay ----
+            let log2 = Arc::new(LogManager::with_records(durable.clone()));
+            let db2 = Arc::new(Database::with_log(log2, LockManagerConfig::default()));
+            for (id, name, schema) in &run.sources {
+                db2.catalog()
+                    .create_table_with_id(*id, name, schema.clone())
+                    .map_err(|e| fail(format!("recreate {name}: {e}"), &trace))?;
+            }
+            let report = recover_into(&db2, &durable)
+                .map_err(|e| fail(format!("recovery failed: {e}"), &trace))?;
+            trace.push(format!(
+                "recovered: redone={} losers={} clrs={}",
+                report.redone,
+                report.losers.len(),
+                report.clrs_written
+            ));
+
+            // ---- oracle 1: no lost updates ----
+            for (_, name, _) in &run.sources {
+                let got = values_snapshot(&db2, name)
+                    .map_err(|e| fail(format!("recovered snapshot({name}): {e}"), &trace))?;
+                if let Some(diff) = first_diff(&format!("recovered:{name}"), &got, &model[name]) {
+                    return Err(fail(format!("lost updates — {diff}"), &trace));
+                }
+            }
+
+            // ---- oracle 2: restart the transformation from prep ----
+            cfg.scenario
+                .run(&db2, cfg.strategy)
+                .map_err(|e| fail(format!("re-transformation failed: {e}"), &trace))?;
+            trace.push("re-transformation: ok".to_owned());
+
+            // ---- oracle 3: Theorem 1 equivalence ----
+            check_targets(cfg, &db2, &run.sources, &model, "recovered")
+                .map_err(|d| fail(d, &trace))?;
+
+            Ok(SimReport {
+                verdict: Verdict::KilledAndRecovered,
+                trace,
+                point_counts,
+                durable_records: durable.len(),
+                workload: stats,
+            })
+        }
+        Err(other) => Err(fail(
+            format!("unexpected transformation error: {other}"),
+            &trace,
+        )),
+    }
+}

@@ -1,0 +1,175 @@
+//! Seed sweeps and failure minimization.
+//!
+//! A sweep explores one `(scenario, strategy, seed)` cell: first a
+//! **census** run (no kill) counts how often every crash point fires
+//! under that seed, then a number of kill runs are drawn from the
+//! census — each arming one `(point, occurrence)` pair and demanding
+//! `KilledAndRecovered`. Because the armed run replays the census run
+//! deterministically up to the kill, any occurrence the census counted
+//! is guaranteed to fire.
+//!
+//! On failure, [`minimize`] shrinks the reproduction before reporting:
+//! it walks the occurrence downward (earlier kills of the same point)
+//! and keeps the earliest still-failing one, then re-runs it to
+//! confirm determinism. The rendered report carries everything needed
+//! to replay: seed, crash point, occurrence, and the full event trace.
+
+use crate::harness::{run_sim, SimConfig, SimFailure, Verdict};
+use crate::scenario::Scenario;
+use morph_core::SyncStrategy;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Outcome of one sweep cell.
+#[derive(Debug, Default)]
+pub struct SweepSummary {
+    /// Simulated universes run (census + kills).
+    pub runs: usize,
+    /// Kills that fired and passed the full recovery oracle.
+    pub kills_survived: usize,
+}
+
+/// Sweep one `(scenario, strategy, seed)` cell with `kills` armed
+/// runs drawn deterministically from the census. Returns the summary
+/// or the (minimized) first failure.
+pub fn sweep_cell(
+    scenario: Scenario,
+    strategy: SyncStrategy,
+    seed: u64,
+    kills: usize,
+) -> Result<SweepSummary, SimFailure> {
+    let mut summary = SweepSummary::default();
+    let census_cfg = SimConfig::new(seed, scenario, strategy);
+    let census = match run_sim(&census_cfg) {
+        Ok(r) => r,
+        Err(f) => return Err(minimize(f)),
+    };
+    summary.runs += 1;
+
+    let points: Vec<(String, usize)> = census
+        .point_counts
+        .iter()
+        .map(|(p, c)| (p.clone(), *c))
+        .collect();
+    if points.is_empty() {
+        return Ok(summary);
+    }
+
+    // Kill choices come from their own RNG so adding crash points to
+    // the engine shifts which kills a seed picks, but never the
+    // census it picks them from.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xc2b2_ae3d_27d4_eb4f);
+    for _ in 0..kills {
+        let (point, count) = &points[rng.gen_range(0..points.len())];
+        let occurrence = rng.gen_range(1..=*count);
+        let cfg = SimConfig::new(seed, scenario, strategy).kill_at(point, occurrence);
+        match run_sim(&cfg) {
+            Ok(report) => {
+                summary.runs += 1;
+                if report.verdict == Verdict::KilledAndRecovered {
+                    summary.kills_survived += 1;
+                } else {
+                    // The census counted this occurrence, so the armed
+                    // run must reach it: anything else is harness
+                    // nondeterminism — report it as a failure.
+                    return Err(minimize(SimFailure {
+                        seed,
+                        scenario: scenario.tag(),
+                        strategy,
+                        kill: cfg.kill.clone(),
+                        detail: format!(
+                            "armed kill did not fire (verdict {:?}) though census counted {} occurrences",
+                            report.verdict, count
+                        ),
+                        trace: report.trace,
+                    }));
+                }
+            }
+            Err(f) => return Err(minimize(f)),
+        }
+    }
+    Ok(summary)
+}
+
+/// Shrink a failing reproduction: earlier occurrences of the same kill
+/// point are simpler universes (less history before the crash), so
+/// walk down from the failing occurrence and keep the earliest one
+/// that still fails. Always re-runs the final config to confirm the
+/// failure is deterministic; the result's trace is from the confirming
+/// run.
+pub fn minimize(failure: SimFailure) -> SimFailure {
+    let Some(kill) = failure.kill.clone() else {
+        return failure; // census failures have nothing to shrink
+    };
+    let scenario = match Scenario::ALL.iter().find(|s| s.tag() == failure.scenario) {
+        Some(s) => *s,
+        None => return failure,
+    };
+
+    let (seed, strategy) = (failure.seed, failure.strategy);
+    let run_occ = |occ: usize| -> Option<SimFailure> {
+        let cfg = SimConfig::new(seed, scenario, strategy).kill_at(&kill.point, occ);
+        run_sim(&cfg).err()
+    };
+
+    let mut best = failure;
+    for occ in 1..kill.occurrence {
+        if let Some(f) = run_occ(occ) {
+            best = f;
+            break;
+        }
+    }
+    // Confirm determinism of whatever we settled on.
+    if let Some(k) = best.kill.clone() {
+        if let Some(confirmed) = run_occ(k.occurrence) {
+            let mut confirmed = confirmed;
+            confirmed.detail = format!("{} [confirmed on replay]", confirmed.detail);
+            return confirmed;
+        }
+        best.detail = format!("{} [WARNING: did not reproduce on replay]", best.detail);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{run_sim, Kill, SimConfig, SimFailure, Verdict};
+
+    #[test]
+    fn unreachable_kill_reports_not_reached() {
+        let cfg = SimConfig::new(5, Scenario::Foj, SyncStrategy::NonBlockingAbort)
+            .kill_at("propagate.batch", 10_000);
+        let r = run_sim(&cfg).expect("clean completion");
+        assert_eq!(r.verdict, Verdict::KillNotReached);
+    }
+
+    #[test]
+    fn minimize_flags_non_reproducing_failures() {
+        // A synthetic failure whose config actually passes: the
+        // minimizer must notice the non-reproduction instead of
+        // presenting a stale report as replayable.
+        let f = SimFailure {
+            seed: 5,
+            scenario: "foj",
+            strategy: SyncStrategy::NonBlockingAbort,
+            kill: Some(Kill::new("propagate.batch", 2)),
+            detail: "synthetic".into(),
+            trace: Vec::new(),
+        };
+        assert!(minimize(f).detail.contains("did not reproduce"));
+    }
+
+    #[test]
+    fn minimize_passes_census_failures_through() {
+        let f = SimFailure {
+            seed: 1,
+            scenario: "foj",
+            strategy: SyncStrategy::NonBlockingAbort,
+            kill: None,
+            detail: "census".into(),
+            trace: Vec::new(),
+        };
+        assert_eq!(minimize(f).detail, "census");
+    }
+}

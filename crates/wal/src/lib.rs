@@ -16,13 +16,17 @@
 //! * **consistency-checker records** (`CcBegin` / `CcOk`, §5.3).
 //!
 //! The log lives in memory ([`LogManager`]) with an optional
-//! length-prefixed binary file backend ([`file::FileBackend`]) used by
-//! restart recovery.
+//! length-prefixed binary backend used by restart recovery: the real
+//! file ([`file::FileBackend`]) or, for deterministic crash
+//! simulation, the seeded fault injector ([`fault::FaultBackend`]).
 
 pub mod codec;
+pub mod fault;
 pub mod file;
 pub mod manager;
 pub mod record;
 
+pub use fault::{FaultBackend, FaultConfig, FaultHandle};
+pub use file::{decode_stream, Backend, FileBackend};
 pub use manager::{LogManager, TailCursor};
 pub use record::{LogOp, LogRecord};

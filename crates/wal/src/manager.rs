@@ -11,7 +11,7 @@
 //! appended. [`Lsn::ZERO`] therefore means "before any record".
 
 use crate::codec;
-use crate::file::FileBackend;
+use crate::file::{Backend, FileBackend};
 use crate::record::LogRecord;
 use morph_common::{DbResult, Lsn};
 use parking_lot::Mutex;
@@ -28,7 +28,7 @@ struct Inner {
 /// Append-only, totally ordered log with tail readers.
 pub struct LogManager {
     inner: Mutex<Inner>,
-    backend: Option<Mutex<FileBackend>>,
+    backend: Option<Mutex<Box<dyn Backend + Send>>>,
 }
 
 impl Default for LogManager {
@@ -54,13 +54,20 @@ impl LogManager {
     /// use [`FileBackend::read_all`] before constructing the manager to
     /// recover them.
     pub fn with_file(path: &std::path::Path) -> DbResult<LogManager> {
-        Ok(LogManager {
+        Ok(Self::with_backend(Box::new(FileBackend::open(path)?)))
+    }
+
+    /// A log that tees every record into an arbitrary [`Backend`] —
+    /// the injection point for the crash-simulation harness's
+    /// fault-capable in-memory backend.
+    pub fn with_backend(backend: Box<dyn Backend + Send>) -> LogManager {
+        LogManager {
             inner: Mutex::new(Inner {
                 records: Vec::new(),
                 base: 0,
             }),
-            backend: Some(Mutex::new(FileBackend::open(path)?)),
-        })
+            backend: Some(Mutex::new(backend)),
+        }
     }
 
     /// Construct a manager pre-loaded with recovered records (restart
@@ -77,10 +84,13 @@ impl LogManager {
 
     /// Append one record, returning its LSN.
     pub fn append(&self, rec: LogRecord) -> Lsn {
+        // The backend write happens *under* the inner lock so the
+        // backend's byte order always matches LSN order — two threads
+        // appending concurrently must not interleave the tee.
+        let mut inner = self.inner.lock();
         if let Some(backend) = &self.backend {
             backend.lock().append(&codec::encode(&rec));
         }
-        let mut inner = self.inner.lock();
         inner.records.push(Arc::new(rec));
         Lsn(inner.base + inner.records.len() as u64)
     }

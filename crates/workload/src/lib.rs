@@ -26,6 +26,7 @@ pub mod client;
 pub mod runner;
 pub mod setup;
 pub mod stats;
+pub mod step;
 
 pub use client::{ClientConfig, HotSide};
 pub use runner::{RelativeRun, WindowStats, WorkloadRunner};
@@ -34,3 +35,4 @@ pub use setup::{
     SPLIT_VALUES,
 };
 pub use stats::SharedStats;
+pub use step::{StepOutcome, StepStats, StepWorkload, TableProfile};

@@ -33,4 +33,11 @@ fi
 echo "== cargo test (tier-1)"
 cargo test -q
 
+# Bounded crash-simulation smoke sweep (fixed seeds, well under a
+# minute). SIM_SEEDS=N widens the sweep: census + 3 seeded kills per
+# (scenario × strategy × seed) cell, every kill checked against the
+# Theorem 1 recovery oracle. See DESIGN.md §9 / EXPERIMENTS.md.
+echo "== sim smoke sweep (SIM_SEEDS=${SIM_SEEDS:-4})"
+SIM_SEEDS="${SIM_SEEDS:-4}" cargo test -q -p morph-sim --test seed_sweep -- --nocapture
+
 echo "CI OK"
