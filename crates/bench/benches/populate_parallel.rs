@@ -1,0 +1,65 @@
+//! `populate_parallel`: throughput of the §3.2 initial population as a
+//! function of the parallel fuzzy-copy worker count.
+//!
+//! Each point populates a fresh split target at full priority with
+//! `copy_workers ∈ {1, 2, 4, 8}` partitioned scan workers while an
+//! unpaced hot workload saturates the server — the regime the copy
+//! actually runs in. Rates are rows read per second of wall time;
+//! `speedup_vs_1` is the ratio to the single-worker point of the same
+//! run.
+//!
+//! Writes `BENCH_populate_parallel.json` at the repository root and a
+//! CSV under `target/experiments/`. The same sweep (fewer reps) is
+//! embedded in `propagate_batch`'s `BENCH_propagation.json` so the
+//! trajectory file carries the population evidence too.
+
+use morph_bench::{banner, populate_parallel_point, quick, Csv};
+use std::io::Write;
+
+fn main() {
+    banner(
+        "populate_parallel: initial population rate vs fuzzy-copy worker count",
+        "Løland & Hvasshovd, EDBT 2006, §3.2 (initial population as a background process)",
+    );
+    let reps = if quick() { 1 } else { 5 };
+    let mut csv = Csv::create(
+        "populate_parallel",
+        "copy_workers,rows_read,ns,rows_per_sec,speedup_vs_1",
+    );
+    println!(
+        "{:>12} {:>10} {:>14} {:>14} {:>12}",
+        "copy_workers", "rows", "ns", "rows/s", "speedup"
+    );
+    let mut base: Option<f64> = None;
+    let mut entries = Vec::new();
+    for w in [1usize, 2, 4, 8] {
+        let p = populate_parallel_point(w, reps);
+        let base_rate = *base.get_or_insert(p.rows_per_sec);
+        let speedup = p.rows_per_sec / base_rate;
+        println!(
+            "{:>12} {:>10} {:>14} {:>14.0} {:>12.2}",
+            p.copy_workers, p.rows_read, p.ns, p.rows_per_sec, speedup
+        );
+        csv.row(&format!(
+            "{},{},{},{:.0},{:.2}",
+            p.copy_workers, p.rows_read, p.ns, p.rows_per_sec, speedup
+        ));
+        entries.push(format!(
+            "    {{ \"copy_workers\": {}, \"rows_read\": {}, \"ns\": {}, \"rows_per_sec\": {:.0}, \"speedup_vs_1\": {:.2} }}",
+            p.copy_workers, p.rows_read, p.ns, p.rows_per_sec, speedup
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"populate_parallel\",\n  \"series\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_populate_parallel.json");
+    let mut f = std::fs::File::create(&path).expect("bench json");
+    f.write_all(json.as_bytes()).expect("bench json write");
+    println!("\n{json}");
+    println!("wrote {}", path.display());
+    println!("CSV written to {}", csv.path.display());
+}

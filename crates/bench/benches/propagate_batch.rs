@@ -14,14 +14,23 @@
 //! background process actually performs — not the idempotent-replay
 //! guard path.
 //!
+//! A second, `parallel` series measures the subject-sharded apply at
+//! `apply_shards ∈ {1, 2, 4, 8}` (cursor batch 1024) on an
+//! update-heavy scenario — payload updates are the record class the
+//! sharding lane-classifies, so this mix produces the long
+//! barrier-free runs the parallel segments need. The series also
+//! embeds the `populate_parallel` worker-count sweep so this one JSON
+//! carries the full parallel-pipeline trajectory.
+//!
 //! Writes `BENCH_propagation.json` at the repository root with
 //! records/s per batch size and the coalescer's drop counts.
 
 use criterion::{BatchSize, Criterion, Throughput};
+use morph_bench::populate_parallel_point;
 use morph_common::{ColumnType, Key, Lsn, Schema, Value};
 use morph_core::foj::{figure1_schemas, FojMapping};
 use morph_core::propagate::Propagator;
-use morph_core::{FojSpec, SplitMapping, SplitSpec, TransformOperator};
+use morph_core::{FojSpec, ParallelConfig, SplitMapping, SplitSpec, TransformOperator};
 use morph_engine::Database;
 use std::io::Write;
 use std::sync::Arc;
@@ -201,14 +210,173 @@ fn setup_split() -> (Arc<Database>, SplitMapping, Lsn) {
     (db, m, start)
 }
 
+/// Key spaces of the update-heavy parallel-apply scenarios: a hot set
+/// small enough to stay cache-resident (and, for split, to coalesce
+/// hard), a wider cold range so every lane sees distinct subjects, and
+/// a churn range past the populated keys for records that exist only
+/// inside one batch window.
+const PAR_KEYS: i64 = 256;
+const PAR_HOT: i64 = 64;
+const PAR_SPLIT_HOT: u64 = 32;
+const PAR_CHURN_SPAN: i64 = 4096;
+const PAR_ROUNDS: usize = 5;
+
+/// FOJ parallel-apply scenario: each 1024-record window is a block of
+/// 256 hot payload updates — non-join, non-key R updates, exactly the
+/// class the FOJ sharding fans into lanes, kept in full by
+/// `DeleteOnly` coalescing as one ≥128-record parallel segment —
+/// followed by 256 insert/update/delete churn triples on transient
+/// keys, which the delete coalesces down to itself (a target-side
+/// miss). Batch-window churn is the regime batching exists for (§3.3);
+/// the rate is reported over raw drained records like every other
+/// series here.
+fn setup_foj_par() -> (Arc<Database>, FojMapping, Lsn) {
+    let db = Arc::new(Database::new());
+    let (rs, ss) = figure1_schemas();
+    db.create_table("R", rs).unwrap();
+    db.create_table("S", ss).unwrap();
+    let txn = db.begin();
+    for j in 0..16 {
+        db.insert(txn, "S", vec![Value::str(format!("j{j}")), Value::str("d")])
+            .unwrap();
+    }
+    for i in 0..PAR_KEYS {
+        db.insert(
+            txn,
+            "R",
+            vec![
+                Value::Int(i),
+                Value::str("b"),
+                Value::str(format!("j{}", i % 16)),
+            ],
+        )
+        .unwrap();
+    }
+    db.commit(txn).unwrap();
+
+    let m = FojMapping::prepare(&db, &FojSpec::new("R", "S", "T", "c", "c")).unwrap();
+    let (_, start, _) = db.write_fuzzy_mark();
+    m.populate(256).unwrap();
+
+    let mut upd = 0usize;
+    let mut churn = 0i64;
+    for _round in 0..PAR_ROUNDS {
+        // Block A: 256 hot payload updates (the parallel segment).
+        for _ in 0..4 {
+            let txn = db.begin();
+            for _ in 0..64 {
+                let a = (upd % PAR_HOT as usize) as i64;
+                upd += 1;
+                db.update(
+                    txn,
+                    "R",
+                    &Key::single(a),
+                    &[(1, Value::str(format!("p{upd}")))],
+                )
+                .unwrap();
+            }
+            db.commit(txn).unwrap();
+        }
+        // Block B: 256 churn triples on keys that never stay live.
+        for _ in 0..16 {
+            let txn = db.begin();
+            for _ in 0..16 {
+                let a = PAR_KEYS + (churn % PAR_CHURN_SPAN);
+                churn += 1;
+                db.insert(
+                    txn,
+                    "R",
+                    vec![
+                        Value::Int(a),
+                        Value::str("b"),
+                        Value::str(format!("j{}", a % 16)),
+                    ],
+                )
+                .unwrap();
+                db.update(txn, "R", &Key::single(a), &[(1, Value::str("x"))])
+                    .unwrap();
+                db.delete(txn, "R", &Key::single(a)).unwrap();
+            }
+            db.commit(txn).unwrap();
+        }
+    }
+    (db, m, start)
+}
+
+/// Split parallel-apply scenario: payload updates with a 7:1 hot:cold
+/// mix over a 32-key hot set. `Full` coalescing collapses the hot
+/// repeats within each run to one survivor per key, the advancing cold
+/// keys all survive, and the ~160-record surviving runs still clear
+/// the 128-record parallel segment threshold, so the lanes engage on
+/// post-coalesce work — the same regime the serial 1024-batch series
+/// measures, shifted toward the skew that makes batching pay.
+fn setup_split_par() -> (Arc<Database>, SplitMapping, Lsn) {
+    let db = Arc::new(Database::new());
+    let ts = Schema::builder()
+        .column("a", ColumnType::Int)
+        .nullable("b", ColumnType::Str)
+        .nullable("c", ColumnType::Str)
+        .nullable("d", ColumnType::Str)
+        .primary_key(&["a"])
+        .build()
+        .unwrap();
+    db.create_table("T", ts).unwrap();
+    let txn = db.begin();
+    for i in 0..PAR_KEYS {
+        let c = format!("c{}", i % 16);
+        db.insert(
+            txn,
+            "T",
+            vec![
+                Value::Int(i),
+                Value::str("b"),
+                Value::str(&c),
+                Value::str(format!("dep-{c}")),
+            ],
+        )
+        .unwrap();
+    }
+    db.commit(txn).unwrap();
+
+    let spec = SplitSpec::new("T", "R_b", "S_b", &["a", "b", "c"], "c", &["d"]);
+    let mut m = SplitMapping::prepare(&db, &spec).unwrap();
+    let (_, start, _) = db.write_fuzzy_mark();
+    m.populate(256).unwrap();
+
+    let mut rng = Lcg(29);
+    for t in 0..(PAR_ROUNDS * 1024) / 10 {
+        let txn = db.begin();
+        for k in 0..10 {
+            let i = t * 10 + k;
+            let a = if i % 8 == 0 {
+                ((i / 8) % PAR_KEYS as usize) as i64
+            } else {
+                (rng.next() % PAR_SPLIT_HOT) as i64
+            };
+            db.update(
+                txn,
+                "T",
+                &Key::single(a),
+                &[(1, Value::str(format!("p{t}")))],
+            )
+            .unwrap();
+        }
+        db.commit(txn).unwrap();
+    }
+    (db, m, start)
+}
+
 /// First drain of a fresh scenario at one cursor batch size.
+/// `apply_shards: 1` is the exact serial pipeline.
 fn drain(
     db: &Arc<Database>,
     m: &mut dyn TransformOperator,
     start: Lsn,
     batch_size: usize,
+    apply_shards: usize,
 ) -> (usize, usize) {
-    let mut prop = Propagator::new(db, start, 1.0);
+    let mut prop =
+        Propagator::new(db, start, 1.0).with_parallel(ParallelConfig::new(1, apply_shards));
     let records = prop.drain_with_batch(db, m, batch_size).expect("drain");
     (records, prop.coalesced())
 }
@@ -218,6 +386,8 @@ struct Series {
     batch_size: usize,
     coalesced: usize,
     records: usize,
+    /// `Some(n)` marks a `parallel`-series entry at n apply shards.
+    apply_shards: Option<usize>,
 }
 
 fn main() {
@@ -228,6 +398,7 @@ fn main() {
         .configure_from_args();
 
     let sizes = [1usize, 16, 128, 1024];
+    let shard_counts = [1usize, 2, 4, 8];
     let mut series: Vec<Series> = Vec::new();
     {
         let mut g = c.benchmark_group("propagate_batch");
@@ -236,36 +407,76 @@ fn main() {
             // this size. The churn stream is deterministic, so every
             // timed sample drains the identical log.
             let (db, mut m, start) = setup_foj();
-            let (records, coalesced) = drain(&db, &mut m, start, bs);
+            let (records, coalesced) = drain(&db, &mut m, start, bs, 1);
             series.push(Series {
                 operator: "foj",
                 batch_size: bs,
                 coalesced,
                 records,
+                apply_shards: None,
             });
             g.throughput(Throughput::Elements(records as u64));
             g.bench_function(format!("foj/batch_{bs}"), |b| {
                 b.iter_batched(
                     setup_foj,
-                    |(db, mut m, start)| drain(&db, &mut m, start, bs),
+                    |(db, mut m, start)| drain(&db, &mut m, start, bs, 1),
                     BatchSize::PerIteration,
                 );
             });
         }
         for &bs in &sizes {
             let (db, mut m, start) = setup_split();
-            let (records, coalesced) = drain(&db, &mut m, start, bs);
+            let (records, coalesced) = drain(&db, &mut m, start, bs, 1);
             series.push(Series {
                 operator: "split",
                 batch_size: bs,
                 coalesced,
                 records,
+                apply_shards: None,
             });
             g.throughput(Throughput::Elements(records as u64));
             g.bench_function(format!("split/batch_{bs}"), |b| {
                 b.iter_batched(
                     setup_split,
-                    |(db, mut m, start)| drain(&db, &mut m, start, bs),
+                    |(db, mut m, start)| drain(&db, &mut m, start, bs, 1),
+                    BatchSize::PerIteration,
+                );
+            });
+        }
+        for &shards in &shard_counts {
+            let (db, mut m, start) = setup_foj_par();
+            let (records, coalesced) = drain(&db, &mut m, start, 1024, shards);
+            series.push(Series {
+                operator: "foj",
+                batch_size: 1024,
+                coalesced,
+                records,
+                apply_shards: Some(shards),
+            });
+            g.throughput(Throughput::Elements(records as u64));
+            g.bench_function(format!("foj/parallel_shards_{shards}"), |b| {
+                b.iter_batched(
+                    setup_foj_par,
+                    |(db, mut m, start)| drain(&db, &mut m, start, 1024, shards),
+                    BatchSize::PerIteration,
+                );
+            });
+        }
+        for &shards in &shard_counts {
+            let (db, mut m, start) = setup_split_par();
+            let (records, coalesced) = drain(&db, &mut m, start, 1024, shards);
+            series.push(Series {
+                operator: "split",
+                batch_size: 1024,
+                coalesced,
+                records,
+                apply_shards: Some(shards),
+            });
+            g.throughput(Throughput::Elements(records as u64));
+            g.bench_function(format!("split/parallel_shards_{shards}"), |b| {
+                b.iter_batched(
+                    setup_split_par,
+                    |(db, mut m, start)| drain(&db, &mut m, start, 1024, shards),
                     BatchSize::PerIteration,
                 );
             });
@@ -273,19 +484,43 @@ fn main() {
         g.finish();
     }
 
+    // Parallel fuzzy-copy sweep (untimed by criterion; wall-clock of
+    // one populate under a saturating workload, best of `reps`).
+    let pop_reps = if morph_bench::quick() { 1 } else { 2 };
+    let pop_points: Vec<_> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&w| populate_parallel_point(w, pop_reps))
+        .collect();
+
     let measurements = c.measurements();
     let mut json = String::from("{\n  \"bench\": \"propagate_batch\",\n  \"series\": [\n");
     for (i, meas) in measurements.iter().enumerate() {
         let s = &series[i.min(series.len() - 1)];
+        let tag = match s.apply_shards {
+            Some(n) => format!("\"series\": \"parallel\", \"apply_shards\": {n}, "),
+            None => String::new(),
+        };
         json.push_str(&format!(
-            "    {{ \"operator\": \"{}\", \"batch_size\": {}, \"records_per_drain\": {}, \"coalesced_per_drain\": {}, \"ns_per_drain\": {:.0}, \"records_per_sec\": {:.0} }}{}\n",
+            "    {{ {}\"operator\": \"{}\", \"batch_size\": {}, \"records_per_drain\": {}, \"coalesced_per_drain\": {}, \"ns_per_drain\": {:.0}, \"records_per_sec\": {:.0} }},\n",
+            tag,
             s.operator,
             s.batch_size,
             s.records,
             s.coalesced,
             meas.ns_per_iter,
             meas.per_second().unwrap_or(0.0),
-            if i + 1 == measurements.len() { "" } else { "," }
+        ));
+    }
+    let pop_base = pop_points.first().map_or(1.0, |p| p.rows_per_sec);
+    for (i, p) in pop_points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"series\": \"populate_parallel\", \"copy_workers\": {}, \"rows_read\": {}, \"ns\": {}, \"rows_per_sec\": {:.0}, \"speedup_vs_1\": {:.2} }}{}\n",
+            p.copy_workers,
+            p.rows_read,
+            p.ns,
+            p.rows_per_sec,
+            p.rows_per_sec / pop_base,
+            if i + 1 == pop_points.len() { "" } else { "," }
         ));
     }
     json.push_str("  ]\n}\n");

@@ -30,9 +30,13 @@ use morph_wal::LogOp;
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-use crate::operator::{scan_source_throttled, TransformOperator};
+use crate::operator::{
+    merge_lanes_by_lsn, scan_source_partitioned, scan_source_throttled, segment_by_lane,
+    worker_share, LaneTag, Segment, TransformOperator, PARALLEL_SEGMENT_MIN,
+};
 use crate::spec::FojSpec;
 use crate::throttle::Throttle;
+use morph_storage::shard_stride;
 
 const LEFT: Presence = Presence {
     left: true,
@@ -123,6 +127,14 @@ impl FojMapping {
             .map(|&p| t_names[s_to_t[p]].as_str())
             .collect();
         let idx_spk = t.add_index("__spk", &spk_names, false)?;
+
+        // Shard T by the R-pk prefix of its storage key: every row of
+        // subject y lives in shard(y) regardless of its join value, so
+        // a non-join R-update's rule reads (the `__rpk` probe) stay
+        // inside one shard — the lane classification the sharded apply
+        // path relies on. R-pk columns are distinct, so after dedup
+        // they are exactly the first `pkey().len()` key positions.
+        t.set_shard_key((0..rs.pkey().len()).collect())?;
 
         Ok(FojMapping {
             r,
@@ -407,6 +419,90 @@ impl FojMapping {
             drop(ts);
             throttle.pay(t0.elapsed());
         }
+        Ok((read, written))
+    }
+
+    /// Parallel initial population: both sources are fuzzy-scanned by
+    /// `workers` threads over disjoint shard classes, the image is
+    /// joined once, then bucketed by T's shard routing and inserted by
+    /// `workers` threads under masked write sessions (each bucket's
+    /// rows live entirely in its worker's shard class, so the sessions
+    /// never contend). Each thread pays [`worker_share`] of the
+    /// priority budget.
+    pub(crate) fn populate_parallel_with(
+        &self,
+        db: Option<&Database>,
+        chunk_size: usize,
+        workers: usize,
+        priority: f64,
+    ) -> DbResult<(usize, usize)> {
+        use std::time::Instant;
+        let workers = shard_stride(workers.max(1));
+        if workers <= 1 {
+            return self.populate_with(db, chunk_size, &mut Throttle::new(priority));
+        }
+        let r_acc: std::sync::Mutex<Vec<Vec<Value>>> = std::sync::Mutex::new(Vec::new());
+        let r_sink = |_w: usize, batch: Vec<(Key, Row)>| {
+            let mut rows: Vec<Vec<Value>> = batch.into_iter().map(|(_, row)| row.values).collect();
+            r_acc
+                .lock()
+                .expect("scan collector poisoned")
+                .append(&mut rows);
+            Ok(())
+        };
+        let mut read =
+            scan_source_partitioned(db, &self.r, chunk_size, workers, priority, &r_sink)?;
+        let s_acc: std::sync::Mutex<Vec<Vec<Value>>> = std::sync::Mutex::new(Vec::new());
+        let s_sink = |_w: usize, batch: Vec<(Key, Row)>| {
+            let mut rows: Vec<Vec<Value>> = batch.into_iter().map(|(_, row)| row.values).collect();
+            s_acc
+                .lock()
+                .expect("scan collector poisoned")
+                .append(&mut rows);
+            Ok(())
+        };
+        read += scan_source_partitioned(db, &self.s, chunk_size, workers, priority, &s_sink)?;
+        let r_rows = r_acc.into_inner().expect("scan collector poisoned");
+        let s_rows = s_acc.into_inner().expect("scan collector poisoned");
+        let image = reference_foj(self, &r_rows, &s_rows);
+        let written = image.len();
+        let schema = self.t.schema();
+        let mut buckets: Vec<Vec<(Vec<Value>, Presence)>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        for (values, presence) in image {
+            let key = schema.key_of(&values);
+            buckets[self.t.shard_of_key(&key) % workers].push((values, presence));
+        }
+        std::thread::scope(|scope| -> DbResult<()> {
+            let handles: Vec<_> = buckets
+                .into_iter()
+                .enumerate()
+                .map(|(w, bucket)| {
+                    let t = Arc::clone(&self.t);
+                    scope.spawn(move || -> DbResult<()> {
+                        let mut throttle = Throttle::new(worker_share(priority, workers));
+                        let mut it = bucket.into_iter().peekable();
+                        while it.peek().is_some() {
+                            if let Some(db) = db {
+                                db.crash_point("populate.chunk")?;
+                            }
+                            let t0 = Instant::now();
+                            let mut ts = t.write_session_masked(workers, w);
+                            for (values, presence) in it.by_ref().take(chunk_size.max(1)) {
+                                let _ = self.insert_t(&mut ts, values, presence, Lsn::ZERO);
+                            }
+                            drop(ts);
+                            throttle.pay(t0.elapsed());
+                        }
+                        Ok(())
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("population worker panicked")?;
+            }
+            Ok(())
+        })?;
         Ok((read, written))
     }
 
@@ -790,11 +886,82 @@ impl TransformOperator for FojMapping {
 
     /// One write session on T for the whole batch — a single latch
     /// round trip instead of one per record.
-    fn apply_batch(&mut self, batch: &[(Lsn, LogOp)]) -> DbResult<()> {
+    fn apply_batch(&mut self, batch: &[(Lsn, &LogOp)]) -> DbResult<()> {
         let t = Arc::clone(&self.t);
         let mut ts = t.write_session();
-        for (lsn, op) in batch {
-            self.apply_in(&mut ts, *lsn, op)?;
+        for &(lsn, op) in batch {
+            self.apply_in(&mut ts, lsn, op)?;
+        }
+        Ok(())
+    }
+
+    /// Sharded apply. Only R-updates touching neither the join
+    /// attribute nor an R-pk column get a lane: their rule (rule 7,
+    /// R side) probes `__rpk`(y) alone, and T is sharded by the R-pk
+    /// key prefix, so every row of subject y — whatever its join value,
+    /// including rows materialized by a fuzzy copy racing ahead of the
+    /// log — lives in the lane's shard class. Every other record type
+    /// probes by join value or S-key, whose carrying rows span subjects
+    /// (and thus shards), so it is a barrier.
+    fn apply_batch_sharded(&mut self, batch: &[(Lsn, &LogOp)], lanes: usize) -> DbResult<()> {
+        let stride = shard_stride(lanes.max(1));
+        if stride <= 1 {
+            return self.apply_batch(batch);
+        }
+        let r_id = self.r.id();
+        let segments = segment_by_lane(batch, stride, |op| match op {
+            LogOp::Update { key, new, .. }
+                if op.table() == r_id
+                    && !new
+                        .iter()
+                        .any(|(i, _)| *i == self.r_join || self.r_pk.contains(i)) =>
+            {
+                LaneTag::Class(self.t.shard_of_component(key.values()))
+            }
+            _ => LaneTag::Barrier,
+        });
+        let t = Arc::clone(&self.t);
+        for seg in segments {
+            match seg {
+                Segment::Serial(records) => {
+                    let mut ts = t.write_session();
+                    for (lsn, op) in records {
+                        self.apply_in(&mut ts, lsn, op)?;
+                    }
+                }
+                Segment::Parallel(lane_runs) => {
+                    let total: usize = lane_runs.iter().map(Vec::len).sum();
+                    if total < PARALLEL_SEGMENT_MIN {
+                        let mut ts = t.write_session();
+                        for (lsn, op) in merge_lanes_by_lsn(lane_runs) {
+                            self.apply_in(&mut ts, lsn, op)?;
+                        }
+                        continue;
+                    }
+                    let this = &*self;
+                    std::thread::scope(|scope| -> DbResult<()> {
+                        let handles: Vec<_> = lane_runs
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, run)| !run.is_empty())
+                            .map(|(w, run)| {
+                                let t = Arc::clone(&this.t);
+                                scope.spawn(move || -> DbResult<()> {
+                                    let mut ts = t.write_session_masked(stride, w);
+                                    for &(lsn, op) in run {
+                                        this.apply_in(&mut ts, lsn, op)?;
+                                    }
+                                    Ok(())
+                                })
+                            })
+                            .collect();
+                        for h in handles {
+                            h.join().expect("apply lane panicked")?;
+                        }
+                        Ok(())
+                    })?;
+                }
+            }
         }
         Ok(())
     }
@@ -825,6 +992,16 @@ impl TransformOperator for FojMapping {
         throttle: &mut Throttle,
     ) -> DbResult<(usize, usize)> {
         FojMapping::populate_with(self, Some(db), chunk, throttle)
+    }
+
+    fn populate_parallel(
+        &mut self,
+        db: &Database,
+        chunk: usize,
+        workers: usize,
+        priority: f64,
+    ) -> DbResult<(usize, usize)> {
+        FojMapping::populate_parallel_with(self, Some(db), chunk, workers, priority)
     }
 
     fn target_keys_for(&self, table: TableId, key: &Key) -> Vec<(TableId, Key)> {

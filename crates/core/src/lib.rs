@@ -61,7 +61,8 @@ pub use foj::FojMapping;
 pub use operator::{CoalescePolicy, TransformOperator};
 pub use report::{IterationStats, PopulationStats, SyncStats, TransformReport};
 pub use spec::{
-    FojSpec, NonConvergencePolicy, SplitMode, SplitSpec, SyncStrategy, TransformOptions,
+    FojSpec, NonConvergencePolicy, ParallelConfig, SplitMode, SplitSpec, SyncStrategy,
+    TransformOptions,
 };
 pub use split::SplitMapping;
 pub use transform::{TransformHandle, Transformer};

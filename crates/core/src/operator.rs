@@ -20,6 +20,9 @@
 //! |                         | union are *LSN-gated* (state identifiers, §5.2)  |
 //! | [`apply_batch`]         | batched §3.3 drain: one target-latch acquisition |
 //! |                         | per batch instead of per record                  |
+//! | [`apply_batch_sharded`] | §3.3 drain partitioned into subject-disjoint     |
+//! |                         | lanes applied on concurrent threads              |
+//! | [`populate_parallel`]   | §3.2 fuzzy copy partitioned over scan threads    |
 //! | [`on_control`]          | §5.3 `CcBegin`/`CcOk` consistency-checker records|
 //! | [`maintenance`]         | §5.3 checker rounds between propagation batches  |
 //! | [`readiness`]           | §5.3 gating: sync may not start while S-records  |
@@ -31,8 +34,10 @@
 //! | [`finalize`]            | and projected down once the old txns drain       |
 //!
 //! [`populate_throttled`]: TransformOperator::populate_throttled
+//! [`populate_parallel`]: TransformOperator::populate_parallel
 //! [`apply`]: TransformOperator::apply
 //! [`apply_batch`]: TransformOperator::apply_batch
+//! [`apply_batch_sharded`]: TransformOperator::apply_batch_sharded
 //! [`on_control`]: TransformOperator::on_control
 //! [`maintenance`]: TransformOperator::maintenance
 //! [`readiness`]: TransformOperator::readiness
@@ -47,7 +52,7 @@ use crate::sync::MirrorMap;
 use crate::throttle::Throttle;
 use morph_common::{DbResult, Key, Lsn, TableId};
 use morph_engine::Database;
-use morph_storage::{Row, Table};
+use morph_storage::{shard_stride, Row, Table};
 use morph_wal::{LogOp, LogRecord};
 use std::sync::Arc;
 use std::time::Instant;
@@ -115,11 +120,27 @@ pub trait TransformOperator: Send {
     /// [`TransformOperator::apply`]; operators override this to open
     /// one write session per target table for the whole batch, paying
     /// one latch round trip per batch instead of per record.
-    fn apply_batch(&mut self, batch: &[(Lsn, LogOp)]) -> DbResult<()> {
-        for (lsn, op) in batch {
-            self.apply(*lsn, op)?;
+    fn apply_batch(&mut self, batch: &[(Lsn, &LogOp)]) -> DbResult<()> {
+        for &(lsn, op) in batch {
+            self.apply(lsn, op)?;
         }
         Ok(())
+    }
+
+    /// Apply a batch with up to `lanes` concurrent apply lanes. Each
+    /// operator partitions the batch into *subject-disjoint* lanes —
+    /// record classes whose propagation-rule reads and writes provably
+    /// stay inside one storage-shard class of the target — and applies
+    /// the lanes on scoped threads under masked write sessions. Records
+    /// whose effects may cross lanes (and any record the operator cannot
+    /// classify) act as full barriers: the batch is cut there and the
+    /// barrier run is applied serially in log order.
+    ///
+    /// The default falls back to the serial [`TransformOperator::apply_batch`];
+    /// `lanes <= 1` must be byte-identical to the serial path.
+    fn apply_batch_sharded(&mut self, batch: &[(Lsn, &LogOp)], lanes: usize) -> DbResult<()> {
+        let _ = lanes;
+        self.apply_batch(batch)
     }
 
     /// How much record coalescing this operator's rules tolerate.
@@ -157,6 +178,25 @@ pub trait TransformOperator: Send {
     /// Unthrottled population (tests and full-priority runs).
     fn populate(&mut self, db: &Database, chunk: usize) -> DbResult<(usize, usize)> {
         self.populate_throttled(db, chunk, &mut Throttle::new(1.0))
+    }
+
+    /// Initial population with `workers` scan threads over disjoint
+    /// key-space partitions (§3.2 parallelized). The priority budget is
+    /// divided among the workers ([`worker_share`]) so the aggregate
+    /// duty cycle still honors `priority`. Returns
+    /// `(rows_read, rows_written)`.
+    ///
+    /// The default ignores `workers` and runs the serial populate so
+    /// operators without a parallel implementation stay correct.
+    fn populate_parallel(
+        &mut self,
+        db: &Database,
+        chunk: usize,
+        workers: usize,
+        priority: f64,
+    ) -> DbResult<(usize, usize)> {
+        let _ = (workers, priority);
+        self.populate(db, chunk)
     }
 
     /// Target keys a record lock on `(table, key)` must be mirrored to
@@ -250,4 +290,148 @@ pub(crate) fn scan_source_throttled(
         sink(batch)?;
         throttle.pay(t0.elapsed());
     }
+}
+
+/// Per-worker priority share for an `n`-way parallel fuzzy copy: the
+/// duty cycles sum to the configured priority, so `n` workers at
+/// `p / n` interfere with user transactions no more than one worker at
+/// `p`. Full priority stays full per worker — there is no budget to
+/// divide when the transformation may use the whole machine.
+pub(crate) fn worker_share(priority: f64, workers: usize) -> f64 {
+    if priority >= 1.0 {
+        1.0
+    } else {
+        (priority / workers.max(1) as f64).max(1e-4)
+    }
+}
+
+/// Parallel variant of [`scan_source_throttled`]: partition the source's
+/// storage shards into `workers` disjoint classes and stream each class
+/// on its own scoped thread, each worker paying its own
+/// [`worker_share`] of the priority budget. The sink receives
+/// `(worker, chunk)` pairs and must be `Sync`; chunks of different
+/// workers arrive concurrently, chunks of one worker arrive in key
+/// order. Returns the total rows read.
+pub(crate) fn scan_source_partitioned<F>(
+    db: Option<&Database>,
+    table: &Arc<Table>,
+    chunk: usize,
+    workers: usize,
+    priority: f64,
+    sink: &F,
+) -> DbResult<usize>
+where
+    F: Fn(usize, Vec<(Key, Row)>) -> DbResult<()> + Sync,
+{
+    let workers = shard_stride(workers.max(1));
+    if workers <= 1 {
+        let mut throttle = Throttle::new(priority);
+        return scan_source_throttled(db, table, chunk, &mut throttle, |batch| sink(0, batch));
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || -> DbResult<usize> {
+                    let mut scan = table.fuzzy_scan_partition(chunk, w, workers);
+                    let mut throttle = Throttle::new(worker_share(priority, workers));
+                    let mut rows = 0usize;
+                    loop {
+                        if let Some(db) = db {
+                            db.crash_point("populate.chunk")?;
+                        }
+                        let t0 = Instant::now();
+                        let batch = scan.next_chunk();
+                        if batch.is_empty() {
+                            return Ok(rows);
+                        }
+                        rows += batch.len();
+                        sink(w, batch)?;
+                        throttle.pay(t0.elapsed());
+                    }
+                })
+            })
+            .collect();
+        let mut total = 0usize;
+        let mut first_err = None;
+        for h in handles {
+            match h.join().expect("population scan worker panicked") {
+                Ok(n) => total += n,
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(total),
+        }
+    })
+}
+
+/// Lane classification of one log record for sharded apply.
+pub(crate) enum LaneTag {
+    /// The record's rule reads and writes stay inside the given lane
+    /// (a storage-shard class of the target); it may run concurrently
+    /// with records of other lanes.
+    Class(usize),
+    /// The record's effects may cross lanes — it must observe every
+    /// earlier record and be observed by every later one.
+    Barrier,
+}
+
+/// A maximal run of a batch that can be scheduled as one unit.
+pub(crate) enum Segment<'a> {
+    /// Lane-partitioned records; lanes commute and may run on
+    /// concurrent threads. Within a lane, log order is preserved.
+    Parallel(Vec<Vec<(Lsn, &'a LogOp)>>),
+    /// Records applied serially in log order.
+    Serial(Vec<(Lsn, &'a LogOp)>),
+}
+
+/// Cut a batch into alternating [`Segment`]s by classifying each record
+/// with `classify`. Consecutive barrier records coalesce into one
+/// serial segment; consecutive lane-classified records coalesce into
+/// one parallel segment with `lanes` lanes.
+pub(crate) fn segment_by_lane<'a>(
+    batch: &[(Lsn, &'a LogOp)],
+    lanes: usize,
+    mut classify: impl FnMut(&LogOp) -> LaneTag,
+) -> Vec<Segment<'a>> {
+    let mut out: Vec<Segment<'a>> = Vec::new();
+    for &(lsn, op) in batch {
+        match classify(op) {
+            LaneTag::Barrier => match out.last_mut() {
+                Some(Segment::Serial(run)) => run.push((lsn, op)),
+                _ => out.push(Segment::Serial(vec![(lsn, op)])),
+            },
+            LaneTag::Class(class) => {
+                let lane = class % lanes.max(1);
+                match out.last_mut() {
+                    Some(Segment::Parallel(ls)) => ls[lane].push((lsn, op)),
+                    _ => {
+                        let mut ls: Vec<Vec<(Lsn, &'a LogOp)>> =
+                            (0..lanes.max(1)).map(|_| Vec::new()).collect();
+                        ls[lane].push((lsn, op));
+                        out.push(Segment::Parallel(ls));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Below this record count a parallel segment is applied serially (in
+/// log order, reconstructed by LSN merge): thread spawn plus per-lane
+/// session setup costs more than the work it would parallelize.
+pub(crate) const PARALLEL_SEGMENT_MIN: usize = 128;
+
+/// Flatten a parallel segment back into global log order (each lane is
+/// LSN-ascending, so a sort by LSN restores the original interleaving).
+pub(crate) fn merge_lanes_by_lsn<'a>(lanes: Vec<Vec<(Lsn, &'a LogOp)>>) -> Vec<(Lsn, &'a LogOp)> {
+    let mut all: Vec<(Lsn, &'a LogOp)> = lanes.into_iter().flatten().collect();
+    all.sort_by_key(|&(lsn, _)| lsn);
+    all
 }

@@ -35,6 +35,7 @@
 
 use crate::operator::{CoalescePolicy, TransformOperator};
 use crate::report::IterationStats;
+use crate::spec::ParallelConfig;
 use crate::sync::proxy_owner;
 use crate::throttle::Throttle;
 use morph_common::{DbResult, Key, Lsn, Schema, TableId, TxnId};
@@ -42,6 +43,7 @@ use morph_engine::Database;
 use morph_wal::{LogOp, LogRecord, TailCursor};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Upper bound on one propagation iteration's wall-clock time (see
@@ -60,6 +62,28 @@ struct DrainCtx {
     /// [`TransformOperator::coalesce_barrier_cols`]).
     barriers: HashMap<TableId, Vec<usize>>,
     policy: CoalescePolicy,
+}
+
+/// One entry of the accumulated run. Records arriving from the cursor
+/// share the WAL's `Arc<LogRecord>` instead of deep-cloning the
+/// operation (a run of N records used to cost N row clones before the
+/// operator ever saw it); tests and synthetic callers may still hand
+/// the coalescer owned operations.
+enum RunOp {
+    /// A data record straight off the log (guaranteed `rec.op().is_some()`).
+    Shared(Arc<LogRecord>),
+    /// An owned operation (tests, synthetic runs).
+    #[cfg_attr(not(test), allow(dead_code))]
+    Owned(LogOp),
+}
+
+impl RunOp {
+    fn op(&self) -> &LogOp {
+        match self {
+            RunOp::Shared(rec) => rec.op().expect("RunOp::Shared holds a data record"),
+            RunOp::Owned(op) => op,
+        }
+    }
 }
 
 impl DrainCtx {
@@ -106,14 +130,18 @@ impl DrainCtx {
 /// * an update touching an operator-declared **barrier column** voids
 ///   its subject's pending records likewise (§4.2 guard columns, shared
 ///   S-record feeds).
-fn coalesce(run: Vec<(Lsn, LogOp)>, ctx: &DrainCtx) -> Vec<(Lsn, LogOp)> {
+fn coalesce(run: Vec<(Lsn, RunOp)>, ctx: &DrainCtx) -> Vec<(Lsn, RunOp)> {
     if ctx.policy == CoalescePolicy::None || run.len() < 2 {
         return run;
     }
     let mut keep = vec![true; run.len()];
-    // Pending (still droppable) record indices per subject.
-    let mut pending: HashMap<(TableId, Key), Vec<usize>> = HashMap::new();
-    for (i, (_, op)) in run.iter().enumerate() {
+    // Pending (still droppable) record indices, per table then per
+    // subject key. The two-level map lets delete/update lookups borrow
+    // the record's key instead of cloning it into a composite probe
+    // key; a subject's key is cloned once, on its first pending entry.
+    let mut pending: HashMap<TableId, HashMap<Key, Vec<usize>>> = HashMap::new();
+    for (i, (_, rop)) in run.iter().enumerate() {
+        let op = rop.op();
         let table = op.table();
         let Some(schema) = ctx.schemas.get(&table) else {
             continue;
@@ -121,12 +149,14 @@ fn coalesce(run: Vec<(Lsn, LogOp)>, ctx: &DrainCtx) -> Vec<(Lsn, LogOp)> {
         match op {
             LogOp::Insert { row, .. } => {
                 pending
-                    .entry((table, schema.key_of(row)))
+                    .entry(table)
+                    .or_default()
+                    .entry(schema.key_of(row))
                     .or_default()
                     .push(i);
             }
             LogOp::Delete { key, .. } => {
-                if let Some(idxs) = pending.remove(&(table, key.clone())) {
+                if let Some(idxs) = pending.get_mut(&table).and_then(|m| m.remove(key)) {
                     for j in idxs {
                         keep[j] = false;
                     }
@@ -136,14 +166,16 @@ fn coalesce(run: Vec<(Lsn, LogOp)>, ctx: &DrainCtx) -> Vec<(Lsn, LogOp)> {
                 let pkey = schema.pkey();
                 if new.iter().any(|(c, _)| pkey.contains(c)) {
                     // Key move: void both subjects, drop nothing.
-                    pending.remove(&(table, key.clone()));
-                    let mut moved = key.clone();
-                    for (c, v) in new {
-                        if let Some(p) = pkey.iter().position(|pc| pc == c) {
-                            moved.0[p] = v.clone();
+                    if let Some(m) = pending.get_mut(&table) {
+                        m.remove(key);
+                        let mut moved = key.clone();
+                        for (c, v) in new {
+                            if let Some(p) = pkey.iter().position(|pc| pc == c) {
+                                moved.0[p] = v.clone();
+                            }
                         }
+                        m.remove(&moved);
                     }
-                    pending.remove(&(table, moved));
                     continue;
                 }
                 let barrier = ctx
@@ -151,12 +183,18 @@ fn coalesce(run: Vec<(Lsn, LogOp)>, ctx: &DrainCtx) -> Vec<(Lsn, LogOp)> {
                     .get(&table)
                     .is_some_and(|bs| new.iter().any(|(c, _)| bs.contains(c)));
                 if barrier {
-                    pending.remove(&(table, key.clone()));
+                    if let Some(m) = pending.get_mut(&table) {
+                        m.remove(key);
+                    }
                     continue;
                 }
-                let slot = pending.entry((table, key.clone())).or_default();
+                let m = pending.entry(table).or_default();
+                if !m.contains_key(key) {
+                    m.insert(key.clone(), Vec::new());
+                }
+                let slot = m.get_mut(key).expect("just inserted");
                 if ctx.policy == CoalescePolicy::Full {
-                    slot.retain(|&j| match &run[j].1 {
+                    slot.retain(|&j| match run[j].1.op() {
                         LogOp::Update { new: prev, .. }
                             if prev.iter().all(|(c, _)| new.iter().any(|(c2, _)| c2 == c)) =>
                         {
@@ -195,6 +233,12 @@ pub struct Propagator {
     post: Option<PostSyncState>,
     /// Records dropped by the coalescer over this propagator's life.
     coalesced: usize,
+    /// Degree of apply parallelism (`apply_shards` lanes per run).
+    parallel: ParallelConfig,
+    /// Drain context cached across iterations, keyed by the catalog's
+    /// structural epoch: name→table resolution and barrier-column
+    /// derivation are loop-invariant until a create/drop/rename.
+    ctx: Option<(u64, Arc<DrainCtx>)>,
 }
 
 impl Propagator {
@@ -206,6 +250,30 @@ impl Propagator {
             throttle: Throttle::new(priority),
             post: None,
             coalesced: 0,
+            parallel: ParallelConfig::serial(),
+            ctx: None,
+        }
+    }
+
+    /// Set the apply parallelism. The serial default is byte-identical
+    /// to the pre-parallel pipeline.
+    #[must_use]
+    pub fn with_parallel(mut self, parallel: ParallelConfig) -> Propagator {
+        self.parallel = parallel;
+        self
+    }
+
+    /// The cached drain context, rebuilt when the catalog's structural
+    /// epoch moved (a table was created, dropped or renamed since).
+    fn drain_ctx(&mut self, db: &Database, op: &dyn TransformOperator) -> Arc<DrainCtx> {
+        let epoch = db.catalog().epoch();
+        match &self.ctx {
+            Some((e, ctx)) if *e == epoch => Arc::clone(ctx),
+            _ => {
+                let ctx = Arc::new(DrainCtx::new(db, op));
+                self.ctx = Some((epoch, Arc::clone(&ctx)));
+                ctx
+            }
         }
     }
 
@@ -250,7 +318,7 @@ impl Propagator {
         &mut self,
         op: &mut dyn TransformOperator,
         ctx: &DrainCtx,
-        run: &mut Vec<(Lsn, LogOp)>,
+        run: &mut Vec<(Lsn, RunOp)>,
     ) -> DbResult<()> {
         if run.is_empty() {
             return Ok(());
@@ -258,7 +326,12 @@ impl Propagator {
         let before = run.len();
         let batch = coalesce(std::mem::take(run), ctx);
         self.coalesced += before - batch.len();
-        op.apply_batch(&batch)
+        let refs: Vec<(Lsn, &LogOp)> = batch.iter().map(|(lsn, rop)| (*lsn, rop.op())).collect();
+        if self.parallel.apply_shards > 1 {
+            op.apply_batch_sharded(&refs, self.parallel.apply_shards)
+        } else {
+            op.apply_batch(&refs)
+        }
     }
 
     /// Handle one log record: defer relevant data ops into `run`, flush
@@ -269,18 +342,18 @@ impl Propagator {
         db: &Database,
         op: &mut dyn TransformOperator,
         ctx: &DrainCtx,
-        run: &mut Vec<(Lsn, LogOp)>,
+        run: &mut Vec<(Lsn, RunOp)>,
         lsn: Lsn,
-        rec: &LogRecord,
+        rec: &Arc<LogRecord>,
     ) -> DbResult<bool> {
         if let Some(logop) = rec.op() {
             if ctx.schemas.contains_key(&logop.table()) {
-                run.push((lsn, logop.clone()));
+                run.push((lsn, RunOp::Shared(Arc::clone(rec))));
                 return Ok(true);
             }
             return Ok(false);
         }
-        match rec {
+        match &**rec {
             LogRecord::CcBegin { .. } | LogRecord::CcOk { .. } => {
                 // The checker must observe every prior touch before a
                 // certification is judged (§5.3).
@@ -330,10 +403,10 @@ impl Propagator {
         cc_interval: usize,
         abort: &AtomicBool,
     ) -> DbResult<IterationStats> {
-        let ctx = DrainCtx::new(db, op);
+        let ctx = self.drain_ctx(db, op);
         let target = db.log().last_lsn();
         let t0 = Instant::now();
-        let mut run: Vec<(Lsn, LogOp)> = Vec::new();
+        let mut run: Vec<(Lsn, RunOp)> = Vec::new();
         let mut records = 0usize;
         let mut relevant = 0usize;
         let mut batches = 0usize;
@@ -400,8 +473,8 @@ impl Propagator {
         op: &mut dyn TransformOperator,
         batch_size: usize,
     ) -> DbResult<usize> {
-        let ctx = DrainCtx::new(db, op);
-        let mut run: Vec<(Lsn, LogOp)> = Vec::new();
+        let ctx = self.drain_ctx(db, op);
+        let mut run: Vec<(Lsn, RunOp)> = Vec::new();
         let mut n = 0usize;
         let target = db.log().last_lsn();
         while self.cursor.next_lsn() <= target {
@@ -570,6 +643,12 @@ mod tests {
         DrainCtx::new(db, m)
     }
 
+    fn owned(run: Vec<(Lsn, LogOp)>) -> Vec<(Lsn, RunOp)> {
+        run.into_iter()
+            .map(|(l, op)| (l, RunOp::Owned(op)))
+            .collect()
+    }
+
     fn full_ctx(mut ctx: DrainCtx) -> DrainCtx {
         ctx.policy = CoalescePolicy::Full;
         ctx
@@ -605,9 +684,9 @@ mod tests {
                 },
             ),
         ];
-        let out = coalesce(run, &ctx_for(&db, &m));
+        let out = coalesce(owned(run), &ctx_for(&db, &m));
         assert_eq!(out.len(), 1);
-        assert!(matches!(out[0].1, LogOp::Delete { .. }));
+        assert!(matches!(out[0].1.op(), LogOp::Delete { .. }));
     }
 
     #[test]
@@ -642,7 +721,7 @@ mod tests {
                 },
             ),
         ];
-        let out = coalesce(run, &ctx_for(&db, &m));
+        let out = coalesce(owned(run), &ctx_for(&db, &m));
         assert_eq!(out.len(), 3, "nothing may be dropped across the barrier");
     }
 
@@ -679,7 +758,7 @@ mod tests {
                 },
             ),
         ];
-        let out = coalesce(run, &full_ctx(ctx_for(&db, &m)));
+        let out = coalesce(owned(run), &full_ctx(ctx_for(&db, &m)));
         assert_eq!(out.len(), 3);
     }
 
@@ -699,15 +778,15 @@ mod tests {
             )
         };
         let run = vec![upd(1, "a"), upd(2, "b"), upd(3, "c")];
-        let out = coalesce(run, &full_ctx(ctx_for(&db, &m)));
+        let out = coalesce(owned(run), &full_ctx(ctx_for(&db, &m)));
         assert_eq!(out.len(), 1);
-        let LogOp::Update { new, .. } = &out[0].1 else {
+        let LogOp::Update { new, .. } = out[0].1.op() else {
             panic!()
         };
         assert_eq!(new[0].1, Value::str("c"));
         // DeleteOnly keeps all three.
         let run = vec![upd(1, "a"), upd(2, "b"), upd(3, "c")];
-        assert_eq!(coalesce(run, &ctx_for(&db, &m)).len(), 3);
+        assert_eq!(coalesce(owned(run), &ctx_for(&db, &m)).len(), 3);
     }
 
     #[test]

@@ -35,6 +35,60 @@ pub enum NonConvergencePolicy {
     },
 }
 
+/// Degree of parallelism of the transformation pipeline.
+///
+/// `copy_workers` drives the initial fuzzy copy (§3.2): the key space
+/// is partitioned into disjoint storage-shard classes and each worker
+/// scans one class on its own thread, with the priority budget divided
+/// among the workers so the aggregate duty cycle still honors
+/// [`TransformOptions::priority`]. `apply_shards` drives log
+/// propagation (§3.3): a coalesced run is partitioned by the operator's
+/// subject notion into lanes applied concurrently, each under its own
+/// masked write session; records whose effects cross lanes (and all
+/// control records) stay full barriers.
+///
+/// `ParallelConfig::serial()` (1 worker, 1 shard) is byte-identical to
+/// the single-threaded pipeline — the crash simulator runs it so its
+/// determinism contract is untouched.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ParallelConfig {
+    /// Threads scanning disjoint source partitions during population.
+    pub copy_workers: usize,
+    /// Concurrent apply lanes per coalesced run.
+    pub apply_shards: usize,
+}
+
+impl ParallelConfig {
+    /// The serial pipeline (exact single-threaded behavior).
+    pub fn serial() -> ParallelConfig {
+        ParallelConfig {
+            copy_workers: 1,
+            apply_shards: 1,
+        }
+    }
+
+    /// A parallel pipeline with the given worker/lane counts (each
+    /// normalized to a power of two ≤ the storage shard count when
+    /// used).
+    pub fn new(copy_workers: usize, apply_shards: usize) -> ParallelConfig {
+        ParallelConfig {
+            copy_workers: copy_workers.max(1),
+            apply_shards: apply_shards.max(1),
+        }
+    }
+
+    /// Whether this configuration is the exact serial pipeline.
+    pub fn is_serial(&self) -> bool {
+        self.copy_workers <= 1 && self.apply_shards <= 1
+    }
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig::serial()
+    }
+}
+
 /// Knobs shared by all transformations.
 #[derive(Clone, Debug)]
 pub struct TransformOptions {
@@ -68,6 +122,9 @@ pub struct TransformOptions {
     /// use this to compare the transformed tables against the final
     /// source state.
     pub retain_sources: bool,
+    /// Degree of parallelism (copy workers / apply lanes). Defaults to
+    /// the exact serial pipeline.
+    pub parallel: ParallelConfig,
 }
 
 impl Default for TransformOptions {
@@ -83,6 +140,7 @@ impl Default for TransformOptions {
             cc_interval: 16,
             deadline: None,
             retain_sources: false,
+            parallel: ParallelConfig::serial(),
         }
     }
 }
@@ -120,6 +178,13 @@ impl TransformOptions {
     #[must_use]
     pub fn retain_sources(mut self) -> Self {
         self.retain_sources = true;
+        self
+    }
+
+    /// Set the pipeline parallelism.
+    #[must_use]
+    pub fn parallel(mut self, p: ParallelConfig) -> Self {
+        self.parallel = p;
         self
     }
 }
@@ -271,6 +336,19 @@ mod tests {
         assert_eq!(TransformOptions::default().priority(2.0).priority, 1.0);
         assert!(TransformOptions::default().priority(0.0).priority > 0.0);
         assert_eq!(TransformOptions::default().priority(0.25).priority, 0.25);
+    }
+
+    #[test]
+    fn parallel_config_normalizes() {
+        assert!(ParallelConfig::serial().is_serial());
+        assert!(TransformOptions::default().parallel.is_serial());
+        let p = ParallelConfig::new(0, 0);
+        assert!(p.is_serial());
+        let p = ParallelConfig::new(4, 2);
+        assert_eq!((p.copy_workers, p.apply_shards), (4, 2));
+        assert!(!p.is_serial());
+        let o = TransformOptions::default().parallel(p);
+        assert_eq!(o.parallel, p);
     }
 
     #[test]

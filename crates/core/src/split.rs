@@ -22,14 +22,19 @@
 //! log.
 
 use crate::cc::{CcState, PendingCc, Readiness};
-use crate::operator::{scan_source_throttled, CoalescePolicy, TransformOperator};
+use crate::operator::{
+    merge_lanes_by_lsn, scan_source_partitioned, scan_source_throttled, segment_by_lane,
+    CoalescePolicy, LaneTag, Segment, TransformOperator, PARALLEL_SEGMENT_MIN,
+};
 use crate::spec::{SplitMode, SplitSpec};
 use crate::throttle::Throttle;
 use morph_common::{DbError, DbResult, Key, Lsn, Schema, TableId, Value};
 use morph_engine::Database;
-use morph_storage::{ConsistencyFlag, Row, Table, WriteSession};
+use morph_storage::{shard_stride, ConsistencyFlag, Row, Table, WriteSession};
 use morph_wal::{LogManager, LogOp, LogRecord};
-use std::sync::Arc;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
 
 /// Column mapping and rule engine for one split transformation.
 pub struct SplitMapping {
@@ -294,8 +299,7 @@ impl SplitMapping {
 
     /// Session variant of [`SplitMapping::r_get`] for the rules.
     fn r_get_in(&self, rs: &WriteSession<'_>, y: &Key) -> Option<(Lsn, Value)> {
-        let row = rs.get(y)?;
-        Some(self.decode_r(&row))
+        rs.with_row(y, |row| self.decode_r(row))
     }
 
     fn r_insert(&self, rs: &mut WriteSession<'_>, t_vals: &[Value], lsn: Lsn) -> DbResult<()> {
@@ -330,14 +334,16 @@ impl SplitMapping {
         new: &[(usize, Value)],
         lsn: Lsn,
     ) -> DbResult<()> {
-        let layout: Vec<usize> = match self.mode {
-            SplitMode::SeparateR => self.r_cols.clone(),
+        let p_layout: Vec<usize>;
+        let layout: &[usize] = match self.mode {
+            SplitMode::SeparateR => &self.r_cols,
             SplitMode::RenameInPlace => {
-                let mut p_layout: Vec<usize> = self.t_pk.clone();
+                let mut l: Vec<usize> = self.t_pk.clone();
                 if !self.t_pk.contains(&self.split_t) {
-                    p_layout.push(self.split_t);
+                    l.push(self.split_t);
                 }
-                p_layout
+                p_layout = l;
+                &p_layout
             }
         };
         let cols: Vec<(usize, Value)> = new
@@ -783,6 +789,447 @@ impl SplitMapping {
     }
 }
 
+/// A deferred S-side effect recorded during phase A of the sharded
+/// apply. Unlike R, the S table is keyed by split value, not by
+/// subject, so records that are disjoint by subject can still collide
+/// on a shared S-record. Phase A applies the R half per subject lane
+/// and records what the S half *would* do; phase B re-buckets the
+/// effects by split value and replays them in LSN order, which per
+/// S-key is exactly the serial order.
+enum SEffect {
+    /// Rule 8's S half: one new contribution of `s_vals` under `x`.
+    Absorb { x: Value, s_vals: Vec<Value> },
+    /// Rule 9's S half: one contribution under `x` goes away.
+    Release { x: Value },
+    /// Rule 11's non-split branch: dependent-column updates, LSN-gated
+    /// against the S-record itself.
+    DepUpdate {
+        x: Value,
+        dep_updates: Vec<(usize, Value)>,
+        all_deps: bool,
+    },
+}
+
+impl SEffect {
+    fn split_value(&self) -> &Value {
+        match self {
+            SEffect::Absorb { x, .. } | SEffect::Release { x } | SEffect::DepUpdate { x, .. } => x,
+        }
+    }
+}
+
+// Worker-local digest of one worker's S contributions during parallel
+// population; merged serially into the real S rows afterwards.
+struct SContrib {
+    /// Smallest T key among this worker's contributors — serial
+    /// population takes the S image from the globally smallest one.
+    first_key: Key,
+    s_vals: Vec<Value>,
+    count: u32,
+    max_lsn: Lsn,
+    /// All contributions seen by this worker carried equal S values.
+    uniform: bool,
+}
+
+impl SplitMapping {
+    /// Phase A of the sharded apply: the R half of one record, applied
+    /// under a masked R-side session, with its S half recorded as a
+    /// deferred [`SEffect`]. Only called for lane-classified records
+    /// (no split-column change, no key move) with checking off; both
+    /// are enforced by [`SplitMapping::apply_batch_sharded_impl`].
+    fn r_apply_collect(
+        &self,
+        rs: &mut WriteSession<'_>,
+        lsn: Lsn,
+        op: &LogOp,
+        effects: &mut Vec<(Lsn, SEffect)>,
+    ) -> DbResult<()> {
+        match op {
+            LogOp::Insert { row, .. } => {
+                let y = Key::project(row, &self.t_pk);
+                if self.r_get_in(rs, &y).is_some() {
+                    return Ok(()); // already reflected (Theorem 1)
+                }
+                self.r_insert(rs, row, lsn)?;
+                effects.push((
+                    lsn,
+                    SEffect::Absorb {
+                        x: self.split_val(row),
+                        s_vals: self.s_part(row),
+                    },
+                ));
+                Ok(())
+            }
+            LogOp::Delete { key, .. } => {
+                let Some((rlsn, x)) = self.r_get_in(rs, key) else {
+                    return Ok(());
+                };
+                if rlsn >= lsn {
+                    return Ok(());
+                }
+                self.r_delete(rs, key)?;
+                effects.push((lsn, SEffect::Release { x }));
+                Ok(())
+            }
+            LogOp::Update { key, new, .. } => {
+                debug_assert!(
+                    !new.iter().any(|(i, _)| *i == self.split_t),
+                    "split-column updates are barriers"
+                );
+                let Some((rlsn, x_pre)) = self.r_get_in(rs, key) else {
+                    return Ok(());
+                };
+                if rlsn >= lsn {
+                    return Ok(()); // rule 10's LSN gate — S side skipped too
+                }
+                self.r_update(rs, key, new, lsn)?;
+                let dep_updates: Vec<(usize, Value)> = new
+                    .iter()
+                    .filter(|(i, _)| *i != self.split_t && self.s_cols.contains(i))
+                    .map(|(i, v)| {
+                        let s_pos = self.s_cols.iter().position(|c| c == i).expect("filtered");
+                        (s_pos, v.clone())
+                    })
+                    .collect();
+                if dep_updates.is_empty() {
+                    return Ok(());
+                }
+                let all_deps = dep_updates.len() == self.s_cols.len() - 1;
+                effects.push((
+                    lsn,
+                    SEffect::DepUpdate {
+                        x: x_pre,
+                        dep_updates,
+                        all_deps,
+                    },
+                ));
+                Ok(())
+            }
+        }
+    }
+
+    /// Phase B of the sharded apply: replay one deferred S effect under
+    /// a masked S session. Mirrors [`SplitMapping::s_absorb`],
+    /// [`SplitMapping::s_release`] and rule 11's dependent-update
+    /// branch, minus the checker bookkeeping (the sharded path falls
+    /// back to serial when checking is on).
+    fn s_apply_effect(&self, ss: &mut WriteSession<'_>, lsn: Lsn, eff: &SEffect) -> DbResult<()> {
+        match eff {
+            SEffect::Absorb { x, s_vals } => {
+                let key = self.s_key(x);
+                let existed = ss.with_row_mut(&key, |row| {
+                    row.counter += 1;
+                    if row.lsn < lsn {
+                        row.lsn = lsn;
+                    }
+                    if row.values != *s_vals {
+                        row.flag = ConsistencyFlag::Unknown;
+                    }
+                });
+                if existed.is_none() {
+                    ss.insert_row(Row {
+                        values: s_vals.clone(),
+                        lsn,
+                        counter: 1,
+                        flag: ConsistencyFlag::Consistent,
+                        presence: Default::default(),
+                    })?;
+                }
+                Ok(())
+            }
+            SEffect::Release { x } => {
+                let key = self.s_key(x);
+                let drop_row = ss.with_row_mut(&key, |row| {
+                    row.counter = row.counter.saturating_sub(1);
+                    if row.lsn < lsn {
+                        row.lsn = lsn;
+                    }
+                    row.counter == 0
+                });
+                if drop_row == Some(true) {
+                    let _ = ss.delete(&key);
+                }
+                Ok(())
+            }
+            SEffect::DepUpdate {
+                x,
+                dep_updates,
+                all_deps,
+            } => {
+                let key = self.s_key(x);
+                ss.with_row_mut(&key, |row| {
+                    if row.lsn >= lsn {
+                        return;
+                    }
+                    for (s_pos, v) in dep_updates {
+                        row.values[*s_pos] = v.clone();
+                    }
+                    row.lsn = lsn;
+                    if row.counter > 1 {
+                        row.flag = ConsistencyFlag::Unknown;
+                    } else if *all_deps {
+                        row.flag = ConsistencyFlag::Consistent;
+                    }
+                });
+                Ok(())
+            }
+        }
+    }
+
+    /// Two-phase sharded batch apply. Records are lane-classified by
+    /// the subject's R-side shard; phase A applies the R halves per
+    /// lane concurrently and collects deferred S effects, phase B
+    /// re-buckets the effects by split-value shard, sorts each bucket
+    /// by LSN, and replays them concurrently. Split-column changes and
+    /// key moves are barriers (their S half reads the shared record's
+    /// current image, which is order-sensitive across subjects), and
+    /// checking mode falls back to the serial path entirely (the
+    /// checker's touch tracking assumes serial application).
+    fn apply_batch_sharded_impl(&mut self, batch: &[(Lsn, &LogOp)], lanes: usize) -> DbResult<()> {
+        let stride = shard_stride(lanes.max(1));
+        if stride <= 1 || self.check {
+            return <Self as TransformOperator>::apply_batch(self, batch);
+        }
+        let t_id = self.t.id();
+        let r_side = Arc::clone(self.r_side());
+        let s = Arc::clone(&self.s);
+        let segments = segment_by_lane(batch, stride, |op| {
+            if op.table() != t_id {
+                return LaneTag::Barrier;
+            }
+            match op {
+                LogOp::Insert { row, .. } => {
+                    let y = Key::project(row, &self.t_pk);
+                    LaneTag::Class(r_side.shard_of_component(y.values()))
+                }
+                LogOp::Delete { key, .. } => {
+                    LaneTag::Class(r_side.shard_of_component(key.values()))
+                }
+                LogOp::Update { key, new, .. } => {
+                    if new
+                        .iter()
+                        .any(|(i, _)| *i == self.split_t || self.t_pk.contains(i))
+                    {
+                        LaneTag::Barrier
+                    } else {
+                        LaneTag::Class(r_side.shard_of_component(key.values()))
+                    }
+                }
+            }
+        });
+        for seg in segments {
+            match seg {
+                Segment::Serial(records) => {
+                    let mut rs = r_side.write_session();
+                    let mut ss = s.write_session();
+                    for (lsn, op) in records {
+                        self.apply_in(&mut rs, &mut ss, lsn, op)?;
+                    }
+                }
+                Segment::Parallel(lane_runs) => {
+                    let total: usize = lane_runs.iter().map(Vec::len).sum();
+                    if total < PARALLEL_SEGMENT_MIN {
+                        // Too small to win anything from threads; the
+                        // LSN-merged run is exactly the serial order.
+                        let mut rs = r_side.write_session();
+                        let mut ss = s.write_session();
+                        for (lsn, op) in merge_lanes_by_lsn(lane_runs) {
+                            self.apply_in(&mut rs, &mut ss, lsn, op)?;
+                        }
+                        continue;
+                    }
+                    let this = &*self;
+                    // One thread per lane runs both phases: collect
+                    // SEffects from its R lane (Phase A), scatter them
+                    // into per-S-shard buckets, meet at the barrier,
+                    // then apply the bucket it owns (Phase B). The
+                    // barrier guarantees every bucket is complete
+                    // before anyone applies it; an LSN sort inside the
+                    // bucket restores the serial order for every S-key
+                    // it contains. One spawn per lane instead of two
+                    // scopes halves the per-segment thread cost.
+                    let buckets: Vec<Mutex<Vec<(Lsn, SEffect)>>> =
+                        (0..stride).map(|_| Mutex::new(Vec::new())).collect();
+                    let barrier = Barrier::new(stride);
+                    let failed = AtomicBool::new(false);
+                    std::thread::scope(|scope| -> DbResult<()> {
+                        let handles: Vec<_> = (0..stride)
+                            .map(|w| {
+                                let r_side = Arc::clone(&r_side);
+                                let s = Arc::clone(&s);
+                                let run = &lane_runs[w];
+                                let buckets = &buckets;
+                                let barrier = &barrier;
+                                let failed = &failed;
+                                scope.spawn(move || -> DbResult<()> {
+                                    let phase_a = (|| -> DbResult<()> {
+                                        if run.is_empty() {
+                                            return Ok(());
+                                        }
+                                        let mut rs = r_side.write_session_masked(stride, w);
+                                        let mut effects = Vec::new();
+                                        for &(lsn, op) in run {
+                                            this.r_apply_collect(&mut rs, lsn, op, &mut effects)?;
+                                        }
+                                        drop(rs);
+                                        let mut per: Vec<Vec<(Lsn, SEffect)>> =
+                                            (0..stride).map(|_| Vec::new()).collect();
+                                        for (lsn, eff) in effects {
+                                            let lane = s.shard_of_component(std::slice::from_ref(
+                                                eff.split_value(),
+                                            )) % stride;
+                                            per[lane].push((lsn, eff));
+                                        }
+                                        for (v, chunk) in per.into_iter().enumerate() {
+                                            if !chunk.is_empty() {
+                                                buckets[v].lock().unwrap().extend(chunk);
+                                            }
+                                        }
+                                        Ok(())
+                                    })();
+                                    if phase_a.is_err() {
+                                        failed.store(true, Ordering::SeqCst);
+                                    }
+                                    // Every worker must reach the
+                                    // barrier even on error, or the
+                                    // rest deadlock waiting for it.
+                                    barrier.wait();
+                                    phase_a?;
+                                    if failed.load(Ordering::SeqCst) {
+                                        // A sibling lane failed: its
+                                        // bucket contributions are
+                                        // missing, so applying ours
+                                        // would diverge. Abort.
+                                        return Ok(());
+                                    }
+                                    let mut mine = std::mem::take(&mut *buckets[w].lock().unwrap());
+                                    if mine.is_empty() {
+                                        return Ok(());
+                                    }
+                                    mine.sort_by_key(|&(lsn, _)| lsn);
+                                    let mut ss = s.write_session_masked(stride, w);
+                                    for (lsn, eff) in &mine {
+                                        this.s_apply_effect(&mut ss, *lsn, eff)?;
+                                    }
+                                    Ok(())
+                                })
+                            })
+                            .collect();
+                        for h in handles {
+                            h.join().expect("apply lane panicked")?;
+                        }
+                        Ok(())
+                    })?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Parallel initial population: partitioned fuzzy scan with masked
+    /// R-side writes per worker, plus worker-local S digests merged
+    /// serially afterwards (S rows are shared across subjects, so they
+    /// cannot be written lane-locally). Checking mode falls back to the
+    /// serial path so the checker sees every touch.
+    pub(crate) fn populate_parallel_with(
+        &mut self,
+        db: Option<&Database>,
+        chunk_size: usize,
+        workers: usize,
+        priority: f64,
+    ) -> DbResult<(usize, usize)> {
+        let workers = shard_stride(workers.max(1));
+        if workers <= 1 || self.check {
+            return self.populate_with(db, chunk_size, &mut Throttle::new(priority));
+        }
+        let t = Arc::clone(&self.t);
+        let r_side = Arc::clone(self.r_side());
+        let s = Arc::clone(&self.s);
+        let this = &*self;
+        let locals: Vec<Mutex<HashMap<Value, SContrib>>> =
+            (0..workers).map(|_| Mutex::new(HashMap::new())).collect();
+        let sink = |w: usize, chunk: Vec<(Key, Row)>| {
+            let mut rs = r_side.write_session_masked(workers, w);
+            let mut local = locals[w].lock().expect("populate digest poisoned");
+            for (key, row) in chunk {
+                this.r_insert(&mut rs, &row.values, row.lsn)?;
+                let x = this.split_val(&row.values);
+                let s_vals = this.s_part(&row.values);
+                match local.entry(x) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        let c = e.get_mut();
+                        c.count += 1;
+                        if row.lsn > c.max_lsn {
+                            c.max_lsn = row.lsn;
+                        }
+                        if s_vals != c.s_vals {
+                            c.uniform = false;
+                        }
+                        // The partitioned scan is key-ordered per
+                        // worker, so the first-seen key stays minimal.
+                        debug_assert!(c.first_key <= key);
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(SContrib {
+                            first_key: key,
+                            s_vals,
+                            count: 1,
+                            max_lsn: row.lsn,
+                            uniform: true,
+                        });
+                    }
+                }
+            }
+            Ok(())
+        };
+        let read = scan_source_partitioned(db, &t, chunk_size, workers, priority, &sink)?;
+
+        // Merge the worker digests: the canonical S image is the one
+        // from the globally smallest contributor key (= what the
+        // serial key-ordered scan would have absorbed first).
+        let mut merged: BTreeMap<Value, SContrib> = BTreeMap::new();
+        for local in locals {
+            for (x, c) in local.into_inner().expect("populate digest poisoned") {
+                match merged.entry(x) {
+                    std::collections::btree_map::Entry::Occupied(mut e) => {
+                        let m = e.get_mut();
+                        m.count += c.count;
+                        if c.max_lsn > m.max_lsn {
+                            m.max_lsn = c.max_lsn;
+                        }
+                        if !c.uniform || c.s_vals != m.s_vals {
+                            m.uniform = false;
+                        }
+                        if c.first_key < m.first_key {
+                            m.first_key = c.first_key;
+                            m.s_vals = c.s_vals;
+                        }
+                    }
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        e.insert(c);
+                    }
+                }
+            }
+        }
+        let s_rows = merged.len();
+        let mut ss = s.write_session();
+        for (_, c) in merged {
+            ss.insert_row(Row {
+                values: c.s_vals,
+                lsn: c.max_lsn,
+                counter: c.count,
+                flag: if c.uniform {
+                    ConsistencyFlag::Consistent
+                } else {
+                    ConsistencyFlag::Unknown
+                },
+                presence: Default::default(),
+            })?;
+        }
+        Ok((read, read + s_rows))
+    }
+}
+
 impl TransformOperator for SplitMapping {
     fn source_ids(&self) -> Vec<TableId> {
         SplitMapping::source_ids(self)
@@ -792,15 +1239,19 @@ impl TransformOperator for SplitMapping {
         SplitMapping::apply(self, lsn, op)
     }
 
-    fn apply_batch(&mut self, batch: &[(Lsn, LogOp)]) -> DbResult<()> {
+    fn apply_batch(&mut self, batch: &[(Lsn, &LogOp)]) -> DbResult<()> {
         let r_side = Arc::clone(self.r_side());
         let s = Arc::clone(&self.s);
         let mut rs = r_side.write_session();
         let mut ss = s.write_session();
-        for (lsn, op) in batch {
-            self.apply_in(&mut rs, &mut ss, *lsn, op)?;
+        for &(lsn, op) in batch {
+            self.apply_in(&mut rs, &mut ss, lsn, op)?;
         }
         Ok(())
+    }
+
+    fn apply_batch_sharded(&mut self, batch: &[(Lsn, &LogOp)], lanes: usize) -> DbResult<()> {
+        self.apply_batch_sharded_impl(batch, lanes)
     }
 
     fn coalesce_policy(&self) -> CoalescePolicy {
@@ -832,6 +1283,16 @@ impl TransformOperator for SplitMapping {
         throttle: &mut Throttle,
     ) -> DbResult<(usize, usize)> {
         SplitMapping::populate_with(self, Some(db), chunk, throttle)
+    }
+
+    fn populate_parallel(
+        &mut self,
+        db: &Database,
+        chunk: usize,
+        workers: usize,
+        priority: f64,
+    ) -> DbResult<(usize, usize)> {
+        SplitMapping::populate_parallel_with(self, Some(db), chunk, workers, priority)
     }
 
     fn target_keys_for(&self, table: TableId, key: &Key) -> Vec<(TableId, Key)> {

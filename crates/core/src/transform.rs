@@ -194,12 +194,23 @@ impl Transformer {
         }
         let p0 = Instant::now();
         let (_, start_lsn, _) = db.write_fuzzy_mark();
-        let mut prop = Propagator::new(db, start_lsn, options.priority);
+        let mut prop =
+            Propagator::new(db, start_lsn, options.priority).with_parallel(options.parallel);
         // Pin the log at our cursor so concurrent truncation (memory
         // reclamation on long-running systems) never outruns us; the
         // guard self-releases on every exit path.
         let log_guard = db.protect_log(start_lsn);
-        let (rows_read, rows_written) = match oper.populate(db, options.population_chunk) {
+        let populated = if options.parallel.copy_workers > 1 {
+            oper.populate_parallel(
+                db,
+                options.population_chunk,
+                options.parallel.copy_workers,
+                options.priority,
+            )
+        } else {
+            oper.populate(db, options.population_chunk)
+        };
+        let (rows_read, rows_written) = match populated {
             Ok(v) => v,
             Err(e) => {
                 cleanup(db);

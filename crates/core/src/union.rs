@@ -13,12 +13,16 @@
 //! R side, §5.2) — making union also a minimal, readable template for
 //! implementing further [`TransformOperator`]s.
 
-use crate::operator::{scan_source_throttled, CoalescePolicy, TransformOperator};
+use crate::operator::{
+    merge_lanes_by_lsn, scan_source_partitioned, scan_source_throttled, segment_by_lane,
+    CoalescePolicy, LaneTag, Segment, TransformOperator, PARALLEL_SEGMENT_MIN,
+};
 use crate::throttle::Throttle;
 use morph_common::{ColumnType, DbError, DbResult, Key, Lsn, Schema, TableId, Value};
 use morph_engine::Database;
-use morph_storage::{Row, Table, WriteSession};
+use morph_storage::{shard_stride, Row, Table, WriteSession};
 use morph_wal::LogOp;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Specification of a union transformation: R ∪ S → T.
@@ -89,6 +93,12 @@ impl UnionMapping {
         }
         let t_schema = b.primary_key(&key_names).build()?;
         let t = db.catalog().create_table(&spec.target, t_schema)?;
+        // Shard T by the source-key suffix (skipping the provenance
+        // tag): a source row and its target row then route to the same
+        // shard index, which both the parallel fuzzy copy (partitioned
+        // source scans writing under masked target sessions) and the
+        // sharded apply's lane classification rely on.
+        t.set_shard_key((1..=src_schema.pkey().len()).collect())?;
         Ok(UnionMapping {
             r_tag: Value::str(spec.r_table.clone()),
             s_tag: Value::str(spec.s_table.clone()),
@@ -181,6 +191,45 @@ impl UnionMapping {
         Ok((read, written))
     }
 
+    /// Parallel initial population: each source is scanned by `workers`
+    /// threads over disjoint shard classes, and because T's shard key
+    /// aligns target routing with source routing, each scan worker can
+    /// insert its rows directly under a masked target session — no
+    /// cross-thread handoff at all.
+    pub(crate) fn populate_parallel_with(
+        &self,
+        db: Option<&Database>,
+        chunk_size: usize,
+        workers: usize,
+        priority: f64,
+    ) -> DbResult<(usize, usize)> {
+        let workers = shard_stride(workers.max(1));
+        if workers <= 1 {
+            return self.populate_with(db, chunk_size, &mut Throttle::new(priority));
+        }
+        let t = Arc::clone(&self.t);
+        let written = AtomicUsize::new(0);
+        let mut read = 0;
+        for src in [&self.r, &self.s] {
+            let src_id = src.id();
+            let sink = |w: usize, chunk: Vec<(Key, Row)>| {
+                let mut ts = t.write_session_masked(workers, w);
+                let mut n = 0usize;
+                for (_, row) in chunk {
+                    let values = self.t_row(src_id, &row.values);
+                    match ts.insert_row(Row::new(values, row.lsn)) {
+                        Ok(_) | Err(DbError::DuplicateKey(_)) => n += 1,
+                        Err(e) => return Err(e),
+                    }
+                }
+                written.fetch_add(n, Ordering::Relaxed);
+                Ok(())
+            };
+            read += scan_source_partitioned(db, src, chunk_size, workers, priority, &sink)?;
+        }
+        Ok((read, written.load(Ordering::Relaxed)))
+    }
+
     /// Apply one logged source operation (LSN-gated, like the split
     /// rules' R side).
     pub fn apply(&self, lsn: Lsn, op: &LogOp) -> DbResult<()> {
@@ -254,11 +303,82 @@ impl TransformOperator for UnionMapping {
         UnionMapping::apply(self, lsn, op)
     }
 
-    fn apply_batch(&mut self, batch: &[(Lsn, LogOp)]) -> DbResult<()> {
+    fn apply_batch(&mut self, batch: &[(Lsn, &LogOp)]) -> DbResult<()> {
         let t = Arc::clone(&self.t);
         let mut ts = t.write_session();
-        for (lsn, op) in batch {
-            self.apply_in(&mut ts, *lsn, op)?;
+        for &(lsn, op) in batch {
+            self.apply_in(&mut ts, lsn, op)?;
+        }
+        Ok(())
+    }
+
+    /// Sharded apply. Every union rule is a direct key operation on the
+    /// target row mirroring the record's source row, LSN-gated — so the
+    /// lane of a record is simply the target shard its source key
+    /// routes to. Only updates that move a source primary key (two
+    /// subjects, possibly two shards) are barriers.
+    fn apply_batch_sharded(&mut self, batch: &[(Lsn, &LogOp)], lanes: usize) -> DbResult<()> {
+        let stride = shard_stride(lanes.max(1));
+        if stride <= 1 {
+            return self.apply_batch(batch);
+        }
+        let schema = self.r.schema();
+        let src_pk = schema.pkey().to_vec();
+        let segments = segment_by_lane(batch, stride, |op| match op {
+            LogOp::Insert { row, .. } => {
+                LaneTag::Class(self.t.shard_of_component(schema.key_of(row).values()))
+            }
+            LogOp::Delete { key, .. } => LaneTag::Class(self.t.shard_of_component(key.values())),
+            LogOp::Update { key, new, .. } => {
+                if new.iter().any(|(i, _)| src_pk.contains(i)) {
+                    LaneTag::Barrier
+                } else {
+                    LaneTag::Class(self.t.shard_of_component(key.values()))
+                }
+            }
+        });
+        let t = Arc::clone(&self.t);
+        for seg in segments {
+            match seg {
+                Segment::Serial(records) => {
+                    let mut ts = t.write_session();
+                    for (lsn, op) in records {
+                        self.apply_in(&mut ts, lsn, op)?;
+                    }
+                }
+                Segment::Parallel(lane_runs) => {
+                    let total: usize = lane_runs.iter().map(Vec::len).sum();
+                    if total < PARALLEL_SEGMENT_MIN {
+                        let mut ts = t.write_session();
+                        for (lsn, op) in merge_lanes_by_lsn(lane_runs) {
+                            self.apply_in(&mut ts, lsn, op)?;
+                        }
+                        continue;
+                    }
+                    let this = &*self;
+                    std::thread::scope(|scope| -> DbResult<()> {
+                        let handles: Vec<_> = lane_runs
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, run)| !run.is_empty())
+                            .map(|(w, run)| {
+                                let t = Arc::clone(&this.t);
+                                scope.spawn(move || -> DbResult<()> {
+                                    let mut ts = t.write_session_masked(stride, w);
+                                    for &(lsn, op) in run {
+                                        this.apply_in(&mut ts, lsn, op)?;
+                                    }
+                                    Ok(())
+                                })
+                            })
+                            .collect();
+                        for h in handles {
+                            h.join().expect("apply lane panicked")?;
+                        }
+                        Ok(())
+                    })?;
+                }
+            }
         }
         Ok(())
     }
@@ -276,6 +396,16 @@ impl TransformOperator for UnionMapping {
         throttle: &mut Throttle,
     ) -> DbResult<(usize, usize)> {
         UnionMapping::populate_with(self, Some(db), chunk, throttle)
+    }
+
+    fn populate_parallel(
+        &mut self,
+        db: &Database,
+        chunk: usize,
+        workers: usize,
+        priority: f64,
+    ) -> DbResult<(usize, usize)> {
+        UnionMapping::populate_parallel_with(self, Some(db), chunk, workers, priority)
     }
 
     fn target_keys_for(&self, table: TableId, key: &Key) -> Vec<(TableId, Key)> {

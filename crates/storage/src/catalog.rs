@@ -9,6 +9,7 @@ use crate::table::Table;
 use morph_common::{DbError, DbResult, Schema, TableId};
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 #[derive(Default)]
@@ -22,6 +23,10 @@ struct CatalogInner {
 #[derive(Default)]
 pub struct Catalog {
     inner: RwLock<CatalogInner>,
+    /// Bumped on every structural change (create/drop/rename). Cached
+    /// name→table resolutions (the propagator's drain context) are
+    /// revalidated against this instead of re-resolving per iteration.
+    epoch: AtomicU64,
 }
 
 impl Catalog {
@@ -41,6 +46,7 @@ impl Catalog {
         let table = Arc::new(Table::new(id, name, schema));
         inner.by_name.insert(name.to_owned(), id);
         inner.tables.insert(id, Arc::clone(&table));
+        self.epoch.fetch_add(1, Ordering::Release);
         Ok(table)
     }
 
@@ -63,7 +69,14 @@ impl Catalog {
         inner.next_id = inner.next_id.max(id.0);
         inner.by_name.insert(name.to_owned(), id);
         inner.tables.insert(id, Arc::clone(&table));
+        self.epoch.fetch_add(1, Ordering::Release);
         Ok(table)
+    }
+
+    /// Current structural epoch (see the field doc). A cached
+    /// resolution made at epoch `e` is valid while `epoch() == e`.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
     }
 
     /// Resolve a table by name.
@@ -101,6 +114,7 @@ impl Catalog {
             .ok_or_else(|| DbError::NoSuchTable(name.to_owned()))?;
         let t = inner.tables.remove(&id).expect("name/id maps in sync");
         t.mark_dropped();
+        self.epoch.fetch_add(1, Ordering::Release);
         Ok(t)
     }
 
@@ -116,6 +130,7 @@ impl Catalog {
             .ok_or_else(|| DbError::NoSuchTable(from.to_owned()))?;
         inner.by_name.insert(to.to_owned(), id);
         inner.tables[&id].set_name(to);
+        self.epoch.fetch_add(1, Ordering::Release);
         Ok(())
     }
 
@@ -211,6 +226,29 @@ mod tests {
         // Subsequent auto-ids skip past explicit ones.
         let t = cat.create_table("b", schema()).unwrap();
         assert!(t.id().0 > 7);
+    }
+
+    #[test]
+    fn epoch_tracks_structural_changes() {
+        let cat = Catalog::new();
+        let e0 = cat.epoch();
+        cat.create_table("a", schema()).unwrap();
+        let e1 = cat.epoch();
+        assert_ne!(e0, e1);
+        // Failed operations do not bump.
+        assert!(cat.create_table("a", schema()).is_err());
+        assert_eq!(cat.epoch(), e1);
+        cat.rename("a", "b").unwrap();
+        let e2 = cat.epoch();
+        assert_ne!(e1, e2);
+        cat.drop_table("b").unwrap();
+        assert_ne!(cat.epoch(), e2);
+        // Reads do not bump.
+        let _ = cat.table_names();
+        assert!(!cat.exists("b"));
+        let e3 = cat.epoch();
+        cat.create_table_with_id(TableId(9), "c", schema()).unwrap();
+        assert_ne!(cat.epoch(), e3);
     }
 
     #[test]

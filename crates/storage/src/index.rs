@@ -80,6 +80,12 @@ impl SecondaryIndex {
             .unwrap_or_default()
     }
 
+    /// Borrowed view of the primary-key set under `ik` (allocation-free
+    /// probe for the hot propagation-rule path).
+    pub fn pk_set(&self, ik: &Key) -> Option<&BTreeSet<Key>> {
+        self.map.get(ik)
+    }
+
     /// Whether any row carries index key `ik`.
     pub fn contains(&self, ik: &Key) -> bool {
         self.map.contains_key(ik)

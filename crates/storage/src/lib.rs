@@ -26,4 +26,7 @@ pub mod table;
 pub use catalog::Catalog;
 pub use index::SecondaryIndex;
 pub use row::{ConsistencyFlag, Row};
-pub use table::{FuzzyScanner, Table, TableState, WriteSession};
+pub use table::{
+    shard_stride, FuzzyScanner, Table, TableExclusiveLatch, TableSharedLatch, TableState,
+    WriteSession, TABLE_SHARDS,
+};

@@ -1,13 +1,67 @@
 //! Tables: primary-key B-tree heaps with secondary indexes, short
 //! physical latches, freeze states and the fuzzy scan.
+//!
+//! # Sharded storage
+//!
+//! The row heap is partitioned into [`TABLE_SHARDS`] sub-heaps, each
+//! its own B-tree under its own latch. A row is routed to a shard by a
+//! deterministic hash of its *shard key* — by default the whole
+//! primary key, optionally a subset of key positions chosen at
+//! preparation time ([`Table::set_shard_key`]) so that rows a
+//! propagation rule touches together colocate (a FOJ target routes by
+//! the join component, keeping every row of one join group in one
+//! shard).
+//!
+//! Single-key operations latch only the owning shard, scans and
+//! whole-table latches compose all shard latches in ascending order,
+//! and [`Table::write_session_masked`] opens a session over a strided
+//! subset of shards — the storage half of subject-sharded parallel
+//! apply: workers on disjoint masks write the same table concurrently
+//! without ever sharing a latch.
 
 use crate::index::SecondaryIndex;
 use crate::row::Row;
 use morph_common::{DbError, DbResult, Key, Lsn, Schema, TableId, TxnId, Value};
 use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::collections::{BTreeMap, HashSet};
+use std::hash::{Hash, Hasher};
 use std::ops::Bound;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// Number of storage shards per table. A power of two so that lane
+/// strides {1, 2, 4, 8} tile the shard space exactly.
+pub const TABLE_SHARDS: usize = 8;
+
+/// Largest stride that tiles the shard space and does not exceed `n`
+/// (the usable worker/lane count for a requested parallelism of `n`).
+pub fn shard_stride(n: usize) -> usize {
+    let mut s = 1;
+    while s * 2 <= n.min(TABLE_SHARDS) {
+        s *= 2;
+    }
+    s
+}
+
+/// Deterministic routing hash: the same values route to the same shard
+/// in every process (SipHash with fixed keys), which keeps crash-sim
+/// replays byte-identical.
+fn route_hash(values: &[Value], positions: Option<&[usize]>) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    match positions {
+        None => {
+            for v in values {
+                v.hash(&mut h);
+            }
+        }
+        Some(pos) => {
+            for &p in pos {
+                values[p].hash(&mut h);
+            }
+        }
+    }
+    (h.finish() % TABLE_SHARDS as u64) as usize
+}
 
 /// Access state of a table.
 ///
@@ -25,15 +79,19 @@ pub enum TableState {
     Dropped,
 }
 
-struct TableInner {
+/// One storage shard: a slice of the row heap plus the matching slice
+/// of every secondary index (a row's index entries live in the shard
+/// that owns the row).
+struct TableShard {
     rows: BTreeMap<Key, Row>,
     indexes: Vec<SecondaryIndex>,
 }
 
-impl TableInner {
+impl TableShard {
     /// Validate + constraint-check an insert; returns the key without
     /// mutating anything (so a fallible logging closure can run between
-    /// the checks and the mutation).
+    /// the checks and the mutation). Uniqueness is checked within this
+    /// shard only — callers that hold more shards extend the check.
     fn check_insert(&self, schema: &Schema, values: &[Value]) -> DbResult<Key> {
         schema.validate(values)?;
         let key = schema.key_of(values);
@@ -90,89 +148,105 @@ impl TableInner {
         Ok(row)
     }
 
-    fn update_with(
-        &mut self,
-        pkey_cols: &[usize],
-        arity: usize,
-        key: &Key,
-        cols: &[(usize, Value)],
-        mk_lsn: impl FnOnce(&UpdateOutcome) -> DbResult<Lsn>,
-    ) -> DbResult<UpdateOutcome> {
-        for (i, _) in cols {
-            if *i >= arity {
-                return Err(DbError::ArityMismatch {
-                    expected: arity,
-                    got: *i + 1,
-                });
-            }
-        }
-        let row = self
-            .rows
-            .get(key)
-            .ok_or_else(|| DbError::KeyNotFound(format!("{key:?}")))?;
-        let old_lsn = row.lsn;
-
-        let mut new_values = row.values.clone();
-        for (i, v) in cols {
-            new_values[*i] = v.clone();
-        }
-        let new_key = Key::project(&new_values, pkey_cols);
-
-        if new_key != *key && self.rows.contains_key(&new_key) {
-            return Err(DbError::DuplicateKey(format!("{new_key:?}")));
-        }
-        // Unique-index pre-check for the new image.
-        for idx in &self.indexes {
-            if idx.unique {
-                let new_ik = idx.key_of(&new_values);
-                let old_ik = idx.key_of(&self.rows[key].values);
-                if new_ik != old_ik && idx.cardinality(&new_ik) > 0 {
-                    return Err(DbError::UniqueViolation {
-                        index: idx.name.clone(),
-                        key: format!("{new_ik:?}"),
-                    });
+    fn index_rows_into(&self, idx: usize, ik: &Key, out: &mut Vec<(Key, Row)>) {
+        if let Some(set) = self.indexes[idx].pk_set(ik) {
+            for pk in set {
+                if let Some(r) = self.rows.get(pk) {
+                    out.push((pk.clone(), r.clone()));
                 }
             }
         }
+    }
+}
 
-        // Compute the full outcome (pre-images included) before any
-        // mutation, so a closure error is side-effect free.
-        let old_cols: Vec<(usize, Value)> = {
-            let row = &self.rows[key];
-            cols.iter()
-                .map(|(i, _)| (*i, row.values[*i].clone()))
-                .collect()
-        };
-        let outcome = UpdateOutcome {
-            old_cols,
-            old_key: key.clone(),
-            new_key: new_key.clone(),
-            old_lsn,
-        };
-        let lsn = mk_lsn(&outcome)?;
-
-        let mut row = self.rows.remove(key).expect("checked above");
-        for idx in &mut self.indexes {
-            idx.remove(&row.values, key);
+/// Shared core of the update path. `new_shard` is `Some` when a
+/// primary-key change moves the row to a different shard (both shard
+/// latches are then held by the caller). Unique-index pre-checks that
+/// need cross-shard visibility are the caller's responsibility; the
+/// local unique check against the destination shard happens here.
+fn update_core(
+    old_shard: &mut TableShard,
+    new_shard: Option<&mut TableShard>,
+    pkey_cols: &[usize],
+    arity: usize,
+    key: &Key,
+    cols: &[(usize, Value)],
+    mk_lsn: impl FnOnce(&UpdateOutcome) -> DbResult<Lsn>,
+) -> DbResult<UpdateOutcome> {
+    for (i, _) in cols {
+        if *i >= arity {
+            return Err(DbError::ArityMismatch {
+                expected: arity,
+                got: *i + 1,
+            });
         }
-        row.apply_updates(cols);
-        row.lsn = lsn;
-        for idx in &mut self.indexes {
-            idx.insert(&row.values, &new_key)
-                .expect("uniqueness pre-checked");
-        }
-        self.rows.insert(new_key, row);
+    }
+    let row = old_shard
+        .rows
+        .get(key)
+        .ok_or_else(|| DbError::KeyNotFound(format!("{key:?}")))?;
+    let old_lsn = row.lsn;
 
-        Ok(outcome)
+    let mut new_values = row.values.clone();
+    for (i, v) in cols {
+        new_values[*i] = v.clone();
+    }
+    let new_key = Key::project(&new_values, pkey_cols);
+
+    if new_key != *key {
+        let target = new_shard.as_deref().unwrap_or(&*old_shard);
+        if target.rows.contains_key(&new_key) {
+            return Err(DbError::DuplicateKey(format!("{new_key:?}")));
+        }
+    }
+    // Unique-index pre-check for the new image, within the shards at
+    // hand (cross-shard uniqueness is pre-checked by full-table paths).
+    for idx in &old_shard.indexes {
+        if idx.unique {
+            let new_ik = idx.key_of(&new_values);
+            let old_ik = idx.key_of(&old_shard.rows[key].values);
+            if new_ik != old_ik && idx.cardinality(&new_ik) > 0 {
+                return Err(DbError::UniqueViolation {
+                    index: idx.name.clone(),
+                    key: format!("{new_ik:?}"),
+                });
+            }
+        }
     }
 
-    fn index_rows(&self, idx: usize, ik: &Key) -> Vec<(Key, Row)> {
-        self.indexes[idx]
-            .lookup(ik)
-            .into_iter()
-            .filter_map(|pk| self.rows.get(&pk).map(|r| (pk.clone(), r.clone())))
+    // Compute the full outcome (pre-images included) before any
+    // mutation, so a closure error is side-effect free.
+    let old_cols: Vec<(usize, Value)> = {
+        let row = &old_shard.rows[key];
+        cols.iter()
+            .map(|(i, _)| (*i, row.values[*i].clone()))
             .collect()
+    };
+    let outcome = UpdateOutcome {
+        old_cols,
+        old_key: key.clone(),
+        new_key: new_key.clone(),
+        old_lsn,
+    };
+    let lsn = mk_lsn(&outcome)?;
+
+    let mut row = old_shard.rows.remove(key).expect("checked above");
+    for idx in &mut old_shard.indexes {
+        idx.remove(&row.values, key);
     }
+    row.apply_updates(cols);
+    row.lsn = lsn;
+    let target = match new_shard {
+        Some(t) => t,
+        None => old_shard,
+    };
+    for idx in &mut target.indexes {
+        idx.insert(&row.values, &new_key)
+            .expect("uniqueness pre-checked");
+    }
+    target.rows.insert(new_key, row);
+
+    Ok(outcome)
 }
 
 /// Outcome of an update, reporting key movement and the pre-images
@@ -191,17 +265,24 @@ pub struct UpdateOutcome {
 
 /// A main-memory table.
 ///
-/// All physical operations take a short write latch on the row heap;
-/// [`Table::latch_exclusive`] exposes the same latch to the
-/// synchronization step, which holds it across the final log
-/// propagation iteration (§3.4) — this is what "latching the source
-/// tables" means in this engine.
+/// All physical operations take a short write latch on the owning row
+/// shard; [`Table::latch_exclusive`] composes every shard latch, which
+/// the synchronization step holds across the final log propagation
+/// iteration (§3.4) — this is what "latching the source tables" means
+/// in this engine.
 pub struct Table {
     id: TableId,
     name: RwLock<String>,
     schema: RwLock<Schema>,
     state: RwLock<TableState>,
-    inner: RwLock<TableInner>,
+    /// Positions *within the primary key* whose values route a row to
+    /// its shard; `None` routes by the whole key.
+    shard_key: RwLock<Option<Vec<usize>>>,
+    /// Number of unique secondary indexes. Uniqueness needs cross-shard
+    /// visibility, so single-key writes fall back to the all-shard path
+    /// while this is non-zero.
+    unique_indexes: AtomicUsize,
+    shards: [RwLock<TableShard>; TABLE_SHARDS],
 }
 
 impl Table {
@@ -212,9 +293,13 @@ impl Table {
             name: RwLock::new(name.to_owned()),
             schema: RwLock::new(schema),
             state: RwLock::new(TableState::Active),
-            inner: RwLock::new(TableInner {
-                rows: BTreeMap::new(),
-                indexes: Vec::new(),
+            shard_key: RwLock::new(None),
+            unique_indexes: AtomicUsize::new(0),
+            shards: std::array::from_fn(|_| {
+                RwLock::new(TableShard {
+                    rows: BTreeMap::new(),
+                    indexes: Vec::new(),
+                })
             }),
         }
     }
@@ -236,6 +321,57 @@ impl Table {
     /// A clone of the current schema.
     pub fn schema(&self) -> Schema {
         self.schema.read().clone()
+    }
+
+    // --- shard routing -------------------------------------------------
+
+    /// Route rows to shards by the values at `positions` *within the
+    /// primary key* instead of the whole key. Must be called while the
+    /// table is empty (preparation time): rows are never re-homed.
+    ///
+    /// Choosing the columns a transformation's rules cluster on (the
+    /// join component of a FOJ target) makes every row such a rule can
+    /// touch live in one shard, which is what lets masked write
+    /// sessions apply disjoint rule groups concurrently.
+    pub fn set_shard_key(&self, positions: Vec<usize>) -> DbResult<()> {
+        let key_len = self.schema.read().pkey().len();
+        if positions.iter().any(|&p| p >= key_len) {
+            return Err(DbError::InvalidSchema(format!(
+                "shard-key position out of range (key arity {key_len})"
+            )));
+        }
+        if !self.is_empty() {
+            return Err(DbError::InvalidSchema(
+                "shard key must be configured on an empty table".into(),
+            ));
+        }
+        *self.shard_key.write() = Some(positions);
+        Ok(())
+    }
+
+    /// The shard a row with this primary key lives in.
+    pub fn shard_of_key(&self, key: &Key) -> usize {
+        route_hash(&key.0, self.shard_key.read().as_deref())
+    }
+
+    /// The shard selected by the routing-component values alone (the
+    /// values at the shard-key positions, in their configured order).
+    /// Operators use this to assign log records to apply lanes without
+    /// materializing target keys.
+    pub fn shard_of_component(&self, component: &[Value]) -> usize {
+        route_hash(component, None)
+    }
+
+    fn route(&self, key: &Key) -> usize {
+        self.shard_of_key(key)
+    }
+
+    fn all_read(&self) -> [RwLockReadGuard<'_, TableShard>; TABLE_SHARDS] {
+        std::array::from_fn(|i| self.shards[i].read())
+    }
+
+    fn all_write(&self) -> [RwLockWriteGuard<'_, TableShard>; TABLE_SHARDS] {
+        std::array::from_fn(|i| self.shards[i].write())
     }
 
     // --- access state -------------------------------------------------
@@ -286,7 +422,8 @@ impl Table {
 
     /// Create a secondary index over the named columns. Existing rows
     /// are indexed immediately (the preparation step creates indexes on
-    /// empty transformed tables, so this is cheap there).
+    /// empty transformed tables, so this is cheap there). Each shard
+    /// holds the index slice for its own rows.
     pub fn add_index(&self, name: &str, columns: &[&str], unique: bool) -> DbResult<usize> {
         let schema = self.schema.read();
         let mut cols = Vec::with_capacity(columns.len());
@@ -294,45 +431,69 @@ impl Table {
             cols.push(schema.require(c)?);
         }
         drop(schema);
-        let mut inner = self.inner.write();
-        if inner.indexes.iter().any(|i| i.name == name) {
+        let mut guards = self.all_write();
+        if guards[0].indexes.iter().any(|i| i.name == name) {
             return Err(DbError::InvalidSchema(format!(
                 "index {name:?} already exists"
             )));
         }
-        let mut idx = SecondaryIndex::new(name, cols, unique);
-        for (pk, row) in &inner.rows {
-            idx.insert(&row.values, pk)?;
+        for g in &mut guards {
+            let mut idx = SecondaryIndex::new(name, cols.clone(), unique);
+            for (pk, row) in &g.rows {
+                idx.insert(&row.values, pk)?;
+            }
+            g.indexes.push(idx);
         }
-        inner.indexes.push(idx);
-        Ok(inner.indexes.len() - 1)
+        if unique {
+            self.unique_indexes.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(guards[0].indexes.len() - 1)
     }
 
     /// Position of an index by name.
     pub fn index_pos(&self, name: &str) -> Option<usize> {
-        self.inner
+        self.shards[0]
             .read()
             .indexes
             .iter()
             .position(|i| i.name == name)
     }
 
-    /// Primary keys of rows whose index key equals `ik`.
+    /// Primary keys of rows whose index key equals `ik`, in key order.
     pub fn index_lookup(&self, idx: usize, ik: &Key) -> Vec<Key> {
-        self.inner.read().indexes[idx].lookup(ik)
+        let guards = self.all_read();
+        let mut out: Vec<Key> = Vec::new();
+        for g in &guards {
+            if let Some(set) = g.indexes[idx].pk_set(ik) {
+                out.extend(set.iter().cloned());
+            }
+        }
+        out.sort();
+        out
     }
 
     /// Number of rows under index key `ik`.
     pub fn index_cardinality(&self, idx: usize, ik: &Key) -> usize {
-        self.inner.read().indexes[idx].cardinality(ik)
+        self.all_read()
+            .iter()
+            .map(|g| g.indexes[idx].cardinality(ik))
+            .sum()
     }
 
     /// Rows (with their primary keys) whose index key equals `ik`,
-    /// fetched atomically under one latch acquisition — the consistency
-    /// checker and the propagation rules use this so that a row cannot
-    /// vanish between the index probe and the row fetch.
+    /// fetched atomically under one composite latch acquisition — the
+    /// consistency checker and the propagation rules use this so that a
+    /// row cannot vanish between the index probe and the row fetch.
     pub fn index_rows(&self, idx: usize, ik: &Key) -> Vec<(Key, Row)> {
-        self.inner.read().index_rows(idx, ik)
+        let guards = self.all_read();
+        let mut out: Vec<(Key, Row)> = Vec::new();
+        for g in &guards {
+            g.index_rows_into(idx, ik, &mut out);
+        }
+        if out.len() > 1 {
+            out.sort_by(|a, b| a.0.cmp(&b.0));
+        }
+        out
     }
 
     // --- physical row operations ---------------------------------------
@@ -342,7 +503,7 @@ impl Table {
         self.insert_row(Row::new(values, lsn))
     }
 
-    /// Insert with the row's LSN produced *under the table latch* by
+    /// Insert with the row's LSN produced *under the shard latch* by
     /// `mk_lsn` — the engine appends the log record inside the closure,
     /// making "apply + log + stamp" atomic with respect to fuzzy scans
     /// and the consistency checker. The closure is fallible so the
@@ -356,16 +517,66 @@ impl Table {
         mk_lsn: impl FnOnce() -> DbResult<Lsn>,
     ) -> DbResult<Key> {
         let schema = self.schema.read();
-        self.inner.write().insert_with(&schema, values, mk_lsn)
+        schema.validate(&values)?;
+        if self.unique_indexes.load(Ordering::Relaxed) == 0 {
+            let key = schema.key_of(&values);
+            let mut g = self.shards[self.route(&key)].write();
+            g.insert_with(&schema, values, mk_lsn)
+        } else {
+            // Unique constraints need cross-shard visibility: take the
+            // composite latch (rare path; production transformations
+            // only create non-unique indexes).
+            let key = schema.key_of(&values);
+            let target = self.route(&key);
+            let mut guards = self.all_write();
+            for (i, g) in guards.iter().enumerate() {
+                if i == target {
+                    g.check_insert(&schema, &values)?;
+                } else {
+                    for idx in &g.indexes {
+                        if idx.unique && idx.cardinality(&idx.key_of(&values)) > 0 {
+                            return Err(DbError::UniqueViolation {
+                                index: idx.name.clone(),
+                                key: format!("{:?}", idx.key_of(&values)),
+                            });
+                        }
+                    }
+                }
+            }
+            let lsn = mk_lsn()?;
+            Ok(guards[target].insert_unchecked(key, Row::new(values, lsn)))
+        }
     }
 
     /// Insert a row with explicit metadata (used by the propagator,
     /// which controls counters, flags and LSN stamping itself). One
-    /// pass under one latch acquisition; the metadata is taken from
-    /// `row` verbatim.
+    /// pass under one shard-latch acquisition; the metadata is taken
+    /// from `row` verbatim.
     pub fn insert_row(&self, row: Row) -> DbResult<Key> {
         let schema = self.schema.read();
-        self.inner.write().insert_row(&schema, row)
+        schema.validate(&row.values)?;
+        if self.unique_indexes.load(Ordering::Relaxed) == 0 {
+            let key = schema.key_of(&row.values);
+            let mut g = self.shards[self.route(&key)].write();
+            g.insert_row(&schema, row)
+        } else {
+            let key = schema.key_of(&row.values);
+            let target = self.route(&key);
+            let mut guards = self.all_write();
+            for (i, g) in guards.iter().enumerate() {
+                if i != target {
+                    for idx in &g.indexes {
+                        if idx.unique && idx.cardinality(&idx.key_of(&row.values)) > 0 {
+                            return Err(DbError::UniqueViolation {
+                                index: idx.name.clone(),
+                                key: format!("{:?}", idx.key_of(&row.values)),
+                            });
+                        }
+                    }
+                }
+            }
+            guards[target].insert_row(&schema, row)
+        }
     }
 
     /// Delete by primary key, returning the removed row.
@@ -377,7 +588,7 @@ impl Table {
     /// the row is found (receives the pre-image for undo logging) and
     /// before it is removed; a closure error leaves the row untouched.
     pub fn delete_with(&self, key: &Key, log: impl FnOnce(&Row) -> DbResult<()>) -> DbResult<Row> {
-        self.inner.write().delete_with(key, log)
+        self.shards[self.route(key)].write().delete_with(key, log)
     }
 
     /// Sparse-column update by primary key. Handles primary-key column
@@ -407,9 +618,80 @@ impl Table {
         let pkey_cols = schema.pkey().to_vec();
         let arity = schema.arity();
         drop(schema);
-        self.inner
-            .write()
-            .update_with(&pkey_cols, arity, key, cols, mk_lsn)
+
+        if self.unique_indexes.load(Ordering::Relaxed) > 0 {
+            // Composite-latch path: cross-shard unique pre-check, then
+            // the shared core over split-borrowed shards.
+            let mut guards = self.all_write();
+            let s_old = self.route(key);
+            let (new_key, new_values) = {
+                let row = guards[s_old]
+                    .rows
+                    .get(key)
+                    .ok_or_else(|| DbError::KeyNotFound(format!("{key:?}")))?;
+                let mut nv = row.values.clone();
+                for (i, v) in cols {
+                    if *i >= arity {
+                        return Err(DbError::ArityMismatch {
+                            expected: arity,
+                            got: *i + 1,
+                        });
+                    }
+                    nv[*i] = v.clone();
+                }
+                (Key::project(&nv, &pkey_cols), nv)
+            };
+            let old_values = guards[s_old].rows[key].values.clone();
+            for (i, g) in guards.iter().enumerate() {
+                if i == s_old {
+                    continue; // local check happens in update_core
+                }
+                for idx in &g.indexes {
+                    if idx.unique {
+                        let new_ik = idx.key_of(&new_values);
+                        if new_ik != idx.key_of(&old_values) && idx.cardinality(&new_ik) > 0 {
+                            return Err(DbError::UniqueViolation {
+                                index: idx.name.clone(),
+                                key: format!("{new_ik:?}"),
+                            });
+                        }
+                    }
+                }
+            }
+            let s_new = self.route(&new_key);
+            let (old_shard, new_shard) = split_pair(&mut guards, s_old, s_new);
+            return update_core(old_shard, new_shard, &pkey_cols, arity, key, cols, mk_lsn);
+        }
+
+        // Fast path: no primary-key column is touched, so the key (and
+        // with it the shard) cannot change — one shard latch suffices.
+        if !cols.iter().any(|(i, _)| pkey_cols.contains(i)) {
+            let mut g = self.shards[self.route(key)].write();
+            return update_core(&mut g, None, &pkey_cols, arity, key, cols, mk_lsn);
+        }
+        // A key column changes: the row may move shards. Take the
+        // composite latch and split-borrow source and destination.
+        let mut guards = self.all_write();
+        let s_old = self.route(key);
+        let s_new = {
+            let row = guards[s_old]
+                .rows
+                .get(key)
+                .ok_or_else(|| DbError::KeyNotFound(format!("{key:?}")))?;
+            let mut nv = row.values.clone();
+            for (i, v) in cols {
+                if *i >= arity {
+                    return Err(DbError::ArityMismatch {
+                        expected: arity,
+                        got: *i + 1,
+                    });
+                }
+                nv[*i] = v.clone();
+            }
+            self.route(&Key::project(&nv, &pkey_cols))
+        };
+        let (old_shard, new_shard) = split_pair(&mut guards, s_old, s_new);
+        update_core(old_shard, new_shard, &pkey_cols, arity, key, cols, mk_lsn)
     }
 
     /// Mutate a row in place under the latch (propagator-only path for
@@ -418,23 +700,23 @@ impl Table {
     /// Returns `None` if the key does not exist. The closure must not
     /// change columns that participate in the primary key or any index.
     pub fn with_row_mut<R>(&self, key: &Key, f: impl FnOnce(&mut Row) -> R) -> Option<R> {
-        let mut inner = self.inner.write();
-        inner.rows.get_mut(key).map(f)
+        let mut g = self.shards[self.route(key)].write();
+        g.rows.get_mut(key).map(f)
     }
 
     /// Clone of the row at `key`.
     pub fn get(&self, key: &Key) -> Option<Row> {
-        self.inner.read().rows.get(key).cloned()
+        self.shards[self.route(key)].read().rows.get(key).cloned()
     }
 
     /// Whether a row with `key` exists.
     pub fn contains(&self, key: &Key) -> bool {
-        self.inner.read().rows.contains_key(key)
+        self.shards[self.route(key)].read().rows.contains_key(key)
     }
 
-    /// Number of rows.
+    /// Number of rows (atomic across shards).
     pub fn len(&self) -> usize {
-        self.inner.read().rows.len()
+        self.all_read().iter().map(|g| g.rows.len()).sum()
     }
 
     /// Whether the table has no rows.
@@ -442,50 +724,82 @@ impl Table {
         self.len() == 0
     }
 
-    /// Consistent snapshot of all rows (takes the read latch once; test
-    /// and verification helper, not used on hot paths).
+    /// Consistent snapshot of all rows in key order (takes every shard
+    /// latch once; test and verification helper, not a hot path).
     pub fn snapshot(&self) -> Vec<(Key, Row)> {
-        self.inner
-            .read()
-            .rows
+        let guards = self.all_read();
+        let mut out: Vec<(Key, Row)> = guards
             .iter()
-            .map(|(k, r)| (k.clone(), r.clone()))
-            .collect()
+            .flat_map(|g| g.rows.iter().map(|(k, r)| (k.clone(), r.clone())))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
     }
 
     // --- latches --------------------------------------------------------
 
-    /// Shared latch: blocks physical writes while held (used by the
-    /// consistency checker's lock-free read of contributing rows).
-    pub fn latch_shared(&self) -> RwLockReadGuard<'_, impl Sized> {
-        self.inner.read()
+    /// Shared latch over every shard: blocks physical writes while held
+    /// (used by the consistency checker's lock-free read of
+    /// contributing rows).
+    pub fn latch_shared(&self) -> TableSharedLatch<'_> {
+        TableSharedLatch {
+            _guards: self.all_read(),
+        }
     }
 
-    /// Exclusive latch: pauses *all* physical operations while held —
-    /// the §3.4 synchronization latch.
-    pub fn latch_exclusive(&self) -> RwLockWriteGuard<'_, impl Sized> {
-        self.inner.write()
+    /// Exclusive latch over every shard: pauses *all* physical
+    /// operations while held — the §3.4 synchronization latch.
+    pub fn latch_exclusive(&self) -> TableExclusiveLatch<'_> {
+        TableExclusiveLatch {
+            _guards: self.all_write(),
+        }
     }
 
-    /// Open a write session: one exclusive latch acquisition amortized
+    /// Open a write session: the composite exclusive latch amortized
     /// over a whole batch of physical operations. The batched log
     /// propagator drains a group of records through one session instead
     /// of paying a latch round trip per record.
     ///
     /// The session snapshots the schema at open; concurrent schema
     /// surgery (`project_columns`) on a table with an open session is
-    /// excluded by the latch itself. While a session is open every
-    /// access to this table from the owning thread must go through the
-    /// session — the latch is not re-entrant.
+    /// excluded by the latches themselves. While a session is open
+    /// every access to this table from the owning thread must go
+    /// through the session — the latches are not re-entrant.
     pub fn write_session(&self) -> WriteSession<'_> {
+        self.write_session_masked(1, 0)
+    }
+
+    /// Open a write session over the shards `s` with
+    /// `s % stride == offset` only. Sessions with the same stride and
+    /// different offsets hold disjoint latch sets, so parallel apply
+    /// lanes can write the same table concurrently. Operations that
+    /// route outside the mask fail with an internal error rather than
+    /// touching unlatched state — lane classification bugs surface as
+    /// hard errors, not silent corruption.
+    ///
+    /// `stride` must tile the shard space (see [`shard_stride`]).
+    pub fn write_session_masked(&self, stride: usize, offset: usize) -> WriteSession<'_> {
+        let stride = shard_stride(stride.max(1));
+        let offset = offset % stride;
         let schema = self.schema.read().clone();
         let pkey = schema.pkey().to_vec();
         let arity = schema.arity();
+        let shard_key = self.shard_key.read().clone();
+        let guards: Vec<Option<RwLockWriteGuard<'_, TableShard>>> = (0..TABLE_SHARDS)
+            .map(|s| {
+                if s % stride == offset {
+                    Some(self.shards[s].write())
+                } else {
+                    None
+                }
+            })
+            .collect();
         WriteSession {
             schema,
             pkey,
             arity,
-            inner: self.inner.write(),
+            shard_key,
+            guards,
         }
     }
 
@@ -497,6 +811,29 @@ impl Table {
     pub fn fuzzy_scan(self: &Arc<Self>, chunk_size: usize) -> FuzzyScanner {
         FuzzyScanner {
             table: Arc::clone(self),
+            shards: (0..TABLE_SHARDS).collect(),
+            after: None,
+            chunk_size: chunk_size.max(1),
+        }
+    }
+
+    /// Begin a fuzzy scan over one partition of the key space: the
+    /// shards `s` with `s % parts == part`. The `parts` partitions are
+    /// disjoint and jointly cover the table, so `parts` workers each
+    /// scanning one partition read every row exactly once — the
+    /// parallel fuzzy copy. `parts` is normalized via [`shard_stride`].
+    pub fn fuzzy_scan_partition(
+        self: &Arc<Self>,
+        chunk_size: usize,
+        part: usize,
+        parts: usize,
+    ) -> FuzzyScanner {
+        let parts = shard_stride(parts.max(1));
+        FuzzyScanner {
+            table: Arc::clone(self),
+            shards: (0..TABLE_SHARDS)
+                .filter(|s| s % parts == part % parts)
+                .collect(),
             after: None,
             chunk_size: chunk_size.max(1),
         }
@@ -535,47 +872,89 @@ impl Table {
         let pkey_refs: Vec<&str> = pkey_names.iter().map(String::as_str).collect();
         let new_schema = b.primary_key(&pkey_refs).build()?;
 
-        let mut inner = self.inner.write();
+        let mut guards = self.all_write();
         let remap: Vec<usize> = keep.to_vec();
-        // Rebuild surviving indexes with remapped column positions.
-        let mut new_indexes = Vec::new();
-        for idx in &inner.indexes {
-            if let Some(new_cols) = idx
-                .cols
-                .iter()
-                .map(|c| remap.iter().position(|k| k == c))
-                .collect::<Option<Vec<_>>>()
-            {
-                new_indexes.push(SecondaryIndex::new(&idx.name, new_cols, idx.unique));
+        let mut dropped_unique = 0usize;
+        for g in &mut guards {
+            // Rebuild surviving indexes with remapped column positions.
+            let mut new_indexes = Vec::new();
+            for idx in &g.indexes {
+                if let Some(new_cols) = idx
+                    .cols
+                    .iter()
+                    .map(|c| remap.iter().position(|k| k == c))
+                    .collect::<Option<Vec<_>>>()
+                {
+                    new_indexes.push(SecondaryIndex::new(&idx.name, new_cols, idx.unique));
+                } else if idx.unique {
+                    dropped_unique += 1;
+                }
             }
-        }
-        let old_rows = std::mem::take(&mut inner.rows);
-        for (_, mut row) in old_rows {
-            row.values = remap.iter().map(|&i| row.values[i].clone()).collect();
-            let key = new_schema.key_of(&row.values);
-            for idx in &mut new_indexes {
-                idx.insert(&row.values, &key)?;
+            let old_rows = std::mem::take(&mut g.rows);
+            for (_, mut row) in old_rows {
+                row.values = remap.iter().map(|&i| row.values[i].clone()).collect();
+                let key = new_schema.key_of(&row.values);
+                for idx in &mut new_indexes {
+                    idx.insert(&row.values, &key)?;
+                }
+                g.rows.insert(key, row);
             }
-            inner.rows.insert(key, row);
+            g.indexes = new_indexes;
         }
-        inner.indexes = new_indexes;
-        drop(inner);
+        // Every shard drops the same index set; count it once.
+        if dropped_unique > 0 {
+            self.unique_indexes
+                .fetch_sub(dropped_unique / TABLE_SHARDS, Ordering::Relaxed);
+        }
+        drop(guards);
         *self.schema.write() = new_schema;
         Ok(())
     }
 }
 
-/// An open write session on one table: the exclusive latch held across
-/// many physical operations (see [`Table::write_session`]).
+/// Split-borrow two shards from the composite guard vector. With
+/// `a == b` the second borrow is `None` (same-shard update).
+fn split_pair<'a, 'g>(
+    guards: &'a mut [RwLockWriteGuard<'g, TableShard>],
+    a: usize,
+    b: usize,
+) -> (&'a mut TableShard, Option<&'a mut TableShard>) {
+    if a == b {
+        (&mut guards[a], None)
+    } else if a < b {
+        let (lo, hi) = guards.split_at_mut(b);
+        (&mut lo[a], Some(&mut hi[0]))
+    } else {
+        let (lo, hi) = guards.split_at_mut(a);
+        (&mut hi[0], Some(&mut lo[b]))
+    }
+}
+
+/// Composite shared latch over all shards of one table.
+pub struct TableSharedLatch<'a> {
+    _guards: [RwLockReadGuard<'a, TableShard>; TABLE_SHARDS],
+}
+
+/// Composite exclusive latch over all shards of one table.
+pub struct TableExclusiveLatch<'a> {
+    _guards: [RwLockWriteGuard<'a, TableShard>; TABLE_SHARDS],
+}
+
+/// An open write session on one table: shard latches held across many
+/// physical operations (see [`Table::write_session`] and
+/// [`Table::write_session_masked`]).
 ///
 /// The method surface mirrors [`Table`]'s propagator-facing operations
 /// (`insert_row`, `delete`, `update`, `with_row_mut`, reads and index
-/// probes) so rule code can be written once against either.
+/// probes) so rule code can be written once against either. On a
+/// masked session every operation is checked against the mask; index
+/// probes see the masked shards only.
 pub struct WriteSession<'a> {
     schema: Schema,
     pkey: Vec<usize>,
     arity: usize,
-    inner: RwLockWriteGuard<'a, TableInner>,
+    shard_key: Option<Vec<usize>>,
+    guards: Vec<Option<RwLockWriteGuard<'a, TableShard>>>,
 }
 
 impl WriteSession<'_> {
@@ -584,78 +963,263 @@ impl WriteSession<'_> {
         &self.schema
     }
 
+    fn route(&self, key: &Key) -> usize {
+        route_hash(&key.0, self.shard_key.as_deref())
+    }
+
+    fn shard(&self, s: usize) -> DbResult<&TableShard> {
+        self.guards[s]
+            .as_deref()
+            .ok_or_else(|| DbError::Internal(format!("shard {s} routed outside the session mask")))
+    }
+
+    fn shard_mut(&mut self, s: usize) -> DbResult<&mut TableShard> {
+        self.guards[s]
+            .as_deref_mut()
+            .ok_or_else(|| DbError::Internal(format!("shard {s} routed outside the session mask")))
+    }
+
+    fn owned(&self) -> impl Iterator<Item = &TableShard> {
+        self.guards.iter().filter_map(|g| g.as_deref())
+    }
+
+    fn check_unique_owned(&self, values: &[Value], skip: usize) -> DbResult<()> {
+        for (s, g) in self.guards.iter().enumerate() {
+            let Some(g) = g.as_deref() else { continue };
+            if s == skip {
+                continue;
+            }
+            for idx in &g.indexes {
+                if idx.unique && idx.cardinality(&idx.key_of(values)) > 0 {
+                    return Err(DbError::UniqueViolation {
+                        index: idx.name.clone(),
+                        key: format!("{:?}", idx.key_of(values)),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Insert a full row (ordinary metadata: counter 1, consistent).
     pub fn insert(&mut self, values: Vec<Value>, lsn: Lsn) -> DbResult<Key> {
-        self.inner.insert_row(&self.schema, Row::new(values, lsn))
+        self.insert_row(Row::new(values, lsn))
     }
 
     /// Insert a row with explicit metadata.
     pub fn insert_row(&mut self, row: Row) -> DbResult<Key> {
-        self.inner.insert_row(&self.schema, row)
+        self.schema.validate(&row.values)?;
+        let key = self.schema.key_of(&row.values);
+        let s = self.route(&key);
+        self.check_unique_owned(&row.values, s)?;
+        let schema = self.schema.clone();
+        self.shard_mut(s)?.insert_row(&schema, row)
     }
 
     /// Delete by primary key, returning the removed row.
     pub fn delete(&mut self, key: &Key) -> DbResult<Row> {
-        self.inner.delete_with(key, |_| Ok(()))
+        let s = self.route(key);
+        self.shard_mut(s)?.delete_with(key, |_| Ok(()))
     }
 
     /// Sparse-column update by primary key (moves the row on a
-    /// primary-key change).
+    /// primary-key change; both the old and the new shard must be
+    /// inside the session mask).
     pub fn update(
         &mut self,
         key: &Key,
         cols: &[(usize, Value)],
         new_lsn: Lsn,
     ) -> DbResult<UpdateOutcome> {
-        self.inner
-            .update_with(&self.pkey, self.arity, key, cols, |_| Ok(new_lsn))
+        let s_old = self.route(key);
+        // Fast path: no primary-key column changes and no index covers
+        // a touched column — the row neither moves nor perturbs any
+        // index, so it can be mutated in place instead of going
+        // through the remove/re-insert machinery. This is the shape of
+        // every payload update the propagation rules apply.
+        if !cols.iter().any(|(i, _)| self.pkey.contains(i)) {
+            for (i, _) in cols {
+                if *i >= self.arity {
+                    return Err(DbError::ArityMismatch {
+                        expected: self.arity,
+                        got: *i + 1,
+                    });
+                }
+            }
+            let shard = self.shard_mut(s_old)?;
+            let untouched_indexes = shard
+                .indexes
+                .iter()
+                .all(|idx| !idx.cols.iter().any(|c| cols.iter().any(|(i, _)| i == c)));
+            if untouched_indexes {
+                let row = shard
+                    .rows
+                    .get_mut(key)
+                    .ok_or_else(|| DbError::KeyNotFound(format!("{key:?}")))?;
+                let outcome = UpdateOutcome {
+                    old_cols: cols
+                        .iter()
+                        .map(|(i, _)| (*i, row.values[*i].clone()))
+                        .collect(),
+                    old_key: key.clone(),
+                    new_key: key.clone(),
+                    old_lsn: row.lsn,
+                };
+                row.apply_updates(cols);
+                row.lsn = new_lsn;
+                return Ok(outcome);
+            }
+        }
+        let s_new = {
+            let shard = self.shard(s_old)?;
+            let row = shard
+                .rows
+                .get(key)
+                .ok_or_else(|| DbError::KeyNotFound(format!("{key:?}")))?;
+            let mut nv = row.values.clone();
+            for (i, v) in cols {
+                if *i >= self.arity {
+                    return Err(DbError::ArityMismatch {
+                        expected: self.arity,
+                        got: *i + 1,
+                    });
+                }
+                nv[*i] = v.clone();
+            }
+            let s_new = self.route(&Key::project(&nv, &self.pkey));
+            if self.owned().any(|g| g.indexes.iter().any(|i| i.unique)) {
+                let old_values = shard.rows[key].values.clone();
+                for (s, g) in self.guards.iter().enumerate() {
+                    let Some(g) = g.as_deref() else { continue };
+                    if s == s_old {
+                        continue;
+                    }
+                    for idx in &g.indexes {
+                        if idx.unique {
+                            let new_ik = idx.key_of(&nv);
+                            if new_ik != idx.key_of(&old_values) && idx.cardinality(&new_ik) > 0 {
+                                return Err(DbError::UniqueViolation {
+                                    index: idx.name.clone(),
+                                    key: format!("{new_ik:?}"),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            s_new
+        };
+        // Both shards must be owned by this session.
+        self.shard(s_new)?;
+        let pkey = self.pkey.clone();
+        let arity = self.arity;
+        let (old_shard, new_shard) = split_pair_opt(&mut self.guards, s_old, s_new)?;
+        update_core(old_shard, new_shard, &pkey, arity, key, cols, |_| {
+            Ok(new_lsn)
+        })
     }
 
     /// Mutate a row in place (counter/flag/LSN maintenance; must not
     /// change key or indexed columns).
     pub fn with_row_mut<R>(&mut self, key: &Key, f: impl FnOnce(&mut Row) -> R) -> Option<R> {
-        self.inner.rows.get_mut(key).map(f)
+        let s = self.route(key);
+        self.shard_mut(s).ok()?.rows.get_mut(key).map(f)
     }
 
     /// Clone of the row at `key`.
     pub fn get(&self, key: &Key) -> Option<Row> {
-        self.inner.rows.get(key).cloned()
+        let s = self.route(key);
+        self.shard(s).ok()?.rows.get(key).cloned()
+    }
+
+    /// Read a row by reference, without cloning it. The rules' LSN
+    /// gates and single-column reads run once per surviving log
+    /// record — a full-row clone there is pure allocator churn.
+    pub fn with_row<R>(&self, key: &Key, f: impl FnOnce(&Row) -> R) -> Option<R> {
+        let s = self.route(key);
+        self.shard(s).ok()?.rows.get(key).map(f)
     }
 
     /// Whether a row with `key` exists.
     pub fn contains(&self, key: &Key) -> bool {
-        self.inner.rows.contains_key(key)
+        let s = self.route(key);
+        self.shard(s)
+            .map(|g| g.rows.contains_key(key))
+            .unwrap_or(false)
     }
 
-    /// Number of rows.
+    /// Number of rows in the session's shards.
     pub fn len(&self) -> usize {
-        self.inner.rows.len()
+        self.owned().map(|g| g.rows.len()).sum()
     }
 
-    /// Whether the table has no rows.
+    /// Whether the session's shards hold no rows.
     pub fn is_empty(&self) -> bool {
-        self.inner.rows.is_empty()
+        self.len() == 0
     }
 
-    /// Primary keys of rows whose index key equals `ik`.
+    /// Primary keys of rows (within the session's shards) whose index
+    /// key equals `ik`, in key order.
     pub fn index_lookup(&self, idx: usize, ik: &Key) -> Vec<Key> {
-        self.inner.indexes[idx].lookup(ik)
+        let mut out: Vec<Key> = self
+            .owned()
+            .flat_map(|g| g.indexes[idx].lookup(ik))
+            .collect();
+        out.sort();
+        out
     }
 
-    /// Number of rows under index key `ik`.
+    /// Number of rows (within the session's shards) under index key
+    /// `ik`.
     pub fn index_cardinality(&self, idx: usize, ik: &Key) -> usize {
-        self.inner.indexes[idx].cardinality(ik)
+        self.owned().map(|g| g.indexes[idx].cardinality(ik)).sum()
     }
 
-    /// Rows (with primary keys) whose index key equals `ik`.
+    /// Rows (with primary keys, within the session's shards) whose
+    /// index key equals `ik`, in key order.
     pub fn index_rows(&self, idx: usize, ik: &Key) -> Vec<(Key, Row)> {
-        self.inner.index_rows(idx, ik)
+        let mut out: Vec<(Key, Row)> = Vec::new();
+        for g in self.owned() {
+            g.index_rows_into(idx, ik, &mut out);
+        }
+        if out.len() > 1 {
+            out.sort_by(|a, b| a.0.cmp(&b.0));
+        }
+        out
     }
 }
 
-/// Chunked fuzzy scanner (see [`Table::fuzzy_scan`]).
+/// Split-borrow two (possibly identical) owned shards from a masked
+/// guard vector.
+fn split_pair_opt<'a, 'g>(
+    guards: &'a mut [Option<RwLockWriteGuard<'g, TableShard>>],
+    a: usize,
+    b: usize,
+) -> DbResult<(&'a mut TableShard, Option<&'a mut TableShard>)> {
+    let missing =
+        |s: usize| DbError::Internal(format!("shard {s} routed outside the session mask"));
+    if a == b {
+        let g = guards[a].as_deref_mut().ok_or_else(|| missing(a))?;
+        Ok((g, None))
+    } else {
+        let (lo_i, hi_i) = if a < b { (a, b) } else { (b, a) };
+        let (lo, hi) = guards.split_at_mut(hi_i);
+        let lo_g = lo[lo_i].as_deref_mut().ok_or_else(|| missing(lo_i))?;
+        let hi_g = hi[0].as_deref_mut().ok_or_else(|| missing(hi_i))?;
+        if a < b {
+            Ok((lo_g, Some(hi_g)))
+        } else {
+            Ok((hi_g, Some(lo_g)))
+        }
+    }
+}
+
+/// Chunked fuzzy scanner (see [`Table::fuzzy_scan`]). Merges the
+/// per-shard B-trees on the fly, so chunks come out in global primary
+/// key order exactly as they did when the heap was a single tree.
 pub struct FuzzyScanner {
     table: Arc<Table>,
+    shards: Vec<usize>,
     after: Option<Key>,
     chunk_size: usize,
 }
@@ -663,17 +1227,41 @@ pub struct FuzzyScanner {
 impl FuzzyScanner {
     /// Next chunk of rows, or an empty vector when the scan is done.
     pub fn next_chunk(&mut self) -> Vec<(Key, Row)> {
-        let inner = self.table.inner.read();
-        let range = match &self.after {
-            None => inner.rows.range::<Key, _>(..),
-            Some(k) => inner
-                .rows
-                .range::<Key, _>((Bound::Excluded(k.clone()), Bound::Unbounded)),
-        };
-        let chunk: Vec<(Key, Row)> = range
-            .take(self.chunk_size)
-            .map(|(k, r)| (k.clone(), r.clone()))
+        let guards: Vec<RwLockReadGuard<'_, TableShard>> = self
+            .shards
+            .iter()
+            .map(|&s| self.table.shards[s].read())
             .collect();
+        let mut iters: Vec<_> = guards
+            .iter()
+            .map(|g| {
+                match &self.after {
+                    None => g.rows.range::<Key, _>(..),
+                    Some(k) => g
+                        .rows
+                        .range::<Key, _>((Bound::Excluded(k.clone()), Bound::Unbounded)),
+                }
+                .peekable()
+            })
+            .collect();
+        let mut chunk: Vec<(Key, Row)> = Vec::new();
+        while chunk.len() < self.chunk_size {
+            let mut best: Option<(usize, &Key)> = None;
+            for (i, it) in iters.iter_mut().enumerate() {
+                if let Some(&(k, _)) = it.peek() {
+                    if best.as_ref().is_none_or(|(_, bk)| k < *bk) {
+                        best = Some((i, k));
+                    }
+                }
+            }
+            match best {
+                None => break,
+                Some((i, _)) => {
+                    let (k, r) = iters[i].next().expect("peeked above");
+                    chunk.push((k.clone(), r.clone()));
+                }
+            }
+        }
         if let Some((k, _)) = chunk.last() {
             self.after = Some(k.clone());
         }
@@ -754,6 +1342,26 @@ mod tests {
         assert_eq!(out.new_key, Key::single(2));
         assert!(t.get(&Key::single(1)).is_none());
         assert!(t.get(&Key::single(2)).is_some());
+    }
+
+    #[test]
+    fn update_moves_rows_across_every_shard_pair() {
+        // Exhaustively exercise same-shard and cross-shard moves.
+        let t = table();
+        for i in 0..32i64 {
+            t.insert(row(i, 0), Lsn(1)).unwrap();
+        }
+        for i in 0..32i64 {
+            let target = 1000 + i;
+            t.update(&Key::single(i), &[(0, Value::Int(target))], Lsn(2))
+                .unwrap();
+            assert!(t.get(&Key::single(i)).is_none());
+            assert_eq!(
+                t.get(&Key::single(target)).unwrap().values[0],
+                Value::Int(target)
+            );
+        }
+        assert_eq!(t.len(), 32);
     }
 
     #[test]
@@ -887,6 +1495,136 @@ mod tests {
     }
 
     #[test]
+    fn fuzzy_scan_is_in_global_key_order() {
+        let t = table();
+        for i in (0..500).rev() {
+            t.insert(row(i, 0), Lsn(1)).unwrap();
+        }
+        let scanned = t.fuzzy_scan(13).collect_all();
+        let keys: Vec<&Key> = scanned.iter().map(|(k, _)| k).collect();
+        assert!(
+            keys.windows(2).all(|w| w[0] < w[1]),
+            "chunks must merge sorted"
+        );
+        assert_eq!(scanned.len(), 500);
+    }
+
+    #[test]
+    fn partitioned_scans_tile_the_table() {
+        let t = table();
+        for i in 0..200 {
+            t.insert(row(i, 0), Lsn(1)).unwrap();
+        }
+        for parts in [1usize, 2, 4, 8] {
+            let mut seen: Vec<(Key, Row)> = Vec::new();
+            for p in 0..parts {
+                let part = t.fuzzy_scan_partition(16, p, parts).collect_all();
+                // Each partition is itself in key order.
+                assert!(part.windows(2).all(|w| w[0].0 < w[1].0));
+                seen.extend(part);
+            }
+            seen.sort_by(|a, b| a.0.cmp(&b.0));
+            assert_eq!(seen, t.snapshot(), "parts={parts} must cover exactly");
+        }
+    }
+
+    #[test]
+    fn shard_key_routes_by_component() {
+        let s = Schema::builder()
+            .column("a", ColumnType::Int)
+            .column("c", ColumnType::Str)
+            .primary_key(&["a", "c"])
+            .build()
+            .unwrap();
+        let t = Arc::new(Table::new(TableId(2), "t", s));
+        // Route by the second key component only.
+        t.set_shard_key(vec![1]).unwrap();
+        for i in 0..64i64 {
+            t.insert(
+                vec![Value::Int(i), Value::str(format!("g{}", i % 4))],
+                Lsn(1),
+            )
+            .unwrap();
+        }
+        // All rows of one group share a shard, and the component-only
+        // hash agrees with the full-key routing.
+        for g in 0..4 {
+            let component = [Value::str(format!("g{g}"))];
+            let shard = t.shard_of_component(&component);
+            for i in 0..64i64 {
+                if i % 4 == g {
+                    let key = Key::new([Value::Int(i), Value::str(format!("g{g}"))]);
+                    assert_eq!(t.shard_of_key(&key), shard);
+                }
+            }
+        }
+        // Too late once rows exist.
+        assert!(t.set_shard_key(vec![0]).is_err());
+        // Out-of-range position rejected.
+        let t2 = table();
+        assert!(t2.set_shard_key(vec![5]).is_err());
+    }
+
+    #[test]
+    fn masked_sessions_cover_disjoint_shards() {
+        let t = table();
+        for i in 0..100i64 {
+            t.insert(row(i, 0), Lsn(1)).unwrap();
+        }
+        let mut covered = 0usize;
+        for lane in 0..4 {
+            let s = t.write_session_masked(4, lane);
+            covered += s.len();
+        }
+        assert_eq!(covered, 100, "masks must tile the row space");
+    }
+
+    #[test]
+    fn masked_session_rejects_foreign_keys() {
+        let t = table();
+        for i in 0..64i64 {
+            t.insert(row(i, 0), Lsn(1)).unwrap();
+        }
+        // Find a key owned by lane 0 and one that is not.
+        let own: i64 = (0..64)
+            .find(|&i| t.shard_of_key(&Key::single(i)).is_multiple_of(4))
+            .unwrap();
+        let foreign: i64 = (0..64)
+            .find(|&i| !t.shard_of_key(&Key::single(i)).is_multiple_of(4))
+            .unwrap();
+        let mut s = t.write_session_masked(4, 0);
+        assert!(s.get(&Key::single(own)).is_some());
+        assert!(s.get(&Key::single(foreign)).is_none());
+        assert!(matches!(
+            s.delete(&Key::single(foreign)),
+            Err(DbError::Internal(_))
+        ));
+        s.delete(&Key::single(own)).unwrap();
+    }
+
+    #[test]
+    fn masked_sessions_write_concurrently() {
+        // Two lanes insert into the same table at the same time; a
+        // full session would deadlock this test.
+        let t = table();
+        std::thread::scope(|scope| {
+            for lane in 0..2 {
+                let t = Arc::clone(&t);
+                scope.spawn(move || {
+                    let mut s = t.write_session_masked(2, lane);
+                    for i in 0..2000i64 {
+                        let key = Key::single(i);
+                        if t.shard_of_key(&key) % 2 == lane {
+                            s.insert(row(i, 0), Lsn(1)).unwrap();
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(t.len(), 2000);
+    }
+
+    #[test]
     fn with_row_mut_edits_metadata() {
         let t = table();
         let k = t.insert(row(1, 10), Lsn(1)).unwrap();
@@ -947,6 +1685,25 @@ mod tests {
     }
 
     #[test]
+    fn write_session_moves_rows_across_shards() {
+        let t = table();
+        for i in 0..16i64 {
+            t.insert(row(i, 0), Lsn(1)).unwrap();
+        }
+        {
+            let mut s = t.write_session();
+            for i in 0..16i64 {
+                s.update(&Key::single(i), &[(0, Value::Int(100 + i))], Lsn(2))
+                    .unwrap();
+            }
+        }
+        assert_eq!(t.len(), 16);
+        for i in 0..16i64 {
+            assert!(t.get(&Key::single(100 + i)).is_some());
+        }
+    }
+
+    #[test]
     fn write_session_insert_row_keeps_metadata() {
         let t = table();
         let mut r = Row::new(row(1, 10), Lsn(4));
@@ -979,5 +1736,17 @@ mod tests {
         h.join().unwrap();
         assert!(done.load(Ordering::SeqCst));
         assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn shard_stride_tiles() {
+        assert_eq!(shard_stride(0), 1);
+        assert_eq!(shard_stride(1), 1);
+        assert_eq!(shard_stride(2), 2);
+        assert_eq!(shard_stride(3), 2);
+        assert_eq!(shard_stride(4), 4);
+        assert_eq!(shard_stride(7), 4);
+        assert_eq!(shard_stride(8), 8);
+        assert_eq!(shard_stride(64), TABLE_SHARDS);
     }
 }

@@ -166,7 +166,7 @@ mod tests {
     use super::*;
     use crate::client::HotSide;
     use crate::setup;
-    use morph_core::{FojSpec, SplitSpec, TransformOptions, Transformer};
+    use morph_core::{FojSpec, ParallelConfig, SplitSpec, TransformOptions, Transformer};
 
     fn small_split_db() -> Arc<Database> {
         let db = Arc::new(Database::new());
@@ -208,7 +208,9 @@ mod tests {
         let handle = Transformer::spawn_split(
             Arc::clone(&db),
             spec,
-            TransformOptions::default().deadline(Duration::from_secs(30)),
+            TransformOptions::default()
+                .deadline(Duration::from_secs(30))
+                .parallel(ParallelConfig::new(4, 4)),
         );
         let during = runner.measure(Duration::from_millis(150));
         let report = handle.join().expect("transformation");
@@ -255,7 +257,9 @@ mod tests {
         let handle = Transformer::spawn_foj(
             Arc::clone(&db),
             FojSpec::new("R", "S", "T", "c", "c"),
-            TransformOptions::default().deadline(Duration::from_secs(30)),
+            TransformOptions::default()
+                .deadline(Duration::from_secs(30))
+                .parallel(ParallelConfig::new(4, 4)),
         );
         let during = runner.measure(Duration::from_millis(150));
         let report = handle.join().expect("transformation");

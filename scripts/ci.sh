@@ -33,6 +33,14 @@ fi
 echo "== cargo test (tier-1)"
 cargo test -q
 
+# Parallel-pipeline equivalence: the proptest + burst suite comparing
+# ParallelConfig{4,4} against the serial pipeline record-for-record
+# (tests/parallel_equivalence.rs; see DESIGN.md §10). The env knobs
+# widen the sweep to other worker/shard counts.
+echo "== parallel equivalence (copy_workers=4, apply_shards=4)"
+MORPH_PAR_COPY_WORKERS=4 MORPH_PAR_APPLY_SHARDS=4 \
+    cargo test -q --test parallel_equivalence
+
 # Bounded crash-simulation smoke sweep (fixed seeds, well under a
 # minute). SIM_SEEDS=N widens the sweep: census + 3 seeded kills per
 # (scenario × strategy × seed) cell, every kill checked against the
