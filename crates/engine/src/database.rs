@@ -250,8 +250,18 @@ impl Database {
             Counters::bump(&self.counters.doomed_aborts);
             return Err(DbError::TxnDoomed(txn));
         }
-        self.log.append(LogRecord::Commit { txn });
-        self.log.flush()?;
+        // Read-only transactions have no redo/undo work: their Commit
+        // record need not be durable before they acknowledge (there is
+        // nothing to lose), so they skip the durability wait — and with
+        // it the fsync — entirely. Writers wait on the group-commit
+        // watermark: one backend flush may cover many committers.
+        let wrote = !cell.state.lock().undo.is_empty();
+        self.crash_point("commit.wal_append")?;
+        let commit_lsn = self.log.append(LogRecord::Commit { txn });
+        if wrote {
+            self.log.wait_durable(commit_lsn)?;
+        }
+        self.crash_point("commit.wal_durable")?;
         self.registry.remove(txn);
         self.locks.release_all(txn);
         self.table_locks.release_all(txn);
@@ -274,6 +284,7 @@ impl Database {
         let txn = cell.id;
         self.log.append(LogRecord::Abort { txn });
         let undo = std::mem::take(&mut cell.state.lock().undo);
+        let wrote = !undo.is_empty();
         let mut first_err = None;
         for (undone_lsn, inverse) in undo.into_iter().rev() {
             // Rollback must run to completion no matter what: skipping
@@ -289,8 +300,13 @@ impl Database {
                 }
             }
         }
-        self.log.append(LogRecord::AbortEnd { txn });
-        self.log.flush()?;
+        let end_lsn = self.log.append(LogRecord::AbortEnd { txn });
+        if wrote {
+            // CLRs must be durable before the rollback acknowledges,
+            // through the same group-commit watermark as commits.
+            self.log.wait_durable(end_lsn)?;
+        }
+        self.crash_point("abort.wal_durable")?;
         self.registry.remove(txn);
         self.locks.release_all(txn);
         self.table_locks.release_all(txn);

@@ -44,7 +44,7 @@ use morph_engine::{recover_into, CrashHook, Database};
 use morph_storage::row::Presence;
 use morph_storage::ConsistencyFlag;
 use morph_txn::LockManagerConfig;
-use morph_wal::{FaultBackend, FaultConfig, FaultHandle, LogManager};
+use morph_wal::{FaultBackend, FaultConfig, FaultHandle, GroupCommitConfig, LogManager, WalMode};
 use morph_workload::{StepStats, StepWorkload};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -81,6 +81,11 @@ pub struct SimConfig {
     /// run. Keeps propagation convergent: once the budget is spent the
     /// workload quiesces and the backlog drains.
     pub inject_budget: usize,
+    /// WAL append/flush discipline for the database under test.
+    /// Defaults to `MORPH_WAL_MODE` with a [`WalMode::Serial`]
+    /// fallback — serial is the determinism pin; CI forces
+    /// `MORPH_WAL_MODE=group` to prove the matrix holds in both.
+    pub wal_mode: WalMode,
 }
 
 impl SimConfig {
@@ -91,12 +96,20 @@ impl SimConfig {
             strategy,
             kill: None,
             inject_budget: 40,
+            wal_mode: WalMode::from_env(WalMode::Serial),
         }
     }
 
     #[must_use]
     pub fn kill_at(mut self, point: &str, occurrence: usize) -> SimConfig {
         self.kill = Some(Kill::new(point, occurrence));
+        self
+    }
+
+    /// Force a WAL mode regardless of `MORPH_WAL_MODE`.
+    #[must_use]
+    pub fn wal_mode(mut self, mode: WalMode) -> SimConfig {
+        self.wal_mode = mode;
         self
     }
 }
@@ -194,7 +207,15 @@ struct SimHook {
 
 impl CrashHook for SimHook {
     fn at(&self, db: &Database, point: &str) -> DbResult<()> {
-        let mut g = self.inner.lock();
+        // Re-entrancy guard: transactions the hook itself injects pass
+        // through the engine's commit/abort crash points on this same
+        // thread while the hook state is locked. Injected activity is
+        // not part of the census (the sim is single-threaded, so
+        // try_lock fails exactly when we re-entered ourselves), which
+        // also keeps traces identical to pre-group-commit runs.
+        let Some(mut g) = self.inner.try_lock() else {
+            return Ok(());
+        };
         let n = {
             let c = g.counts.entry(point.to_owned()).or_insert(0);
             *c += 1;
@@ -284,7 +305,11 @@ fn build(cfg: &SimConfig) -> Result<SimRun, SimFailure> {
     };
 
     let (backend, fault) = FaultBackend::new(FaultConfig::crash_only(cfg.seed));
-    let log = Arc::new(LogManager::with_backend(Box::new(backend)));
+    let log = Arc::new(LogManager::with_backend_mode(
+        Box::new(backend),
+        cfg.wal_mode,
+        GroupCommitConfig::default(),
+    ));
     let db = Arc::new(Database::with_log(log, LockManagerConfig::default()));
 
     let mut sources = Vec::new();

@@ -28,5 +28,5 @@ pub mod record;
 
 pub use fault::{FaultBackend, FaultConfig, FaultHandle};
 pub use file::{decode_stream, Backend, FileBackend};
-pub use manager::{LogManager, TailCursor};
+pub use manager::{GroupCommitConfig, LogManager, TailCursor, WalMode};
 pub use record::{LogOp, LogRecord};

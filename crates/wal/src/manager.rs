@@ -9,26 +9,213 @@
 //!
 //! LSNs are 1-based: the record at LSN *n* is the *n*-th record ever
 //! appended. [`Lsn::ZERO`] therefore means "before any record".
+//!
+//! ## The append/flush pipeline (DESIGN.md §11)
+//!
+//! The manager runs in one of two disciplines ([`WalMode`]):
+//!
+//! * **Serial** — the reference path: one mutex covers LSN
+//!   assignment, record encoding, the backend tee, and publication.
+//!   Byte order in the backend trivially equals LSN order, and every
+//!   [`flush`](LogManager::flush) maps to exactly one backend flush.
+//!   The deterministic crash simulator runs this mode.
+//! * **Group** — the scalable path. An append *reserves* its LSN with
+//!   one atomic increment, encodes the record outside any lock, fills
+//!   its pre-allocated slot, and *publishes* by advancing the
+//!   gapless-prefix watermark under a short ordering lock. Backend
+//!   bytes are *staged* in the slot and drained to the backend
+//!   strictly in LSN order by whichever thread next needs durability
+//!   — so byte order still equals LSN order, the invariant the crash
+//!   simulator's torn-write model depends on. Durability is a
+//!   watermark: committers call
+//!   [`wait_durable`](LogManager::wait_durable) and a leader performs
+//!   one drain + flush on behalf of every waiter at or below the
+//!   published LSN (group commit).
+//!
+//! Retained records live in fixed-size chunks of once-written slots.
+//! Readers ([`read`](LogManager::read),
+//! [`read_range`](LogManager::read_range), [`TailCursor`]) consult
+//! the atomic published watermark and then touch only per-slot locks
+//! that no appender holds any more — tail reads never contend with
+//! the append path. [`last_lsn`](LogManager::last_lsn),
+//! [`backlog`](LogManager::backlog), [`len`](LogManager::len) and
+//! [`is_empty`](LogManager::is_empty) are plain atomic loads (the
+//! propagator polls them every iteration). Truncation moves a logical
+//! base atomically and reclaims memory a whole chunk at a time.
 
 use crate::codec;
 use crate::file::{Backend, FileBackend};
 use crate::record::LogRecord;
+use bytes::Bytes;
 use morph_common::{DbResult, Lsn};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-struct Inner {
-    /// Retained records; index `i` holds LSN `base + i + 1`.
-    records: Vec<Arc<LogRecord>>,
-    /// Number of records truncated away from the front: the record at
-    /// LSN `base` (and below) is no longer readable in memory.
-    base: u64,
+/// Append/flush discipline (see module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WalMode {
+    /// One mutex over assign + encode + tee + publish; flush per call.
+    /// The exact reference path the crash simulator pins.
+    Serial,
+    /// Lock-split append with staged backend bytes and group-commit
+    /// durability via [`LogManager::wait_durable`].
+    Group,
+}
+
+impl WalMode {
+    /// Resolve the mode from `MORPH_WAL_MODE` (`"serial"` /
+    /// `"group"`), falling back to `default`. Lets CI force group
+    /// commit through code paths that default to the serial pin.
+    pub fn from_env(default: WalMode) -> WalMode {
+        match std::env::var("MORPH_WAL_MODE").ok().as_deref() {
+            Some("group") => WalMode::Group,
+            Some("serial") => WalMode::Serial,
+            _ => default,
+        }
+    }
+}
+
+/// Group-commit tuning: how long a flush leader holds the door open
+/// for more committers before paying the fsync.
+#[derive(Clone, Copy, Debug)]
+pub struct GroupCommitConfig {
+    /// Stop waiting once this many committers (leader included) are
+    /// aboard. `<= 1` disables the wait window.
+    pub max_batch: usize,
+    /// Longest the leader delays its flush waiting for stragglers.
+    /// [`Duration::ZERO`] (the default) skips the window entirely:
+    /// batching then comes only from committers piling up behind an
+    /// in-flight flush, which adds no latency and keeps
+    /// single-threaded runs (the simulator) deterministic.
+    pub max_delay: Duration,
+}
+
+impl Default for GroupCommitConfig {
+    fn default() -> Self {
+        GroupCommitConfig {
+            max_batch: 64,
+            max_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// Records per chunk. Power of two; chunk boundaries are fixed
+/// relative to LSN 1, so chunk lookup is pure index arithmetic.
+const CHUNK_RECORDS: u64 = 256;
+
+/// One record's cell: written once by its appender before the publish
+/// watermark passes it, immutable afterwards except for the staged
+/// bytes, which the drain step takes (in LSN order, under the backend
+/// lock). The per-slot mutex is never contended on the hot path: the
+/// appender is done with it before readers may look, and the drainer
+/// holds it for one `take`.
+#[derive(Default)]
+struct Slot {
+    rec: Option<Arc<LogRecord>>,
+    /// Encoded bytes awaiting the backend drain (group mode with a
+    /// backend only).
+    staged: Option<Bytes>,
+}
+
+struct Chunk {
+    /// LSN of `slots[0]`.
+    first: u64,
+    slots: Vec<Mutex<Slot>>,
+}
+
+impl Chunk {
+    fn new(first: u64) -> Chunk {
+        Chunk {
+            first,
+            slots: (0..CHUNK_RECORDS)
+                .map(|_| Mutex::new(Slot::default()))
+                .collect(),
+        }
+    }
+
+    fn slot(&self, lsn: u64) -> &Mutex<Slot> {
+        &self.slots[(lsn - self.first) as usize]
+    }
+
+    /// Last LSN this chunk can hold.
+    fn last(&self) -> u64 {
+        self.first + CHUNK_RECORDS - 1
+    }
+}
+
+/// Contiguous run of chunks; the front may cover already-truncated
+/// LSNs (truncation is logical first, chunk reclamation whole-chunk).
+#[derive(Default)]
+struct ChunkList {
+    chunks: VecDeque<Arc<Chunk>>,
+}
+
+impl ChunkList {
+    fn chunk_for(&self, lsn: u64) -> Option<Arc<Chunk>> {
+        let front = self.chunks.front()?;
+        if lsn < front.first {
+            return None;
+        }
+        self.chunks
+            .get(((lsn - front.first) / CHUNK_RECORDS) as usize)
+            .cloned()
+    }
+
+    /// First LSN of the chunk that would hold `lsn` (boundaries fixed
+    /// relative to LSN 1).
+    fn aligned_first(lsn: u64) -> u64 {
+        ((lsn - 1) / CHUNK_RECORDS) * CHUNK_RECORDS + 1
+    }
+}
+
+struct BackendState {
+    sink: Box<dyn Backend + Send>,
+    /// Highest LSN whose bytes the sink has received. In serial mode
+    /// the tee happens at append, so this tracks the published LSN;
+    /// in group mode it is the drain cursor.
+    drained: u64,
+}
+
+#[derive(Default)]
+struct GroupState {
+    /// A leader is currently draining + flushing.
+    leader: bool,
+    /// Committers parked behind the leader.
+    waiters: usize,
 }
 
 /// Append-only, totally ordered log with tail readers.
 pub struct LogManager {
-    inner: Mutex<Inner>,
-    backend: Option<Mutex<Box<dyn Backend + Send>>>,
+    mode: WalMode,
+    group_cfg: GroupCommitConfig,
+    store: RwLock<ChunkList>,
+    /// Highest LSN handed out to an appender (group-mode reservation;
+    /// mirrors `published` in serial mode).
+    reserved: AtomicU64,
+    /// Highest readable LSN: every slot at or below it is filled and
+    /// immutable. Advanced only under `order`, gaplessly.
+    published: AtomicU64,
+    /// Records at or below this LSN are logically truncated away.
+    base: AtomicU64,
+    /// Highest LSN a successful backend flush covers — the durability
+    /// watermark group commit satisfies waiters against.
+    durable: AtomicU64,
+    /// Watermark-ordering lock. Group mode holds it only to advance
+    /// `published` over consecutively filled slots; serial mode holds
+    /// it across the whole append (assign + encode + tee + publish),
+    /// reproducing the original single-mutex path exactly.
+    order: Mutex<()>,
+    /// Serializes truncation (base advance + whole-chunk reclaim).
+    trunc: Mutex<()>,
+    backend: Option<Mutex<BackendState>>,
+    group: Mutex<GroupState>,
+    group_cv: Condvar,
+    /// Backend flushes attempted — the "fsync count" the group-commit
+    /// benchmarks compare against the commit count.
+    flushes: AtomicU64,
 }
 
 impl Default for LogManager {
@@ -38,15 +225,55 @@ impl Default for LogManager {
 }
 
 impl LogManager {
-    /// A purely in-memory log.
-    pub fn new() -> LogManager {
-        LogManager {
-            inner: Mutex::new(Inner {
-                records: Vec::new(),
-                base: 0,
-            }),
-            backend: None,
+    fn build(
+        records: Vec<LogRecord>,
+        backend: Option<Box<dyn Backend + Send>>,
+        mode: WalMode,
+        group_cfg: GroupCommitConfig,
+    ) -> LogManager {
+        let mut store = ChunkList::default();
+        let n = records.len() as u64;
+        for (i, rec) in records.into_iter().enumerate() {
+            let lsn = i as u64 + 1;
+            if store.chunks.back().is_none_or(|c| lsn > c.last()) {
+                store
+                    .chunks
+                    .push_back(Arc::new(Chunk::new(ChunkList::aligned_first(lsn))));
+            }
+            let chunk = store.chunks.back().expect("chunk just ensured");
+            chunk.slot(lsn).lock().rec = Some(Arc::new(rec));
         }
+        LogManager {
+            mode,
+            group_cfg,
+            store: RwLock::new(store),
+            reserved: AtomicU64::new(n),
+            published: AtomicU64::new(n),
+            base: AtomicU64::new(0),
+            durable: AtomicU64::new(0),
+            order: Mutex::new(()),
+            trunc: Mutex::new(()),
+            backend: backend.map(|sink| Mutex::new(BackendState { sink, drained: n })),
+            group: Mutex::new(GroupState::default()),
+            group_cv: Condvar::new(),
+            flushes: AtomicU64::new(0),
+        }
+    }
+
+    /// A purely in-memory log (mode from `MORPH_WAL_MODE`, default
+    /// serial).
+    pub fn new() -> LogManager {
+        Self::build(
+            Vec::new(),
+            None,
+            WalMode::from_env(WalMode::Serial),
+            GroupCommitConfig::default(),
+        )
+    }
+
+    /// A purely in-memory log in an explicit mode.
+    pub fn new_in(mode: WalMode) -> LogManager {
+        Self::build(Vec::new(), None, mode, GroupCommitConfig::default())
     }
 
     /// A log that also persists every record to `path` (length-prefixed
@@ -59,81 +286,364 @@ impl LogManager {
 
     /// A log that tees every record into an arbitrary [`Backend`] —
     /// the injection point for the crash-simulation harness's
-    /// fault-capable in-memory backend.
+    /// fault-capable in-memory backend. Mode from `MORPH_WAL_MODE`,
+    /// default serial (the simulator's determinism pin).
     pub fn with_backend(backend: Box<dyn Backend + Send>) -> LogManager {
-        LogManager {
-            inner: Mutex::new(Inner {
-                records: Vec::new(),
-                base: 0,
-            }),
-            backend: Some(Mutex::new(backend)),
-        }
+        Self::with_backend_mode(
+            backend,
+            WalMode::from_env(WalMode::Serial),
+            GroupCommitConfig::default(),
+        )
+    }
+
+    /// A backend-teeing log in an explicit mode with explicit
+    /// group-commit tuning.
+    pub fn with_backend_mode(
+        backend: Box<dyn Backend + Send>,
+        mode: WalMode,
+        group_cfg: GroupCommitConfig,
+    ) -> LogManager {
+        Self::build(Vec::new(), Some(backend), mode, group_cfg)
     }
 
     /// Construct a manager pre-loaded with recovered records (restart
     /// recovery replays these before the database goes live).
     pub fn with_records(records: Vec<LogRecord>) -> LogManager {
-        LogManager {
-            inner: Mutex::new(Inner {
-                records: records.into_iter().map(Arc::new).collect(),
-                base: 0,
-            }),
-            backend: None,
-        }
+        Self::build(
+            records,
+            None,
+            WalMode::from_env(WalMode::Serial),
+            GroupCommitConfig::default(),
+        )
     }
+
+    /// The append/flush discipline this manager runs.
+    pub fn mode(&self) -> WalMode {
+        self.mode
+    }
+
+    // --- append ---------------------------------------------------------
 
     /// Append one record, returning its LSN.
     pub fn append(&self, rec: LogRecord) -> Lsn {
-        // The backend write happens *under* the inner lock so the
-        // backend's byte order always matches LSN order — two threads
-        // appending concurrently must not interleave the tee.
-        let mut inner = self.inner.lock();
-        if let Some(backend) = &self.backend {
-            backend.lock().append(&codec::encode(&rec));
+        match self.mode {
+            WalMode::Serial => self.append_serial(rec),
+            WalMode::Group => self.append_group(rec),
         }
-        inner.records.push(Arc::new(rec));
-        Lsn(inner.base + inner.records.len() as u64)
     }
+
+    /// The reference path: one critical section covers LSN assignment,
+    /// encoding, the backend tee, and publication, so the backend's
+    /// byte order trivially matches LSN order.
+    fn append_serial(&self, rec: LogRecord) -> Lsn {
+        let _order = self.order.lock();
+        let lsn = self.published.load(Ordering::Relaxed) + 1;
+        if let Some(backend) = &self.backend {
+            let mut be = backend.lock();
+            be.sink.append(&codec::encode(&rec));
+            be.drained = lsn;
+        }
+        let chunk = self.ensure_chunk(lsn);
+        chunk.slot(lsn).lock().rec = Some(Arc::new(rec));
+        self.reserved.store(lsn, Ordering::Relaxed);
+        self.published.store(lsn, Ordering::Release);
+        Lsn(lsn)
+    }
+
+    /// The lock-split path: reserve, encode outside any lock, fill the
+    /// slot, then advance the publish watermark over the gapless
+    /// prefix of filled slots.
+    fn append_group(&self, rec: LogRecord) -> Lsn {
+        let lsn = self.reserved.fetch_add(1, Ordering::Relaxed) + 1;
+        let staged = self.backend.as_ref().map(|_| codec::encode(&rec));
+        let chunk = self.ensure_chunk(lsn);
+        {
+            let mut slot = chunk.slot(lsn).lock();
+            slot.rec = Some(Arc::new(rec));
+            slot.staged = staged;
+        }
+        self.publish_filled();
+        Lsn(lsn)
+    }
+
+    /// Advance `published` across every consecutively filled slot.
+    /// Every appender calls this after filling its slot, so the last
+    /// filler of any gapless prefix publishes the whole prefix: if the
+    /// slot after the watermark is still empty, its (in-flight)
+    /// appender is guaranteed to run this again after filling it.
+    fn publish_filled(&self) {
+        let _order = self.order.lock();
+        let mut p = self.published.load(Ordering::Relaxed);
+        let reserved = self.reserved.load(Ordering::Relaxed);
+        let mut chunk: Option<Arc<Chunk>> = None;
+        while p < reserved {
+            let next = p + 1;
+            let cur = match &chunk {
+                Some(c) if next <= c.last() => c,
+                _ => match self.store.read().chunk_for(next) {
+                    Some(c) => {
+                        chunk = Some(c);
+                        chunk.as_ref().expect("just set")
+                    }
+                    None => break,
+                },
+            };
+            if cur.slot(next).lock().rec.is_none() {
+                break;
+            }
+            p = next;
+        }
+        self.published.store(p, Ordering::Release);
+    }
+
+    /// Return the chunk holding `lsn`, allocating it (and any
+    /// predecessors) if needed. Allocation takes the store's write
+    /// lock once per [`CHUNK_RECORDS`] appends; the common case is a
+    /// read-locked index lookup.
+    fn ensure_chunk(&self, lsn: u64) -> Arc<Chunk> {
+        if let Some(c) = self.store.read().chunk_for(lsn) {
+            return c;
+        }
+        let mut store = self.store.write();
+        loop {
+            match store.chunks.back() {
+                Some(last) if lsn <= last.last() => break,
+                Some(last) => {
+                    let first = last.last() + 1;
+                    store.chunks.push_back(Arc::new(Chunk::new(first)));
+                }
+                None => {
+                    store
+                        .chunks
+                        .push_back(Arc::new(Chunk::new(ChunkList::aligned_first(lsn))));
+                }
+            }
+        }
+        store.chunk_for(lsn).expect("chunk just allocated")
+    }
+
+    // --- durability -----------------------------------------------------
+
+    /// Hand every staged byte up to `upto` to the backend, strictly in
+    /// LSN order. Caller holds the backend lock; the per-slot locks it
+    /// takes are uncontended (appenders are done with published slots).
+    fn drain_staged(&self, be: &mut BackendState, upto: u64) {
+        let mut chunk: Option<Arc<Chunk>> = None;
+        while be.drained < upto {
+            let next = be.drained + 1;
+            let cur = match &chunk {
+                Some(c) if next <= c.last() => c,
+                _ => {
+                    chunk = Some(
+                        self.store
+                            .read()
+                            .chunk_for(next)
+                            .expect("undrained LSN must not be reclaimed"),
+                    );
+                    chunk.as_ref().expect("just set")
+                }
+            };
+            let bytes = cur
+                .slot(next)
+                .lock()
+                .staged
+                .take()
+                .expect("published slot keeps staged bytes until drained");
+            be.sink.append(&bytes);
+            be.drained = next;
+        }
+    }
+
+    fn advance_durable(&self, upto: u64) {
+        self.durable.fetch_max(upto, Ordering::AcqRel);
+    }
+
+    /// Block until the record at `lsn` is durable (its bytes and all
+    /// earlier bytes flushed to the backend). The group-commit entry
+    /// point: one leader drains staged bytes and performs one backend
+    /// flush that satisfies every waiter at or below the published
+    /// watermark; later committers that arrive mid-flush park and are
+    /// satisfied by the next leader in one more flush. Without a
+    /// backend (pure in-memory log) every record is trivially
+    /// "durable". Commit, abort, and recovery flushes all funnel
+    /// through here.
+    pub fn wait_durable(&self, lsn: Lsn) -> DbResult<()> {
+        let Some(backend) = &self.backend else {
+            return Ok(());
+        };
+        // Dirty-flag fast path: a previous flush already covers this
+        // LSN — no backend lock, no fsync.
+        if lsn.0 <= self.durable.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        match self.mode {
+            WalMode::Serial => {
+                let mut be = backend.lock();
+                if lsn.0 <= self.durable.load(Ordering::Acquire) {
+                    return Ok(());
+                }
+                self.flushes.fetch_add(1, Ordering::Relaxed);
+                be.sink.flush()?;
+                self.advance_durable(be.drained);
+                Ok(())
+            }
+            WalMode::Group => self.wait_durable_group(backend, lsn),
+        }
+    }
+
+    fn wait_durable_group(&self, backend: &Mutex<BackendState>, lsn: Lsn) -> DbResult<()> {
+        loop {
+            if lsn.0 <= self.durable.load(Ordering::Acquire) {
+                return Ok(());
+            }
+            let mut g = self.group.lock();
+            if lsn.0 <= self.durable.load(Ordering::Acquire) {
+                return Ok(());
+            }
+            if g.leader {
+                // Follower: park until the in-flight flush completes,
+                // then re-check the watermark (the leader's flush
+                // covers us unless it failed, in which case we retry
+                // as leader and surface the backend's error ourselves).
+                g.waiters += 1;
+                if g.waiters + 1 >= self.group_cfg.max_batch {
+                    // The batch is full — wake a leader dawdling in
+                    // its delay window.
+                    self.group_cv.notify_all();
+                }
+                self.group_cv.wait(&mut g);
+                g.waiters -= 1;
+                continue;
+            }
+            g.leader = true;
+            if self.group_cfg.max_delay > Duration::ZERO && self.group_cfg.max_batch > 1 {
+                // Hold the door: absorb committers that arrive within
+                // the window so one fsync covers them all.
+                let deadline = Instant::now() + self.group_cfg.max_delay;
+                while g.waiters + 1 < self.group_cfg.max_batch {
+                    if self.group_cv.wait_until(&mut g, deadline).timed_out() {
+                        break;
+                    }
+                }
+            }
+            drop(g);
+
+            // Everything published when the leader flushes becomes
+            // durable — including our own lsn, which was published
+            // before we were called.
+            let target = self.published.load(Ordering::Acquire);
+            let result = {
+                let mut be = backend.lock();
+                self.drain_staged(&mut be, target);
+                self.flushes.fetch_add(1, Ordering::Relaxed);
+                be.sink.flush()
+            };
+
+            let mut g = self.group.lock();
+            g.leader = false;
+            if result.is_ok() {
+                self.advance_durable(target);
+            }
+            self.group_cv.notify_all();
+            drop(g);
+            result?;
+            if lsn.0 <= target {
+                return Ok(());
+            }
+            // Our record was not yet published when we flushed (an
+            // earlier appender was still filling its slot, holding the
+            // gapless prefix back). Go around: the prefix will pass us
+            // once that appender publishes.
+        }
+    }
+
+    /// Force everything appended so far to durable storage. No-op
+    /// without a backend, and — the fast path — when nothing was
+    /// appended since the last successful flush (no backend lock, no
+    /// fsync: read-only callers get out for two atomic loads).
+    pub fn flush(&self) -> DbResult<()> {
+        self.wait_durable(Lsn(self.published.load(Ordering::Acquire)))
+    }
+
+    /// The durability watermark: every record at or below it survived
+    /// a successful backend flush ([`Lsn::ZERO`] before the first).
+    pub fn durable_lsn(&self) -> Lsn {
+        Lsn(self.durable.load(Ordering::Acquire))
+    }
+
+    /// Backend flushes attempted so far. Group-commit benchmarks
+    /// compare this against the commit count to show fsyncs ≪ commits.
+    pub fn flush_count(&self) -> u64 {
+        self.flushes.load(Ordering::Relaxed)
+    }
+
+    // --- reads ----------------------------------------------------------
 
     /// LSN of the most recently appended record ([`Lsn::ZERO`] if the
-    /// log is empty).
+    /// log is empty). One atomic load — the propagator polls this
+    /// every iteration.
     pub fn last_lsn(&self) -> Lsn {
-        let inner = self.inner.lock();
-        Lsn(inner.base + inner.records.len() as u64)
+        Lsn(self.published.load(Ordering::Acquire))
     }
 
-    /// Number of records currently retained in memory (appended minus
-    /// truncated).
+    /// Number of records currently retained (appended minus
+    /// truncated). Atomic loads only.
     pub fn len(&self) -> usize {
-        self.inner.lock().records.len()
+        let published = self.published.load(Ordering::Acquire);
+        let base = self.base.load(Ordering::Acquire);
+        published.saturating_sub(base) as usize
     }
 
     /// LSN below which records have been truncated away: the first
     /// readable record is `truncated_until() + 1`… unless nothing has
     /// been truncated, in which case this is [`Lsn::ZERO`].
     pub fn truncated_until(&self) -> Lsn {
-        Lsn(self.inner.lock().base)
+        Lsn(self.base.load(Ordering::Acquire))
     }
 
-    /// Drop in-memory records with LSN *strictly below* `lsn`,
-    /// returning how many were discarded. The file backend (if any) is
-    /// untouched — it remains the complete archive that restart
-    /// recovery replays; in-memory truncation is the memory-bound knob
-    /// for long-running deployments (a propagation cursor must never be
-    /// truncated past, which [`morph-engine`]'s wrapper enforces).
+    /// Drop records with LSN *strictly below* `lsn` from memory,
+    /// returning how many were discarded. The base moves atomically;
+    /// chunk memory is reclaimed a whole chunk at a time (a partially
+    /// truncated chunk is freed once its last record is truncated
+    /// too). The file backend (if any) is untouched — it remains the
+    /// complete archive that restart recovery replays; in-memory
+    /// truncation is the memory-bound knob for long-running
+    /// deployments (a propagation cursor must never be truncated
+    /// past, which [`morph-engine`]'s wrapper enforces).
     ///
     /// [`morph-engine`]: ../morph_engine/index.html
     pub fn truncate_until(&self, lsn: Lsn) -> usize {
-        let mut inner = self.inner.lock();
-        if lsn.0 <= inner.base + 1 {
+        let _trunc = self.trunc.lock();
+        let base = self.base.load(Ordering::Acquire);
+        if lsn.0 <= base + 1 {
             return 0;
         }
-        let last = inner.base + inner.records.len() as u64;
-        let new_base = (lsn.0 - 1).min(last);
-        let drop_n = (new_base - inner.base) as usize;
-        inner.records.drain(..drop_n);
-        inner.base = new_base;
-        drop_n
+        let published = self.published.load(Ordering::Acquire);
+        let new_base = (lsn.0 - 1).min(published);
+        if new_base <= base {
+            return 0;
+        }
+        // Whole chunks about to be reclaimed may still hold staged
+        // bytes the backend has not seen; hand them over first so the
+        // archive stays complete and in LSN order.
+        if self.mode == WalMode::Group {
+            if let Some(backend) = &self.backend {
+                let chunk_complete = (new_base / CHUNK_RECORDS) * CHUNK_RECORDS;
+                let mut be = backend.lock();
+                let upto = chunk_complete.min(published).max(be.drained);
+                self.drain_staged(&mut be, upto);
+            }
+        }
+        self.base.store(new_base, Ordering::Release);
+        let mut store = self.store.write();
+        while store
+            .chunks
+            .front()
+            .is_some_and(|front| front.last() <= new_base)
+        {
+            store.chunks.pop_front();
+        }
+        (new_base - base) as usize
     }
 
     /// Whether the log is empty.
@@ -142,61 +652,60 @@ impl LogManager {
     }
 
     /// Fetch a single record by LSN (`None` if out of range or
-    /// truncated away).
+    /// truncated away). Touches only the published watermark, the
+    /// chunk index, and the record's own slot — never the append path.
     pub fn read(&self, lsn: Lsn) -> Option<Arc<LogRecord>> {
-        if lsn.is_zero() {
+        if lsn.is_zero()
+            || lsn.0 <= self.base.load(Ordering::Acquire)
+            || lsn.0 > self.published.load(Ordering::Acquire)
+        {
             return None;
         }
-        let inner = self.inner.lock();
-        if lsn.0 <= inner.base {
-            return None;
-        }
-        inner
-            .records
-            .get((lsn.0 - inner.base) as usize - 1)
-            .cloned()
+        let chunk = self.store.read().chunk_for(lsn.0)?;
+        let rec = chunk.slot(lsn.0).lock().rec.clone();
+        rec
     }
 
     /// Read up to `max` records starting at `from` (inclusive). Returns
     /// records paired with their LSNs; an empty result means the caller
     /// has caught up with the tail.
     pub fn read_range(&self, from: Lsn, max: usize) -> Vec<(Lsn, Arc<LogRecord>)> {
-        if from.is_zero() {
-            return self.read_range(Lsn(1), max);
-        }
-        let inner = self.inner.lock();
         // Reads below the truncation point start at the first retained
         // record (callers that must never miss records — propagation
         // cursors — are protected by the truncation guard upstream).
-        let start = (from.0.max(inner.base + 1) - inner.base - 1) as usize;
-        if start >= inner.records.len() {
+        let start = from.0.max(1).max(self.base.load(Ordering::Acquire) + 1);
+        let published = self.published.load(Ordering::Acquire);
+        if start > published || max == 0 {
             return Vec::new();
         }
-        let end = (start + max).min(inner.records.len());
-        inner.records[start..end]
-            .iter()
-            .enumerate()
-            .map(|(i, r)| (Lsn(inner.base + (start + i + 1) as u64), Arc::clone(r)))
-            .collect()
+        let end = published.min(start.saturating_add(max as u64 - 1));
+        let mut out = Vec::with_capacity((end - start + 1) as usize);
+        let mut lsn = start;
+        'scan: while lsn <= end {
+            let Some(chunk) = self.store.read().chunk_for(lsn) else {
+                break; // lost a race with truncation: return what we have
+            };
+            let chunk_end = end.min(chunk.last());
+            while lsn <= chunk_end {
+                match chunk.slot(lsn).lock().rec.clone() {
+                    Some(rec) => out.push((Lsn(lsn), rec)),
+                    None => break 'scan,
+                }
+                lsn += 1;
+            }
+        }
+        out
     }
 
     /// How many records exist at or after `from` — the propagation
-    /// backlog used by the §3.3 convergence analysis.
+    /// backlog used by the §3.3 convergence analysis. Atomic loads
+    /// only.
     pub fn backlog(&self, from: Lsn) -> usize {
         let last = self.last_lsn();
         if from.is_zero() {
             return last.0 as usize;
         }
         (last.0 + 1).saturating_sub(from.0) as usize
-    }
-
-    /// Force buffered file-backend bytes to disk. No-op without a
-    /// backend. Called by the engine on commit (WAL rule).
-    pub fn flush(&self) -> DbResult<()> {
-        if let Some(backend) = &self.backend {
-            backend.lock().flush()?;
-        }
-        Ok(())
     }
 
     /// A cursor positioned at `from` for incremental tail reading.
@@ -240,6 +749,7 @@ impl TailCursor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultBackend, FaultConfig};
     use crate::record::LogRecord;
     use morph_common::TxnId;
 
@@ -316,27 +826,31 @@ mod tests {
 
     #[test]
     fn concurrent_appends_get_unique_lsns() {
-        use std::collections::HashSet;
-        let log = std::sync::Arc::new(LogManager::new());
-        let mut handles = Vec::new();
-        for t in 0..8u64 {
-            let log = std::sync::Arc::clone(&log);
-            handles.push(std::thread::spawn(move || {
-                let mut seen = Vec::new();
-                for _ in 0..500 {
-                    seen.push(log.append(begin(t)));
-                }
-                seen
-            }));
-        }
-        let mut all = HashSet::new();
-        for h in handles {
-            for lsn in h.join().unwrap() {
-                assert!(all.insert(lsn), "duplicate LSN {lsn:?}");
+        for mode in [WalMode::Serial, WalMode::Group] {
+            use std::collections::HashSet;
+            let log = std::sync::Arc::new(LogManager::new_in(mode));
+            let mut handles = Vec::new();
+            for t in 0..8u64 {
+                let log = std::sync::Arc::clone(&log);
+                handles.push(std::thread::spawn(move || {
+                    let mut seen = Vec::new();
+                    for _ in 0..500 {
+                        seen.push(log.append(begin(t)));
+                    }
+                    seen
+                }));
             }
+            let mut all = HashSet::new();
+            for h in handles {
+                for lsn in h.join().unwrap() {
+                    assert!(all.insert(lsn), "duplicate LSN {lsn:?} ({mode:?})");
+                }
+            }
+            assert_eq!(all.len(), 4000);
+            assert_eq!(log.last_lsn(), Lsn(4000));
+            // The publish watermark left no gaps behind.
+            assert_eq!(log.read_range(Lsn(1), 5000).len(), 4000);
         }
-        assert_eq!(all.len(), 4000);
-        assert_eq!(log.last_lsn(), Lsn(4000));
     }
 
     #[test]
@@ -393,5 +907,143 @@ mod tests {
         let log = LogManager::with_records(vec![begin(1), begin(2)]);
         assert_eq!(log.last_lsn(), Lsn(2));
         assert_eq!(*log.read(Lsn(2)).unwrap(), begin(2));
+    }
+
+    #[test]
+    fn truncation_across_chunk_boundaries() {
+        for mode in [WalMode::Serial, WalMode::Group] {
+            let log = LogManager::new_in(mode);
+            let n = CHUNK_RECORDS * 3 + 17;
+            for i in 0..n {
+                log.append(begin(i));
+            }
+            // Partial-chunk truncation: logical base moves, reads obey it.
+            let cut = CHUNK_RECORDS + 9;
+            assert_eq!(log.truncate_until(Lsn(cut)), (cut - 1) as usize);
+            assert!(log.read(Lsn(cut - 1)).is_none());
+            assert_eq!(*log.read(Lsn(cut)).unwrap(), begin(cut - 1));
+            assert_eq!(log.len(), (n - cut + 1) as usize);
+            // Whole-log truncation then continued appends.
+            assert_eq!(log.truncate_until(Lsn(n + 1)), (n - cut + 1) as usize);
+            assert!(log.is_empty());
+            assert_eq!(log.append(begin(1000)), Lsn(n + 1));
+            assert_eq!(*log.read(Lsn(n + 1)).unwrap(), begin(1000));
+            assert_eq!(log.read_range(Lsn(1), 10)[0].0, Lsn(n + 1));
+        }
+    }
+
+    #[test]
+    fn group_mode_stages_bytes_until_flush() {
+        let (backend, handle) = FaultBackend::new(FaultConfig::crash_only(3));
+        let log = LogManager::with_backend_mode(
+            Box::new(backend),
+            WalMode::Group,
+            GroupCommitConfig::default(),
+        );
+        let mut last = Lsn::ZERO;
+        for i in 0..5 {
+            last = log.append(begin(i));
+        }
+        // Nothing drained yet: appends are staged in the slots.
+        assert_eq!(handle.buffered_len(), 0);
+        assert_eq!(log.durable_lsn(), Lsn::ZERO);
+        log.wait_durable(last).unwrap();
+        assert_eq!(log.durable_lsn(), last);
+        assert_eq!(log.flush_count(), 1);
+        // One more durable wait is a no-op (dirty fast path).
+        log.wait_durable(last).unwrap();
+        log.flush().unwrap();
+        assert_eq!(log.flush_count(), 1);
+        let recs = handle.durable_records().unwrap();
+        assert_eq!(recs.len(), 5);
+        assert_eq!(recs[4], begin(4));
+    }
+
+    #[test]
+    fn serial_flush_fast_path_skips_fsync() {
+        let (backend, handle) = FaultBackend::new(FaultConfig::crash_only(3));
+        let log = LogManager::with_backend(Box::new(backend));
+        assert_eq!(log.mode(), WalMode::Serial);
+        log.append(begin(1));
+        log.flush().unwrap();
+        assert_eq!(log.flush_count(), 1);
+        // No bytes since the last flush: no backend flush happens.
+        log.flush().unwrap();
+        log.flush().unwrap();
+        assert_eq!(log.flush_count(), 1);
+        assert_eq!(handle.counts().1, 1);
+        log.append(begin(2));
+        log.flush().unwrap();
+        assert_eq!(log.flush_count(), 2);
+    }
+
+    #[test]
+    fn group_commit_single_flush_covers_many_waiters() {
+        // 8 committers each append then wait_durable; with the flush
+        // serialized behind a leader, the backend flush count must be
+        // well below the commit count is not guaranteed determinis-
+        // tically, but every waiter must come back durable.
+        let (backend, handle) = FaultBackend::new(FaultConfig::crash_only(7));
+        let log = Arc::new(LogManager::with_backend_mode(
+            Box::new(backend),
+            WalMode::Group,
+            GroupCommitConfig::default(),
+        ));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let log = Arc::clone(&log);
+            handles.push(std::thread::spawn(move || {
+                let mut acked = Lsn::ZERO;
+                for i in 0..50 {
+                    let lsn = log.append(begin(t * 1000 + i));
+                    log.wait_durable(lsn).unwrap();
+                    assert!(log.durable_lsn() >= lsn);
+                    acked = lsn;
+                }
+                acked
+            }));
+        }
+        let mut max_acked = Lsn::ZERO;
+        for h in handles {
+            max_acked = max_acked.max(h.join().unwrap());
+        }
+        assert!(log.durable_lsn() >= max_acked);
+        let recs = handle.durable_records().unwrap();
+        assert_eq!(recs.len(), 400);
+    }
+
+    #[test]
+    fn wait_durable_without_backend_is_noop() {
+        let log = LogManager::new_in(WalMode::Group);
+        let lsn = log.append(begin(1));
+        log.wait_durable(lsn).unwrap();
+        log.flush().unwrap();
+        assert_eq!(log.flush_count(), 0);
+    }
+
+    #[test]
+    fn group_truncation_drains_reclaimed_chunks_to_backend() {
+        let (backend, handle) = FaultBackend::new(FaultConfig::crash_only(5));
+        let log = LogManager::with_backend_mode(
+            Box::new(backend),
+            WalMode::Group,
+            GroupCommitConfig::default(),
+        );
+        let n = CHUNK_RECORDS * 2 + 3;
+        for i in 0..n {
+            log.append(begin(i));
+        }
+        // Truncate past the first two chunks without ever flushing:
+        // their staged bytes must reach the backend buffer anyway.
+        log.truncate_until(Lsn(n + 1));
+        assert!(handle.buffered_len() > 0);
+        log.flush().unwrap();
+        let recs = handle.durable_records().unwrap();
+        // Whole reclaimed chunks were drained; the partial tail chunk
+        // is drained by the flush.
+        assert_eq!(recs.len(), n as usize);
+        for (i, r) in recs.iter().enumerate() {
+            assert_eq!(*r, begin(i as u64), "byte order == LSN order");
+        }
     }
 }

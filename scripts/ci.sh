@@ -48,4 +48,15 @@ MORPH_PAR_COPY_WORKERS=4 MORPH_PAR_APPLY_SHARDS=4 \
 echo "== sim smoke sweep (SIM_SEEDS=${SIM_SEEDS:-4})"
 SIM_SEEDS="${SIM_SEEDS:-4}" cargo test -q -p morph-sim --test seed_sweep -- --nocapture
 
+# WAL group-commit pipeline (DESIGN.md §11): the multi-threaded
+# append/crash stress test, then the sim smoke sweep again with the
+# lock-split group-commit mode forced on — the crash matrix and the
+# Theorem 1 oracle must hold identically in both WAL modes.
+echo "== WAL append/crash stress"
+cargo test -q -p morph-wal --test append_stress
+
+echo "== sim smoke sweep, group-commit WAL (SIM_SEEDS=${SIM_SEEDS:-4})"
+MORPH_WAL_MODE=group SIM_SEEDS="${SIM_SEEDS:-4}" \
+    cargo test -q -p morph-sim --test seed_sweep -- --nocapture
+
 echo "CI OK"
