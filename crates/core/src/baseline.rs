@@ -51,8 +51,10 @@ fn freeze_and_wait(db: &Database, sources: &[Arc<Table>], deadline: Duration) ->
     for s in sources {
         s.freeze(holders.clone());
     }
+    // morph-lint: allow(nondet, freeze-wait deadline; wall-time bound on blocking, never replayed state)
     let until = Instant::now() + deadline;
     while holders.iter().any(|t| db.is_active(*t)) {
+        // morph-lint: allow(nondet, freeze-wait deadline; wall-time bound on blocking, never replayed state)
         if Instant::now() > until {
             for s in sources {
                 s.reactivate();
@@ -70,6 +72,7 @@ fn freeze_and_wait(db: &Database, sources: &[Arc<Table>], deadline: Duration) ->
 pub fn blocking_foj(db: &Arc<Database>, spec: &FojSpec) -> DbResult<BlockingReport> {
     let mapping = FojMapping::prepare(db, spec)?;
     let sources = vec![Arc::clone(mapping.r_table()), Arc::clone(mapping.s_table())];
+    // morph-lint: allow(nondet, elapsed-time stats for the report; wall time never enters table or WAL state)
     let t0 = Instant::now();
     freeze_and_wait(db, &sources, Duration::from_secs(30))?;
     // Sources are quiescent: the "fuzzy" scan is now an exact scan.
@@ -87,6 +90,7 @@ pub fn blocking_foj(db: &Arc<Database>, spec: &FojSpec) -> DbResult<BlockingRepo
 pub fn blocking_split(db: &Arc<Database>, spec: &SplitSpec) -> DbResult<BlockingReport> {
     let mut mapping = SplitMapping::prepare(db, spec)?;
     let source = Arc::clone(mapping.t_table());
+    // morph-lint: allow(nondet, elapsed-time stats for the report; wall time never enters table or WAL state)
     let t0 = Instant::now();
     freeze_and_wait(db, std::slice::from_ref(&source), Duration::from_secs(30))?;
     let (_, rows_written) = mapping.populate(4096)?;

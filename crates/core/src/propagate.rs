@@ -38,7 +38,7 @@ use crate::report::IterationStats;
 use crate::spec::ParallelConfig;
 use crate::sync::proxy_owner;
 use crate::throttle::Throttle;
-use morph_common::{DbResult, Key, Lsn, Schema, TableId, TxnId};
+use morph_common::{DbError, DbResult, Key, Lsn, Schema, TableId, TxnId};
 use morph_engine::Database;
 use morph_wal::{LogOp, LogRecord, TailCursor};
 use std::collections::{HashMap, HashSet};
@@ -78,10 +78,15 @@ enum RunOp {
 }
 
 impl RunOp {
-    fn op(&self) -> &LogOp {
+    fn op(&self) -> DbResult<&LogOp> {
         match self {
-            RunOp::Shared(rec) => rec.op().expect("RunOp::Shared holds a data record"),
-            RunOp::Owned(op) => op,
+            RunOp::Shared(rec) => rec.op().ok_or_else(|| {
+                DbError::Internal(
+                    "propagation run holds a control record; only data records may be deferred"
+                        .into(),
+                )
+            }),
+            RunOp::Owned(op) => Ok(op),
         }
     }
 }
@@ -130,9 +135,9 @@ impl DrainCtx {
 /// * an update touching an operator-declared **barrier column** voids
 ///   its subject's pending records likewise (§4.2 guard columns, shared
 ///   S-record feeds).
-fn coalesce(run: Vec<(Lsn, RunOp)>, ctx: &DrainCtx) -> Vec<(Lsn, RunOp)> {
+fn coalesce(run: Vec<(Lsn, RunOp)>, ctx: &DrainCtx) -> DbResult<Vec<(Lsn, RunOp)>> {
     if ctx.policy == CoalescePolicy::None || run.len() < 2 {
-        return run;
+        return Ok(run);
     }
     let mut keep = vec![true; run.len()];
     // Pending (still droppable) record indices, per table then per
@@ -141,7 +146,7 @@ fn coalesce(run: Vec<(Lsn, RunOp)>, ctx: &DrainCtx) -> Vec<(Lsn, RunOp)> {
     // key; a subject's key is cloned once, on its first pending entry.
     let mut pending: HashMap<TableId, HashMap<Key, Vec<usize>>> = HashMap::new();
     for (i, (_, rop)) in run.iter().enumerate() {
-        let op = rop.op();
+        let op = rop.op()?;
         let table = op.table();
         let Some(schema) = ctx.schemas.get(&table) else {
             continue;
@@ -189,31 +194,41 @@ fn coalesce(run: Vec<(Lsn, RunOp)>, ctx: &DrainCtx) -> Vec<(Lsn, RunOp)> {
                     continue;
                 }
                 let m = pending.entry(table).or_default();
-                if !m.contains_key(key) {
-                    m.insert(key.clone(), Vec::new());
-                }
-                let slot = m.get_mut(key).expect("just inserted");
-                if ctx.policy == CoalescePolicy::Full {
-                    slot.retain(|&j| match run[j].1.op() {
-                        LogOp::Update { new: prev, .. }
-                            if prev.iter().all(|(c, _)| new.iter().any(|(c2, _)| c2 == c)) =>
-                        {
-                            keep[j] = false;
-                            false
+                match m.get_mut(key) {
+                    Some(slot) => {
+                        if ctx.policy == CoalescePolicy::Full {
+                            slot.retain(|&j| match run[j].1.op() {
+                                Ok(LogOp::Update { new: prev, .. })
+                                    if prev
+                                        .iter()
+                                        .all(|(c, _)| new.iter().any(|(c2, _)| c2 == c)) =>
+                                {
+                                    keep[j] = false;
+                                    false
+                                }
+                                // Inserts stay pending (droppable by delete
+                                // only), as do updates with columns this one
+                                // lacks.
+                                _ => true,
+                            });
                         }
-                        // Inserts stay pending (droppable by delete only),
-                        // as do updates with columns this one lacks.
-                        _ => true,
-                    });
+                        slot.push(i);
+                    }
+                    None => {
+                        m.insert(key.clone(), vec![i]);
+                    }
                 }
-                slot.push(i);
             }
         }
     }
-    let mut keep_it = keep.into_iter();
+    let mut i = 0;
     let mut run = run;
-    run.retain(|_| keep_it.next().unwrap());
-    run
+    run.retain(|_| {
+        let k = keep.get(i).copied().unwrap_or(true);
+        i += 1;
+        k
+    });
+    Ok(run)
 }
 
 /// Post-synchronization bookkeeping: grandfathered transactions whose
@@ -324,9 +339,12 @@ impl Propagator {
             return Ok(());
         }
         let before = run.len();
-        let batch = coalesce(std::mem::take(run), ctx);
+        let batch = coalesce(std::mem::take(run), ctx)?;
         self.coalesced += before - batch.len();
-        let refs: Vec<(Lsn, &LogOp)> = batch.iter().map(|(lsn, rop)| (*lsn, rop.op())).collect();
+        let mut refs: Vec<(Lsn, &LogOp)> = Vec::with_capacity(batch.len());
+        for (lsn, rop) in &batch {
+            refs.push((*lsn, rop.op()?));
+        }
         if self.parallel.apply_shards > 1 {
             op.apply_batch_sharded(&refs, self.parallel.apply_shards)
         } else {
@@ -405,6 +423,7 @@ impl Propagator {
     ) -> DbResult<IterationStats> {
         let ctx = self.drain_ctx(db, op);
         let target = db.log().last_lsn();
+        // morph-lint: allow(nondet, elapsed-time stats for the report; wall time never enters table or WAL state)
         let t0 = Instant::now();
         let mut run: Vec<(Lsn, RunOp)> = Vec::new();
         let mut records = 0usize;
@@ -421,6 +440,7 @@ impl Propagator {
             if batch.is_empty() {
                 break;
             }
+            // morph-lint: allow(nondet, elapsed-time stats for the report; wall time never enters table or WAL state)
             let b0 = Instant::now();
             for (lsn, rec) in &batch {
                 records += 1;
@@ -684,9 +704,9 @@ mod tests {
                 },
             ),
         ];
-        let out = coalesce(owned(run), &ctx_for(&db, &m));
+        let out = coalesce(owned(run), &ctx_for(&db, &m)).unwrap();
         assert_eq!(out.len(), 1);
-        assert!(matches!(out[0].1.op(), LogOp::Delete { .. }));
+        assert!(matches!(out[0].1.op().unwrap(), LogOp::Delete { .. }));
     }
 
     #[test]
@@ -721,7 +741,7 @@ mod tests {
                 },
             ),
         ];
-        let out = coalesce(owned(run), &ctx_for(&db, &m));
+        let out = coalesce(owned(run), &ctx_for(&db, &m)).unwrap();
         assert_eq!(out.len(), 3, "nothing may be dropped across the barrier");
     }
 
@@ -758,7 +778,7 @@ mod tests {
                 },
             ),
         ];
-        let out = coalesce(owned(run), &full_ctx(ctx_for(&db, &m)));
+        let out = coalesce(owned(run), &full_ctx(ctx_for(&db, &m))).unwrap();
         assert_eq!(out.len(), 3);
     }
 
@@ -778,15 +798,42 @@ mod tests {
             )
         };
         let run = vec![upd(1, "a"), upd(2, "b"), upd(3, "c")];
-        let out = coalesce(owned(run), &full_ctx(ctx_for(&db, &m)));
+        let out = coalesce(owned(run), &full_ctx(ctx_for(&db, &m))).unwrap();
         assert_eq!(out.len(), 1);
-        let LogOp::Update { new, .. } = out[0].1.op() else {
+        let LogOp::Update { new, .. } = out[0].1.op().unwrap() else {
             panic!()
         };
         assert_eq!(new[0].1, Value::str("c"));
         // DeleteOnly keeps all three.
         let run = vec![upd(1, "a"), upd(2, "b"), upd(3, "c")];
-        assert_eq!(coalesce(owned(run), &ctx_for(&db, &m)).len(), 3);
+        assert_eq!(coalesce(owned(run), &ctx_for(&db, &m)).unwrap().len(), 3);
+    }
+
+    /// Regression: a control record smuggled into a run surfaces as
+    /// `DbError::Internal`, not a panic mid-propagation (the panic
+    /// would poison the table latches and wedge every writer).
+    #[test]
+    fn coalesce_rejects_control_record_instead_of_panicking() {
+        let (db, m) = setup();
+        let r_id = db.catalog().get("R").unwrap().id();
+        let run = vec![
+            (
+                Lsn(1),
+                RunOp::Shared(Arc::new(LogRecord::Commit { txn: TxnId(7) })),
+            ),
+            (
+                Lsn(2),
+                RunOp::Owned(LogOp::Delete {
+                    table: r_id,
+                    key: Key::single(1),
+                    old: r_row(1, "j0"),
+                }),
+            ),
+        ];
+        let Err(err) = coalesce(run, &ctx_for(&db, &m)) else {
+            panic!("control record in a run must be rejected")
+        };
+        assert!(matches!(err, DbError::Internal(_)), "got {err:?}");
     }
 
     #[test]

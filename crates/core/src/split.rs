@@ -256,8 +256,8 @@ impl SplitMapping {
     /// bookkeeping table in rename-in-place mode.
     fn r_side(&self) -> &Arc<Table> {
         match self.mode {
-            SplitMode::SeparateR => self.r.as_ref().expect("separate mode"),
-            SplitMode::RenameInPlace => self.p.as_ref().expect("in-place mode"),
+            SplitMode::SeparateR => self.r.as_ref().expect("separate mode"), // morph-lint: allow(panic, the constructor populates exactly the side matching the mode)
+            SplitMode::RenameInPlace => self.p.as_ref().expect("in-place mode"), // morph-lint: allow(panic, the constructor populates exactly the side matching the mode)
         }
     }
 
@@ -269,7 +269,7 @@ impl SplitMapping {
                     .r_cols
                     .iter()
                     .position(|&c| c == self.split_t)
-                    .expect("split col in r_cols");
+                    .expect("split col in r_cols"); // morph-lint: allow(panic, spec validation puts the split column in r_cols)
                 (row.lsn, row.values[split_in_r].clone())
             }
             SplitMode::RenameInPlace => {
@@ -279,7 +279,7 @@ impl SplitMapping {
                         .t_pk
                         .iter()
                         .position(|&c| c == self.split_t)
-                        .expect("split in pkey");
+                        .expect("split in pkey"); // morph-lint: allow(panic, spec validation puts the split column in the primary key)
                     row.values[pos].clone()
                 } else {
                     // P layout: key columns then the split value last.
@@ -543,7 +543,7 @@ impl SplitMapping {
             .iter()
             .filter(|(i, _)| *i != self.split_t && self.s_cols.contains(i))
             .map(|(i, v)| {
-                let s_pos = self.s_cols.iter().position(|c| c == i).expect("filtered");
+                let s_pos = self.s_cols.iter().position(|c| c == i).expect("filtered"); // morph-lint: allow(panic, position over the predicate the filter just passed)
                 (s_pos, v.clone())
             })
             .collect();
@@ -553,9 +553,9 @@ impl SplitMapping {
                 .iter()
                 .find(|(i, _)| *i == self.split_t)
                 .map(|(_, v)| v.clone())
-                .expect("split_changed");
-            // Treated as delete of s^x followed by insert of s^z
-            // (rule 11). Read s^x's image *before* releasing it.
+                .expect("split_changed"); // morph-lint: allow(panic, branch is guarded by split_changed, so the column is in new)
+                                          // Treated as delete of s^x followed by insert of s^z
+                                          // (rule 11). Read s^x's image *before* releasing it.
             let s_old = ss.get(&self.s_key(&x_pre));
             let mut s_new = match &s_old {
                 Some(row) => row.values.clone(),
@@ -680,7 +680,7 @@ impl SplitMapping {
         });
         self.cc.rounds += 1;
 
-        let idx = self.idx_split.expect("checking requires the split index");
+        let idx = self.idx_split.expect("checking requires the split index"); // morph-lint: allow(panic, consistency checking is only enabled with the split index installed)
         let contributors = self.t.index_rows(idx, &key);
         if contributors.is_empty() {
             // No contributors (any more): leave it to propagation; the
@@ -887,7 +887,7 @@ impl SplitMapping {
                     .iter()
                     .filter(|(i, _)| *i != self.split_t && self.s_cols.contains(i))
                     .map(|(i, v)| {
-                        let s_pos = self.s_cols.iter().position(|c| c == i).expect("filtered");
+                        let s_pos = self.s_cols.iter().position(|c| c == i).expect("filtered"); // morph-lint: allow(panic, position over the predicate the filter just passed)
                         (s_pos, v.clone())
                     })
                     .collect();
@@ -1082,6 +1082,7 @@ impl SplitMapping {
                                         }
                                         for (v, chunk) in per.into_iter().enumerate() {
                                             if !chunk.is_empty() {
+                                                // morph-lint: allow(panic, std mutex poison implies a lane already panicked; that panic is re-raised at the join)
                                                 buckets[v].lock().unwrap().extend(chunk);
                                             }
                                         }
@@ -1102,7 +1103,7 @@ impl SplitMapping {
                                         // would diverge. Abort.
                                         return Ok(());
                                     }
-                                    let mut mine = std::mem::take(&mut *buckets[w].lock().unwrap());
+                                    let mut mine = std::mem::take(&mut *buckets[w].lock().unwrap()); // morph-lint: allow(panic, std mutex poison implies a lane already panicked; that panic is re-raised at the join)
                                     if mine.is_empty() {
                                         return Ok(());
                                     }
@@ -1116,7 +1117,7 @@ impl SplitMapping {
                             })
                             .collect();
                         for h in handles {
-                            h.join().expect("apply lane panicked")?;
+                            h.join().expect("apply lane panicked")?; // morph-lint: allow(panic, re-raises a worker panic at the join point; mapping it to DbError would bury the original panic site)
                         }
                         Ok(())
                     })?;
@@ -1150,7 +1151,7 @@ impl SplitMapping {
             (0..workers).map(|_| Mutex::new(HashMap::new())).collect();
         let sink = |w: usize, chunk: Vec<(Key, Row)>| {
             let mut rs = r_side.write_session_masked(workers, w);
-            let mut local = locals[w].lock().expect("populate digest poisoned");
+            let mut local = locals[w].lock().expect("populate digest poisoned"); // morph-lint: allow(panic, std mutex poison implies a lane already panicked; that panic is re-raised at the join)
             for (key, row) in chunk {
                 this.r_insert(&mut rs, &row.values, row.lsn)?;
                 let x = this.split_val(&row.values);
@@ -1189,6 +1190,7 @@ impl SplitMapping {
         // serial key-ordered scan would have absorbed first).
         let mut merged: BTreeMap<Value, SContrib> = BTreeMap::new();
         for local in locals {
+            // morph-lint: allow(panic, into_inner poison implies a populate lane panicked; that panic was re-raised at the join)
             for (x, c) in local.into_inner().expect("populate digest poisoned") {
                 match merged.entry(x) {
                     std::collections::btree_map::Entry::Occupied(mut e) => {
@@ -1428,7 +1430,7 @@ pub fn example1_schema() -> Schema {
         .nullable("city", ColumnType::Str)
         .primary_key(&["customer_id"])
         .build()
-        .expect("static schema")
+        .expect("static schema") // morph-lint: allow(panic, static schema literal; the builder cannot fail on compile-time constants)
 }
 
 #[cfg(test)]

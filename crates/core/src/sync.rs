@@ -353,9 +353,10 @@ fn non_blocking(
             "sync.nbc.treated",
             "sync.nbc.switched",
         ),
-        SyncStrategy::BlockingCommit => unreachable!("handled elsewhere"),
+        SyncStrategy::BlockingCommit => unreachable!("handled elsewhere"), // morph-lint: allow(panic, the BlockingCommit arm is dispatched to its own path before this match)
     };
     let sources = sorted_sources(db, oper)?;
+    // morph-lint: allow(nondet, elapsed-time stats for the report; wall time never enters table or WAL state)
     let t0 = Instant::now();
     let guards: Vec<_> = sources.iter().map(|t| t.latch_exclusive()).collect();
     db.crash_point(p_latched)?;
@@ -384,7 +385,7 @@ fn non_blocking(
             }));
             Some(token)
         }
-        SyncStrategy::BlockingCommit => unreachable!("handled elsewhere"),
+        SyncStrategy::BlockingCommit => unreachable!("handled elsewhere"), // morph-lint: allow(panic, the BlockingCommit arm is dispatched to its own path before this match)
     };
     let un_intercept = |db: &Database, e: DbError| {
         if let Some(tok) = interceptor_token {
@@ -433,6 +434,7 @@ fn blocking_commit(
     options: &TransformOptions,
 ) -> DbResult<SyncOutcome> {
     let sources = sorted_sources(db, oper)?;
+    // morph-lint: allow(nondet, elapsed-time stats for the report; wall time never enters table or WAL state)
     let t0 = Instant::now();
 
     // Block new transactions; let current lock holders finish.
@@ -454,8 +456,10 @@ fn blocking_commit(
         }
         return Err(e);
     }
+    // morph-lint: allow(nondet, drain-wait deadline; wall-time bound on blocking, never replayed state)
     let wait_deadline = Instant::now() + options.deadline.unwrap_or(Duration::from_secs(60));
     while holders.iter().any(|t| db.is_active(*t)) {
+        // morph-lint: allow(nondet, drain-wait deadline; wall-time bound on blocking, never replayed state)
         if Instant::now() > wait_deadline {
             for src in &sources {
                 src.reactivate();

@@ -55,6 +55,7 @@ impl Throttle {
         }
         let sleeping = self.debt;
         self.debt = Duration::ZERO;
+        // morph-lint: allow(nondet, throttle pacing is wall-time by definition; full priority (the sim setting) never consults it)
         let t0 = Instant::now();
         std::thread::sleep(sleeping);
         t0.elapsed()

@@ -94,6 +94,7 @@ impl Transformer {
         options: TransformOptions,
         abort: &AtomicBool,
     ) -> DbResult<TransformReport> {
+        // morph-lint: allow(nondet, phase timing stats for the report; wall time never enters table or WAL state)
         let t0 = Instant::now();
         let mapping = UnionMapping::prepare(db, &spec)?;
         let prepare = t0.elapsed();
@@ -135,6 +136,7 @@ impl Transformer {
         options: TransformOptions,
         abort: &AtomicBool,
     ) -> DbResult<TransformReport> {
+        // morph-lint: allow(nondet, phase timing stats for the report; wall time never enters table or WAL state)
         let t0 = Instant::now();
         let mapping = FojMapping::prepare(db, &spec)?;
         let prepare = t0.elapsed();
@@ -152,6 +154,7 @@ impl Transformer {
         options: TransformOptions,
         abort: &AtomicBool,
     ) -> DbResult<TransformReport> {
+        // morph-lint: allow(nondet, phase timing stats for the report; wall time never enters table or WAL state)
         let t0 = Instant::now();
         let mapping = SplitMapping::prepare(db, &spec)?;
         let prepare = t0.elapsed();
@@ -192,6 +195,7 @@ impl Transformer {
             cleanup(db);
             return Err(e);
         }
+        // morph-lint: allow(nondet, phase timing stats for the report; wall time never enters table or WAL state)
         let p0 = Instant::now();
         let (_, start_lsn, _) = db.write_fuzzy_mark();
         let mut prop =
@@ -240,6 +244,7 @@ impl Transformer {
                 cleanup(db);
                 return Err(DbError::TransformationAborted("aborted by request".into()));
             }
+            // morph-lint: allow(nondet, operator deadline guard; wall-time bound on total runtime, never replayed state)
             if deadline.is_some_and(|d| Instant::now() > d) {
                 cleanup(db);
                 return Err(DbError::TransformationAborted(
@@ -274,7 +279,7 @@ impl Transformer {
                 .saturating_sub(db.log().truncated_until().0)
                 > TRUNCATE_SPAN
             {
-                db.truncate_log();
+                db.truncate_log()?;
             }
 
             let readiness = oper.readiness();
@@ -346,9 +351,11 @@ impl Transformer {
         }
 
         // --- post-synchronization propagation ---
+        // morph-lint: allow(nondet, phase timing stats for the report; wall time never enters table or WAL state)
         let post0 = Instant::now();
         let post_deadline = deadline.unwrap_or_else(|| post0 + Duration::from_secs(60));
         while prop.outstanding() > 0 {
+            // morph-lint: allow(nondet, operator deadline guard; wall-time bound on total runtime, never replayed state)
             if Instant::now() > post_deadline {
                 if let Some(tok) = outcome.interceptor_token {
                     db.remove_interceptor(tok);
@@ -373,7 +380,7 @@ impl Transformer {
                 .saturating_sub(db.log().truncated_until().0)
                 > TRUNCATE_SPAN
             {
-                db.truncate_log();
+                db.truncate_log()?;
             }
             if stats.records == 0 {
                 std::thread::sleep(Duration::from_micros(200));

@@ -373,7 +373,7 @@ impl TransformOperator for UnionMapping {
                             })
                             .collect();
                         for h in handles {
-                            h.join().expect("apply lane panicked")?;
+                            h.join().expect("apply lane panicked")?; // morph-lint: allow(panic, re-raises a worker panic at the join point; mapping it to DbError would bury the original panic site)
                         }
                         Ok(())
                     })?;

@@ -426,7 +426,7 @@ impl Database {
     /// and every registered protection ([`Database::protect_log`]).
     /// Returns the number of records discarded. The file backend, if
     /// any, keeps the complete archive for restart recovery.
-    pub fn truncate_log(&self) -> usize {
+    pub fn truncate_log(&self) -> DbResult<usize> {
         let oldest_protected = self.protected_lsns.read().values().copied().min();
         let keep = self.registry.with_checkpoint_snapshot(|active| {
             let oldest_txn = active.iter().map(|(_, l)| *l).min();
@@ -958,7 +958,7 @@ mod tests {
         // An active transaction pins the log at its Begin record.
         let active = db.begin();
         db.insert(active, "t", row(100, "y")).unwrap();
-        let dropped = db.truncate_log();
+        let dropped = db.truncate_log().unwrap();
         assert!(dropped > 0, "prefix before the active txn is reclaimable");
         assert!(db
             .log()
@@ -967,12 +967,12 @@ mod tests {
 
         // A protection guard pins it harder.
         let guard = db.protect_log(Lsn(1)); // nothing below 1 → no-op
-        assert_eq!(db.truncate_log(), 0);
+        assert_eq!(db.truncate_log().unwrap(), 0);
         db.commit(active).unwrap();
-        assert_eq!(db.truncate_log(), 0, "guard still pins LSN 1");
+        assert_eq!(db.truncate_log().unwrap(), 0, "guard still pins LSN 1");
         drop(guard);
         // Everything is now reclaimable.
-        assert!(db.truncate_log() > 0);
+        assert!(db.truncate_log().unwrap() > 0);
         assert!(db.log().len() < total);
         // The engine keeps working after truncation.
         let txn = db.begin();

@@ -1,0 +1,317 @@
+//! A deliberately small Rust lexer: enough token structure for the
+//! lexical passes (identifiers, punctuation, string literals, line
+//! numbers) without pulling a real parser into the offline container.
+//!
+//! Comments are not tokens; `// morph-lint:` directives are collected
+//! separately, keyed by line, so passes can look up escapes for the
+//! line a finding occurred on (or the line directly above it).
+
+/// Token kinds the passes care about. Everything the lexer does not
+/// recognise structurally becomes `Punct`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `let`, `self`, `lock`, ...).
+    Ident,
+    /// String literal; `text` holds the *contents* (escapes unresolved).
+    Str,
+    /// Character literal or lifetime; contents in `text`.
+    CharLit,
+    /// Numeric literal.
+    Num,
+    /// Single punctuation character (`.`, `(`, `{`, `;`, `#`, ...).
+    Punct(char),
+}
+
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: usize,
+}
+
+impl Tok {
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// A `// morph-lint: <verb>(<arg>[, reason])` escape comment.
+#[derive(Debug, Clone)]
+pub struct Directive {
+    /// `allow` or `rank`.
+    pub verb: String,
+    /// First argument: the pass name for `allow`, the lock class for `rank`.
+    pub arg: String,
+    /// Free-text reason (everything after the first comma), if any.
+    pub reason: String,
+    pub line: usize,
+}
+
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub directives: Vec<Directive>,
+}
+
+impl Lexed {
+    /// Directive on `line` or the line immediately above it (a comment
+    /// line dedicated to the escape), matching verb and argument.
+    pub fn directive_for(&self, line: usize, verb: &str, arg: &str) -> Option<&Directive> {
+        self.directives
+            .iter()
+            .find(|d| (d.line == line || d.line + 1 == line) && d.verb == verb && d.arg == arg)
+    }
+}
+
+fn parse_directive(comment: &str, line: usize) -> Option<Directive> {
+    let rest = comment.trim().strip_prefix("morph-lint:")?.trim();
+    let open = rest.find('(')?;
+    let verb = rest[..open].trim().to_string();
+    let close = rest.rfind(')')?;
+    if close <= open {
+        return None;
+    }
+    let inner = &rest[open + 1..close];
+    let (arg, reason) = match inner.find(',') {
+        Some(c) => (inner[..c].trim(), inner[c + 1..].trim()),
+        None => (inner.trim(), ""),
+    };
+    Some(Directive {
+        verb,
+        arg: arg.to_string(),
+        reason: reason.to_string(),
+        line,
+    })
+}
+
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let n = b.len();
+
+    let is_ident_start = |c: u8| c.is_ascii_alphabetic() || c == b'_';
+    let is_ident = |c: u8| c.is_ascii_alphanumeric() || c == b'_';
+
+    while i < n {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if i + 1 < n && b[i + 1] == b'/' => {
+                let start = i + 2;
+                let mut j = start;
+                while j < n && b[j] != b'\n' {
+                    j += 1;
+                }
+                let text = &src[start..j];
+                // `///` docs still parse; the directive prefix filters.
+                if let Some(d) = parse_directive(text.trim_start_matches('/'), line) {
+                    out.directives.push(d);
+                }
+                i = j;
+            }
+            b'/' if i + 1 < n && b[i + 1] == b'*' => {
+                // Block comment, possibly nested.
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < n && depth > 0 {
+                    if b[j] == b'\n' {
+                        line += 1;
+                        j += 1;
+                    } else if b[j] == b'/' && j + 1 < n && b[j + 1] == b'*' {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == b'*' && j + 1 < n && b[j + 1] == b'/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                i = j;
+            }
+            b'r' | b'b' if starts_raw_string(b, i) => {
+                // r"..."  r#"..."#  br"..."  etc.
+                let mut j = i;
+                while j < n && (b[j] == b'r' || b[j] == b'b') {
+                    j += 1;
+                }
+                let mut hashes = 0usize;
+                while j < n && b[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                debug_assert!(j < n && b[j] == b'"');
+                j += 1; // opening quote
+                let start = j;
+                let tok_line = line;
+                'raw: while j < n {
+                    if b[j] == b'\n' {
+                        line += 1;
+                        j += 1;
+                        continue;
+                    }
+                    if b[j] == b'"' {
+                        let mut k = j + 1;
+                        let mut seen = 0usize;
+                        while k < n && b[k] == b'#' && seen < hashes {
+                            seen += 1;
+                            k += 1;
+                        }
+                        if seen == hashes {
+                            out.toks.push(Tok {
+                                kind: TokKind::Str,
+                                text: src[start..j].to_string(),
+                                line: tok_line,
+                            });
+                            i = k;
+                            break 'raw;
+                        }
+                    }
+                    j += 1;
+                }
+                if j >= n {
+                    i = n;
+                }
+            }
+            b'"' => {
+                let tok_line = line;
+                let mut j = i + 1;
+                let start = j;
+                while j < n {
+                    match b[j] {
+                        b'\\' => j += 2,
+                        b'\n' => {
+                            line += 1;
+                            j += 1;
+                        }
+                        b'"' => break,
+                        _ => j += 1,
+                    }
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: src[start..j.min(n)].to_string(),
+                    line: tok_line,
+                });
+                i = (j + 1).min(n);
+            }
+            b'\'' => {
+                // Lifetime vs char literal: 'a (lifetime) has no closing
+                // quote right after the identifier; 'a' and '\n' do.
+                if i + 1 < n && b[i + 1] == b'\\' {
+                    let mut j = i + 2;
+                    while j < n && b[j] != b'\'' {
+                        j += 1;
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::CharLit,
+                        text: src[i + 1..j.min(n)].to_string(),
+                        line,
+                    });
+                    i = (j + 1).min(n);
+                } else if i + 2 < n && is_ident_start(b[i + 1]) && b[i + 2] != b'\'' {
+                    // Lifetime: consume the identifier.
+                    let mut j = i + 1;
+                    while j < n && is_ident(b[j]) {
+                        j += 1;
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::CharLit,
+                        text: src[i + 1..j].to_string(),
+                        line,
+                    });
+                    i = j;
+                } else {
+                    let mut j = i + 1;
+                    while j < n && b[j] != b'\'' {
+                        if b[j] == b'\n' {
+                            line += 1;
+                        }
+                        j += 1;
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::CharLit,
+                        text: src[i + 1..j.min(n)].to_string(),
+                        line,
+                    });
+                    i = (j + 1).min(n);
+                }
+            }
+            _ if is_ident_start(c) => {
+                let mut j = i + 1;
+                while j < n && is_ident(b[j]) {
+                    j += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: src[i..j].to_string(),
+                    line,
+                });
+                i = j;
+            }
+            _ if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                while j < n && (is_ident(b[j]) || b[j] == b'.') {
+                    // `1.0` vs `1..x` — stop before a range.
+                    if b[j] == b'.' && j + 1 < n && b[j + 1] == b'.' {
+                        break;
+                    }
+                    j += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Num,
+                    text: src[i..j].to_string(),
+                    line,
+                });
+                i = j;
+            }
+            _ => {
+                out.toks.push(Tok {
+                    kind: TokKind::Punct(c as char),
+                    text: (c as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// `r"`, `r#`, `br"`, `b"` starting a (possibly raw) string literal —
+/// but not an identifier that merely begins with `r`/`b`.
+fn starts_raw_string(b: &[u8], i: usize) -> bool {
+    let n = b.len();
+    // Previous char must not extend an identifier (e.g. `for r in ..`).
+    if i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_') {
+        return false;
+    }
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+        if j >= n {
+            return false;
+        }
+        if b[j] == b'"' {
+            return true;
+        }
+    }
+    if j < n && b[j] == b'r' {
+        j += 1;
+        let mut k = j;
+        while k < n && b[k] == b'#' {
+            k += 1;
+        }
+        return k < n && b[k] == b'"';
+    }
+    false
+}

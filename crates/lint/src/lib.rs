@@ -1,0 +1,190 @@
+//! morph-lint: in-repo static analysis for the invariants the
+//! concurrency work depends on and no compiler checks (DESIGN.md §12).
+//!
+//! Five passes, each a module under [`passes`]:
+//!
+//! 1. `lock_order`  — nested lock acquisitions must follow the
+//!    checked-in rank manifest (`manifest/lock_ranks.txt`).
+//! 2. `nondet`      — no ambient time/entropy in replay-deterministic
+//!    code (sim, core, wal, txn) without an allow escape.
+//! 3. `crash_point` — every `crash_point("…")` literal registered in
+//!    `manifest/crash_points.txt`, and no bogus registry entries.
+//! 4. `panic`       — no `unwrap()/expect()/panic!` in non-test
+//!    library code without an allow escape.
+//! 5. `wal_bytes`   — backend writes only inside the approved WAL
+//!    manager append/drain functions ("byte order ≡ LSN order").
+//!
+//! Escape grammar: `// morph-lint: allow(<pass>, <reason>)` on the
+//! finding's line or the line directly above it; `// morph-lint:
+//! rank(<class>)` assigns a lock class to a site the receiver
+//! patterns cannot attribute.
+
+pub mod lexer;
+pub mod manifest;
+pub mod passes;
+pub mod scope;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub pass: &'static str,
+    pub file: String,
+    pub line: usize,
+    pub msg: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.pass, self.msg
+        )
+    }
+}
+
+/// One lexed workspace source file.
+pub struct SourceFile {
+    /// Repo-relative path with `/` separators.
+    pub rel: String,
+    pub lexed: lexer::Lexed,
+    pub regions: scope::Regions,
+}
+
+impl SourceFile {
+    pub fn from_source(rel: &str, src: &str) -> SourceFile {
+        let lexed = lexer::lex(src);
+        let regions = scope::analyze(&lexed.toks);
+        SourceFile {
+            rel: rel.to_string(),
+            lexed,
+            regions,
+        }
+    }
+
+    /// True when an `allow(<pass>)` escape covers `line`.
+    pub fn allowed(&self, line: usize, pass: &str) -> bool {
+        self.lexed.directive_for(line, "allow", pass).is_some()
+    }
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            walk_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            // `foo_tests.rs` files are `#[cfg(test)] mod foo_tests;`
+            // modules — the gate lives at the declaration site, so the
+            // file itself cannot show it. Skip them wholesale.
+            let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("");
+            if !stem.ends_with("_tests") {
+                out.push(path);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Load every library source file of the workspace: `src/` of the root
+/// package and `crates/*/src`. Integration tests, benches, fixtures
+/// and the offline dependency shims are intentionally out of scope.
+pub fn load_workspace(root: &Path) -> Result<Vec<SourceFile>, String> {
+    let mut dirs = vec![root.join("src")];
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let entries =
+            std::fs::read_dir(&crates).map_err(|e| format!("read {}: {e}", crates.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("read {}: {e}", crates.display()))?;
+            let src = entry.path().join("src");
+            if src.is_dir() {
+                dirs.push(src);
+            }
+        }
+    }
+    let mut paths = Vec::new();
+    for dir in &dirs {
+        if dir.is_dir() {
+            walk_rs(dir, &mut paths).map_err(|e| format!("walk {}: {e}", dir.display()))?;
+        }
+    }
+    paths.sort();
+    let mut files = Vec::new();
+    for path in paths {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src =
+            std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        files.push(SourceFile::from_source(&rel, &src));
+    }
+    Ok(files)
+}
+
+/// Pass configuration resolved from the repo layout. Kept explicit so
+/// the fixture tests can point the same passes at synthetic trees.
+pub struct Config {
+    pub lock_ranks: manifest::LockRanks,
+    pub crash_points: manifest::CrashManifest,
+    /// Path the crash manifest was loaded from (for findings).
+    pub crash_manifest_path: String,
+    /// Path prefixes forming the replay-deterministic zone (pass 2).
+    pub det_zones: Vec<String>,
+    /// Path prefixes exempt from the panic audit (experiment drivers).
+    pub panic_exempt: Vec<String>,
+    /// (file, function) pairs allowed to write WAL backend bytes.
+    pub wal_write_fns: Vec<(String, String)>,
+    /// Files exempt from pass 5 because they *implement* the backend.
+    pub wal_backend_impls: Vec<String>,
+}
+
+impl Config {
+    pub fn for_repo(root: &Path) -> Result<Config, String> {
+        let ranks_path = root.join("crates/lint/manifest/lock_ranks.txt");
+        let points_path = root.join("crates/lint/manifest/crash_points.txt");
+        let ranks = std::fs::read_to_string(&ranks_path)
+            .map_err(|e| format!("read {}: {e}", ranks_path.display()))?;
+        let points = std::fs::read_to_string(&points_path)
+            .map_err(|e| format!("read {}: {e}", points_path.display()))?;
+        Ok(Config {
+            lock_ranks: manifest::LockRanks::parse(&ranks)?,
+            crash_points: manifest::CrashManifest::parse(&points)?,
+            crash_manifest_path: "crates/lint/manifest/crash_points.txt".to_string(),
+            det_zones: vec![
+                "crates/sim/src".into(),
+                "crates/core/src".into(),
+                "crates/wal/src".into(),
+                "crates/txn/src".into(),
+            ],
+            panic_exempt: vec!["crates/bench/src".into()],
+            wal_write_fns: vec![
+                ("crates/wal/src/manager.rs".into(), "append_serial".into()),
+                ("crates/wal/src/manager.rs".into(), "drain_staged".into()),
+            ],
+            wal_backend_impls: vec![
+                "crates/wal/src/file.rs".into(),
+                "crates/wal/src/fault.rs".into(),
+            ],
+        })
+    }
+}
+
+pub const PASSES: [&str; 5] = ["lock_order", "nondet", "crash_point", "panic", "wal_bytes"];
+
+/// Run all five passes; findings come back sorted by file/line.
+pub fn run_all(cfg: &Config, files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    findings.extend(passes::lock_order::run(cfg, files));
+    findings.extend(passes::nondet::run(cfg, files));
+    findings.extend(passes::crash_points::run(cfg, files));
+    findings.extend(passes::panic_audit::run(cfg, files));
+    findings.extend(passes::wal_bytes::run(cfg, files));
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    findings
+}

@@ -1,0 +1,55 @@
+//! `morph-lint` CLI: run the five passes over the workspace and fail
+//! on any finding. `cargo run -p morph-lint` from anywhere inside the
+//! repo; scripts/ci.sh runs it between clippy and the sim sweeps.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| format!("cwd: {e}"))?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest)
+                .map_err(|e| format!("read {}: {e}", manifest.display()))?;
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err("no workspace Cargo.toml above the current directory".to_string());
+        }
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let root = workspace_root()?;
+    let cfg = morph_lint::Config::for_repo(&root)?;
+    let files = morph_lint::load_workspace(&root)?;
+    let findings = morph_lint::run_all(&cfg, &files);
+
+    for finding in &findings {
+        println!("{finding}");
+    }
+    println!(
+        "morph-lint: {} file(s) scanned, {} finding(s)",
+        files.len(),
+        findings.len()
+    );
+    for pass in morph_lint::PASSES {
+        let n = findings.iter().filter(|f| f.pass == pass).count();
+        println!("  {pass:<12} {n}");
+    }
+    Ok(findings.is_empty())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("morph-lint: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,87 @@
+pub mod crash_points;
+pub mod lock_order;
+pub mod nondet;
+pub mod panic_audit;
+pub mod wal_bytes;
+
+use crate::lexer::{Tok, TokKind};
+
+/// Reconstruct the dotted receiver chain ending at the method/field
+/// identifier `toks[i]`, walking left over `.`-separated segments.
+/// Calls collapse to `name()` and index expressions to `name[]`, so
+/// `self.shards[self.route(&k)].write` becomes `self.shards[].write`
+/// and `db.locks().lock` stays `db.locks().lock`. The chain stops at
+/// anything else (`::` paths, operators, statement starts).
+pub fn chain_ending_at(toks: &[Tok], i: usize) -> String {
+    let mut segs: Vec<String> = vec![toks[i].text.clone()];
+    let mut j = i; // index of the first token of the chain so far
+    loop {
+        if j == 0 || !toks[j - 1].is_punct('.') {
+            break;
+        }
+        let mut k = j - 2; // token before the dot
+        let mut seg_suffix = "";
+        loop {
+            match toks.get(k).map(|t| &t.kind) {
+                Some(TokKind::Punct(')')) => {
+                    let Some(open) = match_back(toks, k, '(', ')') else {
+                        return segs_join(segs);
+                    };
+                    k = match open.checked_sub(1) {
+                        Some(v) => v,
+                        None => return segs_join(segs),
+                    };
+                    seg_suffix = "()";
+                }
+                Some(TokKind::Punct(']')) => {
+                    let Some(open) = match_back(toks, k, '[', ']') else {
+                        return segs_join(segs);
+                    };
+                    k = match open.checked_sub(1) {
+                        Some(v) => v,
+                        None => return segs_join(segs),
+                    };
+                    seg_suffix = "[]";
+                }
+                Some(TokKind::Ident) => {
+                    segs.push(format!("{}{}", toks[k].text, seg_suffix));
+                    j = k;
+                    break;
+                }
+                _ => return segs_join(segs),
+            }
+        }
+    }
+    segs_join(segs)
+}
+
+fn segs_join(mut segs: Vec<String>) -> String {
+    segs.reverse();
+    segs.join(".")
+}
+
+/// Index of the `open` delimiter matching the `close` at `from`,
+/// scanning backwards and counting only that delimiter pair.
+fn match_back(toks: &[Tok], from: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0isize;
+    let mut k = from;
+    loop {
+        if toks[k].is_punct(close) {
+            depth += 1;
+        } else if toks[k].is_punct(open) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+        k = k.checked_sub(1)?;
+    }
+}
+
+/// `chain` ends with the dotted `pat` on a segment boundary.
+pub fn chain_matches(chain: &str, pat: &str) -> bool {
+    chain == pat
+        || chain
+            .strip_suffix(pat)
+            .is_some_and(|head| head.ends_with('.'))
+}

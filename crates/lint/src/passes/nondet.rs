@@ -1,0 +1,60 @@
+//! Pass 2: determinism. Replay-deterministic code (the sim harness
+//! and everything it drives on the serial path) must not consult
+//! ambient time or entropy — a replayed schedule that branches on
+//! `Instant::now()` is not a replay. Legitimate sites (lock-wait
+//! deadlines, wall-clock stats that never feed control flow back
+//! into replayed state) carry `// morph-lint: allow(nondet, reason)`.
+
+use crate::lexer::TokKind;
+use crate::{Config, Finding, SourceFile};
+
+/// Identifiers that are nondeterministic wherever they appear.
+const FORBIDDEN: [&str; 6] = [
+    "SystemTime",
+    "UNIX_EPOCH",
+    "thread_rng",
+    "from_entropy",
+    "OsRng",
+    "getrandom",
+];
+
+pub fn run(cfg: &Config, files: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in files {
+        if !cfg.det_zones.iter().any(|z| f.rel.starts_with(z.as_str())) {
+            continue;
+        }
+        let toks = &f.lexed.toks;
+        for (i, t) in toks.iter().enumerate() {
+            if f.regions.in_test[i] || t.kind != TokKind::Ident {
+                continue;
+            }
+            let name = t.text.as_str();
+            let hit = if FORBIDDEN.contains(&name) {
+                Some(name.to_string())
+            } else if name == "Instant"
+                && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                && toks.get(i + 3).is_some_and(|t| t.is_ident("now"))
+            {
+                Some("Instant::now".to_string())
+            } else {
+                None
+            };
+            if let Some(what) = hit {
+                if !f.allowed(t.line, "nondet") {
+                    out.push(Finding {
+                        pass: "nondet",
+                        file: f.rel.clone(),
+                        line: t.line,
+                        msg: format!(
+                            "`{what}` in replay-deterministic code: thread a deterministic \
+                             clock/seed through, or annotate `// morph-lint: allow(nondet, why)`"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}

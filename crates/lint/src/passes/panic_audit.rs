@@ -1,0 +1,65 @@
+//! Pass 4: panic audit. `unwrap()/expect()/panic!` in non-test library
+//! code either documents a real invariant (then it carries
+//! `// morph-lint: allow(panic, why the invariant holds)`) or it is a
+//! latent crash on an error path and should return a `DbError`
+//! instead. Test modules and the experiment drivers are exempt;
+//! assertions (`assert!`/`debug_assert!`) are not flagged — they *are*
+//! invariant documentation.
+
+use crate::lexer::TokKind;
+use crate::{Config, Finding, SourceFile};
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+pub fn run(cfg: &Config, files: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in files {
+        if cfg
+            .panic_exempt
+            .iter()
+            .any(|p| f.rel.starts_with(p.as_str()))
+        {
+            continue;
+        }
+        let toks = &f.lexed.toks;
+        for (i, t) in toks.iter().enumerate() {
+            if f.regions.in_test[i] || t.kind != TokKind::Ident {
+                continue;
+            }
+            let name = t.text.as_str();
+            let after_dot = i > 0 && toks[i - 1].is_punct('.');
+            let what = if after_dot
+                && name == "unwrap"
+                && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+                && toks.get(i + 2).is_some_and(|n| n.is_punct(')'))
+            {
+                Some("unwrap()")
+            } else if after_dot
+                && name == "expect"
+                && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            {
+                Some("expect()")
+            } else if PANIC_MACROS.contains(&name)
+                && toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+            {
+                Some("panic-family macro")
+            } else {
+                None
+            };
+            if let Some(what) = what {
+                if !f.allowed(t.line, "panic") {
+                    out.push(Finding {
+                        pass: "panic",
+                        file: f.rel.clone(),
+                        line: t.line,
+                        msg: format!(
+                            "{what} in non-test library code: return a DbError or annotate \
+                             `// morph-lint: allow(panic, why the invariant holds)`"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,134 @@
+//! Lexical region analysis over the token stream: which tokens are
+//! test code (`#[cfg(test)]` modules, `#[test]` functions, `tests/`
+//! trees are excluded at the walker level), and which named `fn` each
+//! token belongs to. Passes use this to skip test code and to scope
+//! findings ("inside `drain_staged`").
+
+use crate::lexer::{Tok, TokKind};
+
+#[derive(Debug)]
+pub struct Regions {
+    /// Per-token: true when the token is inside test-only code.
+    pub in_test: Vec<bool>,
+    /// Per-token: index into `fn_names` of the innermost enclosing fn.
+    pub fn_of: Vec<Option<u32>>,
+    pub fn_names: Vec<String>,
+}
+
+impl Regions {
+    pub fn fn_name(&self, tok_idx: usize) -> Option<&str> {
+        self.fn_of[tok_idx].map(|i| self.fn_names[i as usize].as_str())
+    }
+}
+
+/// Attribute gathered from `# [ ... ]`: the flattened identifier list.
+fn attr_idents(toks: &[Tok], open: usize) -> (Vec<&str>, usize) {
+    // `open` indexes the `[`; returns idents inside and index past `]`.
+    let mut depth = 0usize;
+    let mut idents = Vec::new();
+    let mut i = open;
+    while i < toks.len() {
+        match &toks[i].kind {
+            TokKind::Punct('[') => depth += 1,
+            TokKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return (idents, i + 1);
+                }
+            }
+            TokKind::Ident => idents.push(toks[i].text.as_str()),
+            _ => {}
+        }
+        i += 1;
+    }
+    (idents, i)
+}
+
+fn is_test_attr(idents: &[&str]) -> bool {
+    // #[test], #[bench], #[cfg(test)], #[cfg(all(test, ...))]
+    matches!(idents.first(), Some(&"test") | Some(&"bench"))
+        || (idents.first() == Some(&"cfg") && idents.contains(&"test"))
+}
+
+pub fn analyze(toks: &[Tok]) -> Regions {
+    let n = toks.len();
+    let mut in_test = vec![false; n];
+    let mut fn_of: Vec<Option<u32>> = vec![None; n];
+    let mut fn_names: Vec<String> = Vec::new();
+
+    // Stack of (brace_depth_at_open, Option<fn_idx>, test) regions.
+    let mut depth = 0usize;
+    let mut region_stack: Vec<(usize, Option<u32>, bool)> = Vec::new();
+    // Pending item context set by attributes/keywords, applied to the
+    // next `{` that opens an item body.
+    let mut pending_test_attr = false;
+    let mut pending_fn: Option<u32> = None;
+    let mut pending_body = false; // saw `fn name(..)` / `mod name`, awaiting `{`
+    let mut nest = 0usize; // (..) / [..] nesting, so `[u8; 4]` semicolons don't cancel
+
+    let mut i = 0usize;
+    while i < n {
+        let cur_test = region_stack.iter().any(|r| r.2) || pending_test_attr;
+        let cur_fn = region_stack.iter().rev().find_map(|r| r.1);
+        in_test[i] = cur_test;
+        fn_of[i] = cur_fn;
+
+        match &toks[i].kind {
+            TokKind::Punct('#') if i + 1 < n && toks[i + 1].is_punct('[') => {
+                let (idents, next) = attr_idents(toks, i + 1);
+                if is_test_attr(&idents) {
+                    pending_test_attr = true;
+                }
+                for j in i..next.min(n) {
+                    in_test[j] = cur_test;
+                    fn_of[j] = cur_fn;
+                }
+                i = next;
+                continue;
+            }
+            TokKind::Ident
+                if toks[i].text == "fn" && i + 1 < n && toks[i + 1].kind == TokKind::Ident =>
+            {
+                fn_names.push(toks[i + 1].text.clone());
+                pending_fn = Some((fn_names.len() - 1) as u32);
+                pending_body = true;
+            }
+            TokKind::Ident if toks[i].text == "mod" => {
+                pending_body = true;
+            }
+            TokKind::Punct('(') | TokKind::Punct('[') => nest += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') => nest = nest.saturating_sub(1),
+            TokKind::Punct(';') if pending_body && nest == 0 => {
+                // `fn f();` declaration or `mod m;` — no body follows.
+                pending_body = false;
+                pending_fn = None;
+                pending_test_attr = false;
+            }
+            TokKind::Punct('{') => {
+                if pending_body {
+                    region_stack.push((depth, pending_fn, pending_test_attr));
+                    pending_body = false;
+                    pending_fn = None;
+                    pending_test_attr = false;
+                }
+                depth += 1;
+            }
+            TokKind::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                if let Some(top) = region_stack.last() {
+                    if top.0 == depth {
+                        region_stack.pop();
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+
+    Regions {
+        in_test,
+        fn_of,
+        fn_names,
+    }
+}

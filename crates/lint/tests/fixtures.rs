@@ -1,0 +1,131 @@
+//! Fixture suite: every seeded defect must be caught by exactly its
+//! pass at exactly its file:line — and the clean fixture must stay
+//! silent across all five passes. These pins are what make the lint
+//! trustworthy as a CI gate: a pass that drifts (wrong line, wrong
+//! pass, silent miss, noisy false positive) fails here first.
+
+use morph_lint::manifest::{CrashManifest, LockRanks};
+use morph_lint::{run_all, Config, SourceFile};
+
+const MANIFEST_PATH: &str = "crates/lint/tests/fixtures/crash_points.txt";
+
+fn fixture_config() -> Config {
+    Config {
+        lock_ranks: LockRanks::parse(include_str!("fixtures/lock_ranks.txt")).unwrap(),
+        crash_points: CrashManifest::parse(include_str!("fixtures/crash_points.txt")).unwrap(),
+        crash_manifest_path: MANIFEST_PATH.to_string(),
+        det_zones: vec!["fixtures/".into()],
+        panic_exempt: Vec::new(),
+        wal_write_fns: vec![("fixtures/wal_write.rs".into(), "append_serial".into())],
+        wal_backend_impls: Vec::new(),
+    }
+}
+
+fn fixture_files() -> Vec<SourceFile> {
+    vec![
+        SourceFile::from_source("fixtures/clean.rs", include_str!("fixtures/clean.rs")),
+        SourceFile::from_source(
+            "fixtures/naked_unwrap.rs",
+            include_str!("fixtures/naked_unwrap.rs"),
+        ),
+        SourceFile::from_source(
+            "fixtures/nondet_call.rs",
+            include_str!("fixtures/nondet_call.rs"),
+        ),
+        SourceFile::from_source(
+            "fixtures/orphan_crash_point.rs",
+            include_str!("fixtures/orphan_crash_point.rs"),
+        ),
+        SourceFile::from_source(
+            "fixtures/rank_inversion.rs",
+            include_str!("fixtures/rank_inversion.rs"),
+        ),
+        SourceFile::from_source(
+            "fixtures/wal_write.rs",
+            include_str!("fixtures/wal_write.rs"),
+        ),
+    ]
+}
+
+#[test]
+fn every_seeded_defect_is_caught_at_its_line() {
+    let findings = run_all(&fixture_config(), &fixture_files());
+    let got: Vec<(&str, usize, &str)> = findings
+        .iter()
+        .map(|f| (f.file.as_str(), f.line, f.pass))
+        .collect();
+    let expected: Vec<(&str, usize, &str)> = vec![
+        // Registered `fixture.miscounted` has one code site, manifest
+        // says two; `fixture.bogus` never appears in code at all.
+        (MANIFEST_PATH, 3, "crash_point"),
+        (MANIFEST_PATH, 4, "crash_point"),
+        // Naked unwrap / expect; the allowed one (line 13) is silent.
+        ("fixtures/naked_unwrap.rs", 5, "panic"),
+        ("fixtures/naked_unwrap.rs", 9, "panic"),
+        // Instant::now and thread_rng; the allowed Instant is silent.
+        ("fixtures/nondet_call.rs", 7, "nondet"),
+        ("fixtures/nondet_call.rs", 16, "nondet"),
+        // crash_point with an unregistered literal.
+        ("fixtures/orphan_crash_point.rs", 6, "crash_point"),
+        // inner-then-outer inversion, double outer, inner re-acquired
+        // through the `take_inner` call edge; the ordered + sharded
+        // nesting below them is silent.
+        ("fixtures/rank_inversion.rs", 14, "lock_order"),
+        ("fixtures/rank_inversion.rs", 21, "lock_order"),
+        ("fixtures/rank_inversion.rs", 28, "lock_order"),
+        // sink.append outside the approved fn, and a raw write_all;
+        // the same chain inside `append_serial` is silent.
+        ("fixtures/wal_write.rs", 10, "wal_bytes"),
+        ("fixtures/wal_write.rs", 14, "wal_bytes"),
+    ];
+    assert_eq!(
+        got,
+        expected,
+        "full findings:\n{}",
+        findings
+            .iter()
+            .map(|f| format!("  {f}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn clean_fixture_is_silent_on_every_pass() {
+    // Run the clean file alone, against a registry whose only demands
+    // the other fixtures satisfy removed — no manifest-side findings
+    // can leak in.
+    let mut cfg = fixture_config();
+    cfg.crash_points = CrashManifest::parse("").unwrap();
+    let files = vec![SourceFile::from_source(
+        "fixtures/clean.rs",
+        include_str!("fixtures/clean.rs"),
+    )];
+    let findings = run_all(&cfg, &files);
+    assert!(
+        findings.is_empty(),
+        "clean fixture produced findings:\n{}",
+        findings
+            .iter()
+            .map(|f| format!("  {f}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn fixture_messages_name_the_defect() {
+    let findings = run_all(&fixture_config(), &fixture_files());
+    let msg_of = |file: &str, line: usize| {
+        findings
+            .iter()
+            .find(|f| f.file == file && f.line == line)
+            .map(|f| f.msg.as_str())
+            .unwrap_or("")
+    };
+    assert!(msg_of("fixtures/rank_inversion.rs", 14).contains("inversion"));
+    assert!(msg_of("fixtures/rank_inversion.rs", 21).contains("re-acquisition"));
+    assert!(msg_of("fixtures/orphan_crash_point.rs", 6).contains("not registered"));
+    assert!(msg_of(MANIFEST_PATH, 4).contains("does not appear"));
+    assert!(msg_of("fixtures/wal_write.rs", 14).contains("byte order"));
+}

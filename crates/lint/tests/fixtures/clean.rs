@@ -1,0 +1,36 @@
+//! Clean fixture: ordered locking, a `rank()` attribution, sibling
+//! scopes, and a manifest `fn` edge — zero findings expected.
+
+pub struct C {
+    outer: Mutex<u32>,
+    inner: Mutex<u32>,
+}
+
+impl C {
+    pub fn ordered(&self) {
+        let g = self.outer.lock();
+        let h = self.inner.lock();
+        drop(h);
+        drop(g);
+    }
+
+    pub fn attributed(&self) {
+        // morph-lint: rank(outer)
+        let g = GLOBAL.lock();
+        drop(g);
+    }
+
+    pub fn sibling_scopes(&self) {
+        {
+            let g = self.inner.lock();
+            drop(g);
+        }
+        let h = self.inner.lock();
+        drop(h);
+    }
+
+    pub fn call_edge(&self) {
+        let v = self.take_inner();
+        drop(v);
+    }
+}

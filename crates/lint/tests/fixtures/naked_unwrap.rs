@@ -1,0 +1,22 @@
+//! Panic-audit fixture: a naked unwrap and expect, one annotated
+//! escape, and test code that is exempt.
+
+pub fn naked(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn expected(v: &[u32]) -> u32 {
+    *v.get(1).expect("fixture")
+}
+
+pub fn allowed(v: &[u32]) -> u32 {
+    *v.first().unwrap() // morph-lint: allow(panic, fixture: deliberate escape)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        Some(1).unwrap();
+    }
+}

@@ -1,0 +1,17 @@
+//! Determinism fixture: naked ambient-time and entropy calls, plus
+//! one annotated escape that must stay silent.
+
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}
+
+pub fn allowed_stamp() -> Instant {
+    // morph-lint: allow(nondet, fixture: deliberate escape)
+    Instant::now()
+}
+
+pub fn entropy() -> u64 {
+    thread_rng()
+}

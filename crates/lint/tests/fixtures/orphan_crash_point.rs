@@ -1,0 +1,9 @@
+//! Crash-point fixture: a correctly registered point, an unregistered
+//! literal, and one literal for a point the manifest miscounts.
+
+pub fn run(db: &Database) -> DbResult<()> {
+    db.crash_point("fixture.registered")?;
+    db.crash_point("fixture.unregistered")?;
+    db.crash_point("fixture.miscounted")?;
+    Ok(())
+}

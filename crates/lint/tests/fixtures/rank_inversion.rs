@@ -1,0 +1,43 @@
+//! Lock-order fixture: one inversion, one re-acquisition, one
+//! re-acquisition through a manifest `fn` call edge, plus legal
+//! nesting that must stay silent.
+
+pub struct S {
+    outer: Mutex<u32>,
+    inner: Mutex<u32>,
+    shards: Vec<Mutex<u32>>,
+}
+
+impl S {
+    pub fn inverted(&self) {
+        let g = self.inner.lock();
+        let h = self.outer.lock();
+        drop(h);
+        drop(g);
+    }
+
+    pub fn reacquired(&self) {
+        let g = self.outer.lock();
+        let h = self.outer.lock();
+        drop(h);
+        drop(g);
+    }
+
+    pub fn reacquired_via_call(&self) {
+        let g = self.inner.lock();
+        let v = self.take_inner();
+        drop(v);
+        drop(g);
+    }
+
+    pub fn ordered_and_multi_ok(&self) {
+        let g = self.outer.lock();
+        let h = self.inner.lock();
+        let a = self.shards[0].lock();
+        let b = self.shards[1].lock();
+        drop(b);
+        drop(a);
+        drop(h);
+        drop(g);
+    }
+}

@@ -184,13 +184,6 @@ impl SimFailure {
     }
 }
 
-/// Crash points where the hook may inject workload transactions. Only
-/// points where no table latches are held: the injection runs complete
-/// transactions on the *same thread*, so injecting under a sync latch
-/// would self-deadlock (and real user activity is locked out there
-/// anyway — that is what the latch is for).
-const INJECTION_POINTS: [&str; 3] = ["populate.chunk", "propagate.batch", "transform.iteration"];
-
 struct HookInner {
     rng: StdRng,
     workload: StepWorkload,
@@ -228,7 +221,7 @@ impl CrashHook for SimHook {
                 return Err(DbError::SimulatedCrash(format!("{point}#{n}")));
             }
         }
-        if g.inject_budget > 0 && INJECTION_POINTS.contains(&point) {
+        if g.inject_budget > 0 && crate::points::is_injection_point(point) {
             let steps = g.rng.gen_range(0..=2usize).min(g.inject_budget);
             for _ in 0..steps {
                 g.inject_budget -= 1;

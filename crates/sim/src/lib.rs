@@ -25,9 +25,11 @@
 //! * [`minimize`] — shrink and confirm a failing reproduction.
 
 pub mod harness;
+pub mod points;
 pub mod scenario;
 pub mod sweep;
 
 pub use harness::{run_sim, Kill, SimConfig, SimFailure, SimReport, Verdict};
+pub use points::{kill_matrix, matrix_points, uncovered};
 pub use scenario::{sim_options, Scenario};
 pub use sweep::{minimize, sweep_cell, SweepSummary};

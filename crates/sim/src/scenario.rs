@@ -54,6 +54,19 @@ impl Scenario {
         Scenario::Union,
     ];
 
+    /// Crash points the kill matrix covers under `strategy`, in
+    /// execution order — enumerated from the checked-in crash-point
+    /// registry (`crates/lint/manifest/crash_points.txt`), not a
+    /// hardcoded list. A new `crash_point()` call fails lint pass 3
+    /// until registered, and once registered it joins this enumeration
+    /// (and the matrix coverage test) automatically.
+    pub fn kill_points(&self, strategy: SyncStrategy) -> Vec<&'static str> {
+        crate::points::matrix_points(strategy)
+            .into_iter()
+            .map(|p| p.name.as_str())
+            .collect()
+    }
+
     /// Short lowercase tag for traces and failure reports.
     pub fn tag(&self) -> &'static str {
         match self {
@@ -84,7 +97,7 @@ impl Scenario {
                         .nullable("v", ColumnType::Str)
                         .primary_key(&[pk])
                         .build()
-                        .expect("static schema")
+                        .expect("static schema") // morph-lint: allow(panic, static schema literal; the builder cannot fail on compile-time constants)
                 };
                 vec![("A".to_owned(), part("id")), ("B".to_owned(), part("id"))]
             }

@@ -1,21 +1,24 @@
 //! Enumerated crash coverage (not sampled): for FOJ and split, under
 //! each of the three synchronization strategies, kill the
-//! transformation
+//! transformation at every crash point in the checked-in registry
+//! (`crates/lint/manifest/crash_points.txt`) that fires in the cell's
+//! census — loops at their first/middle/last occurrence, bounded steps
+//! at their last — then demand the full recovery oracle: committed
+//! user data survives the torn WAL exactly, and restarting the
+//! transformation from preparation converges to the same tables as an
+//! uninterrupted run (Theorem 1).
 //!
-//! * inside the fuzzy copy (`populate.chunk`),
-//! * inside a propagation batch (`propagate.batch`),
-//! * at every instrumented step of the strategy's synchronization
-//!   (`sync.{bc,nba,nbc}.*`),
-//! * and at the coarse transformation milestones,
-//!
-//! then demand the full recovery oracle: committed user data survives
-//! the torn WAL exactly, and restarting the transformation from
-//! preparation converges to the same tables as an uninterrupted run
-//! (Theorem 1). A census run per cell supplies the occurrence counts
-//! so the matrix enumerates real executions rather than guessing.
+//! The registry, not this file, decides what gets killed: a new
+//! `crash_point()` fails morph-lint until registered, and once
+//! registered it joins the matrix automatically. The aggregate
+//! coverage test at the bottom closes the remaining gap: a registered,
+//! non-optional point that fires in *no* cell's census is an error,
+//! so a point cannot rot into silence.
+
+use std::collections::BTreeSet;
 
 use morph_core::SyncStrategy;
-use morph_sim::{run_sim, Scenario, SimConfig, Verdict};
+use morph_sim::{kill_matrix, run_sim, uncovered, Scenario, SimConfig, Verdict};
 
 const STRATEGIES: [SyncStrategy; 3] = [
     SyncStrategy::BlockingCommit,
@@ -23,69 +26,21 @@ const STRATEGIES: [SyncStrategy; 3] = [
     SyncStrategy::NonBlockingCommit,
 ];
 
-/// Sync-strategy-specific crash points, in execution order.
-fn sync_points(strategy: SyncStrategy) -> &'static [&'static str] {
-    match strategy {
-        SyncStrategy::BlockingCommit => &["sync.bc.frozen", "sync.bc.quiesced", "sync.bc.drained"],
-        SyncStrategy::NonBlockingAbort => &[
-            "sync.nba.latched",
-            "sync.nba.drained",
-            "sync.nba.treated",
-            "sync.nba.switched",
-        ],
-        SyncStrategy::NonBlockingCommit => &[
-            "sync.nbc.latched",
-            "sync.nbc.drained",
-            "sync.nbc.treated",
-            "sync.nbc.switched",
-        ],
-    }
-}
-
-/// Kill `scenario` × `strategy` at every enumerated point and verify
-/// the oracle each time.
+/// Kill `scenario` × `strategy` at every registry point that fired in
+/// the census and verify the oracle each time.
 fn exhaust_cell(seed: u64, scenario: Scenario, strategy: SyncStrategy) {
     let census = run_sim(&SimConfig::new(seed, scenario, strategy))
         .unwrap_or_else(|f| panic!("{}", f.render()));
     assert_eq!(census.verdict, Verdict::CompletedClean);
 
-    let occurrences = |point: &str| -> usize {
-        *census.point_counts.get(point).unwrap_or_else(|| {
-            panic!(
-                "{} {:?}: crash point {point} never fired; census: {:?}",
-                scenario.tag(),
-                strategy,
-                census.point_counts
-            )
-        })
-    };
-
-    let mut kills: Vec<(String, usize)> = Vec::new();
-    // Mid-fuzzy-copy and mid-propagation: first, middle, and last
-    // occurrence of each.
-    for point in ["populate.chunk", "propagate.batch"] {
-        let n = occurrences(point);
-        let mut occs = vec![1, n / 2 + 1, n];
-        occs.dedup();
-        for occ in occs {
-            kills.push((point.to_owned(), occ));
-        }
-    }
-    // Every step of this strategy's synchronization.
-    for point in sync_points(strategy) {
-        kills.push(((*point).to_owned(), occurrences(point)));
-    }
-    // Coarse milestones: after population, immediately before sync,
-    // immediately after sync (targets live, sources still latched a
-    // moment ago), and during finalization.
-    for point in [
-        "transform.populated",
-        "transform.pre_sync",
-        "transform.synced",
-        "transform.finalizing",
-    ] {
-        kills.push(((*point).to_owned(), occurrences(point)));
-    }
+    let kills = kill_matrix(strategy, &census.point_counts);
+    assert!(
+        !kills.is_empty(),
+        "{} {:?}: registry produced an empty kill matrix; census: {:?}",
+        scenario.tag(),
+        strategy,
+        census.point_counts
+    );
 
     for (point, occurrence) in kills {
         let cfg = SimConfig::new(seed, scenario, strategy).kill_at(&point, occurrence);
@@ -125,6 +80,48 @@ fn split_with_consistency_check_survives_kills() {
 #[test]
 fn union_survives_kills() {
     exhaust_cell(1, Scenario::Union, SyncStrategy::NonBlockingAbort);
+}
+
+/// Aggregate registry coverage: every non-optional point applicable to
+/// a strategy must fire in the census of at least one scenario under
+/// that strategy — otherwise a registered crash point would be
+/// silently untested (or a bogus registration would sit in the
+/// manifest demanding coverage nothing can provide).
+#[test]
+fn every_registered_point_fires_somewhere() {
+    for strategy in STRATEGIES {
+        let mut missing: Option<BTreeSet<&str>> = None;
+        for (seed, scenario) in [(1u64, Scenario::Foj), (1, Scenario::Split)] {
+            let census = run_sim(&SimConfig::new(seed, scenario, strategy))
+                .unwrap_or_else(|f| panic!("{}", f.render()));
+            assert_eq!(census.verdict, Verdict::CompletedClean);
+            let not_here: BTreeSet<&str> = uncovered(strategy, &census.point_counts)
+                .into_iter()
+                .collect();
+            missing = Some(match missing {
+                None => not_here,
+                Some(prev) => prev.intersection(&not_here).copied().collect(),
+            });
+        }
+        let missing = missing.unwrap_or_default();
+        assert!(
+            missing.is_empty(),
+            "{strategy:?}: registered crash points that fired in no census: {missing:?}"
+        );
+    }
+}
+
+/// The per-scenario enumeration is registry-driven: the strategy's
+/// sync family is present, foreign families are not.
+#[test]
+fn kill_points_follow_the_registry() {
+    let pts = Scenario::Foj.kill_points(SyncStrategy::BlockingCommit);
+    assert!(pts.contains(&"sync.bc.drained"));
+    assert!(pts.contains(&"populate.chunk"));
+    assert!(!pts.iter().any(|p| p.starts_with("sync.nba.")));
+    let pts = Scenario::Split.kill_points(SyncStrategy::NonBlockingAbort);
+    assert!(pts.contains(&"sync.nba.switched"));
+    assert!(!pts.iter().any(|p| p.starts_with("sync.bc.")));
 }
 
 /// Regression pin for the recovery-module doc claim: a transformation

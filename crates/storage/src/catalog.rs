@@ -112,7 +112,7 @@ impl Catalog {
             .by_name
             .remove(name)
             .ok_or_else(|| DbError::NoSuchTable(name.to_owned()))?;
-        let t = inner.tables.remove(&id).expect("name/id maps in sync");
+        let t = inner.tables.remove(&id).expect("name/id maps in sync"); // morph-lint: allow(panic, name and id maps are mutated together under the same catalog lock)
         t.mark_dropped();
         self.epoch.fetch_add(1, Ordering::Release);
         Ok(t)

@@ -112,7 +112,7 @@ impl TableShard {
     fn insert_unchecked(&mut self, key: Key, row: Row) -> Key {
         for idx in &mut self.indexes {
             idx.insert(&row.values, &key)
-                .expect("uniqueness pre-checked");
+                .expect("uniqueness pre-checked"); // morph-lint: allow(panic, uniqueness was checked earlier in the same latched section)
         }
         self.rows.insert(key.clone(), row);
         key
@@ -141,7 +141,7 @@ impl TableShard {
             return Err(DbError::KeyNotFound(format!("{key:?}")));
         }
         log(&self.rows[key])?;
-        let row = self.rows.remove(key).expect("checked above");
+        let row = self.rows.remove(key).expect("checked above"); // morph-lint: allow(panic, presence was checked earlier in the same latched section)
         for idx in &mut self.indexes {
             idx.remove(&row.values, key);
         }
@@ -230,7 +230,7 @@ fn update_core(
     };
     let lsn = mk_lsn(&outcome)?;
 
-    let mut row = old_shard.rows.remove(key).expect("checked above");
+    let mut row = old_shard.rows.remove(key).expect("checked above"); // morph-lint: allow(panic, presence was checked earlier in the same latched section)
     for idx in &mut old_shard.indexes {
         idx.remove(&row.values, key);
     }
@@ -242,7 +242,7 @@ fn update_core(
     };
     for idx in &mut target.indexes {
         idx.insert(&row.values, &new_key)
-            .expect("uniqueness pre-checked");
+            .expect("uniqueness pre-checked"); // morph-lint: allow(panic, uniqueness was checked earlier in the same latched section)
     }
     target.rows.insert(new_key, row);
 
@@ -1257,7 +1257,7 @@ impl FuzzyScanner {
             match best {
                 None => break,
                 Some((i, _)) => {
-                    let (k, r) = iters[i].next().expect("peeked above");
+                    let (k, r) = iters[i].next().expect("peeked above"); // morph-lint: allow(panic, peek on the same iterator just returned Some)
                     chunk.push((k.clone(), r.clone()));
                 }
             }

@@ -29,10 +29,11 @@
 //! deadlock: every transaction acquires table locks strictly before
 //! record locks on that table.
 
+use crate::wait::Deadline;
 use morph_common::{DbError, DbResult, TableId, TxnId};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Table-granular lock mode.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
@@ -140,7 +141,7 @@ impl TableLocks {
     /// Acquire (or escalate to) `mode` on `table`, blocking under
     /// wait–die.
     pub fn lock(&self, txn: TxnId, table: TableId, mode: GranularMode) -> DbResult<()> {
-        let deadline = Instant::now() + self.wait_timeout;
+        let deadline = Deadline::after(self.wait_timeout);
         let mut state = self.state.lock();
         loop {
             let entry = state.entry(table).or_default();
@@ -167,7 +168,7 @@ impl TableLocks {
             if conflicting.iter().any(|h| !txn.is_older_than(*h)) {
                 return Err(DbError::Deadlock(txn));
             }
-            if Instant::now() >= deadline || self.cv.wait_until(&mut state, deadline).timed_out() {
+            if deadline.wait_on(&self.cv, &mut state) {
                 return Err(DbError::LockTimeout(txn));
             }
         }
@@ -199,6 +200,7 @@ mod tests {
     use super::*;
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Arc;
+    use std::time::Instant;
 
     const T: TableId = TableId(1);
 

@@ -19,8 +19,10 @@ pub mod granular;
 pub mod manager;
 pub mod mode;
 pub mod origin;
+pub mod wait;
 
 pub use granular::{GranularMode, TableLocks};
 pub use manager::{LockManager, LockManagerConfig};
 pub use mode::LockMode;
 pub use origin::LockOrigin;
+pub use wait::Deadline;

@@ -16,12 +16,13 @@
 
 use crate::mode::LockMode;
 use crate::origin::{compatible, LockOrigin};
+use crate::wait::Deadline;
 use morph_common::{DbError, DbResult, Key, TableId, TxnId};
 use parking_lot::{Condvar, Mutex};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 const LOCK_SHARDS: usize = 64;
 const HELD_SHARDS: usize = 16;
@@ -140,7 +141,7 @@ impl LockManager {
             key: key.clone(),
         };
         let shard = self.shard_of(&lk);
-        let deadline = Instant::now() + self.config.wait_timeout;
+        let deadline = Deadline::after(self.config.wait_timeout);
         let mut map = shard.map.lock();
         loop {
             let entry = map.entry(lk.clone()).or_default();
@@ -194,12 +195,7 @@ impl LockManager {
             }
 
             // Wait for a release, bounded by the timeout.
-            let now = Instant::now();
-            if now >= deadline {
-                return Err(DbError::LockTimeout(txn));
-            }
-            let timed_out = shard.cv.wait_until(&mut map, deadline).timed_out();
-            if timed_out {
+            if deadline.wait_on(&shard.cv, &mut map) {
                 return Err(DbError::LockTimeout(txn));
             }
         }
@@ -382,6 +378,7 @@ mod tests {
     use super::*;
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Arc;
+    use std::time::Instant;
 
     fn mgr() -> Arc<LockManager> {
         Arc::new(LockManager::default())

@@ -1,0 +1,46 @@
+//! Bounded condvar waiting, shared by the record lock manager and the
+//! granular table-lock manager.
+//!
+//! This module is the *single* place in `crates/txn` that consults the
+//! wall clock (morph-lint pass 2): lock-wait deadlines are inherently
+//! wall-time — they bound how long a live thread may block on another
+//! — and never feed back into replayed state. The single-threaded sim
+//! never contends, so these waits never fire there; keeping the two
+//! `Instant::now()` calls behind one audited seam is what lets the
+//! rest of the crate stay lint-clean.
+
+use parking_lot::{Condvar, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// An absolute wall-clock deadline for a lock wait.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    at: Instant,
+}
+
+impl Deadline {
+    /// A deadline `timeout` from now.
+    pub fn after(timeout: Duration) -> Deadline {
+        Deadline {
+            // morph-lint: allow(nondet, lock-wait deadline; wall-time bound on blocking, never replayed state)
+            at: Instant::now() + timeout,
+        }
+    }
+
+    /// Has the deadline already passed?
+    pub fn expired(&self) -> bool {
+        // morph-lint: allow(nondet, lock-wait deadline; wall-time bound on blocking, never replayed state)
+        Instant::now() >= self.at
+    }
+
+    /// Block on `cv` until notified or the deadline passes. Returns
+    /// `true` when the wait timed out (including a deadline already in
+    /// the past), `false` when the thread was woken and should
+    /// re-examine the guarded state.
+    pub fn wait_on<T>(&self, cv: &Condvar, guard: &mut MutexGuard<'_, T>) -> bool {
+        if self.expired() {
+            return true;
+        }
+        cv.wait_until(guard, self.at).timed_out()
+    }
+}

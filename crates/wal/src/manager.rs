@@ -47,7 +47,7 @@ use crate::codec;
 use crate::file::{Backend, FileBackend};
 use crate::record::LogRecord;
 use bytes::Bytes;
-use morph_common::{DbResult, Lsn};
+use morph_common::{DbError, DbResult, Lsn};
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -235,12 +235,14 @@ impl LogManager {
         let n = records.len() as u64;
         for (i, rec) in records.into_iter().enumerate() {
             let lsn = i as u64 + 1;
-            if store.chunks.back().is_none_or(|c| lsn > c.last()) {
-                store
-                    .chunks
-                    .push_back(Arc::new(Chunk::new(ChunkList::aligned_first(lsn))));
-            }
-            let chunk = store.chunks.back().expect("chunk just ensured");
+            let chunk = match store.chunks.back() {
+                Some(c) if lsn <= c.last() => Arc::clone(c),
+                _ => {
+                    let c = Arc::new(Chunk::new(ChunkList::aligned_first(lsn)));
+                    store.chunks.push_back(Arc::clone(&c));
+                    c
+                }
+            };
             chunk.slot(lsn).lock().rec = Some(Arc::new(rec));
         }
         LogManager {
@@ -381,10 +383,7 @@ impl LogManager {
             let cur = match &chunk {
                 Some(c) if next <= c.last() => c,
                 _ => match self.store.read().chunk_for(next) {
-                    Some(c) => {
-                        chunk = Some(c);
-                        chunk.as_ref().expect("just set")
-                    }
+                    Some(c) => &*chunk.insert(c),
                     None => break,
                 },
             };
@@ -406,8 +405,10 @@ impl LogManager {
         }
         let mut store = self.store.write();
         loop {
+            if let Some(c) = store.chunk_for(lsn) {
+                return c;
+            }
             match store.chunks.back() {
-                Some(last) if lsn <= last.last() => break,
                 Some(last) => {
                     let first = last.last() + 1;
                     store.chunks.push_back(Arc::new(Chunk::new(first)));
@@ -419,7 +420,6 @@ impl LogManager {
                 }
             }
         }
-        store.chunk_for(lsn).expect("chunk just allocated")
     }
 
     // --- durability -----------------------------------------------------
@@ -427,35 +427,49 @@ impl LogManager {
     /// Hand every staged byte up to `upto` to the backend, strictly in
     /// LSN order. Caller holds the backend lock; the per-slot locks it
     /// takes are uncontended (appenders are done with published slots).
-    fn drain_staged(&self, be: &mut BackendState, upto: u64) {
+    ///
+    /// A reclaimed chunk or a published slot with its staged bytes
+    /// already gone means the truncation / staging invariants were
+    /// violated; the drain surfaces that as [`DbError::Internal`]
+    /// (leaving `drained` at the last good LSN) rather than panicking
+    /// under the backend lock, which would poison every later commit.
+    fn drain_staged(&self, be: &mut BackendState, upto: u64) -> DbResult<()> {
         let mut chunk: Option<Arc<Chunk>> = None;
         while be.drained < upto {
             let next = be.drained + 1;
             let cur = match &chunk {
                 Some(c) if next <= c.last() => c,
                 _ => {
-                    chunk = Some(
-                        self.store
-                            .read()
-                            .chunk_for(next)
-                            .expect("undrained LSN must not be reclaimed"),
-                    );
-                    chunk.as_ref().expect("just set")
+                    let c = self.store.read().chunk_for(next).ok_or_else(|| {
+                        DbError::Internal(format!(
+                            "WAL drain: undrained LSN {next} was reclaimed from memory"
+                        ))
+                    })?;
+                    &*chunk.insert(c)
                 }
             };
-            let bytes = cur
-                .slot(next)
-                .lock()
-                .staged
-                .take()
-                .expect("published slot keeps staged bytes until drained");
+            let bytes = cur.slot(next).lock().staged.take().ok_or_else(|| {
+                DbError::Internal(format!(
+                    "WAL drain: published LSN {next} lost its staged bytes before the drain"
+                ))
+            })?;
             be.sink.append(&bytes);
             be.drained = next;
         }
+        Ok(())
     }
 
     fn advance_durable(&self, upto: u64) {
         self.durable.fetch_max(upto, Ordering::AcqRel);
+    }
+
+    /// Test-only corruption seam: steal a published slot's staged
+    /// bytes so the drain's invariant check has something to catch.
+    #[cfg(test)]
+    fn steal_staged_for_test(&self, lsn: Lsn) -> Option<Bytes> {
+        let chunk = self.store.read().chunk_for(lsn.0)?;
+        let stolen = chunk.slot(lsn.0).lock().staged.take();
+        stolen
     }
 
     /// Block until the record at `lsn` is durable (its bytes and all
@@ -519,6 +533,7 @@ impl LogManager {
             if self.group_cfg.max_delay > Duration::ZERO && self.group_cfg.max_batch > 1 {
                 // Hold the door: absorb committers that arrive within
                 // the window so one fsync covers them all.
+                // morph-lint: allow(nondet, group-commit delay window; sim configs set max_delay to zero so replay never waits on wall time)
                 let deadline = Instant::now() + self.group_cfg.max_delay;
                 while g.waiters + 1 < self.group_cfg.max_batch {
                     if self.group_cv.wait_until(&mut g, deadline).timed_out() {
@@ -534,9 +549,9 @@ impl LogManager {
             let target = self.published.load(Ordering::Acquire);
             let result = {
                 let mut be = backend.lock();
-                self.drain_staged(&mut be, target);
+                let drained = self.drain_staged(&mut be, target);
                 self.flushes.fetch_add(1, Ordering::Relaxed);
-                be.sink.flush()
+                drained.and_then(|()| be.sink.flush())
             };
 
             let mut g = self.group.lock();
@@ -612,26 +627,28 @@ impl LogManager {
     /// past, which [`morph-engine`]'s wrapper enforces).
     ///
     /// [`morph-engine`]: ../morph_engine/index.html
-    pub fn truncate_until(&self, lsn: Lsn) -> usize {
+    pub fn truncate_until(&self, lsn: Lsn) -> DbResult<usize> {
         let _trunc = self.trunc.lock();
         let base = self.base.load(Ordering::Acquire);
         if lsn.0 <= base + 1 {
-            return 0;
+            return Ok(0);
         }
         let published = self.published.load(Ordering::Acquire);
         let new_base = (lsn.0 - 1).min(published);
         if new_base <= base {
-            return 0;
+            return Ok(0);
         }
         // Whole chunks about to be reclaimed may still hold staged
         // bytes the backend has not seen; hand them over first so the
-        // archive stays complete and in LSN order.
+        // archive stays complete and in LSN order. A failed drain
+        // aborts the truncation with nothing reclaimed: dropping the
+        // chunks anyway would tear a hole in the durable archive.
         if self.mode == WalMode::Group {
             if let Some(backend) = &self.backend {
                 let chunk_complete = (new_base / CHUNK_RECORDS) * CHUNK_RECORDS;
                 let mut be = backend.lock();
                 let upto = chunk_complete.min(published).max(be.drained);
-                self.drain_staged(&mut be, upto);
+                self.drain_staged(&mut be, upto)?;
             }
         }
         self.base.store(new_base, Ordering::Release);
@@ -643,7 +660,7 @@ impl LogManager {
         {
             store.chunks.pop_front();
         }
-        (new_base - base) as usize
+        Ok((new_base - base) as usize)
     }
 
     /// Whether the log is empty.
@@ -859,7 +876,7 @@ mod tests {
         for i in 0..10 {
             log.append(begin(i));
         }
-        assert_eq!(log.truncate_until(Lsn(5)), 4);
+        assert_eq!(log.truncate_until(Lsn(5)).unwrap(), 4);
         assert_eq!(log.truncated_until(), Lsn(4));
         assert_eq!(log.len(), 6);
         assert_eq!(log.last_lsn(), Lsn(10));
@@ -870,8 +887,8 @@ mod tests {
         // Appends continue in sequence.
         assert_eq!(log.append(begin(99)), Lsn(11));
         // Idempotent / below-base truncation is a no-op.
-        assert_eq!(log.truncate_until(Lsn(3)), 0);
-        assert_eq!(log.truncate_until(Lsn(5)), 0);
+        assert_eq!(log.truncate_until(Lsn(3)).unwrap(), 0);
+        assert_eq!(log.truncate_until(Lsn(5)).unwrap(), 0);
     }
 
     #[test]
@@ -880,7 +897,7 @@ mod tests {
         for i in 0..10 {
             log.append(begin(i));
         }
-        log.truncate_until(Lsn(7));
+        log.truncate_until(Lsn(7)).unwrap();
         let batch = log.read_range(Lsn(1), 100);
         assert_eq!(batch.len(), 4);
         assert_eq!(batch[0].0, Lsn(7));
@@ -895,7 +912,7 @@ mod tests {
         for i in 0..5 {
             log.append(begin(i));
         }
-        assert_eq!(log.truncate_until(Lsn(6)), 5);
+        assert_eq!(log.truncate_until(Lsn(6)).unwrap(), 5);
         assert!(log.is_empty());
         assert_eq!(log.last_lsn(), Lsn(5));
         assert_eq!(log.append(begin(7)), Lsn(6));
@@ -919,12 +936,15 @@ mod tests {
             }
             // Partial-chunk truncation: logical base moves, reads obey it.
             let cut = CHUNK_RECORDS + 9;
-            assert_eq!(log.truncate_until(Lsn(cut)), (cut - 1) as usize);
+            assert_eq!(log.truncate_until(Lsn(cut)).unwrap(), (cut - 1) as usize);
             assert!(log.read(Lsn(cut - 1)).is_none());
             assert_eq!(*log.read(Lsn(cut)).unwrap(), begin(cut - 1));
             assert_eq!(log.len(), (n - cut + 1) as usize);
             // Whole-log truncation then continued appends.
-            assert_eq!(log.truncate_until(Lsn(n + 1)), (n - cut + 1) as usize);
+            assert_eq!(
+                log.truncate_until(Lsn(n + 1)).unwrap(),
+                (n - cut + 1) as usize
+            );
             assert!(log.is_empty());
             assert_eq!(log.append(begin(1000)), Lsn(n + 1));
             assert_eq!(*log.read(Lsn(n + 1)).unwrap(), begin(1000));
@@ -1035,7 +1055,7 @@ mod tests {
         }
         // Truncate past the first two chunks without ever flushing:
         // their staged bytes must reach the backend buffer anyway.
-        log.truncate_until(Lsn(n + 1));
+        log.truncate_until(Lsn(n + 1)).unwrap();
         assert!(handle.buffered_len() > 0);
         log.flush().unwrap();
         let recs = handle.durable_records().unwrap();
@@ -1045,5 +1065,37 @@ mod tests {
         for (i, r) in recs.iter().enumerate() {
             assert_eq!(*r, begin(i as u64), "byte order == LSN order");
         }
+    }
+
+    /// Regression: a drain that finds a published slot without its
+    /// staged bytes (a staging-invariant violation) must surface
+    /// `DbError::Internal` to the committer instead of panicking under
+    /// the backend lock — a panic there poisons the group-commit path
+    /// for every later committer.
+    #[test]
+    fn corrupted_staged_slot_errors_instead_of_panicking() {
+        let (backend, handle) = FaultBackend::new(FaultConfig::crash_only(9));
+        let log = LogManager::with_backend_mode(
+            Box::new(backend),
+            WalMode::Group,
+            GroupCommitConfig::default(),
+        );
+        let mut last = Lsn::ZERO;
+        for i in 0..3 {
+            last = log.append(begin(i));
+        }
+        assert!(log.steal_staged_for_test(Lsn(2)).is_some());
+        let Err(err) = log.wait_durable(last) else {
+            panic!("drain over a corrupted slot must fail")
+        };
+        assert!(
+            matches!(err, morph_common::DbError::Internal(ref m) if m.contains("staged")),
+            "got {err:?}"
+        );
+        // The drain stopped at the last good LSN: nothing at or past
+        // the corrupted slot became durable, and the committer saw the
+        // failure rather than a wedged log.
+        assert!(log.durable_lsn() < Lsn(2));
+        assert!(handle.durable_records().unwrap().len() <= 1);
     }
 }

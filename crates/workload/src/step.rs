@@ -147,7 +147,7 @@ impl StepWorkload {
                         self.stats.schema_denied += 1;
                         StepOutcome::SchemaDenied
                     }
-                    other => panic!("unexpected workload error: {other}"),
+                    other => panic!("unexpected workload error: {other}"), // morph-lint: allow(panic, workload driver for tests and sim; an unexpected engine error must fail the run loudly)
                 };
             }
         }
@@ -169,7 +169,7 @@ impl StepWorkload {
                 self.stats.schema_denied += 1;
                 StepOutcome::SchemaDenied
             }
-            Err(other) => panic!("unexpected commit error: {other}"),
+            Err(other) => panic!("unexpected commit error: {other}"), // morph-lint: allow(panic, workload driver for tests and sim; an unexpected engine error must fail the run loudly)
         }
     }
 

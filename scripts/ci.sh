@@ -25,6 +25,12 @@ else
     echo "== cargo clippy unavailable, skipping"
 fi
 
+# In-repo static analysis (DESIGN.md §12): lock-rank order, replay
+# determinism, crash-point registry, panic audit, WAL byte order.
+# Zero findings required; diagnostics are file:line: [pass] message.
+echo "== morph-lint"
+cargo run -q -p morph-lint
+
 if [ "$quick" != "quick" ]; then
     echo "== cargo build --release (tier-1)"
     cargo build --release
