@@ -71,6 +71,22 @@ pub enum DbError {
     /// Internal invariant violated; indicates a bug, not user error.
     Internal(String),
 
+    // --- migration front-end / orchestrator ---
+    /// Declarative migration text failed to parse. `offset` and `len`
+    /// span the offending token in the input (byte offsets), so a
+    /// caller can underline it.
+    ParseError {
+        offset: usize,
+        len: usize,
+        detail: String,
+    },
+    /// A submitted migration touches a table already claimed by a
+    /// running migration job (the orchestrator serializes overlapping
+    /// table sets; disjoint jobs run concurrently).
+    MigrationConflict { table: String, job: u64 },
+    /// Operation on a migration job id the registry does not know.
+    NoSuchMigration(u64),
+
     // --- I/O (WAL file backend) ---
     /// Underlying file I/O failure, stringified (io::Error is not
     /// `Clone`/`PartialEq`, which this enum wants for test ergonomics).
@@ -130,6 +146,19 @@ impl fmt::Display for DbError {
             }
             DbError::TransformationAborted(m) => write!(f, "transformation aborted: {m}"),
             DbError::Internal(m) => write!(f, "internal invariant violated: {m}"),
+            DbError::ParseError {
+                offset,
+                len,
+                detail,
+            } => write!(
+                f,
+                "migration parse error at byte {offset} (span {len}): {detail}"
+            ),
+            DbError::MigrationConflict { table, job } => write!(
+                f,
+                "table {table} is already claimed by running migration job {job}"
+            ),
+            DbError::NoSuchMigration(id) => write!(f, "no such migration job: {id}"),
             DbError::Io(m) => write!(f, "I/O error: {m}"),
             DbError::CorruptLog { offset, detail } => {
                 write!(f, "corrupt log at offset {offset}: {detail}")
@@ -181,6 +210,23 @@ mod tests {
         assert!(DbError::LockTimeout(TxnId(1)).is_fatal_to_txn());
         assert!(!DbError::KeyNotFound("k".into()).is_fatal_to_txn());
         assert!(!DbError::TableFrozen(TableId(1)).is_fatal_to_txn());
+    }
+
+    #[test]
+    fn parse_error_carries_span() {
+        let e = DbError::ParseError {
+            offset: 12,
+            len: 5,
+            detail: "expected INTO".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("12") && s.contains("expected INTO"));
+        assert!(!e.is_fatal_to_txn());
+        assert!(!DbError::MigrationConflict {
+            table: "t".into(),
+            job: 1
+        }
+        .is_fatal_to_txn());
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod baseline;
 pub mod cc;
 pub mod foj;
 pub mod operator;
+pub mod progress;
 pub mod propagate;
 pub mod report;
 pub mod spec;
@@ -59,11 +60,12 @@ pub mod union;
 
 pub use foj::FojMapping;
 pub use operator::{CoalescePolicy, TransformOperator};
+pub use progress::{Progress, ProgressHandle, ProgressPhase};
 pub use report::{IterationStats, PopulationStats, SyncStats, TransformReport};
 pub use spec::{
     FojSpec, NonConvergencePolicy, ParallelConfig, SplitMode, SplitSpec, SyncStrategy,
     TransformOptions,
 };
 pub use split::SplitMapping;
-pub use transform::{TransformHandle, Transformer};
+pub use transform::{TransformHandle, TransformJob, TransformPlan, Transformer};
 pub use union::{UnionMapping, UnionSpec};

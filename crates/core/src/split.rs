@@ -415,6 +415,24 @@ impl SplitMapping {
         }
     }
 
+    /// Advance the S-record's LSN watermark for split value `x` without
+    /// changing its counter or values. Used by rule 9 when the delete's
+    /// subject row was never reflected in R (its insert was swallowed
+    /// by coalescing, or missed by the fuzzy copy): the one-by-one
+    /// schedule would have stamped the shared S-record twice (absorb,
+    /// then release), so the batched schedule must at least stamp once.
+    fn s_stamp(&mut self, ss: &mut WriteSession<'_>, x: &Value, lsn: Lsn) {
+        let key = self.s_key(x);
+        if self.check {
+            self.cc.note_touch(x);
+        }
+        let _ = ss.with_row_mut(&key, |row| {
+            if row.lsn < lsn {
+                row.lsn = lsn;
+            }
+        });
+    }
+
     /// Rule 9's S half: release one contribution under split value `x`.
     fn s_release(&mut self, ss: &mut WriteSession<'_>, x: &Value, lsn: Lsn) -> DbResult<()> {
         let key = self.s_key(x);
@@ -478,7 +496,7 @@ impl SplitMapping {
         }
         match op {
             LogOp::Insert { row, .. } => self.rule8_insert(rs, ss, row, lsn),
-            LogOp::Delete { key, .. } => self.rule9_delete(rs, ss, key, lsn),
+            LogOp::Delete { key, old, .. } => self.rule9_delete(rs, ss, key, old, lsn),
             LogOp::Update { key, new, .. } => self.rule10_11_update(rs, ss, key, new, lsn),
         }
     }
@@ -507,9 +525,21 @@ impl SplitMapping {
         rs: &mut WriteSession<'_>,
         ss: &mut WriteSession<'_>,
         y: &Key,
+        old: &[Value],
         lsn: Lsn,
     ) -> DbResult<()> {
         let Some((rlsn, x)) = self.r_get_in(rs, y) else {
+            // The subject row is not in R — either the fuzzy copy never
+            // saw it, or a coalesced batch swallowed its insert. The
+            // shared S-record (if any) must still observe this delete's
+            // LSN: applied one record at a time, absorb-then-release
+            // both stamp it, so a coalesced run must not leave the
+            // watermark behind. Stamp from the delete's pre-image
+            // without touching counter or values (skipped when the
+            // pre-image is truncated and the split value unknowable).
+            if let Some(x) = old.get(self.split_t).cloned() {
+                self.s_stamp(ss, &x, lsn);
+            }
             return Ok(());
         };
         if rlsn >= lsn {
@@ -801,6 +831,10 @@ enum SEffect {
     Absorb { x: Value, s_vals: Vec<Value> },
     /// Rule 9's S half: one contribution under `x` goes away.
     Release { x: Value },
+    /// Rule 9's absent-subject case: no counter change, but the shared
+    /// S-record's LSN watermark must still advance to the delete's LSN
+    /// (matches the serial path's `s_stamp`).
+    Stamp { x: Value },
     /// Rule 11's non-split branch: dependent-column updates, LSN-gated
     /// against the S-record itself.
     DepUpdate {
@@ -813,7 +847,10 @@ enum SEffect {
 impl SEffect {
     fn split_value(&self) -> &Value {
         match self {
-            SEffect::Absorb { x, .. } | SEffect::Release { x } | SEffect::DepUpdate { x, .. } => x,
+            SEffect::Absorb { x, .. }
+            | SEffect::Release { x }
+            | SEffect::Stamp { x }
+            | SEffect::DepUpdate { x, .. } => x,
         }
     }
 }
@@ -860,8 +897,14 @@ impl SplitMapping {
                 ));
                 Ok(())
             }
-            LogOp::Delete { key, .. } => {
+            LogOp::Delete { key, old, .. } => {
                 let Some((rlsn, x)) = self.r_get_in(rs, key) else {
+                    // Absent subject: defer the watermark stamp so the
+                    // shared S-record still advances to this LSN
+                    // (mirrors the serial path's `s_stamp`).
+                    if let Some(x) = old.get(self.split_t).cloned() {
+                        effects.push((lsn, SEffect::Stamp { x }));
+                    }
                     return Ok(());
                 };
                 if rlsn >= lsn {
@@ -949,6 +992,15 @@ impl SplitMapping {
                 if drop_row == Some(true) {
                     let _ = ss.delete(&key);
                 }
+                Ok(())
+            }
+            SEffect::Stamp { x } => {
+                let key = self.s_key(x);
+                let _ = ss.with_row_mut(&key, |row| {
+                    if row.lsn < lsn {
+                        row.lsn = lsn;
+                    }
+                });
                 Ok(())
             }
             SEffect::DepUpdate {

@@ -16,6 +16,7 @@
 use crate::cc::Readiness;
 use crate::foj::FojMapping;
 use crate::operator::TransformOperator;
+use crate::progress::{Progress, ProgressHandle, ProgressPhase};
 use crate::propagate::Propagator;
 use crate::report::{PopulationStats, TransformReport};
 use crate::spec::{FojSpec, NonConvergencePolicy, SplitMode, SplitSpec, TransformOptions};
@@ -43,6 +44,512 @@ struct Names {
     targets: Vec<String>,
     /// Internal bookkeeping tables (P) to drop at completion.
     internal: Vec<String>,
+}
+
+/// A compiled transformation plan: which operator to run, over which
+/// tables. This is the seam between the declarative migration
+/// front-end (`morph-orchestrator`) and the §3 pipeline — a
+/// declarative `MigrationSpec` compiles down to one plan per stage,
+/// and a plan is everything [`TransformJob::prepare`] needs.
+#[derive(Clone, Debug)]
+pub enum TransformPlan {
+    /// Full outer join of two tables (§4.1).
+    Foj(FojSpec),
+    /// Vertical split with duplicate elimination (§5).
+    Split(SplitSpec),
+    /// Horizontal merge of two same-schema tables.
+    Union(UnionSpec),
+}
+
+impl TransformPlan {
+    /// Source tables the plan reads (and freezes at synchronization).
+    pub fn source_tables(&self) -> Vec<String> {
+        match self {
+            TransformPlan::Foj(s) => vec![s.r_table.clone(), s.s_table.clone()],
+            TransformPlan::Split(s) => vec![s.source.clone()],
+            TransformPlan::Union(s) => vec![s.r_table.clone(), s.s_table.clone()],
+        }
+    }
+
+    /// Target tables the plan creates (or renames into).
+    pub fn target_tables(&self) -> Vec<String> {
+        match self {
+            TransformPlan::Foj(s) => vec![s.target.clone()],
+            TransformPlan::Split(s) => vec![s.r_target.clone(), s.s_target.clone()],
+            TransformPlan::Union(s) => vec![s.target.clone()],
+        }
+    }
+
+    /// Every table name the plan touches — the conflict-detection set
+    /// used by the orchestrator's job registry.
+    pub fn tables(&self) -> Vec<String> {
+        let mut all = self.source_tables();
+        all.extend(self.target_tables());
+        all
+    }
+
+    /// Prepare the operator (creates target tables) and collect the
+    /// name sets used for cleanup and final drops.
+    fn prepare_operator(
+        &self,
+        db: &Arc<Database>,
+    ) -> DbResult<(Box<dyn TransformOperator>, Names)> {
+        match self {
+            TransformPlan::Foj(spec) => {
+                let mapping = FojMapping::prepare(db, spec)?;
+                let names = Names {
+                    sources: vec![spec.r_table.clone(), spec.s_table.clone()],
+                    targets: vec![spec.target.clone()],
+                    internal: vec![],
+                };
+                Ok((Box::new(mapping), names))
+            }
+            TransformPlan::Split(spec) => {
+                let mapping = SplitMapping::prepare(db, spec)?;
+                let (targets, internal) = match spec.mode {
+                    SplitMode::SeparateR => {
+                        (vec![spec.r_target.clone(), spec.s_target.clone()], vec![])
+                    }
+                    SplitMode::RenameInPlace => (
+                        vec![spec.s_target.clone()],
+                        vec![format!("__morph_p_{}", spec.source)],
+                    ),
+                };
+                let names = Names {
+                    sources: vec![spec.source.clone()],
+                    targets,
+                    internal,
+                };
+                Ok((Box::new(mapping), names))
+            }
+            TransformPlan::Union(spec) => {
+                let mapping = UnionMapping::prepare(db, spec)?;
+                let names = Names {
+                    sources: vec![spec.r_table.clone(), spec.s_table.clone()],
+                    targets: vec![spec.target.clone()],
+                    internal: vec![],
+                };
+                Ok((Box::new(mapping), names))
+            }
+        }
+    }
+}
+
+/// A transformation broken into its §3 phases, each a separate method,
+/// so a driver (the synchronous [`Transformer`] wrappers or the
+/// crash-recoverable orchestrator) can persist state between phases,
+/// pause between propagation iterations, and publish live progress.
+///
+/// The phase sequence is `prepare → copy → propagate → synchronize →
+/// finish`; each method performs exactly the cleanup the monolithic
+/// driver used to perform on its error paths (targets dropped before
+/// synchronization, only the lock interceptor removed after).
+pub struct TransformJob {
+    db: Arc<Database>,
+    oper: Box<dyn TransformOperator>,
+    options: TransformOptions,
+    names: Names,
+    report: TransformReport,
+    t0: Instant,
+    deadline: Option<Instant>,
+    prop: Option<Propagator>,
+    log_guard: Option<morph_engine::LogProtection>,
+    interceptor_token: Option<u64>,
+    progress: Arc<Progress>,
+    synced: bool,
+}
+
+impl TransformJob {
+    /// Compile and prepare a plan: creates target tables and returns a
+    /// job parked before the copy phase.
+    pub fn prepare(
+        db: &Arc<Database>,
+        plan: &TransformPlan,
+        options: TransformOptions,
+    ) -> DbResult<TransformJob> {
+        Self::prepare_with_progress(db, plan, options, Progress::new())
+    }
+
+    /// Like [`TransformJob::prepare`], but publishing into
+    /// caller-supplied counters — a multi-stage migration threads one
+    /// [`Progress`] through all its stages so observers see a single
+    /// continuous stream.
+    pub fn prepare_with_progress(
+        db: &Arc<Database>,
+        plan: &TransformPlan,
+        options: TransformOptions,
+        progress: Arc<Progress>,
+    ) -> DbResult<TransformJob> {
+        // morph-lint: allow(nondet, phase timing stats for the report; wall time never enters table or WAL state)
+        let t0 = Instant::now();
+        let (oper, names) = plan.prepare_operator(db)?;
+        let prepare = t0.elapsed();
+        let deadline = options.deadline.map(|d| t0 + d);
+        progress.set_phase(ProgressPhase::Preparing);
+        Ok(TransformJob {
+            db: Arc::clone(db),
+            oper,
+            options,
+            names,
+            report: TransformReport {
+                prepare,
+                ..Default::default()
+            },
+            t0,
+            deadline,
+            prop: None,
+            log_guard: None,
+            interceptor_token: None,
+            progress,
+            synced: false,
+        })
+    }
+
+    /// Cheap read-only view of the job's live counters; safe to poll
+    /// from any thread without touching engine locks.
+    pub fn progress(&self) -> ProgressHandle {
+        ProgressHandle::new(Arc::clone(&self.progress))
+    }
+
+    /// Whether synchronization has completed (targets are published;
+    /// aborting must no longer delete them).
+    pub fn synced(&self) -> bool {
+        self.synced
+    }
+
+    /// Target tables this job creates.
+    pub fn target_names(&self) -> &[String] {
+        &self.names.targets
+    }
+
+    /// Source tables this job reads.
+    pub fn source_names(&self) -> &[String] {
+        &self.names.sources
+    }
+
+    /// Initial fuzzy population (§3.2): writes the fuzzy mark, pins the
+    /// log at the propagation cursor and copies the sources.
+    pub fn copy(&mut self) -> DbResult<()> {
+        self.progress.set_phase(ProgressPhase::Copying);
+        if let Err(e) = self.db.crash_point("transform.prepared") {
+            self.cleanup();
+            return Err(e);
+        }
+        // morph-lint: allow(nondet, phase timing stats for the report; wall time never enters table or WAL state)
+        let p0 = Instant::now();
+        let (_, start_lsn, _) = self.db.write_fuzzy_mark();
+        self.prop = Some(
+            Propagator::new(&self.db, start_lsn, self.options.priority)
+                .with_parallel(self.options.parallel),
+        );
+        // Pin the log at our cursor so concurrent truncation (memory
+        // reclamation on long-running systems) never outruns us; the
+        // guard self-releases on every exit path.
+        self.log_guard = Some(self.db.protect_log(start_lsn));
+        let populated = if self.options.parallel.copy_workers > 1 {
+            self.oper.populate_parallel(
+                &self.db,
+                self.options.population_chunk,
+                self.options.parallel.copy_workers,
+                self.options.priority,
+            )
+        } else {
+            self.oper.populate(&self.db, self.options.population_chunk)
+        };
+        let (rows_read, rows_written) = match populated {
+            Ok(v) => v,
+            Err(e) => {
+                self.cleanup();
+                return Err(e);
+            }
+        };
+        if let Err(e) = self.db.crash_point("transform.populated") {
+            self.cleanup();
+            return Err(e);
+        }
+        self.report.population = PopulationStats {
+            duration: p0.elapsed(),
+            rows_read,
+            rows_written,
+        };
+        self.progress.set_rows_copied(rows_written);
+        Ok(())
+    }
+
+    /// Log propagation + convergence analysis loop (§3.3). `pause`
+    /// parks the job between iterations without releasing anything;
+    /// the deadline clock keeps ticking while parked.
+    pub fn propagate(&mut self, abort: &AtomicBool, pause: Option<&AtomicBool>) -> DbResult<()> {
+        self.progress.set_phase(ProgressPhase::Propagating);
+        let mut prev_backlog = usize::MAX;
+        let mut growth_streak = 0u32;
+        loop {
+            // Live pause gate: the orchestrator parks the job between
+            // iterations; abort still wins while parked.
+            while pause.is_some_and(|p| p.load(Ordering::Relaxed)) {
+                if abort.load(Ordering::Relaxed) {
+                    self.cleanup();
+                    return Err(DbError::TransformationAborted("aborted by request".into()));
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            // Crash-simulation point *between* propagation iterations.
+            if let Err(e) = self.db.crash_point("transform.iteration") {
+                self.cleanup();
+                return Err(e);
+            }
+            if abort.load(Ordering::Relaxed) {
+                self.cleanup();
+                return Err(DbError::TransformationAborted("aborted by request".into()));
+            }
+            // morph-lint: allow(nondet, operator deadline guard; wall-time bound on total runtime, never replayed state)
+            if self.deadline.is_some_and(|d| Instant::now() > d) {
+                self.cleanup();
+                return Err(DbError::TransformationAborted(
+                    "wall-clock deadline exceeded during propagation".into(),
+                ));
+            }
+            let iterated = {
+                let TransformJob {
+                    db,
+                    oper,
+                    prop,
+                    options,
+                    ..
+                } = &mut *self;
+                let Some(prop) = prop.as_mut() else {
+                    return Err(DbError::Internal("propagate before copy".into()));
+                };
+                prop.iterate(
+                    db,
+                    &mut **oper,
+                    options.batch_size,
+                    options.cc_interval,
+                    abort,
+                )
+            };
+            let stats = match iterated {
+                Ok(s) => s,
+                Err(e) => {
+                    self.cleanup();
+                    return Err(e);
+                }
+            };
+            let backlog = stats.backlog_after;
+            self.progress.add_records(stats.records);
+            self.progress.set_backlog(backlog);
+            self.progress.add_iteration();
+            self.report.iterations.push(stats);
+            // Advance the truncation horizon and reclaim log memory the
+            // workload no longer needs (bounded-memory operation; the
+            // §3.3 background process may run for a long time). The
+            // reclamation itself is amortized: it briefly blocks
+            // transaction admission and memmoves the retained log, so
+            // it only runs once a sizable span has accumulated.
+            self.advance_truncation()?;
+
+            let readiness = self.oper.readiness();
+            if backlog <= self.options.sync_threshold {
+                match readiness {
+                    Readiness::Ready => break,
+                    Readiness::Inconsistent { keys } => {
+                        // Caught up, but the data itself contradicts the
+                        // functional dependency (paper Example 1).
+                        if self.report.iterations.len() as u32 >= self.options.max_iterations {
+                            self.cleanup();
+                            return Err(DbError::InconsistentSplitData {
+                                key: format!("{keys:?}"),
+                                detail: "contributing rows disagree; repair the source data".into(),
+                            });
+                        }
+                    }
+                    Readiness::Pending { .. } => {}
+                }
+            }
+
+            // Convergence analysis (§3.3): if the backlog refuses to
+            // shrink, the workload outruns the propagator at this
+            // priority.
+            if backlog > self.options.sync_threshold && backlog >= prev_backlog {
+                growth_streak += 1;
+            } else {
+                growth_streak = 0;
+            }
+            prev_backlog = backlog;
+            let exhausted = self.report.iterations.len() as u32 >= self.options.max_iterations;
+            if growth_streak >= 5 || exhausted {
+                let priority = self.prop.as_ref().map_or(1.0, |p| p.priority());
+                match self.options.non_convergence {
+                    NonConvergencePolicy::Escalate { factor } if priority < 1.0 => {
+                        if let Some(p) = self.prop.as_mut() {
+                            p.escalate(factor);
+                        }
+                        growth_streak = 0;
+                    }
+                    _ => {
+                        self.cleanup();
+                        return Err(DbError::CannotConverge {
+                            iterations: self.report.iterations.len() as u32,
+                            backlog,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Synchronization (§3.4): freeze sources under the configured
+    /// strategy and publish the targets.
+    pub fn synchronize(&mut self) -> DbResult<()> {
+        self.progress.set_phase(ProgressPhase::Syncing);
+        if let Err(e) = self.db.crash_point("transform.pre_sync") {
+            self.cleanup();
+            return Err(e);
+        }
+        let synced = {
+            let TransformJob {
+                db,
+                oper,
+                prop,
+                options,
+                ..
+            } = &mut *self;
+            let Some(prop) = prop.as_mut() else {
+                return Err(DbError::Internal("synchronize before copy".into()));
+            };
+            synchronize(db, &mut **oper, prop, options)
+        };
+        let outcome = match synced {
+            Ok(o) => o,
+            Err(e) => {
+                self.cleanup();
+                return Err(e);
+            }
+        };
+        self.report.sync = outcome.stats;
+        self.interceptor_token = outcome.interceptor_token;
+        self.synced = true;
+        // Post-sync crash point: targets are published; the abort path
+        // must no longer delete them, only drop the interceptor.
+        if let Err(e) = self.db.crash_point("transform.synced") {
+            self.remove_interceptor();
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Post-synchronization propagation (drain grandfathered
+    /// transactions), final catalog cleanup and cutover. Returns the
+    /// complete report; the job's only remaining use afterwards is its
+    /// progress handle.
+    pub fn finish(&mut self, abort: &AtomicBool) -> DbResult<TransformReport> {
+        // morph-lint: allow(nondet, phase timing stats for the report; wall time never enters table or WAL state)
+        let post0 = Instant::now();
+        let post_deadline = self
+            .deadline
+            .unwrap_or_else(|| post0 + Duration::from_secs(60));
+        while self.prop.as_ref().is_some_and(|p| p.outstanding() > 0) {
+            // morph-lint: allow(nondet, operator deadline guard; wall-time bound on total runtime, never replayed state)
+            if Instant::now() > post_deadline {
+                let outstanding = self.prop.as_ref().map_or(0, |p| p.outstanding());
+                self.remove_interceptor();
+                return Err(DbError::TransformationAborted(format!(
+                    "{outstanding} grandfathered transactions did not finish in time"
+                )));
+            }
+            let stats = {
+                let TransformJob {
+                    db,
+                    oper,
+                    prop,
+                    options,
+                    ..
+                } = &mut *self;
+                let Some(prop) = prop.as_mut() else {
+                    return Err(DbError::Internal("finish before copy".into()));
+                };
+                prop.iterate(
+                    db,
+                    &mut **oper,
+                    options.batch_size,
+                    options.cc_interval,
+                    abort,
+                )?
+            };
+            self.report.post_records += stats.records;
+            self.progress.add_records(stats.records);
+            self.advance_truncation()?;
+            if stats.records == 0 {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+        self.remove_interceptor();
+        self.report.post_duration = post0.elapsed();
+        self.db.crash_point("transform.finalizing")?;
+
+        // --- final catalog cleanup ---
+        for name in &self.names.internal {
+            let _ = self.db.catalog().drop_table(name);
+        }
+        // Final schema surgery — a rename-in-place split projects the
+        // dependent columns away now that no old transaction can touch
+        // them (briefly latches R); a no-op for the other operators.
+        self.oper.finalize(&self.db)?;
+        if !self.options.retain_sources {
+            for name in &self.names.sources {
+                // Blocking commit (or a rename) may already have
+                // removed the name.
+                let _ = self.db.catalog().drop_table(name);
+            }
+        }
+        self.report.cc_rounds = self.oper.cc_rounds();
+        self.report.total = self.t0.elapsed();
+        self.progress.set_phase(ProgressPhase::CutOver);
+        // Release the log pin and propagation state; the report is the
+        // job's final product.
+        self.log_guard = None;
+        self.prop = None;
+        Ok(std::mem::take(&mut self.report))
+    }
+
+    /// Abort-path cleanup: "log propagation is stopped, and the
+    /// transformed tables are deleted" (§6). Sources were never frozen
+    /// before synchronization, so nothing else needs undoing. After
+    /// synchronization the targets are published and survive; only the
+    /// interceptor would remain to remove (and it is removed on the
+    /// post-sync error paths directly).
+    pub fn cleanup(&self) {
+        if self.synced {
+            return;
+        }
+        for name in self.names.targets.iter().chain(&self.names.internal) {
+            let _ = self.db.catalog().drop_table(name);
+        }
+        self.progress.set_phase(ProgressPhase::Aborted);
+    }
+
+    fn remove_interceptor(&mut self) {
+        if let Some(tok) = self.interceptor_token.take() {
+            self.db.remove_interceptor(tok);
+        }
+    }
+
+    /// Advance the log-truncation horizon to the propagation cursor and
+    /// reclaim the span behind it once large enough.
+    fn advance_truncation(&mut self) -> DbResult<()> {
+        let Some(prop) = self.prop.as_ref() else {
+            return Ok(());
+        };
+        let cursor = prop.cursor_lsn();
+        if let Some(guard) = &self.log_guard {
+            guard.update(cursor);
+        }
+        if cursor.0.saturating_sub(self.db.log().truncated_until().0) > TRUNCATE_SPAN {
+            self.db.truncate_log()?;
+        }
+        Ok(())
+    }
 }
 
 impl Transformer {
@@ -94,16 +601,7 @@ impl Transformer {
         options: TransformOptions,
         abort: &AtomicBool,
     ) -> DbResult<TransformReport> {
-        // morph-lint: allow(nondet, phase timing stats for the report; wall time never enters table or WAL state)
-        let t0 = Instant::now();
-        let mapping = UnionMapping::prepare(db, &spec)?;
-        let prepare = t0.elapsed();
-        let names = Names {
-            sources: vec![spec.r_table.clone(), spec.s_table.clone()],
-            targets: vec![spec.target.clone()],
-            internal: vec![],
-        };
-        Self::drive(db, Box::new(mapping), options, abort, t0, prepare, names)
+        Self::run_plan(db, &TransformPlan::Union(spec), options, abort)
     }
 
     /// Spawn a FOJ transformation on a background thread.
@@ -136,16 +634,7 @@ impl Transformer {
         options: TransformOptions,
         abort: &AtomicBool,
     ) -> DbResult<TransformReport> {
-        // morph-lint: allow(nondet, phase timing stats for the report; wall time never enters table or WAL state)
-        let t0 = Instant::now();
-        let mapping = FojMapping::prepare(db, &spec)?;
-        let prepare = t0.elapsed();
-        let names = Names {
-            sources: vec![spec.r_table.clone(), spec.s_table.clone()],
-            targets: vec![spec.target.clone()],
-            internal: vec![],
-        };
-        Self::drive(db, Box::new(mapping), options, abort, t0, prepare, names)
+        Self::run_plan(db, &TransformPlan::Foj(spec), options, abort)
     }
 
     fn run_split_with(
@@ -154,271 +643,23 @@ impl Transformer {
         options: TransformOptions,
         abort: &AtomicBool,
     ) -> DbResult<TransformReport> {
-        // morph-lint: allow(nondet, phase timing stats for the report; wall time never enters table or WAL state)
-        let t0 = Instant::now();
-        let mapping = SplitMapping::prepare(db, &spec)?;
-        let prepare = t0.elapsed();
-        let (targets, internal) = match spec.mode {
-            SplitMode::SeparateR => (vec![spec.r_target.clone(), spec.s_target.clone()], vec![]),
-            SplitMode::RenameInPlace => (
-                vec![spec.s_target.clone()],
-                vec![format!("__morph_p_{}", spec.source)],
-            ),
-        };
-        let names = Names {
-            sources: vec![spec.source.clone()],
-            targets,
-            internal,
-        };
-        Self::drive(db, Box::new(mapping), options, abort, t0, prepare, names)
+        Self::run_plan(db, &TransformPlan::Split(spec), options, abort)
     }
 
-    /// The common four-step driver, generic over the operator.
-    fn drive(
+    /// Run a compiled [`TransformPlan`] through all phases on the
+    /// current thread — the synchronous equivalent of what the
+    /// orchestrator drives one persisted phase at a time.
+    pub fn run_plan(
         db: &Arc<Database>,
-        mut oper: Box<dyn TransformOperator>,
+        plan: &TransformPlan,
         options: TransformOptions,
         abort: &AtomicBool,
-        t0: Instant,
-        prepare: Duration,
-        names: Names,
     ) -> DbResult<TransformReport> {
-        let mut report = TransformReport {
-            prepare,
-            ..Default::default()
-        };
-        let deadline = options.deadline.map(|d| t0 + d);
-        let cleanup = |db: &Database| Self::cleanup(db, &names);
-
-        // --- initial population (§3.2) ---
-        if let Err(e) = db.crash_point("transform.prepared") {
-            cleanup(db);
-            return Err(e);
-        }
-        // morph-lint: allow(nondet, phase timing stats for the report; wall time never enters table or WAL state)
-        let p0 = Instant::now();
-        let (_, start_lsn, _) = db.write_fuzzy_mark();
-        let mut prop =
-            Propagator::new(db, start_lsn, options.priority).with_parallel(options.parallel);
-        // Pin the log at our cursor so concurrent truncation (memory
-        // reclamation on long-running systems) never outruns us; the
-        // guard self-releases on every exit path.
-        let log_guard = db.protect_log(start_lsn);
-        let populated = if options.parallel.copy_workers > 1 {
-            oper.populate_parallel(
-                db,
-                options.population_chunk,
-                options.parallel.copy_workers,
-                options.priority,
-            )
-        } else {
-            oper.populate(db, options.population_chunk)
-        };
-        let (rows_read, rows_written) = match populated {
-            Ok(v) => v,
-            Err(e) => {
-                cleanup(db);
-                return Err(e);
-            }
-        };
-        if let Err(e) = db.crash_point("transform.populated") {
-            cleanup(db);
-            return Err(e);
-        }
-        report.population = PopulationStats {
-            duration: p0.elapsed(),
-            rows_read,
-            rows_written,
-        };
-
-        // --- log propagation + analysis loop (§3.3) ---
-        let mut prev_backlog = usize::MAX;
-        let mut growth_streak = 0u32;
-        loop {
-            // Crash-simulation point *between* propagation iterations.
-            if let Err(e) = db.crash_point("transform.iteration") {
-                cleanup(db);
-                return Err(e);
-            }
-            if abort.load(Ordering::Relaxed) {
-                cleanup(db);
-                return Err(DbError::TransformationAborted("aborted by request".into()));
-            }
-            // morph-lint: allow(nondet, operator deadline guard; wall-time bound on total runtime, never replayed state)
-            if deadline.is_some_and(|d| Instant::now() > d) {
-                cleanup(db);
-                return Err(DbError::TransformationAborted(
-                    "wall-clock deadline exceeded during propagation".into(),
-                ));
-            }
-            let stats = match prop.iterate(
-                db,
-                &mut *oper,
-                options.batch_size,
-                options.cc_interval,
-                abort,
-            ) {
-                Ok(s) => s,
-                Err(e) => {
-                    cleanup(db);
-                    return Err(e);
-                }
-            };
-            let backlog = stats.backlog_after;
-            report.iterations.push(stats);
-            // Advance the truncation horizon and reclaim log memory the
-            // workload no longer needs (bounded-memory operation; the
-            // §3.3 background process may run for a long time). The
-            // reclamation itself is amortized: it briefly blocks
-            // transaction admission and memmoves the retained log, so
-            // it only runs once a sizable span has accumulated.
-            log_guard.update(prop.cursor_lsn());
-            if prop
-                .cursor_lsn()
-                .0
-                .saturating_sub(db.log().truncated_until().0)
-                > TRUNCATE_SPAN
-            {
-                db.truncate_log()?;
-            }
-
-            let readiness = oper.readiness();
-            if backlog <= options.sync_threshold {
-                match readiness {
-                    Readiness::Ready => break,
-                    Readiness::Inconsistent { keys } => {
-                        // Caught up, but the data itself contradicts the
-                        // functional dependency (paper Example 1).
-                        if report.iterations.len() as u32 >= options.max_iterations {
-                            cleanup(db);
-                            return Err(DbError::InconsistentSplitData {
-                                key: format!("{keys:?}"),
-                                detail: "contributing rows disagree; repair the source data".into(),
-                            });
-                        }
-                    }
-                    Readiness::Pending { .. } => {}
-                }
-            }
-
-            // Convergence analysis (§3.3): if the backlog refuses to
-            // shrink, the workload outruns the propagator at this
-            // priority.
-            if backlog > options.sync_threshold && backlog >= prev_backlog {
-                growth_streak += 1;
-            } else {
-                growth_streak = 0;
-            }
-            prev_backlog = backlog;
-            let exhausted = report.iterations.len() as u32 >= options.max_iterations;
-            if growth_streak >= 5 || exhausted {
-                match options.non_convergence {
-                    NonConvergencePolicy::Escalate { factor } if prop.priority() < 1.0 => {
-                        prop.escalate(factor);
-                        growth_streak = 0;
-                    }
-                    _ => {
-                        cleanup(db);
-                        return Err(DbError::CannotConverge {
-                            iterations: report.iterations.len() as u32,
-                            backlog,
-                        });
-                    }
-                }
-            }
-        }
-
-        // --- synchronization (§3.4) ---
-        if let Err(e) = db.crash_point("transform.pre_sync") {
-            cleanup(db);
-            return Err(e);
-        }
-        let outcome = match synchronize(db, &mut *oper, &mut prop, &options) {
-            Ok(o) => o,
-            Err(e) => {
-                cleanup(db);
-                return Err(e);
-            }
-        };
-        report.sync = outcome.stats;
-        // Post-sync crash point: targets are published; the abort path
-        // must no longer delete them, only drop the interceptor.
-        if let Err(e) = db.crash_point("transform.synced") {
-            if let Some(tok) = outcome.interceptor_token {
-                db.remove_interceptor(tok);
-            }
-            return Err(e);
-        }
-
-        // --- post-synchronization propagation ---
-        // morph-lint: allow(nondet, phase timing stats for the report; wall time never enters table or WAL state)
-        let post0 = Instant::now();
-        let post_deadline = deadline.unwrap_or_else(|| post0 + Duration::from_secs(60));
-        while prop.outstanding() > 0 {
-            // morph-lint: allow(nondet, operator deadline guard; wall-time bound on total runtime, never replayed state)
-            if Instant::now() > post_deadline {
-                if let Some(tok) = outcome.interceptor_token {
-                    db.remove_interceptor(tok);
-                }
-                return Err(DbError::TransformationAborted(format!(
-                    "{} grandfathered transactions did not finish in time",
-                    prop.outstanding()
-                )));
-            }
-            let stats = prop.iterate(
-                db,
-                &mut *oper,
-                options.batch_size,
-                options.cc_interval,
-                abort,
-            )?;
-            report.post_records += stats.records;
-            log_guard.update(prop.cursor_lsn());
-            if prop
-                .cursor_lsn()
-                .0
-                .saturating_sub(db.log().truncated_until().0)
-                > TRUNCATE_SPAN
-            {
-                db.truncate_log()?;
-            }
-            if stats.records == 0 {
-                std::thread::sleep(Duration::from_micros(200));
-            }
-        }
-        if let Some(tok) = outcome.interceptor_token {
-            db.remove_interceptor(tok);
-        }
-        report.post_duration = post0.elapsed();
-        db.crash_point("transform.finalizing")?;
-
-        // --- final catalog cleanup ---
-        for name in &names.internal {
-            let _ = db.catalog().drop_table(name);
-        }
-        // Final schema surgery — a rename-in-place split projects the
-        // dependent columns away now that no old transaction can touch
-        // them (briefly latches R); a no-op for the other operators.
-        oper.finalize(db)?;
-        if !options.retain_sources {
-            for name in &names.sources {
-                // Blocking commit (or a rename) may already have
-                // removed the name.
-                let _ = db.catalog().drop_table(name);
-            }
-        }
-        report.cc_rounds = oper.cc_rounds();
-        report.total = t0.elapsed();
-        Ok(report)
-    }
-
-    /// Abort-path cleanup: "log propagation is stopped, and the
-    /// transformed tables are deleted" (§6). Sources were never frozen
-    /// before synchronization, so nothing else needs undoing.
-    fn cleanup(db: &Database, names: &Names) {
-        for name in names.targets.iter().chain(&names.internal) {
-            let _ = db.catalog().drop_table(name);
-        }
+        let mut job = TransformJob::prepare(db, plan, options)?;
+        job.copy()?;
+        job.propagate(abort, None)?;
+        job.synchronize()?;
+        job.finish(abort)
     }
 }
 
@@ -748,6 +989,73 @@ mod tests {
         db.update(txn, "R", &Key::single(0), &[(1, Value::str("after"))])
             .unwrap();
         db.commit(txn).unwrap();
+    }
+
+    #[test]
+    fn phase_methods_drive_a_foj_end_to_end() {
+        let db = db_with_sources(80, 8);
+        let plan = TransformPlan::Foj(FojSpec::new("R", "S", "T", "c", "c"));
+        assert_eq!(plan.source_tables(), vec!["R", "S"]);
+        assert_eq!(plan.target_tables(), vec!["T"]);
+        let mut job = TransformJob::prepare(&db, &plan, opts()).unwrap();
+        let h = job.progress();
+        assert_eq!(h.phase(), ProgressPhase::Preparing);
+        let abort = AtomicBool::new(false);
+        job.copy().unwrap();
+        assert!(h.rows_copied() >= 80);
+        job.propagate(&abort, None).unwrap();
+        assert!(h.iterations() >= 1);
+        assert!(!job.synced());
+        job.synchronize().unwrap();
+        assert!(job.synced());
+        let report = job.finish(&abort).unwrap();
+        assert_eq!(h.phase(), ProgressPhase::CutOver);
+        assert!(report.total > Duration::ZERO);
+        assert_eq!(db.catalog().get("T").unwrap().len(), 80);
+    }
+
+    #[test]
+    fn pause_parks_propagation_until_released() {
+        let db = db_with_sources(60, 6);
+        let plan = TransformPlan::Foj(FojSpec::new("R", "S", "T", "c", "c"));
+        let mut job = TransformJob::prepare(&db, &plan, opts()).unwrap();
+        let h = job.progress();
+        let abort = AtomicBool::new(false);
+        job.copy().unwrap();
+        let pause = Arc::new(AtomicBool::new(true));
+        let p2 = Arc::clone(&pause);
+        let releaser = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(120));
+            p2.store(false, Ordering::Relaxed);
+        });
+        let t0 = Instant::now();
+        job.propagate(&abort, Some(&pause)).unwrap();
+        // The gate must have parked us until the releaser fired.
+        assert!(t0.elapsed() >= Duration::from_millis(100));
+        releaser.join().unwrap();
+        job.synchronize().unwrap();
+        job.finish(&abort).unwrap();
+        assert_eq!(h.phase(), ProgressPhase::CutOver);
+    }
+
+    #[test]
+    fn abort_wins_while_paused_and_cleans_targets() {
+        let db = db_with_sources(30, 3);
+        let plan = TransformPlan::Foj(FojSpec::new("R", "S", "T", "c", "c"));
+        let mut job = TransformJob::prepare(&db, &plan, opts()).unwrap();
+        job.copy().unwrap();
+        let abort = Arc::new(AtomicBool::new(false));
+        let pause = Arc::new(AtomicBool::new(true));
+        let a2 = Arc::clone(&abort);
+        let aborter = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(40));
+            a2.store(true, Ordering::Relaxed);
+        });
+        let err = job.propagate(&abort, Some(&pause)).unwrap_err();
+        aborter.join().unwrap();
+        assert!(matches!(err, DbError::TransformationAborted(_)));
+        assert!(!db.catalog().exists("T"), "abort path must drop targets");
+        assert!(db.catalog().exists("R") && db.catalog().exists("S"));
     }
 
     #[test]

@@ -31,6 +31,7 @@
 
 use crate::counters::Counters;
 use crate::interceptor::OpInterceptor;
+use crate::migrations::MigrationRegistry;
 use crate::registry::{TxnCell, TxnRegistry};
 use morph_common::{DbError, DbResult, Key, Lsn, Schema, TxnId, Value};
 use morph_storage::{Catalog, Table};
@@ -133,6 +134,9 @@ pub struct Database {
     next_protection: AtomicU64,
     crash_hook: RwLock<Option<Arc<dyn CrashHook>>>,
     has_crash_hook: AtomicBool,
+    /// Table claims of running migration jobs (orchestrator conflict
+    /// detection).
+    migrations: MigrationRegistry,
 }
 
 impl Default for Database {
@@ -164,6 +168,7 @@ impl Database {
             next_protection: AtomicU64::new(1),
             crash_hook: RwLock::new(None),
             has_crash_hook: AtomicBool::new(false),
+            migrations: MigrationRegistry::new(),
         }
     }
 
@@ -223,6 +228,12 @@ impl Database {
     /// Engine activity counters.
     pub fn counters(&self) -> &Counters {
         &self.counters
+    }
+
+    /// Table claims of running migration jobs (see
+    /// [`MigrationRegistry`]).
+    pub fn migrations(&self) -> &MigrationRegistry {
+        &self.migrations
     }
 
     /// Convenience: create a table.

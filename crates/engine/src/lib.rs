@@ -23,10 +23,12 @@
 pub mod counters;
 pub mod database;
 pub mod interceptor;
+pub mod migrations;
 pub mod recovery;
 pub mod registry;
 
 pub use counters::Counters;
 pub use database::{CrashHook, Database, LogProtection, PlannedOp};
 pub use interceptor::OpInterceptor;
+pub use migrations::MigrationRegistry;
 pub use recovery::{recover_into, RecoveryReport};

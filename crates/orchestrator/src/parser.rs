@@ -1,0 +1,455 @@
+//! Parser for the tiny declarative `ALTER TABLE` dialect.
+//!
+//! Grammar (keywords case-insensitive, statements `;`-separated, a
+//! trailing `;` is allowed):
+//!
+//! ```text
+//! stmt   := split | join | union
+//! split  := ALTER TABLE t SPLIT INTO r "(" cols ")"
+//!           AND s "(" split_col "->" cols ")"
+//!           [IN PLACE] [CHECK CONSISTENCY]
+//! join   := ALTER TABLE r JOIN s INTO t ON r "." col "=" s "." col
+//!           [MANY TO MANY]
+//! union  := ALTER TABLE r UNION s INTO t
+//! cols   := ident ("," ident)*
+//! ident  := [A-Za-z_][A-Za-z0-9_]*
+//! ```
+//!
+//! Every failure is a structured [`DbError::ParseError`] carrying the
+//! byte offset and length of the offending token so callers can
+//! underline it; malformed input never panics (property-tested over
+//! mangled inputs in `tests/parser_errors.rs`).
+
+use crate::spec::MigrationSpec;
+use morph_common::{DbError, DbResult};
+use morph_core::{FojSpec, SplitSpec, TransformPlan};
+
+/// One lexed token with its byte span in the input.
+#[derive(Clone, Debug, PartialEq)]
+struct Token {
+    kind: Tok,
+    offset: usize,
+    len: usize,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    /// Identifier or keyword (case preserved; keyword match is
+    /// case-insensitive).
+    Ident(String),
+    /// `( ) , ; . =`
+    Punct(char),
+    /// `->`
+    Arrow,
+}
+
+fn err(offset: usize, len: usize, detail: impl Into<String>) -> DbError {
+    DbError::ParseError {
+        offset,
+        len,
+        detail: detail.into(),
+    }
+}
+
+/// Lex `text` into tokens. Only ASCII identifiers, the listed
+/// punctuation and whitespace are legal; anything else is reported
+/// with its byte offset.
+fn lex(text: &str) -> DbResult<Vec<Token>> {
+    let bytes = text.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        if b == b'-' {
+            if bytes.get(i + 1) == Some(&b'>') {
+                toks.push(Token {
+                    kind: Tok::Arrow,
+                    offset: i,
+                    len: 2,
+                });
+                i += 2;
+                continue;
+            }
+            return Err(err(i, 1, "expected '->' after '-'"));
+        }
+        if matches!(b, b'(' | b')' | b',' | b';' | b'.' | b'=') {
+            toks.push(Token {
+                kind: Tok::Punct(b as char),
+                offset: i,
+                len: 1,
+            });
+            i += 1;
+            continue;
+        }
+        if b.is_ascii_alphabetic() || b == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            let word = text.get(start..i).unwrap_or_default();
+            toks.push(Token {
+                kind: Tok::Ident(word.to_owned()),
+                offset: start,
+                len: i - start,
+            });
+            continue;
+        }
+        return Err(err(i, 1, format!("unexpected character 0x{b:02x}")));
+    }
+    Ok(toks)
+}
+
+/// Token-stream cursor with span-carrying error helpers.
+struct Parser<'a> {
+    toks: &'a [Token],
+    pos: usize,
+    /// End-of-input offset for errors past the last token.
+    end: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&'a Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<&'a Token> {
+        let t = self.toks.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eof_err(&self, what: &str) -> DbError {
+        err(self.end, 0, format!("unexpected end of input: {what}"))
+    }
+
+    /// Consume an identifier (non-keyword position).
+    fn ident(&mut self, what: &str) -> DbResult<String> {
+        match self.next() {
+            Some(Token {
+                kind: Tok::Ident(s),
+                ..
+            }) => Ok(s.clone()),
+            Some(t) => Err(err(t.offset, t.len, format!("expected {what}"))),
+            None => Err(self.eof_err(what)),
+        }
+    }
+
+    /// Consume the given keyword (case-insensitive).
+    fn keyword(&mut self, kw: &str) -> DbResult<()> {
+        match self.next() {
+            Some(Token {
+                kind: Tok::Ident(s),
+                ..
+            }) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            Some(t) => Err(err(t.offset, t.len, format!("expected {kw}"))),
+            None => Err(self.eof_err(kw)),
+        }
+    }
+
+    /// Whether the next token is the given keyword; consumes it if so.
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if let Some(Token {
+            kind: Tok::Ident(s),
+            ..
+        }) = self.peek()
+        {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn punct(&mut self, c: char) -> DbResult<()> {
+        match self.next() {
+            Some(Token {
+                kind: Tok::Punct(p),
+                ..
+            }) if *p == c => Ok(()),
+            Some(t) => Err(err(t.offset, t.len, format!("expected '{c}'"))),
+            None => Err(self.eof_err(&format!("'{c}'"))),
+        }
+    }
+
+    fn arrow(&mut self) -> DbResult<()> {
+        match self.next() {
+            Some(Token {
+                kind: Tok::Arrow, ..
+            }) => Ok(()),
+            Some(t) => Err(err(t.offset, t.len, "expected '->'")),
+            None => Err(self.eof_err("'->'")),
+        }
+    }
+
+    /// `ident ("," ident)*`
+    fn column_list(&mut self) -> DbResult<Vec<String>> {
+        let mut cols = vec![self.ident("column name")?];
+        while let Some(Token {
+            kind: Tok::Punct(','),
+            ..
+        }) = self.peek()
+        {
+            self.pos += 1;
+            cols.push(self.ident("column name")?);
+        }
+        Ok(cols)
+    }
+
+    /// `table "." column`, validated against the expected table name.
+    fn qualified(&mut self, expect_table: &str) -> DbResult<String> {
+        let start = self.peek().map(|t| (t.offset, t.len));
+        let table = self.ident("table qualifier")?;
+        if table != expect_table {
+            let (offset, len) = start.unwrap_or((self.end, 0));
+            return Err(err(
+                offset,
+                len,
+                format!("join qualifier must be {expect_table}, got {table}"),
+            ));
+        }
+        self.punct('.')?;
+        self.ident("column name")
+    }
+
+    /// One statement after its `ALTER TABLE subject` prefix.
+    fn statement(&mut self) -> DbResult<TransformPlan> {
+        self.keyword("ALTER")?;
+        self.keyword("TABLE")?;
+        let subject = self.ident("table name")?;
+        match self.peek() {
+            Some(Token {
+                kind: Tok::Ident(kw),
+                offset,
+                len,
+            }) => {
+                if kw.eq_ignore_ascii_case("SPLIT") {
+                    self.pos += 1;
+                    self.split_tail(&subject)
+                } else if kw.eq_ignore_ascii_case("JOIN") {
+                    self.pos += 1;
+                    self.join_tail(&subject)
+                } else if kw.eq_ignore_ascii_case("UNION") {
+                    self.pos += 1;
+                    self.union_tail(&subject)
+                } else {
+                    Err(err(
+                        *offset,
+                        *len,
+                        format!("expected SPLIT, JOIN or UNION, got {kw}"),
+                    ))
+                }
+            }
+            Some(t) => Err(err(t.offset, t.len, "expected SPLIT, JOIN or UNION")),
+            None => Err(self.eof_err("SPLIT, JOIN or UNION")),
+        }
+    }
+
+    /// `INTO r (cols) AND s (split -> deps) [IN PLACE] [CHECK CONSISTENCY]`
+    fn split_tail(&mut self, source: &str) -> DbResult<TransformPlan> {
+        self.keyword("INTO")?;
+        let r_target = self.ident("R target name")?;
+        self.punct('(')?;
+        let r_cols = self.column_list()?;
+        self.punct(')')?;
+        self.keyword("AND")?;
+        let s_target = self.ident("S target name")?;
+        self.punct('(')?;
+        let split_start = self.peek().map(|t| (t.offset, t.len));
+        let split_col = self.ident("split column")?;
+        self.arrow()?;
+        let deps = self.column_list()?;
+        self.punct(')')?;
+        if !r_cols.contains(&split_col) {
+            let (offset, len) = split_start.unwrap_or((self.end, 0));
+            return Err(err(
+                offset,
+                len,
+                format!("split column {split_col} must be listed among the R columns"),
+            ));
+        }
+        let r_cols_ref: Vec<&str> = r_cols.iter().map(String::as_str).collect();
+        let deps_ref: Vec<&str> = deps.iter().map(String::as_str).collect();
+        let mut spec = SplitSpec::new(
+            source,
+            &r_target,
+            &s_target,
+            &r_cols_ref,
+            &split_col,
+            &deps_ref,
+        );
+        if self.eat_keyword("IN") {
+            self.keyword("PLACE")?;
+            spec = spec.rename_in_place();
+        }
+        if self.eat_keyword("CHECK") {
+            self.keyword("CONSISTENCY")?;
+            spec = spec.with_consistency_check();
+        }
+        Ok(TransformPlan::Split(spec))
+    }
+
+    /// `s INTO t ON r.c = s.c [MANY TO MANY]`
+    fn join_tail(&mut self, r_table: &str) -> DbResult<TransformPlan> {
+        let s_table = self.ident("S table name")?;
+        self.keyword("INTO")?;
+        let target = self.ident("target name")?;
+        self.keyword("ON")?;
+        let r_join = self.qualified(r_table)?;
+        self.punct('=')?;
+        let s_join = self.qualified(&s_table)?;
+        let mut spec = FojSpec::new(r_table, &s_table, &target, &r_join, &s_join);
+        if self.eat_keyword("MANY") {
+            self.keyword("TO")?;
+            self.keyword("MANY")?;
+            spec = spec.many_to_many();
+        }
+        Ok(TransformPlan::Foj(spec))
+    }
+
+    /// `s INTO t`
+    fn union_tail(&mut self, r_table: &str) -> DbResult<TransformPlan> {
+        let s_table = self.ident("second table name")?;
+        self.keyword("INTO")?;
+        let target = self.ident("target name")?;
+        Ok(TransformPlan::Union(morph_core::UnionSpec::new(
+            r_table, &s_table, &target,
+        )))
+    }
+}
+
+/// Parse a `;`-separated migration program. Returns
+/// [`DbError::ParseError`] (never panics) on malformed input.
+pub fn parse(text: &str) -> DbResult<MigrationSpec> {
+    let toks = lex(text)?;
+    let mut p = Parser {
+        toks: &toks,
+        pos: 0,
+        end: text.len(),
+    };
+    let mut stages = Vec::new();
+    loop {
+        // Skip statement separators (allows trailing / repeated `;`).
+        while let Some(Token {
+            kind: Tok::Punct(';'),
+            ..
+        }) = p.peek()
+        {
+            p.pos += 1;
+        }
+        if p.peek().is_none() {
+            break;
+        }
+        stages.push(p.statement()?);
+        match p.peek() {
+            None => break,
+            Some(Token {
+                kind: Tok::Punct(';'),
+                ..
+            }) => continue,
+            Some(t) => return Err(err(t.offset, t.len, "expected ';' between statements")),
+        }
+    }
+    if stages.is_empty() {
+        return Err(err(0, 0, "empty migration: no statements"));
+    }
+    Ok(MigrationSpec { stages })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_three_statement_forms() {
+        let spec = parse(
+            "ALTER TABLE emp SPLIT INTO emp_base (id, name, zip) AND postal (zip -> city) CHECK CONSISTENCY;\n\
+             alter table orders join customers into denorm on orders.cust = customers.id;\n\
+             ALTER TABLE a UNION b INTO ab;",
+        )
+        .unwrap();
+        assert_eq!(spec.stages.len(), 3);
+        match &spec.stages[0] {
+            TransformPlan::Split(s) => {
+                assert_eq!(s.source, "emp");
+                assert_eq!(s.split_col, "zip");
+                assert_eq!(s.s_dep_cols, vec!["city"]);
+                assert!(s.check_consistency);
+            }
+            other => panic!("expected split, got {other:?}"),
+        }
+        match &spec.stages[1] {
+            TransformPlan::Foj(f) => {
+                assert_eq!(f.r_join_col, "cust");
+                assert_eq!(f.s_join_col, "id");
+                assert!(!f.many_to_many);
+            }
+            other => panic!("expected join, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn in_place_split_parses() {
+        let spec = parse("ALTER TABLE t SPLIT INTO r (a, c) AND s (c -> d) IN PLACE").unwrap();
+        match &spec.stages[0] {
+            TransformPlan::Split(s) => {
+                assert_eq!(s.mode, morph_core::SplitMode::RenameInPlace)
+            }
+            other => panic!("expected split, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_carry_the_offending_span() {
+        let text = "ALTER TABLE t SPLIT ONTO r (a) AND s (a -> b)";
+        let e = parse(text).unwrap_err();
+        match e {
+            DbError::ParseError { offset, len, .. } => {
+                assert_eq!(&text[offset..offset + len], "ONTO");
+            }
+            other => panic!("expected ParseError, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn split_column_must_be_in_r_cols() {
+        let e = parse("ALTER TABLE t SPLIT INTO r (a, b) AND s (c -> d)").unwrap_err();
+        assert!(
+            matches!(e, DbError::ParseError { ref detail, .. } if detail.contains("split column"))
+        );
+    }
+
+    #[test]
+    fn join_qualifier_mismatch_is_an_error() {
+        let text = "ALTER TABLE r JOIN s INTO t ON wrong.c = s.c";
+        let e = parse(text).unwrap_err();
+        match e {
+            DbError::ParseError { offset, len, .. } => {
+                assert_eq!(&text[offset..offset + len], "wrong");
+            }
+            other => panic!("expected ParseError, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_input_reports_end_of_input() {
+        let text = "ALTER TABLE t SPLIT INTO r (a, c) AND s (c ->";
+        let e = parse(text).unwrap_err();
+        assert!(matches!(
+            e,
+            DbError::ParseError { offset, .. } if offset == text.len()
+        ));
+    }
+
+    #[test]
+    fn empty_and_separator_only_inputs_fail_cleanly() {
+        assert!(matches!(parse(""), Err(DbError::ParseError { .. })));
+        assert!(matches!(parse(" ;; ; "), Err(DbError::ParseError { .. })));
+    }
+}

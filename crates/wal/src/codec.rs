@@ -6,7 +6,7 @@
 //! is total on the encode side and returns [`DbError::CorruptLog`] on
 //! any malformed input rather than panicking.
 
-use crate::record::{LogOp, LogRecord};
+use crate::record::{LogOp, LogRecord, MigrationPhase};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use morph_common::{DbError, DbResult, Key, Lsn, TableId, TxnId, Value};
 
@@ -21,6 +21,7 @@ const T_FUZZY: u8 = 7;
 const T_CC_BEGIN: u8 = 8;
 const T_CC_OK: u8 = 9;
 const T_CHECKPOINT: u8 = 10;
+const T_MIGRATION: u8 = 11;
 
 // Op tags.
 const O_INSERT: u8 = 1;
@@ -97,6 +98,19 @@ pub fn encode_into(rec: &LogRecord, b: &mut BytesMut) {
                 b.put_u64_le(t.0);
                 b.put_u64_le(l.0);
             }
+        }
+        LogRecord::MigrationState {
+            job,
+            stage,
+            phase,
+            spec,
+        } => {
+            b.put_u8(T_MIGRATION);
+            b.put_u64_le(*job);
+            b.put_u32_le(*stage);
+            b.put_u8(phase.as_u8());
+            b.put_u32_le(spec.len() as u32);
+            b.put_slice(spec.as_bytes());
         }
     }
 }
@@ -278,6 +292,24 @@ fn decode_record(r: &mut Reader<'_>) -> DbResult<LogRecord> {
             }
             LogRecord::Checkpoint { active }
         }
+        T_MIGRATION => {
+            let job = r.u64()?;
+            let stage = r.u32()?;
+            let ptag = r.u8()?;
+            let phase = MigrationPhase::from_u8(ptag)
+                .ok_or_else(|| r.corrupt(&format!("unknown migration phase tag {ptag}")))?;
+            let n = r.u32()? as usize;
+            let raw = r.bytes(n)?;
+            let spec = std::str::from_utf8(raw)
+                .map_err(|_| r.corrupt("invalid UTF-8 in migration spec"))?
+                .to_owned();
+            LogRecord::MigrationState {
+                job,
+                stage,
+                phase,
+                spec,
+            }
+        }
         other => return Err(r.corrupt(&format!("unknown record tag {other}"))),
     })
 }
@@ -408,6 +440,60 @@ mod tests {
         roundtrip(LogRecord::Checkpoint {
             active: vec![(TxnId(4), Lsn(9)), (TxnId(5), Lsn(11))],
         });
+    }
+
+    #[test]
+    fn roundtrip_migration_state() {
+        for phase in [
+            MigrationPhase::Planned,
+            MigrationPhase::Preparing,
+            MigrationPhase::Copying,
+            MigrationPhase::Propagating,
+            MigrationPhase::Syncing,
+            MigrationPhase::CutOver,
+            MigrationPhase::Aborted,
+        ] {
+            roundtrip(LogRecord::MigrationState {
+                job: 42,
+                stage: 3,
+                phase,
+                spec: "ALTER TABLE customer SPLIT INTO cust (id) AND city (pc -> name)".into(),
+            });
+        }
+        roundtrip(LogRecord::MigrationState {
+            job: 0,
+            stage: 0,
+            phase: MigrationPhase::Planned,
+            spec: String::new(),
+        });
+    }
+
+    #[test]
+    fn truncated_migration_state_is_corrupt_not_panic() {
+        let bytes = encode(&LogRecord::MigrationState {
+            job: 7,
+            stage: 1,
+            phase: MigrationPhase::Syncing,
+            spec: "ALTER TABLE a UNION b INTO u".into(),
+        });
+        for cut in 0..bytes.len() {
+            let err = decode(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, DbError::CorruptLog { .. }),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_migration_phase_tag_rejected() {
+        let mut b = BytesMut::new();
+        b.put_u8(T_MIGRATION);
+        b.put_u64_le(1);
+        b.put_u32_le(0);
+        b.put_u8(200); // bogus phase tag
+        b.put_u32_le(0);
+        assert!(matches!(decode(&b), Err(DbError::CorruptLog { .. })));
     }
 
     #[test]

@@ -29,4 +29,4 @@ pub mod record;
 pub use fault::{FaultBackend, FaultConfig, FaultHandle};
 pub use file::{decode_stream, Backend, FileBackend};
 pub use manager::{GroupCommitConfig, LogManager, TailCursor, WalMode};
-pub use record::{LogOp, LogRecord};
+pub use record::{LogOp, LogRecord, MigrationPhase};

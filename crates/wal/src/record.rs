@@ -8,6 +8,74 @@
 
 use morph_common::{Key, Lsn, TableId, TxnId, Value};
 
+/// Phase of a migration job's state machine (the orchestrator layer).
+///
+/// Persisted in [`LogRecord::MigrationState`] entries so a crashed
+/// orchestrator can find the last durable state of every job. The
+/// ordering mirrors the paper's pipeline: prepare → fuzzy copy → log
+/// propagation → synchronization → cutover, with `Aborted` as the
+/// terminal failure state.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum MigrationPhase {
+    /// Spec accepted and registered; nothing executed yet.
+    Planned,
+    /// Preparation: target tables being created (§3.1).
+    Preparing,
+    /// Initial fuzzy population running (§3.2).
+    Copying,
+    /// Log propagation loop running (§3.3).
+    Propagating,
+    /// Synchronization step running (§3.4).
+    Syncing,
+    /// Stage complete: targets published, sources retired.
+    CutOver,
+    /// Job aborted; transformed tables dropped, locks released.
+    Aborted,
+}
+
+impl MigrationPhase {
+    /// Stable wire tag (WAL codec byte).
+    pub fn as_u8(self) -> u8 {
+        match self {
+            MigrationPhase::Planned => 0,
+            MigrationPhase::Preparing => 1,
+            MigrationPhase::Copying => 2,
+            MigrationPhase::Propagating => 3,
+            MigrationPhase::Syncing => 4,
+            MigrationPhase::CutOver => 5,
+            MigrationPhase::Aborted => 6,
+        }
+    }
+
+    /// Inverse of [`MigrationPhase::as_u8`]; `None` on unknown tags
+    /// (the codec maps that to `CorruptLog`).
+    pub fn from_u8(tag: u8) -> Option<MigrationPhase> {
+        Some(match tag {
+            0 => MigrationPhase::Planned,
+            1 => MigrationPhase::Preparing,
+            2 => MigrationPhase::Copying,
+            3 => MigrationPhase::Propagating,
+            4 => MigrationPhase::Syncing,
+            5 => MigrationPhase::CutOver,
+            6 => MigrationPhase::Aborted,
+            _ => return None,
+        })
+    }
+
+    /// Human-readable name (progress output, traces).
+    pub fn name(self) -> &'static str {
+        match self {
+            MigrationPhase::Planned => "planned",
+            MigrationPhase::Preparing => "preparing",
+            MigrationPhase::Copying => "copying",
+            MigrationPhase::Propagating => "propagating",
+            MigrationPhase::Syncing => "syncing",
+            MigrationPhase::CutOver => "cutover",
+            MigrationPhase::Aborted => "aborted",
+        }
+    }
+}
+
 /// A physical data operation, carrying enough for both redo (new
 /// image) and undo (old image).
 ///
@@ -142,6 +210,27 @@ pub enum LogRecord {
     /// Checkpoint: active transactions and their last LSNs (used by
     /// restart recovery to bound the redo pass).
     Checkpoint { active: Vec<(TxnId, Lsn)> },
+    /// Orchestrator state transition: migration job `job` reached
+    /// `phase` while executing pipeline stage `stage`. `spec` is the
+    /// job's declarative text form (`ALTER TABLE …`), logged on every
+    /// transition so the latest record alone is enough to resume.
+    ///
+    /// Deliberately transparent to data redo: `op()` returns `None`
+    /// and recovery's analysis pass skips it, exactly like fuzzy
+    /// marks. Transformations themselves are not redo-logged (§3.5);
+    /// an interrupted job restarts from preparation, and this record
+    /// only tells the restarted orchestrator *which* jobs to restart
+    /// (or, for `Aborted`, to leave dead).
+    MigrationState {
+        /// Orchestrator-assigned job id (unique per log lifetime).
+        job: u64,
+        /// Zero-based pipeline stage index within the job.
+        stage: u32,
+        /// The phase just entered.
+        phase: MigrationPhase,
+        /// The job's declarative spec text (re-parsed at resume).
+        spec: String,
+    },
 }
 
 impl LogRecord {
@@ -244,6 +333,35 @@ mod tests {
             start_lsn: Lsn(10),
         };
         assert_eq!(mark.txn(), None);
+    }
+
+    #[test]
+    fn migration_state_is_transparent_to_redo_accessors() {
+        let rec = LogRecord::MigrationState {
+            job: 3,
+            stage: 1,
+            phase: MigrationPhase::Propagating,
+            spec: "ALTER TABLE t SPLIT INTO r (a) AND s (c -> d)".into(),
+        };
+        assert_eq!(rec.txn(), None);
+        assert!(rec.op().is_none());
+        assert!(!rec.ends_txn());
+    }
+
+    #[test]
+    fn migration_phase_tags_roundtrip() {
+        for phase in [
+            MigrationPhase::Planned,
+            MigrationPhase::Preparing,
+            MigrationPhase::Copying,
+            MigrationPhase::Propagating,
+            MigrationPhase::Syncing,
+            MigrationPhase::CutOver,
+            MigrationPhase::Aborted,
+        ] {
+            assert_eq!(MigrationPhase::from_u8(phase.as_u8()), Some(phase));
+        }
+        assert_eq!(MigrationPhase::from_u8(7), None);
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! Background update drivers for examples and integration tests: spawn
+//! a handful of threads that keep committing small single-row updates
+//! against named tables until told to stop — the "user transactions"
+//! the paper's transformations must coexist with. Unlike the
+//! closed-loop [`WorkloadRunner`](crate::WorkloadRunner) these make no
+//! latency measurements; they exist to generate live log traffic with
+//! two lines of caller code.
+
+use morph_common::{Key, Value};
+use morph_engine::Database;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One table a background updater targets.
+#[derive(Clone, Debug)]
+pub struct UpdateTarget {
+    /// Table name.
+    pub table: String,
+    /// Keys are drawn from `0..keys` (single-column integer primary
+    /// keys, as all the example schemas use).
+    pub keys: i64,
+    /// Column index the update rewrites (must be nullable or a string
+    /// column; the driver writes short strings).
+    pub column: usize,
+}
+
+impl UpdateTarget {
+    pub fn new(table: &str, keys: i64, column: usize) -> UpdateTarget {
+        UpdateTarget {
+            table: table.to_owned(),
+            keys,
+            column,
+        }
+    }
+}
+
+/// Handle to a set of background updater threads.
+pub struct UpdaterPool {
+    stop: Arc<AtomicBool>,
+    committed: Arc<AtomicU64>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl UpdaterPool {
+    /// Commits observed so far (live counter; safe to read while the
+    /// pool is running).
+    pub fn committed(&self) -> u64 {
+        self.committed.load(Ordering::Relaxed)
+    }
+
+    /// Signal all updaters to stop, join them, and return the total
+    /// number of committed updates.
+    pub fn stop(self) -> u64 {
+        self.stop.store(true, Ordering::Relaxed);
+        for t in self.threads {
+            // A panicked updater already failed its own test; the pool
+            // still reports what was committed before.
+            let _ = t.join();
+        }
+        self.committed.load(Ordering::Relaxed)
+    }
+}
+
+/// Spawn `workers` threads that round-robin over `targets`, each
+/// committing one small update then sleeping `pace`. Update failures
+/// (frozen source during sync, lock conflicts) abort that transaction
+/// and move on — exactly how a real client behaves while a
+/// transformation holds the tables.
+pub fn spawn_updaters(
+    db: &Arc<Database>,
+    targets: Vec<UpdateTarget>,
+    workers: usize,
+    pace: Duration,
+) -> UpdaterPool {
+    let stop = Arc::new(AtomicBool::new(false));
+    let committed = Arc::new(AtomicU64::new(0));
+    let mut threads = Vec::with_capacity(workers);
+    for w in 0..workers as u64 {
+        let db = Arc::clone(db);
+        let stop = Arc::clone(&stop);
+        let committed = Arc::clone(&committed);
+        let targets = targets.clone();
+        threads.push(std::thread::spawn(move || {
+            let mut i = w.wrapping_mul(0x9e37_79b9);
+            while !stop.load(Ordering::Relaxed) {
+                i = i.wrapping_add(1);
+                if targets.is_empty() {
+                    break;
+                }
+                let t = &targets[(i as usize) % targets.len()];
+                let key = Key::single((i % t.keys.max(1) as u64) as i64);
+                let txn = db.begin();
+                let patch = [(t.column, Value::str(format!("w{w}-{i}")))];
+                match db.update(txn, &t.table, &key, &patch) {
+                    Ok(()) => {
+                        if db.commit(txn).is_ok() {
+                            committed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    Err(_) => {
+                        let _ = db.abort(txn);
+                    }
+                }
+                std::thread::sleep(pace);
+            }
+        }));
+    }
+    UpdaterPool {
+        stop,
+        committed,
+        threads,
+    }
+}

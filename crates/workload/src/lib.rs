@@ -23,12 +23,14 @@
 //! paper's non-blocking guarantee is *for*.
 
 pub mod client;
+pub mod drive;
 pub mod runner;
 pub mod setup;
 pub mod stats;
 pub mod step;
 
 pub use client::{ClientConfig, HotSide};
+pub use drive::{spawn_updaters, UpdateTarget, UpdaterPool};
 pub use runner::{RelativeRun, WindowStats, WorkloadRunner};
 pub use setup::{
     db_with_wal, setup_dummy, setup_foj_sources, setup_split_source, FOJ_R_ROWS, FOJ_S_ROWS,

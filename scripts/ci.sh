@@ -65,4 +65,13 @@ echo "== sim smoke sweep, group-commit WAL (SIM_SEEDS=${SIM_SEEDS:-4})"
 MORPH_WAL_MODE=group SIM_SEEDS="${SIM_SEEDS:-4}" \
     cargo test -q -p morph-sim --test seed_sweep -- --nocapture
 
+# Orchestrator kill matrix (DESIGN.md §13): kill the migration state
+# machine at every registered orchestrator.* transition, tear the WAL,
+# recover, and resume from the durable MigrationState records — run in
+# both WAL modes like the main matrix.
+echo "== orchestrator kill matrix"
+cargo test -q -p morph-sim --test orchestrator_matrix
+echo "== orchestrator kill matrix, group-commit WAL"
+MORPH_WAL_MODE=group cargo test -q -p morph-sim --test orchestrator_matrix
+
 echo "CI OK"

@@ -14,6 +14,8 @@
 //! * [`engine`] — the transactional [`engine::Database`] facade.
 //! * [`core`] — the paper's contribution: non-blocking full outer join
 //!   and split schema transformations.
+//! * [`orchestrator`] — declarative migration front-end and the
+//!   crash-recoverable state machine that drives the pipeline.
 //! * [`workload`] — closed-loop benchmark driver used by the
 //!   experiment harness.
 
@@ -22,6 +24,7 @@ pub mod pretty;
 pub use morph_common as common;
 pub use morph_core as core;
 pub use morph_engine as engine;
+pub use morph_orchestrator as orchestrator;
 pub use morph_storage as storage;
 pub use morph_txn as txn;
 pub use morph_wal as wal;
