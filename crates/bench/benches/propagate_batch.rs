@@ -14,23 +14,32 @@
 //! background process actually performs — not the idempotent-replay
 //! guard path.
 //!
-//! A second, `parallel` series measures the subject-sharded apply at
+//! A second, `parallel` series measures the persistent-pool apply at
 //! `apply_shards ∈ {1, 2, 4, 8}` (cursor batch 1024) on an
 //! update-heavy scenario — payload updates are the record class the
 //! sharding lane-classifies, so this mix produces the long
-//! barrier-free runs the parallel segments need. The series also
-//! embeds the `populate_parallel` worker-count sweep so this one JSON
-//! carries the full parallel-pipeline trajectory.
+//! barrier-free runs the parallel segments need. The pool is spawned
+//! in the (untimed) setup: the persistent design pays thread creation
+//! once per job, not per batch. The series also embeds the
+//! `populate_parallel` worker-count sweep so this one JSON carries the
+//! full parallel-pipeline trajectory.
 //!
 //! Writes `BENCH_propagation.json` at the repository root with
-//! records/s per batch size and the coalescer's drop counts.
+//! records/s per batch size, the coalescer's drop counts, the detected
+//! core count (single-CPU numbers must not masquerade as scaling
+//! data), and the pool's epoch/handoff/steal counters. Series other
+//! benches merged into the file (`wal_commit_rate`, `pool_gate`) are
+//! preserved across a rewrite.
 
 use criterion::{BatchSize, Criterion, Throughput};
+use morph_bench::apply_sweep::{self, ApplyOp, Lcg};
 use morph_bench::populate_parallel_point;
 use morph_common::{ColumnType, Key, Lsn, Schema, Value};
 use morph_core::foj::{figure1_schemas, FojMapping};
 use morph_core::propagate::Propagator;
-use morph_core::{FojSpec, ParallelConfig, SplitMapping, SplitSpec, TransformOperator};
+use morph_core::{
+    ApplyPool, FojSpec, ParallelConfig, PoolStats, SplitMapping, SplitSpec, TransformOperator,
+};
 use morph_engine::Database;
 use std::io::Write;
 use std::sync::Arc;
@@ -42,19 +51,6 @@ use std::time::Duration;
 const HOT_KEYS: i64 = 64;
 const CHURN_TXNS: usize = 300;
 const OPS_PER_TXN: usize = 10;
-
-/// Deterministic churn step stream (same log every setup call).
-struct Lcg(u64);
-
-impl Lcg {
-    fn next(&mut self) -> u64 {
-        self.0 = self
-            .0
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        self.0 >> 11
-    }
-}
 
 /// FOJ scenario: sources populated, targets caught up, then a churn
 /// tail of hot payload updates (pending until a delete swallows them),
@@ -91,9 +87,9 @@ fn setup_foj() -> (Arc<Database>, FojMapping, Lsn) {
     for t in 0..CHURN_TXNS {
         let txn = db.begin();
         for _ in 0..OPS_PER_TXN {
-            let r = rng.next();
-            let a = (rng.next() % HOT_KEYS as u64) as i64;
-            let j = rng.next() % 16;
+            let r = rng.step();
+            let a = (rng.step() % HOT_KEYS as u64) as i64;
+            let j = rng.step() % 16;
             match r % 16 {
                 0 | 4 => {
                     let _ = db.delete(txn, "R", &Key::single(a));
@@ -168,9 +164,9 @@ fn setup_split() -> (Arc<Database>, SplitMapping, Lsn) {
     for t in 0..CHURN_TXNS {
         let txn = db.begin();
         for _ in 0..OPS_PER_TXN {
-            let r = rng.next();
-            let a = (rng.next() % HOT_KEYS as u64) as i64;
-            let c = format!("c{}", rng.next() % 16);
+            let r = rng.step();
+            let a = (rng.step() % HOT_KEYS as u64) as i64;
+            let c = format!("c{}", rng.step() % 16);
             match r % 16 {
                 0 => {
                     let _ = db.update(
@@ -210,162 +206,6 @@ fn setup_split() -> (Arc<Database>, SplitMapping, Lsn) {
     (db, m, start)
 }
 
-/// Key spaces of the update-heavy parallel-apply scenarios: a hot set
-/// small enough to stay cache-resident (and, for split, to coalesce
-/// hard), a wider cold range so every lane sees distinct subjects, and
-/// a churn range past the populated keys for records that exist only
-/// inside one batch window.
-const PAR_KEYS: i64 = 256;
-const PAR_HOT: i64 = 64;
-const PAR_SPLIT_HOT: u64 = 32;
-const PAR_CHURN_SPAN: i64 = 4096;
-const PAR_ROUNDS: usize = 5;
-
-/// FOJ parallel-apply scenario: each 1024-record window is a block of
-/// 256 hot payload updates — non-join, non-key R updates, exactly the
-/// class the FOJ sharding fans into lanes, kept in full by
-/// `DeleteOnly` coalescing as one ≥128-record parallel segment —
-/// followed by 256 insert/update/delete churn triples on transient
-/// keys, which the delete coalesces down to itself (a target-side
-/// miss). Batch-window churn is the regime batching exists for (§3.3);
-/// the rate is reported over raw drained records like every other
-/// series here.
-fn setup_foj_par() -> (Arc<Database>, FojMapping, Lsn) {
-    let db = Arc::new(Database::new());
-    let (rs, ss) = figure1_schemas();
-    db.create_table("R", rs).unwrap();
-    db.create_table("S", ss).unwrap();
-    let txn = db.begin();
-    for j in 0..16 {
-        db.insert(txn, "S", vec![Value::str(format!("j{j}")), Value::str("d")])
-            .unwrap();
-    }
-    for i in 0..PAR_KEYS {
-        db.insert(
-            txn,
-            "R",
-            vec![
-                Value::Int(i),
-                Value::str("b"),
-                Value::str(format!("j{}", i % 16)),
-            ],
-        )
-        .unwrap();
-    }
-    db.commit(txn).unwrap();
-
-    let m = FojMapping::prepare(&db, &FojSpec::new("R", "S", "T", "c", "c")).unwrap();
-    let (_, start, _) = db.write_fuzzy_mark();
-    m.populate(256).unwrap();
-
-    let mut upd = 0usize;
-    let mut churn = 0i64;
-    for _round in 0..PAR_ROUNDS {
-        // Block A: 256 hot payload updates (the parallel segment).
-        for _ in 0..4 {
-            let txn = db.begin();
-            for _ in 0..64 {
-                let a = (upd % PAR_HOT as usize) as i64;
-                upd += 1;
-                db.update(
-                    txn,
-                    "R",
-                    &Key::single(a),
-                    &[(1, Value::str(format!("p{upd}")))],
-                )
-                .unwrap();
-            }
-            db.commit(txn).unwrap();
-        }
-        // Block B: 256 churn triples on keys that never stay live.
-        for _ in 0..16 {
-            let txn = db.begin();
-            for _ in 0..16 {
-                let a = PAR_KEYS + (churn % PAR_CHURN_SPAN);
-                churn += 1;
-                db.insert(
-                    txn,
-                    "R",
-                    vec![
-                        Value::Int(a),
-                        Value::str("b"),
-                        Value::str(format!("j{}", a % 16)),
-                    ],
-                )
-                .unwrap();
-                db.update(txn, "R", &Key::single(a), &[(1, Value::str("x"))])
-                    .unwrap();
-                db.delete(txn, "R", &Key::single(a)).unwrap();
-            }
-            db.commit(txn).unwrap();
-        }
-    }
-    (db, m, start)
-}
-
-/// Split parallel-apply scenario: payload updates with a 7:1 hot:cold
-/// mix over a 32-key hot set. `Full` coalescing collapses the hot
-/// repeats within each run to one survivor per key, the advancing cold
-/// keys all survive, and the ~160-record surviving runs still clear
-/// the 128-record parallel segment threshold, so the lanes engage on
-/// post-coalesce work — the same regime the serial 1024-batch series
-/// measures, shifted toward the skew that makes batching pay.
-fn setup_split_par() -> (Arc<Database>, SplitMapping, Lsn) {
-    let db = Arc::new(Database::new());
-    let ts = Schema::builder()
-        .column("a", ColumnType::Int)
-        .nullable("b", ColumnType::Str)
-        .nullable("c", ColumnType::Str)
-        .nullable("d", ColumnType::Str)
-        .primary_key(&["a"])
-        .build()
-        .unwrap();
-    db.create_table("T", ts).unwrap();
-    let txn = db.begin();
-    for i in 0..PAR_KEYS {
-        let c = format!("c{}", i % 16);
-        db.insert(
-            txn,
-            "T",
-            vec![
-                Value::Int(i),
-                Value::str("b"),
-                Value::str(&c),
-                Value::str(format!("dep-{c}")),
-            ],
-        )
-        .unwrap();
-    }
-    db.commit(txn).unwrap();
-
-    let spec = SplitSpec::new("T", "R_b", "S_b", &["a", "b", "c"], "c", &["d"]);
-    let mut m = SplitMapping::prepare(&db, &spec).unwrap();
-    let (_, start, _) = db.write_fuzzy_mark();
-    m.populate(256).unwrap();
-
-    let mut rng = Lcg(29);
-    for t in 0..(PAR_ROUNDS * 1024) / 10 {
-        let txn = db.begin();
-        for k in 0..10 {
-            let i = t * 10 + k;
-            let a = if i % 8 == 0 {
-                ((i / 8) % PAR_KEYS as usize) as i64
-            } else {
-                (rng.next() % PAR_SPLIT_HOT) as i64
-            };
-            db.update(
-                txn,
-                "T",
-                &Key::single(a),
-                &[(1, Value::str(format!("p{t}")))],
-            )
-            .unwrap();
-        }
-        db.commit(txn).unwrap();
-    }
-    (db, m, start)
-}
-
 /// First drain of a fresh scenario at one cursor batch size.
 /// `apply_shards: 1` is the exact serial pipeline.
 fn drain(
@@ -388,6 +228,8 @@ struct Series {
     records: usize,
     /// `Some(n)` marks a `parallel`-series entry at n apply shards.
     apply_shards: Option<usize>,
+    /// Pool counters of the probe drain (parallel series, shards > 1).
+    stats: Option<PoolStats>,
 }
 
 fn main() {
@@ -414,6 +256,7 @@ fn main() {
                 coalesced,
                 records,
                 apply_shards: None,
+                stats: None,
             });
             g.throughput(Throughput::Elements(records as u64));
             g.bench_function(format!("foj/batch_{bs}"), |b| {
@@ -433,6 +276,7 @@ fn main() {
                 coalesced,
                 records,
                 apply_shards: None,
+                stats: None,
             });
             g.throughput(Throughput::Elements(records as u64));
             g.bench_function(format!("split/batch_{bs}"), |b| {
@@ -443,43 +287,35 @@ fn main() {
                 );
             });
         }
-        for &shards in &shard_counts {
-            let (db, mut m, start) = setup_foj_par();
-            let (records, coalesced) = drain(&db, &mut m, start, 1024, shards);
-            series.push(Series {
-                operator: "foj",
-                batch_size: 1024,
-                coalesced,
-                records,
-                apply_shards: Some(shards),
-            });
-            g.throughput(Throughput::Elements(records as u64));
-            g.bench_function(format!("foj/parallel_shards_{shards}"), |b| {
-                b.iter_batched(
-                    setup_foj_par,
-                    |(db, mut m, start)| drain(&db, &mut m, start, 1024, shards),
-                    BatchSize::PerIteration,
-                );
-            });
-        }
-        for &shards in &shard_counts {
-            let (db, mut m, start) = setup_split_par();
-            let (records, coalesced) = drain(&db, &mut m, start, 1024, shards);
-            series.push(Series {
-                operator: "split",
-                batch_size: 1024,
-                coalesced,
-                records,
-                apply_shards: Some(shards),
-            });
-            g.throughput(Throughput::Elements(records as u64));
-            g.bench_function(format!("split/parallel_shards_{shards}"), |b| {
-                b.iter_batched(
-                    setup_split_par,
-                    |(db, mut m, start)| drain(&db, &mut m, start, 1024, shards),
-                    BatchSize::PerIteration,
-                );
-            });
+        for op in [ApplyOp::Foj, ApplyOp::Split] {
+            for &shards in &shard_counts {
+                let (db, mut m, start) = apply_sweep::setup(op);
+                let pool = (shards > 1).then(|| Arc::new(ApplyPool::new(shards)));
+                let (records, coalesced, stats) =
+                    apply_sweep::drain_pooled(&db, m.as_mut(), start, 1024, pool.as_ref());
+                series.push(Series {
+                    operator: op.name(),
+                    batch_size: 1024,
+                    coalesced,
+                    records,
+                    apply_shards: Some(shards),
+                    stats: Some(stats),
+                });
+                g.throughput(Throughput::Elements(records as u64));
+                g.bench_function(format!("{}/parallel_shards_{shards}", op.name()), |b| {
+                    b.iter_batched(
+                        || {
+                            let scenario = apply_sweep::setup(op);
+                            let pool = (shards > 1).then(|| Arc::new(ApplyPool::new(shards)));
+                            (scenario, pool)
+                        },
+                        |((db, mut m, start), pool)| {
+                            apply_sweep::drain_pooled(&db, m.as_mut(), start, 1024, pool.as_ref())
+                        },
+                        BatchSize::PerIteration,
+                    );
+                });
+            }
         }
         g.finish();
     }
@@ -493,15 +329,22 @@ fn main() {
         .collect();
 
     let measurements = c.measurements();
-    let mut json = String::from("{\n  \"bench\": \"propagate_batch\",\n  \"series\": [\n");
+    let mut entries: Vec<String> = Vec::new();
     for (i, meas) in measurements.iter().enumerate() {
         let s = &series[i.min(series.len() - 1)];
         let tag = match s.apply_shards {
             Some(n) => format!("\"series\": \"parallel\", \"apply_shards\": {n}, "),
             None => String::new(),
         };
-        json.push_str(&format!(
-            "    {{ {}\"operator\": \"{}\", \"batch_size\": {}, \"records_per_drain\": {}, \"coalesced_per_drain\": {}, \"ns_per_drain\": {:.0}, \"records_per_sec\": {:.0} }},\n",
+        let counters = match &s.stats {
+            Some(st) if s.apply_shards.is_some_and(|n| n > 1) => format!(
+                ", \"epochs\": {}, \"handoffs\": {}, \"steals\": {}, \"inline_runs\": {}",
+                st.epochs, st.handoffs, st.steals, st.inline_runs
+            ),
+            _ => String::new(),
+        };
+        entries.push(format!(
+            "    {{ {}\"operator\": \"{}\", \"batch_size\": {}, \"records_per_drain\": {}, \"coalesced_per_drain\": {}, \"ns_per_drain\": {:.0}, \"records_per_sec\": {:.0}{} }}",
             tag,
             s.operator,
             s.batch_size,
@@ -509,25 +352,43 @@ fn main() {
             s.coalesced,
             meas.ns_per_iter,
             meas.per_second().unwrap_or(0.0),
+            counters,
         ));
     }
     let pop_base = pop_points.first().map_or(1.0, |p| p.rows_per_sec);
-    for (i, p) in pop_points.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{ \"series\": \"populate_parallel\", \"copy_workers\": {}, \"rows_read\": {}, \"ns\": {}, \"rows_per_sec\": {:.0}, \"speedup_vs_1\": {:.2} }}{}\n",
+    for p in &pop_points {
+        entries.push(format!(
+            "    {{ \"series\": \"populate_parallel\", \"copy_workers\": {}, \"rows_read\": {}, \"ns\": {}, \"rows_per_sec\": {:.0}, \"speedup_vs_1\": {:.2} }}",
             p.copy_workers,
             p.rows_read,
             p.ns,
             p.rows_per_sec,
             p.rows_per_sec / pop_base,
-            if i + 1 == pop_points.len() { "" } else { "," }
         ));
     }
-    json.push_str("  ]\n}\n");
 
+    // Keep series other benches merged into this file (`wal_append`'s
+    // commit-rate sweep, `bench_check`'s gate results) across the
+    // rewrite, so regenerating the propagation numbers does not
+    // silently drop them.
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
         .join("BENCH_propagation.json");
+    if let Ok(old) = std::fs::read_to_string(&path) {
+        for line in old.lines() {
+            if line.contains("\"series\": \"wal_commit_rate\"")
+                || line.contains("\"series\": \"pool_gate\"")
+            {
+                entries.push(line.trim_end().trim_end_matches(',').to_owned());
+            }
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"propagate_batch\",\n  \"cores\": {},\n  \"series\": [\n{}\n  ]\n}}\n",
+        apply_sweep::detected_cores(),
+        entries.join(",\n"),
+    );
     let mut f = std::fs::File::create(&path).expect("bench json");
     f.write_all(json.as_bytes()).expect("bench json write");
     println!("{json}");

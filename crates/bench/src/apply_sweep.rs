@@ -1,0 +1,278 @@
+//! Bounded parallel-apply sweep: the update-heavy FOJ and split
+//! scenarios whose post-coalesce runs the persistent pool
+//! lane-classifies, shared between the `propagate_batch` bench (timed
+//! criterion series) and the `bench_check` CI regression gate (bounded
+//! best-of-reps sweep enforcing the ≥10 % pooled-over-serial speedup
+//! on multi-core hosts).
+//!
+//! The scenario churn streams are deterministic (`Lcg`), so every
+//! setup call reproduces the identical log and both consumers measure
+//! the same drain. Pool spawn happens *before* the clock starts: the
+//! persistent design pays thread creation once per `TransformJob`, so
+//! charging it to a single batch drain would measure the spawn-per-
+//! segment regime this pool replaced.
+
+use morph_common::{ColumnType, Key, Lsn, Schema, Value};
+use morph_core::foj::{figure1_schemas, FojMapping};
+use morph_core::propagate::Propagator;
+use morph_core::{
+    ApplyPool, FojSpec, ParallelConfig, PoolStats, SplitMapping, SplitSpec, TransformOperator,
+};
+use morph_engine::Database;
+use std::sync::Arc;
+
+/// Deterministic churn step stream (same log every setup call).
+pub struct Lcg(pub u64);
+
+impl Lcg {
+    pub fn step(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+}
+
+/// Key spaces of the update-heavy parallel-apply scenarios: a hot set
+/// small enough to stay cache-resident (and, for split, to coalesce
+/// hard), a wider cold range so every lane sees distinct subjects, and
+/// a churn range past the populated keys for records that exist only
+/// inside one batch window.
+const PAR_KEYS: i64 = 256;
+const PAR_HOT: i64 = 64;
+const PAR_SPLIT_HOT: u64 = 32;
+const PAR_CHURN_SPAN: i64 = 4096;
+const PAR_ROUNDS: usize = 5;
+
+/// Which parallel-apply scenario to build.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ApplyOp {
+    Foj,
+    Split,
+}
+
+impl ApplyOp {
+    pub fn name(self) -> &'static str {
+        match self {
+            ApplyOp::Foj => "foj",
+            ApplyOp::Split => "split",
+        }
+    }
+}
+
+/// FOJ parallel-apply scenario: each 1024-record window is a block of
+/// 256 hot payload updates — non-join, non-key R updates, exactly the
+/// class the FOJ sharding fans into lanes, kept in full by
+/// `DeleteOnly` coalescing as one ≥128-record parallel segment —
+/// followed by 256 insert/update/delete churn triples on transient
+/// keys, which the delete coalesces down to itself (a target-side
+/// miss). Batch-window churn is the regime batching exists for (§3.3);
+/// the rate is reported over raw drained records like every other
+/// series.
+fn setup_foj_par() -> (Arc<Database>, Box<dyn TransformOperator>, Lsn) {
+    let db = Arc::new(Database::new());
+    let (rs, ss) = figure1_schemas();
+    db.create_table("R", rs).unwrap();
+    db.create_table("S", ss).unwrap();
+    let txn = db.begin();
+    for j in 0..16 {
+        db.insert(txn, "S", vec![Value::str(format!("j{j}")), Value::str("d")])
+            .unwrap();
+    }
+    for i in 0..PAR_KEYS {
+        db.insert(
+            txn,
+            "R",
+            vec![
+                Value::Int(i),
+                Value::str("b"),
+                Value::str(format!("j{}", i % 16)),
+            ],
+        )
+        .unwrap();
+    }
+    db.commit(txn).unwrap();
+
+    let m = FojMapping::prepare(&db, &FojSpec::new("R", "S", "T", "c", "c")).unwrap();
+    let (_, start, _) = db.write_fuzzy_mark();
+    m.populate(256).unwrap();
+
+    let mut upd = 0usize;
+    let mut churn = 0i64;
+    for _round in 0..PAR_ROUNDS {
+        // Block A: 256 hot payload updates (the parallel segment).
+        for _ in 0..4 {
+            let txn = db.begin();
+            for _ in 0..64 {
+                let a = (upd % PAR_HOT as usize) as i64;
+                upd += 1;
+                db.update(
+                    txn,
+                    "R",
+                    &Key::single(a),
+                    &[(1, Value::str(format!("p{upd}")))],
+                )
+                .unwrap();
+            }
+            db.commit(txn).unwrap();
+        }
+        // Block B: 256 churn triples on keys that never stay live.
+        for _ in 0..16 {
+            let txn = db.begin();
+            for _ in 0..16 {
+                let a = PAR_KEYS + (churn % PAR_CHURN_SPAN);
+                churn += 1;
+                db.insert(
+                    txn,
+                    "R",
+                    vec![
+                        Value::Int(a),
+                        Value::str("b"),
+                        Value::str(format!("j{}", a % 16)),
+                    ],
+                )
+                .unwrap();
+                db.update(txn, "R", &Key::single(a), &[(1, Value::str("x"))])
+                    .unwrap();
+                db.delete(txn, "R", &Key::single(a)).unwrap();
+            }
+            db.commit(txn).unwrap();
+        }
+    }
+    (db, Box::new(m), start)
+}
+
+/// Split parallel-apply scenario: payload updates with a 7:1 hot:cold
+/// mix over a 32-key hot set. `Full` coalescing collapses the hot
+/// repeats within each run to one survivor per key, the advancing cold
+/// keys all survive, and the ~160-record surviving runs still clear
+/// the 128-record parallel segment threshold, so the lanes engage on
+/// post-coalesce work — the same regime the serial 1024-batch series
+/// measures, shifted toward the skew that makes batching pay.
+fn setup_split_par() -> (Arc<Database>, Box<dyn TransformOperator>, Lsn) {
+    let db = Arc::new(Database::new());
+    let ts = Schema::builder()
+        .column("a", ColumnType::Int)
+        .nullable("b", ColumnType::Str)
+        .nullable("c", ColumnType::Str)
+        .nullable("d", ColumnType::Str)
+        .primary_key(&["a"])
+        .build()
+        .unwrap();
+    db.create_table("T", ts).unwrap();
+    let txn = db.begin();
+    for i in 0..PAR_KEYS {
+        let c = format!("c{}", i % 16);
+        db.insert(
+            txn,
+            "T",
+            vec![
+                Value::Int(i),
+                Value::str("b"),
+                Value::str(&c),
+                Value::str(format!("dep-{c}")),
+            ],
+        )
+        .unwrap();
+    }
+    db.commit(txn).unwrap();
+
+    let spec = SplitSpec::new("T", "R_b", "S_b", &["a", "b", "c"], "c", &["d"]);
+    let mut m = SplitMapping::prepare(&db, &spec).unwrap();
+    let (_, start, _) = db.write_fuzzy_mark();
+    m.populate(256).unwrap();
+
+    let mut rng = Lcg(29);
+    for t in 0..(PAR_ROUNDS * 1024) / 10 {
+        let txn = db.begin();
+        for k in 0..10 {
+            let i = t * 10 + k;
+            let a = if i % 8 == 0 {
+                ((i / 8) % PAR_KEYS as usize) as i64
+            } else {
+                (rng.step() % PAR_SPLIT_HOT) as i64
+            };
+            db.update(
+                txn,
+                "T",
+                &Key::single(a),
+                &[(1, Value::str(format!("p{t}")))],
+            )
+            .unwrap();
+        }
+        db.commit(txn).unwrap();
+    }
+    (db, Box::new(m), start)
+}
+
+/// Fresh scenario for `op`, caught up to `Lsn`, churn tail pending.
+pub fn setup(op: ApplyOp) -> (Arc<Database>, Box<dyn TransformOperator>, Lsn) {
+    match op {
+        ApplyOp::Foj => setup_foj_par(),
+        ApplyOp::Split => setup_split_par(),
+    }
+}
+
+/// Drain the whole backlog at cursor batch `batch_size` with the given
+/// pre-spawned pool installed (`None` = the exact serial pipeline).
+/// Returns (records drained, records coalesced away, pool counters).
+pub fn drain_pooled(
+    db: &Arc<Database>,
+    m: &mut dyn TransformOperator,
+    start: Lsn,
+    batch_size: usize,
+    pool: Option<&Arc<ApplyPool>>,
+) -> (usize, usize, PoolStats) {
+    let shards = pool.map_or(1, |p| p.width());
+    let mut prop = Propagator::new(db, start, 1.0).with_parallel(ParallelConfig::new(1, shards));
+    if let Some(p) = pool {
+        prop = prop.with_pool(Arc::clone(p));
+    }
+    let records = prop.drain_with_batch(db, m, batch_size).expect("drain");
+    let stats = prop.pool_stats().unwrap_or_default();
+    (records, prop.coalesced(), stats)
+}
+
+/// One measured point of the bounded apply sweep.
+pub struct ApplyPoint {
+    pub operator: &'static str,
+    pub apply_shards: usize,
+    pub records: usize,
+    pub ns: u128,
+    pub records_per_sec: f64,
+    pub stats: PoolStats,
+}
+
+/// Best-of-`reps` drain of a fresh `op` scenario at `shards` lanes
+/// (1 = the exact serial pipeline; the pool is not engaged at all).
+/// Keeping the fastest repetition discards scheduler noise the same
+/// way `populate_parallel_point` does.
+pub fn apply_sweep_point(op: ApplyOp, shards: usize, reps: usize) -> ApplyPoint {
+    let mut best: Option<(usize, u128, PoolStats)> = None;
+    for _ in 0..reps.max(1) {
+        let (db, mut m, start) = setup(op);
+        let pool = (shards > 1).then(|| Arc::new(ApplyPool::new(shards)));
+        let t0 = std::time::Instant::now();
+        let (records, _, stats) = drain_pooled(&db, m.as_mut(), start, 1024, pool.as_ref());
+        let ns = t0.elapsed().as_nanos();
+        if best.is_none_or(|(_, b, _)| ns < b) {
+            best = Some((records, ns, stats));
+        }
+    }
+    let (records, ns, stats) = best.expect("reps >= 1");
+    ApplyPoint {
+        operator: op.name(),
+        apply_shards: shards,
+        records,
+        ns,
+        records_per_sec: records as f64 * 1e9 / ns as f64,
+        stats,
+    }
+}
+
+/// Detected hardware parallelism — recorded next to every parallel
+/// number so single-CPU results stop masquerading as scaling data.
+pub fn detected_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}

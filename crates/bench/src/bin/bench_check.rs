@@ -1,0 +1,145 @@
+//! CI regression gate for the persistent apply pool: a bounded drain
+//! sweep (serial vs `apply_shards = 4`, cursor batch 1024) over the
+//! update-heavy FOJ and split scenarios shared with the
+//! `propagate_batch` bench.
+//!
+//! On a host with ≥ 2 detected cores the pooled drain must beat the
+//! serial pipeline by at least 10 % on *both* operators or the gate
+//! exits non-zero. On a single-CPU host real parallel speedup is
+//! physically unavailable — the lanes time-slice one core — so the
+//! gate records the measurements (merged into `BENCH_propagation.json`
+//! as the `pool_gate` series, tagged with the detected core count) and
+//! passes: a 1-core number is an overhead reading, not scaling data,
+//! and failing on it would just teach people to delete the gate.
+//!
+//! `MORPH_GATE_REPS` overrides the best-of repetitions (default 3).
+
+use morph_bench::apply_sweep::{apply_sweep_point, detected_cores, ApplyOp, ApplyPoint};
+
+const GATE_SHARDS: usize = 4;
+const MIN_SPEEDUP: f64 = 1.10;
+
+fn print_point(p: &ApplyPoint) {
+    println!(
+        "{:>6} {:>7} {:>9} {:>12} {:>12.0} {:>7} {:>9} {:>7} {:>7}",
+        p.operator,
+        p.apply_shards,
+        p.records,
+        p.ns,
+        p.records_per_sec,
+        p.stats.epochs,
+        p.stats.handoffs,
+        p.stats.steals,
+        p.stats.inline_runs,
+    );
+}
+
+/// Splice the `pool_gate` entries into `BENCH_propagation.json`,
+/// replacing any previous gate results (same idiom as `wal_append`'s
+/// commit-rate merge). Inserts a top-level `"cores"` field if the file
+/// predates it.
+fn merge_into_bench_json(cores: usize, mut block: Vec<String>) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_propagation.json");
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        println!("no {} to merge into (run the bench first)", path.display());
+        return;
+    };
+    let mut lines: Vec<String> = text
+        .lines()
+        .filter(|l| !l.contains("\"series\": \"pool_gate\""))
+        .map(str::to_owned)
+        .collect();
+    if !lines
+        .iter()
+        .any(|l| l.trim_start().starts_with("\"cores\""))
+    {
+        if let Some(i) = lines.iter().position(|l| l.contains("\"bench\"")) {
+            lines.insert(i + 1, format!("  \"cores\": {cores},"));
+        }
+    }
+    if let Some(close) = lines.iter().rposition(|l| l.trim() == "]") {
+        if close > 0 {
+            let prev = lines[close - 1].trim_end().trim_end_matches(',').to_owned();
+            lines[close - 1] = format!("{prev},");
+        }
+        let n = block.len();
+        for (i, line) in block.iter_mut().enumerate() {
+            if i + 1 < n {
+                line.push(',');
+            }
+        }
+        lines.splice(close..close, block);
+        std::fs::write(&path, lines.join("\n") + "\n").expect("merge propagation json");
+        println!("merged pool_gate series into {}", path.display());
+    }
+}
+
+fn main() {
+    let cores = detected_cores();
+    let reps = std::env::var("MORPH_GATE_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3usize);
+    println!("bench_check: persistent-pool apply gate (cores={cores}, best of {reps} reps)");
+    println!(
+        "{:>6} {:>7} {:>9} {:>12} {:>12} {:>7} {:>9} {:>7} {:>7}",
+        "op", "shards", "records", "ns", "records/s", "epochs", "handoffs", "steals", "inline"
+    );
+
+    let mut entries: Vec<String> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+    for op in [ApplyOp::Foj, ApplyOp::Split] {
+        let serial = apply_sweep_point(op, 1, reps);
+        let pooled = apply_sweep_point(op, GATE_SHARDS, reps);
+        print_point(&serial);
+        print_point(&pooled);
+        let speedup = pooled.records_per_sec / serial.records_per_sec;
+        println!(
+            "{:>6} speedup shards={GATE_SHARDS} vs serial: {speedup:.2}x",
+            op.name()
+        );
+        entries.push(format!(
+            "    {{ \"series\": \"pool_gate\", \"operator\": \"{}\", \"cores\": {}, \"apply_shards\": {}, \"serial_records_per_sec\": {:.0}, \"pool_records_per_sec\": {:.0}, \"speedup\": {:.3}, \"epochs\": {}, \"handoffs\": {}, \"steals\": {}, \"inline_runs\": {} }}",
+            op.name(),
+            cores,
+            GATE_SHARDS,
+            serial.records_per_sec,
+            pooled.records_per_sec,
+            speedup,
+            pooled.stats.epochs,
+            pooled.stats.handoffs,
+            pooled.stats.steals,
+            pooled.stats.inline_runs,
+        ));
+        if speedup < MIN_SPEEDUP {
+            failures.push(format!(
+                "{}: shards={GATE_SHARDS} is {speedup:.2}x serial (need ≥ {MIN_SPEEDUP:.2}x)",
+                op.name()
+            ));
+        }
+    }
+
+    merge_into_bench_json(cores, entries);
+
+    if cores < 2 {
+        println!(
+            "single CPU detected: the ≥{:.0}% multi-core speedup gate is not \
+             enforceable here — results recorded with cores={cores}, gate passes",
+            (MIN_SPEEDUP - 1.0) * 100.0
+        );
+        return;
+    }
+    if failures.is_empty() {
+        println!(
+            "pool gate OK: shards={GATE_SHARDS} beats serial by ≥{:.0}% on both operators",
+            (MIN_SPEEDUP - 1.0) * 100.0
+        );
+    } else {
+        for f in &failures {
+            eprintln!("pool gate FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+}

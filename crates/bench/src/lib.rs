@@ -22,6 +22,8 @@
 //!   reduced-scale smoke version of every experiment (used by `cargo
 //!   bench` in CI-ish settings; the published numbers use full scale).
 
+pub mod apply_sweep;
+
 use morph_core::propagate::Propagator;
 use morph_core::{FojMapping, FojSpec, SplitMapping, SplitSpec, TransformOperator};
 use morph_engine::Database;

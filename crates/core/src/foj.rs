@@ -31,9 +31,10 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use crate::operator::{
-    merge_lanes_by_lsn, scan_source_partitioned, scan_source_throttled, segment_by_lane,
-    worker_share, LaneTag, Segment, TransformOperator, PARALLEL_SEGMENT_MIN,
+    drive_segments, scan_source_partitioned, scan_source_throttled, worker_share, LaneScratch,
+    LaneTag, SegmentRun, TransformOperator,
 };
+use crate::pool::{ApplyPool, EpochTask};
 use crate::spec::FojSpec;
 use crate::throttle::Throttle;
 use morph_storage::shard_stride;
@@ -906,67 +907,65 @@ impl TransformOperator for FojMapping {
     /// log — lives in the lane's shard class. Every other record type
     /// probes by join value or S-key, whose carrying rows span subjects
     /// (and thus shards), so it is a barrier.
-    fn apply_batch_sharded(&mut self, batch: &[(Lsn, &LogOp)], lanes: usize) -> DbResult<()> {
-        let stride = shard_stride(lanes.max(1));
+    fn apply_batch_sharded(
+        &mut self,
+        batch: &[(Lsn, &LogOp)],
+        pool: &ApplyPool,
+        scratch: &mut LaneScratch,
+    ) -> DbResult<()> {
+        let stride = shard_stride(pool.width().max(1));
         if stride <= 1 {
             return self.apply_batch(batch);
         }
         let r_id = self.r.id();
-        let segments = segment_by_lane(batch, stride, |op| match op {
-            LogOp::Update { key, new, .. }
-                if op.table() == r_id
-                    && !new
-                        .iter()
-                        .any(|(i, _)| *i == self.r_join || self.r_pk.contains(i)) =>
-            {
-                LaneTag::Class(self.t.shard_of_component(key.values()))
-            }
-            _ => LaneTag::Barrier,
-        });
-        let t = Arc::clone(&self.t);
-        for seg in segments {
-            match seg {
-                Segment::Serial(records) => {
-                    let mut ts = t.write_session();
-                    for (lsn, op) in records {
-                        self.apply_in(&mut ts, lsn, op)?;
-                    }
-                }
-                Segment::Parallel(lane_runs) => {
-                    let total: usize = lane_runs.iter().map(Vec::len).sum();
-                    if total < PARALLEL_SEGMENT_MIN {
-                        let mut ts = t.write_session();
-                        for (lsn, op) in merge_lanes_by_lsn(lane_runs) {
-                            self.apply_in(&mut ts, lsn, op)?;
-                        }
-                        continue;
-                    }
-                    let this = &*self;
-                    std::thread::scope(|scope| -> DbResult<()> {
-                        let handles: Vec<_> = lane_runs
+        let this = &*self;
+        drive_segments(
+            batch,
+            stride,
+            scratch,
+            |op| match op {
+                LogOp::Update { key, new, .. }
+                    if op.table() == r_id
+                        && !new
                             .iter()
-                            .enumerate()
-                            .filter(|(_, run)| !run.is_empty())
-                            .map(|(w, run)| {
-                                let t = Arc::clone(&this.t);
-                                scope.spawn(move || -> DbResult<()> {
-                                    let mut ts = t.write_session_masked(stride, w);
-                                    for &(lsn, op) in run {
-                                        this.apply_in(&mut ts, lsn, op)?;
-                                    }
-                                    Ok(())
-                                })
-                            })
-                            .collect();
-                        for h in handles {
-                            h.join().expect("apply lane panicked")?; // morph-lint: allow(panic, re-raises a worker panic at the join point; mapping it to DbError would bury the original panic site)
-                        }
-                        Ok(())
-                    })?;
+                            .any(|(i, _)| *i == this.r_join || this.r_pk.contains(i)) =>
+                {
+                    LaneTag::Class(this.t.shard_of_component(key.values()))
                 }
-            }
-        }
-        Ok(())
+                _ => LaneTag::Barrier,
+            },
+            |seg| match seg {
+                SegmentRun::Serial(records) => {
+                    let mut ts = this.t.write_session();
+                    for &(lsn, op) in records {
+                        this.apply_in(&mut ts, lsn, op)?;
+                    }
+                    Ok(())
+                }
+                SegmentRun::Parallel(slice, lane_runs) => {
+                    // One epoch per parallel segment: each non-empty
+                    // lane is one sequential task under a masked write
+                    // session; the epoch fence replaces the old
+                    // scoped-spawn join.
+                    let tasks: Vec<EpochTask> = lane_runs
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, run)| !run.is_empty())
+                        .map(|(w, run)| {
+                            Box::new(move || {
+                                let mut ts = this.t.write_session_masked(stride, w);
+                                for &ri in run {
+                                    let (lsn, op) = slice[ri as usize];
+                                    this.apply_in(&mut ts, lsn, op)?;
+                                }
+                                Ok(())
+                            }) as EpochTask
+                        })
+                        .collect();
+                    pool.run_epoch(tasks)
+                }
+            },
+        )
     }
 
     /// Rules 5 and 6 guard on the *logged pre-image* of the join

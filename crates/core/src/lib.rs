@@ -46,6 +46,7 @@ pub mod baseline;
 pub mod cc;
 pub mod foj;
 pub mod operator;
+pub mod pool;
 pub mod progress;
 pub mod propagate;
 pub mod report;
@@ -59,7 +60,8 @@ pub mod transform;
 pub mod union;
 
 pub use foj::FojMapping;
-pub use operator::{CoalescePolicy, TransformOperator};
+pub use operator::{CoalescePolicy, LaneScratch, TransformOperator};
+pub use pool::{ApplyPool, EpochTask, PoolStats};
 pub use progress::{Progress, ProgressHandle, ProgressPhase};
 pub use report::{IterationStats, PopulationStats, SyncStats, TransformReport};
 pub use spec::{

@@ -56,6 +56,13 @@ pub struct ParallelConfig {
     pub copy_workers: usize,
     /// Concurrent apply lanes per coalesced run.
     pub apply_shards: usize,
+    /// Minimum lane-classified run length that is worth an epoch
+    /// hand-off to the apply pool; shorter runs apply serially on the
+    /// caller thread. Defaults to
+    /// [`PARALLEL_SEGMENT_MIN`](crate::operator::PARALLEL_SEGMENT_MIN);
+    /// tests and the crash simulator lower it to force real epochs
+    /// (workers in flight) on deliberately tiny batches.
+    pub min_apply_segment: usize,
 }
 
 impl ParallelConfig {
@@ -64,6 +71,7 @@ impl ParallelConfig {
         ParallelConfig {
             copy_workers: 1,
             apply_shards: 1,
+            min_apply_segment: crate::operator::PARALLEL_SEGMENT_MIN,
         }
     }
 
@@ -74,7 +82,15 @@ impl ParallelConfig {
         ParallelConfig {
             copy_workers: copy_workers.max(1),
             apply_shards: apply_shards.max(1),
+            min_apply_segment: crate::operator::PARALLEL_SEGMENT_MIN,
         }
+    }
+
+    /// Lower (or raise) the epoch-worthiness threshold.
+    #[must_use]
+    pub fn with_min_apply_segment(mut self, min: usize) -> ParallelConfig {
+        self.min_apply_segment = min.max(1);
+        self
     }
 
     /// Whether this configuration is the exact serial pipeline.

@@ -23,9 +23,10 @@
 
 use crate::cc::{CcState, PendingCc, Readiness};
 use crate::operator::{
-    merge_lanes_by_lsn, scan_source_partitioned, scan_source_throttled, segment_by_lane,
-    CoalescePolicy, LaneTag, Segment, TransformOperator, PARALLEL_SEGMENT_MIN,
+    drive_segments, scan_source_partitioned, scan_source_throttled, CoalescePolicy, LaneScratch,
+    LaneTag, SegmentRun, TransformOperator,
 };
+use crate::pool::{ApplyPool, EpochTask};
 use crate::spec::{SplitMode, SplitSpec};
 use crate::throttle::Throttle;
 use morph_common::{DbError, DbResult, Key, Lsn, Schema, TableId, Value};
@@ -33,8 +34,7 @@ use morph_engine::Database;
 use morph_storage::{shard_stride, ConsistencyFlag, Row, Table, WriteSession};
 use morph_wal::{LogManager, LogOp, LogRecord};
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Barrier, Mutex};
+use std::sync::{Arc, Mutex};
 
 /// Column mapping and rule engine for one split transformation.
 pub struct SplitMapping {
@@ -1032,151 +1032,141 @@ impl SplitMapping {
     /// the subject's R-side shard; phase A applies the R halves per
     /// lane concurrently and collects deferred S effects, phase B
     /// re-buckets the effects by split-value shard, sorts each bucket
-    /// by LSN, and replays them concurrently. Split-column changes and
-    /// key moves are barriers (their S half reads the shared record's
-    /// current image, which is order-sensitive across subjects), and
-    /// checking mode falls back to the serial path entirely (the
-    /// checker's touch tracking assumes serial application).
-    fn apply_batch_sharded_impl(&mut self, batch: &[(Lsn, &LogOp)], lanes: usize) -> DbResult<()> {
-        let stride = shard_stride(lanes.max(1));
+    /// by LSN, and replays them concurrently. Each phase is one pool
+    /// epoch: the epoch fence between them guarantees every bucket is
+    /// complete before any S half is applied, and a failed phase-A
+    /// lane aborts the segment at the fence (its bucket contributions
+    /// are missing, so applying the rest would diverge). Split-column
+    /// changes and key moves are barriers (their S half reads the
+    /// shared record's current image, which is order-sensitive across
+    /// subjects), and checking mode falls back to the serial path
+    /// entirely (the checker's touch tracking assumes serial
+    /// application).
+    fn apply_batch_sharded_impl(
+        &mut self,
+        batch: &[(Lsn, &LogOp)],
+        pool: &ApplyPool,
+        scratch: &mut LaneScratch,
+    ) -> DbResult<()> {
+        let stride = shard_stride(pool.width().max(1));
         if stride <= 1 || self.check {
             return <Self as TransformOperator>::apply_batch(self, batch);
         }
         let t_id = self.t.id();
         let r_side = Arc::clone(self.r_side());
         let s = Arc::clone(&self.s);
-        let segments = segment_by_lane(batch, stride, |op| {
-            if op.table() != t_id {
-                return LaneTag::Barrier;
-            }
-            match op {
-                LogOp::Insert { row, .. } => {
-                    let y = Key::project(row, &self.t_pk);
-                    LaneTag::Class(r_side.shard_of_component(y.values()))
+        // The classifier copies these out instead of borrowing `self`:
+        // the serial arm below needs `&mut self` (rule 8–11 replay),
+        // and the two closures coexist.
+        let t_pk = self.t_pk.clone();
+        let split_t = self.split_t;
+        drive_segments(
+            batch,
+            stride,
+            scratch,
+            |op| {
+                if op.table() != t_id {
+                    return LaneTag::Barrier;
                 }
-                LogOp::Delete { key, .. } => {
-                    LaneTag::Class(r_side.shard_of_component(key.values()))
-                }
-                LogOp::Update { key, new, .. } => {
-                    if new
-                        .iter()
-                        .any(|(i, _)| *i == self.split_t || self.t_pk.contains(i))
-                    {
-                        LaneTag::Barrier
-                    } else {
+                match op {
+                    LogOp::Insert { row, .. } => {
+                        let y = Key::project(row, &t_pk);
+                        LaneTag::Class(r_side.shard_of_component(y.values()))
+                    }
+                    LogOp::Delete { key, .. } => {
                         LaneTag::Class(r_side.shard_of_component(key.values()))
                     }
+                    LogOp::Update { key, new, .. } => {
+                        if new.iter().any(|(i, _)| *i == split_t || t_pk.contains(i)) {
+                            LaneTag::Barrier
+                        } else {
+                            LaneTag::Class(r_side.shard_of_component(key.values()))
+                        }
+                    }
                 }
-            }
-        });
-        for seg in segments {
-            match seg {
-                Segment::Serial(records) => {
+            },
+            |seg| match seg {
+                SegmentRun::Serial(records) => {
                     let mut rs = r_side.write_session();
                     let mut ss = s.write_session();
-                    for (lsn, op) in records {
+                    for &(lsn, op) in records {
                         self.apply_in(&mut rs, &mut ss, lsn, op)?;
                     }
+                    Ok(())
                 }
-                Segment::Parallel(lane_runs) => {
-                    let total: usize = lane_runs.iter().map(Vec::len).sum();
-                    if total < PARALLEL_SEGMENT_MIN {
-                        // Too small to win anything from threads; the
-                        // LSN-merged run is exactly the serial order.
-                        let mut rs = r_side.write_session();
-                        let mut ss = s.write_session();
-                        for (lsn, op) in merge_lanes_by_lsn(lane_runs) {
-                            self.apply_in(&mut rs, &mut ss, lsn, op)?;
-                        }
-                        continue;
-                    }
+                SegmentRun::Parallel(slice, lane_runs) => {
                     let this = &*self;
-                    // One thread per lane runs both phases: collect
-                    // SEffects from its R lane (Phase A), scatter them
-                    // into per-S-shard buckets, meet at the barrier,
-                    // then apply the bucket it owns (Phase B). The
-                    // barrier guarantees every bucket is complete
-                    // before anyone applies it; an LSN sort inside the
-                    // bucket restores the serial order for every S-key
-                    // it contains. One spawn per lane instead of two
-                    // scopes halves the per-segment thread cost.
+                    let r_side = &r_side;
+                    let s = &s;
+                    // Phase A (epoch 1): each subject lane applies its
+                    // R halves under a masked session and scatters its
+                    // deferred S effects into per-S-shard buckets.
                     let buckets: Vec<Mutex<Vec<(Lsn, SEffect)>>> =
                         (0..stride).map(|_| Mutex::new(Vec::new())).collect();
-                    let barrier = Barrier::new(stride);
-                    let failed = AtomicBool::new(false);
-                    std::thread::scope(|scope| -> DbResult<()> {
-                        let handles: Vec<_> = (0..stride)
-                            .map(|w| {
-                                let r_side = Arc::clone(&r_side);
-                                let s = Arc::clone(&s);
-                                let run = &lane_runs[w];
-                                let buckets = &buckets;
-                                let barrier = &barrier;
-                                let failed = &failed;
-                                scope.spawn(move || -> DbResult<()> {
-                                    let phase_a = (|| -> DbResult<()> {
-                                        if run.is_empty() {
-                                            return Ok(());
-                                        }
-                                        let mut rs = r_side.write_session_masked(stride, w);
-                                        let mut effects = Vec::new();
-                                        for &(lsn, op) in run {
-                                            this.r_apply_collect(&mut rs, lsn, op, &mut effects)?;
-                                        }
-                                        drop(rs);
-                                        let mut per: Vec<Vec<(Lsn, SEffect)>> =
-                                            (0..stride).map(|_| Vec::new()).collect();
-                                        for (lsn, eff) in effects {
-                                            let lane = s.shard_of_component(std::slice::from_ref(
-                                                eff.split_value(),
-                                            )) % stride;
-                                            per[lane].push((lsn, eff));
-                                        }
-                                        for (v, chunk) in per.into_iter().enumerate() {
-                                            if !chunk.is_empty() {
-                                                // morph-lint: allow(panic, std mutex poison implies a lane already panicked; that panic is re-raised at the join)
-                                                buckets[v].lock().unwrap().extend(chunk);
-                                            }
-                                        }
-                                        Ok(())
-                                    })();
-                                    if phase_a.is_err() {
-                                        failed.store(true, Ordering::SeqCst);
+                    {
+                        let buckets = &buckets;
+                        let tasks: Vec<EpochTask> = lane_runs
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, run)| !run.is_empty())
+                            .map(|(w, run)| {
+                                Box::new(move || {
+                                    let mut rs = r_side.write_session_masked(stride, w);
+                                    let mut effects = Vec::new();
+                                    for &ri in run {
+                                        let (lsn, op) = slice[ri as usize];
+                                        this.r_apply_collect(&mut rs, lsn, op, &mut effects)?;
                                     }
-                                    // Every worker must reach the
-                                    // barrier even on error, or the
-                                    // rest deadlock waiting for it.
-                                    barrier.wait();
-                                    phase_a?;
-                                    if failed.load(Ordering::SeqCst) {
-                                        // A sibling lane failed: its
-                                        // bucket contributions are
-                                        // missing, so applying ours
-                                        // would diverge. Abort.
-                                        return Ok(());
+                                    drop(rs);
+                                    let mut per: Vec<Vec<(Lsn, SEffect)>> =
+                                        (0..stride).map(|_| Vec::new()).collect();
+                                    for (lsn, eff) in effects {
+                                        let lane = s.shard_of_component(std::slice::from_ref(
+                                            eff.split_value(),
+                                        )) % stride;
+                                        per[lane].push((lsn, eff));
                                     }
-                                    let mut mine = std::mem::take(&mut *buckets[w].lock().unwrap()); // morph-lint: allow(panic, std mutex poison implies a lane already panicked; that panic is re-raised at the join)
-                                    if mine.is_empty() {
-                                        return Ok(());
-                                    }
-                                    mine.sort_by_key(|&(lsn, _)| lsn);
-                                    let mut ss = s.write_session_masked(stride, w);
-                                    for (lsn, eff) in &mine {
-                                        this.s_apply_effect(&mut ss, *lsn, eff)?;
+                                    for (v, chunk) in per.into_iter().enumerate() {
+                                        if !chunk.is_empty() {
+                                            // morph-lint: allow(panic, std mutex poison implies a lane already panicked; that panic is re-raised at the fence)
+                                            buckets[v].lock().unwrap().extend(chunk);
+                                        }
                                     }
                                     Ok(())
-                                })
+                                }) as EpochTask
                             })
                             .collect();
-                        for h in handles {
-                            h.join().expect("apply lane panicked")?; // morph-lint: allow(panic, re-raises a worker panic at the join point; mapping it to DbError would bury the original panic site)
-                        }
-                        Ok(())
-                    })?;
+                        pool.run_epoch(tasks)?;
+                    }
+
+                    // Phase B (epoch 2): each split-value shard sorts
+                    // its bucket by LSN — restoring the serial order
+                    // for every S-key it contains — and replays it
+                    // under a masked S session.
+                    let mut owned: Vec<Vec<(Lsn, SEffect)>> = buckets
+                        .into_iter()
+                        // morph-lint: allow(panic, std mutex poison implies a lane panicked; that panic was re-raised at the phase-A fence)
+                        .map(|b| b.into_inner().unwrap())
+                        .collect();
+                    let tasks: Vec<EpochTask> = owned
+                        .iter_mut()
+                        .enumerate()
+                        .filter(|(_, bucket)| !bucket.is_empty())
+                        .map(|(w, bucket)| {
+                            Box::new(move || {
+                                bucket.sort_by_key(|&(lsn, _)| lsn);
+                                let mut ss = s.write_session_masked(stride, w);
+                                for (lsn, eff) in bucket.iter() {
+                                    this.s_apply_effect(&mut ss, *lsn, eff)?;
+                                }
+                                Ok(())
+                            }) as EpochTask
+                        })
+                        .collect();
+                    pool.run_epoch(tasks)
                 }
-            }
-        }
-        Ok(())
+            },
+        )
     }
 
     /// Parallel initial population: partitioned fuzzy scan with masked
@@ -1304,8 +1294,13 @@ impl TransformOperator for SplitMapping {
         Ok(())
     }
 
-    fn apply_batch_sharded(&mut self, batch: &[(Lsn, &LogOp)], lanes: usize) -> DbResult<()> {
-        self.apply_batch_sharded_impl(batch, lanes)
+    fn apply_batch_sharded(
+        &mut self,
+        batch: &[(Lsn, &LogOp)],
+        pool: &ApplyPool,
+        scratch: &mut LaneScratch,
+    ) -> DbResult<()> {
+        self.apply_batch_sharded_impl(batch, pool, scratch)
     }
 
     fn coalesce_policy(&self) -> CoalescePolicy {

@@ -16,6 +16,7 @@
 use crate::cc::Readiness;
 use crate::foj::FojMapping;
 use crate::operator::TransformOperator;
+use crate::pool::ApplyPool;
 use crate::progress::{Progress, ProgressHandle, ProgressPhase};
 use crate::propagate::Propagator;
 use crate::report::{PopulationStats, TransformReport};
@@ -238,10 +239,24 @@ impl TransformJob {
         // morph-lint: allow(nondet, phase timing stats for the report; wall time never enters table or WAL state)
         let p0 = Instant::now();
         let (_, start_lsn, _) = self.db.write_fuzzy_mark();
-        self.prop = Some(
-            Propagator::new(&self.db, start_lsn, self.options.priority)
-                .with_parallel(self.options.parallel),
-        );
+        let mut prop = Propagator::new(&self.db, start_lsn, self.options.priority)
+            .with_parallel(self.options.parallel);
+        if self.options.parallel.apply_shards > 1 {
+            // Spawn the persistent apply pool once, here, as a
+            // crash-instrumented step of the job; every parallel batch
+            // until `finish` reuses these workers. Serial jobs never
+            // reach the pool (or its crash point).
+            let pool =
+                match ApplyPool::for_db(self.options.parallel.apply_shards, Arc::clone(&self.db)) {
+                    Ok(pool) => pool,
+                    Err(e) => {
+                        self.cleanup();
+                        return Err(e);
+                    }
+                };
+            prop = prop.with_pool(Arc::new(pool));
+        }
+        self.prop = Some(prop);
         // Pin the log at our cursor so concurrent truncation (memory
         // reclamation on long-running systems) never outruns us; the
         // guard self-releases on every exit path.
@@ -507,7 +522,12 @@ impl TransformJob {
         self.report.total = self.t0.elapsed();
         self.progress.set_phase(ProgressPhase::CutOver);
         // Release the log pin and propagation state; the report is the
-        // job's final product.
+        // job's final product. The pool is drained first (with its
+        // crash point) so worker threads never outlive the job.
+        if let Some(prop) = self.prop.as_mut() {
+            self.report.pool = prop.pool_stats();
+            prop.shutdown_pool()?;
+        }
         self.log_guard = None;
         self.prop = None;
         Ok(std::mem::take(&mut self.report))

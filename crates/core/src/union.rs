@@ -14,9 +14,10 @@
 //! implementing further [`TransformOperator`]s.
 
 use crate::operator::{
-    merge_lanes_by_lsn, scan_source_partitioned, scan_source_throttled, segment_by_lane,
-    CoalescePolicy, LaneTag, Segment, TransformOperator, PARALLEL_SEGMENT_MIN,
+    drive_segments, scan_source_partitioned, scan_source_throttled, CoalescePolicy, LaneScratch,
+    LaneTag, SegmentRun, TransformOperator,
 };
+use crate::pool::{ApplyPool, EpochTask};
 use crate::throttle::Throttle;
 use morph_common::{ColumnType, DbError, DbResult, Key, Lsn, Schema, TableId, Value};
 use morph_engine::Database;
@@ -317,70 +318,66 @@ impl TransformOperator for UnionMapping {
     /// lane of a record is simply the target shard its source key
     /// routes to. Only updates that move a source primary key (two
     /// subjects, possibly two shards) are barriers.
-    fn apply_batch_sharded(&mut self, batch: &[(Lsn, &LogOp)], lanes: usize) -> DbResult<()> {
-        let stride = shard_stride(lanes.max(1));
+    fn apply_batch_sharded(
+        &mut self,
+        batch: &[(Lsn, &LogOp)],
+        pool: &ApplyPool,
+        scratch: &mut LaneScratch,
+    ) -> DbResult<()> {
+        let stride = shard_stride(pool.width().max(1));
         if stride <= 1 {
             return self.apply_batch(batch);
         }
         let schema = self.r.schema();
         let src_pk = schema.pkey().to_vec();
-        let segments = segment_by_lane(batch, stride, |op| match op {
-            LogOp::Insert { row, .. } => {
-                LaneTag::Class(self.t.shard_of_component(schema.key_of(row).values()))
-            }
-            LogOp::Delete { key, .. } => LaneTag::Class(self.t.shard_of_component(key.values())),
-            LogOp::Update { key, new, .. } => {
-                if new.iter().any(|(i, _)| src_pk.contains(i)) {
-                    LaneTag::Barrier
-                } else {
-                    LaneTag::Class(self.t.shard_of_component(key.values()))
+        let this = &*self;
+        drive_segments(
+            batch,
+            stride,
+            scratch,
+            |op| match op {
+                LogOp::Insert { row, .. } => {
+                    LaneTag::Class(this.t.shard_of_component(schema.key_of(row).values()))
                 }
-            }
-        });
-        let t = Arc::clone(&self.t);
-        for seg in segments {
-            match seg {
-                Segment::Serial(records) => {
-                    let mut ts = t.write_session();
-                    for (lsn, op) in records {
-                        self.apply_in(&mut ts, lsn, op)?;
+                LogOp::Delete { key, .. } => {
+                    LaneTag::Class(this.t.shard_of_component(key.values()))
+                }
+                LogOp::Update { key, new, .. } => {
+                    if new.iter().any(|(i, _)| src_pk.contains(i)) {
+                        LaneTag::Barrier
+                    } else {
+                        LaneTag::Class(this.t.shard_of_component(key.values()))
                     }
                 }
-                Segment::Parallel(lane_runs) => {
-                    let total: usize = lane_runs.iter().map(Vec::len).sum();
-                    if total < PARALLEL_SEGMENT_MIN {
-                        let mut ts = t.write_session();
-                        for (lsn, op) in merge_lanes_by_lsn(lane_runs) {
-                            self.apply_in(&mut ts, lsn, op)?;
-                        }
-                        continue;
+            },
+            |seg| match seg {
+                SegmentRun::Serial(records) => {
+                    let mut ts = this.t.write_session();
+                    for &(lsn, op) in records {
+                        this.apply_in(&mut ts, lsn, op)?;
                     }
-                    let this = &*self;
-                    std::thread::scope(|scope| -> DbResult<()> {
-                        let handles: Vec<_> = lane_runs
-                            .iter()
-                            .enumerate()
-                            .filter(|(_, run)| !run.is_empty())
-                            .map(|(w, run)| {
-                                let t = Arc::clone(&this.t);
-                                scope.spawn(move || -> DbResult<()> {
-                                    let mut ts = t.write_session_masked(stride, w);
-                                    for &(lsn, op) in run {
-                                        this.apply_in(&mut ts, lsn, op)?;
-                                    }
-                                    Ok(())
-                                })
-                            })
-                            .collect();
-                        for h in handles {
-                            h.join().expect("apply lane panicked")?; // morph-lint: allow(panic, re-raises a worker panic at the join point; mapping it to DbError would bury the original panic site)
-                        }
-                        Ok(())
-                    })?;
+                    Ok(())
                 }
-            }
-        }
-        Ok(())
+                SegmentRun::Parallel(slice, lane_runs) => {
+                    let tasks: Vec<EpochTask> = lane_runs
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, run)| !run.is_empty())
+                        .map(|(w, run)| {
+                            Box::new(move || {
+                                let mut ts = this.t.write_session_masked(stride, w);
+                                for &ri in run {
+                                    let (lsn, op) = slice[ri as usize];
+                                    this.apply_in(&mut ts, lsn, op)?;
+                                }
+                                Ok(())
+                            }) as EpochTask
+                        })
+                        .collect();
+                    pool.run_epoch(tasks)
+                }
+            },
+        )
     }
 
     fn coalesce_policy(&self) -> CoalescePolicy {

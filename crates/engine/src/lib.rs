@@ -31,4 +31,4 @@ pub use counters::Counters;
 pub use database::{CrashHook, Database, LogProtection, PlannedOp};
 pub use interceptor::OpInterceptor;
 pub use migrations::MigrationRegistry;
-pub use recovery::{recover_into, RecoveryReport};
+pub use recovery::{recover_from_bytes, recover_into, RecoveryReport};

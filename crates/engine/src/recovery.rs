@@ -18,9 +18,9 @@
 //! an uninterrupted run (see `morph-sim` and DESIGN.md §9).
 
 use crate::database::Database;
-use morph_common::{DbResult, Lsn, TxnId};
+use morph_common::{DbResult, Key, Lsn, TxnId, Value};
 use morph_storage::Row;
-use morph_wal::{LogOp, LogRecord};
+use morph_wal::{scan_stream, LogOp, LogOpRef, LogRecord, LogRecordRef, ValueRef};
 use std::collections::{HashMap, HashSet};
 
 /// What recovery did.
@@ -124,6 +124,135 @@ pub fn recover_into(db: &Database, records: &[LogRecord]) -> DbResult<RecoveryRe
         losers,
         clrs_written,
     })
+}
+
+/// Replay a raw length-prefixed WAL byte stream into `db` without
+/// materializing owned records for the bulk of the log. Behaviorally
+/// identical to decoding the stream and calling [`recover_into`]
+/// (regression-pinned by `recover_from_bytes_matches_recover_into`),
+/// but the analysis and redo passes run on borrowed
+/// [`LogRecordRef`]s: control records, fuzzy marks, checkpoints and
+/// CLR bookkeeping never allocate a single `String`; owned values are
+/// built only for the column images an applied operation actually
+/// writes, and for the (typically few) loser operations the undo pass
+/// must retain past their borrow.
+pub fn recover_from_bytes(db: &Database, bytes: &[u8]) -> DbResult<RecoveryReport> {
+    // --- analysis (borrowed): who finished, what was compensated ---
+    struct TxnMeta {
+        finished: bool,
+        compensated: HashSet<Lsn>,
+    }
+    let mut txns: HashMap<TxnId, TxnMeta> = HashMap::new();
+    let mut lsn = 0u64;
+    scan_stream(bytes, |rec| {
+        lsn += 1;
+        match rec {
+            LogRecordRef::Begin { txn } => {
+                txns.insert(
+                    txn,
+                    TxnMeta {
+                        finished: false,
+                        compensated: HashSet::new(),
+                    },
+                );
+            }
+            LogRecordRef::Commit { txn } | LogRecordRef::AbortEnd { txn } => {
+                if let Some(meta) = txns.get_mut(&txn) {
+                    meta.finished = true;
+                }
+            }
+            LogRecordRef::Clr {
+                txn, undone_lsn, ..
+            } => {
+                if let Some(meta) = txns.get_mut(&txn) {
+                    meta.compensated.insert(undone_lsn);
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    })?;
+
+    // --- redo (borrowed), collecting owned ops only for losers ---
+    let is_loser =
+        |txns: &HashMap<TxnId, TxnMeta>, txn: TxnId| txns.get(&txn).is_some_and(|m| !m.finished);
+    let mut loser_ops: HashMap<TxnId, Vec<(Lsn, LogOp)>> = HashMap::new();
+    let mut redone = 0usize;
+    let mut lsn = 0u64;
+    scan_stream(bytes, |rec| {
+        lsn += 1;
+        if let Some(op) = rec.op() {
+            apply_physical_ref(db, op, Lsn(lsn))?;
+            redone += 1;
+            if let LogRecordRef::Op { txn, op } = &rec {
+                if is_loser(&txns, *txn) {
+                    loser_ops
+                        .entry(*txn)
+                        .or_default()
+                        .push((Lsn(lsn), op.to_owned()));
+                }
+            }
+        }
+        Ok(())
+    })?;
+
+    // --- undo losers (same protocol as recover_into) ---
+    let mut losers: Vec<TxnId> = txns
+        .iter()
+        .filter(|(_, meta)| !meta.finished)
+        .map(|(id, _)| *id)
+        .collect();
+    losers.sort();
+    let mut clrs_written = 0usize;
+    for txn in &losers {
+        let meta = &txns[txn];
+        let ops = loser_ops.remove(txn).unwrap_or_default();
+        db.log().append(LogRecord::Abort { txn: *txn });
+        for (lsn, op) in ops.iter().rev() {
+            if meta.compensated.contains(lsn) {
+                continue;
+            }
+            let inverse = invert_for_undo(db, op)?;
+            let clr_lsn = db.log().append(LogRecord::Clr {
+                txn: *txn,
+                undone_lsn: *lsn,
+                op: inverse.clone(),
+            });
+            apply_physical(db, &inverse, clr_lsn)?;
+            clrs_written += 1;
+        }
+        db.log().append(LogRecord::AbortEnd { txn: *txn });
+    }
+    db.log().flush()?;
+
+    Ok(RecoveryReport {
+        redone,
+        losers,
+        clrs_written,
+    })
+}
+
+/// Apply one borrowed logged operation physically, stamping `lsn`.
+/// Owned values are built only for the images the write needs: the
+/// pre-images (`old`) riding along for undo are never converted.
+fn apply_physical_ref(db: &Database, op: &LogOpRef<'_>, lsn: Lsn) -> DbResult<()> {
+    fn owned(vals: &[ValueRef<'_>]) -> Vec<Value> {
+        vals.iter().map(ValueRef::to_owned).collect()
+    }
+    let table = db.catalog().get_by_id(op.table())?;
+    match op {
+        LogOpRef::Insert { row, .. } => {
+            table.insert_row(Row::new(owned(row), lsn))?;
+        }
+        LogOpRef::Delete { key, .. } => {
+            table.delete(&Key(owned(key)))?;
+        }
+        LogOpRef::Update { key, new, .. } => {
+            let new: Vec<(usize, Value)> = new.iter().map(|(i, v)| (*i, v.to_owned())).collect();
+            table.update(&Key(owned(key)), &new, lsn)?;
+        }
+    }
+    Ok(())
 }
 
 /// Apply one logged operation physically, stamping `lsn`.
@@ -340,6 +469,99 @@ mod tests {
                 .map(|(k, r)| (k, r.values))
                 .collect::<Vec<_>>()
         });
+    }
+
+    /// Length-prefix-encode records exactly as the file backend does.
+    fn to_stream(records: &[LogRecord]) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        for rec in records {
+            let body = morph_wal::codec::encode(rec);
+            bytes.extend_from_slice(&(body.len() as u32).to_le_bytes());
+            bytes.extend_from_slice(&body);
+        }
+        bytes
+    }
+
+    #[test]
+    fn recover_from_bytes_matches_recover_into() {
+        // One committed txn (with a pkey move and strings, so borrowed
+        // values matter), one fully-rolled-back txn (CLRs in the log),
+        // one loser crashed mid-flight.
+        let db1 = Database::new();
+        db1.create_table("t", schema()).unwrap();
+        let committed = db1.begin();
+        db1.insert(committed, "t", row(1, "alpha")).unwrap();
+        db1.insert(committed, "t", row(2, "beta")).unwrap();
+        db1.update(committed, "t", &Key::single(1), &[(0, Value::Int(10))])
+            .unwrap();
+        db1.commit(committed).unwrap();
+        let aborted = db1.begin();
+        db1.update(aborted, "t", &Key::single(2), &[(1, Value::str("dirty"))])
+            .unwrap();
+        db1.abort(aborted).unwrap();
+        let loser = db1.begin();
+        db1.insert(loser, "t", row(3, "gone")).unwrap();
+        db1.delete(loser, "t", &Key::single(2)).unwrap();
+        // no commit — crash
+
+        let records: Vec<LogRecord> = db1
+            .log()
+            .read_range(Lsn(1), usize::MAX)
+            .into_iter()
+            .map(|(_, r)| (*r).clone())
+            .collect();
+        let bytes = to_stream(&records);
+        let t_id = db1.catalog().get("t").unwrap().id();
+
+        let db_a = Database::new();
+        db_a.catalog()
+            .create_table_with_id(t_id, "t", schema())
+            .unwrap();
+        let report_a = recover_into(&db_a, &records).unwrap();
+
+        let db_b = Database::new();
+        db_b.catalog()
+            .create_table_with_id(t_id, "t", schema())
+            .unwrap();
+        let report_b = recover_from_bytes(&db_b, &bytes).unwrap();
+
+        assert_eq!(report_a, report_b);
+        assert_eq!(table_state(&db_a), table_state(&db_b));
+        // The undo pass must have appended the same records, too.
+        let tail = |db: &Database| -> Vec<LogRecord> {
+            db.log()
+                .read_range(Lsn(1), usize::MAX)
+                .into_iter()
+                .map(|(_, r)| (*r).clone())
+                .collect()
+        };
+        assert_eq!(tail(&db_a), tail(&db_b));
+    }
+
+    #[test]
+    fn recover_from_bytes_tolerates_torn_tail() {
+        let db1 = Database::new();
+        db1.create_table("t", schema()).unwrap();
+        let txn = db1.begin();
+        db1.insert(txn, "t", row(1, "keep")).unwrap();
+        db1.commit(txn).unwrap();
+        let records: Vec<LogRecord> = db1
+            .log()
+            .read_range(Lsn(1), usize::MAX)
+            .into_iter()
+            .map(|(_, r)| (*r).clone())
+            .collect();
+        let mut bytes = to_stream(&records);
+        bytes.extend_from_slice(&(4096u32).to_le_bytes()); // torn append
+        bytes.extend_from_slice(&[7, 7]);
+
+        let db2 = Database::new();
+        db2.catalog()
+            .create_table_with_id(db1.catalog().get("t").unwrap().id(), "t", schema())
+            .unwrap();
+        let report = recover_from_bytes(&db2, &bytes).unwrap();
+        assert!(report.losers.is_empty());
+        assert_eq!(table_state(&db2), vec![(Key::single(1), row(1, "keep"))]);
     }
 
     #[test]

@@ -51,23 +51,49 @@ impl TxnCell {
     }
 }
 
-/// Registry of active transactions.
-#[derive(Default)]
+/// Shard count. Transaction ids are sequential, so a plain modulo
+/// spreads them perfectly; 16 shards is comfortably past the
+/// updater-thread counts the workloads drive while keeping the
+/// all-shards fuzzy-mark sweep cheap.
+const REGISTRY_SHARDS: usize = 16;
+
+/// Registry of active transactions, sharded by transaction id so that
+/// concurrent begin/get/remove traffic from updater threads and
+/// parallel apply lanes does not serialize on one map lock. Whole-set
+/// operations (fuzzy mark, checkpoint) take every shard's write lock
+/// in index order — same-class nesting in a canonical order, exactly
+/// like the storage shard latches — which still blocks admission
+/// globally, preserving the Theorem-1 premise.
 pub struct TxnRegistry {
-    map: RwLock<HashMap<TxnId, Arc<TxnCell>>>,
+    shards: Vec<RwLock<HashMap<TxnId, Arc<TxnCell>>>>,
+}
+
+impl Default for TxnRegistry {
+    fn default() -> TxnRegistry {
+        TxnRegistry::new()
+    }
 }
 
 impl TxnRegistry {
     /// Empty registry.
     pub fn new() -> TxnRegistry {
-        TxnRegistry::default()
+        TxnRegistry {
+            shards: (0..REGISTRY_SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn shard_of(&self, id: TxnId) -> &RwLock<HashMap<TxnId, Arc<TxnCell>>> {
+        &self.shards[(id.0 as usize) % self.shards.len()]
     }
 
     /// Register a transaction. `log_begin` must append the Begin record
-    /// and return its LSN; it runs under the registry's write lock so
-    /// that fuzzy marks serialize against transaction admission.
+    /// and return its LSN; it runs under the transaction's shard write
+    /// lock so that fuzzy marks (which hold *all* shard write locks)
+    /// serialize against transaction admission.
     pub fn begin_with(&self, id: TxnId, log_begin: impl FnOnce() -> Lsn) -> Arc<TxnCell> {
-        let mut map = self.map.write();
+        let mut map = self.shard_of(id).write();
         let first_lsn = log_begin();
         let cell = Arc::new(TxnCell {
             id,
@@ -81,7 +107,7 @@ impl TxnRegistry {
 
     /// Fetch an active transaction.
     pub fn get(&self, id: TxnId) -> DbResult<Arc<TxnCell>> {
-        self.map
+        self.shard_of(id)
             .read()
             .get(&id)
             .cloned()
@@ -90,46 +116,59 @@ impl TxnRegistry {
 
     /// Deregister (commit or rollback complete).
     pub fn remove(&self, id: TxnId) {
-        self.map.write().remove(&id);
+        self.shard_of(id).write().remove(&id);
     }
 
     /// Whether the transaction is active.
     pub fn is_active(&self, id: TxnId) -> bool {
-        self.map.read().contains_key(&id)
+        self.shard_of(id).read().contains_key(&id)
     }
 
     /// Ids of all active transactions.
     pub fn active_ids(&self) -> Vec<TxnId> {
-        self.map.read().keys().copied().collect()
+        let mut ids = Vec::new();
+        for shard in &self.shards {
+            ids.extend(shard.read().keys().copied());
+        }
+        ids
     }
 
     /// Number of active transactions.
     pub fn active_count(&self) -> usize {
-        self.map.read().len()
+        self.shards.iter().map(|shard| shard.read().len()).sum()
     }
 
     /// Run `f` with a consistent snapshot of (active ids, oldest first
     /// LSN) while *blocking transaction admission* — the fuzzy-mark
-    /// primitive. `f` typically appends the mark to the log.
+    /// primitive. `f` typically appends the mark to the log. Admission
+    /// is blocked by holding every shard's write lock, acquired in
+    /// index order (`begin_with` takes exactly one of them).
     pub fn with_admission_blocked<R>(&self, f: impl FnOnce(Vec<TxnId>, Option<Lsn>) -> R) -> R {
-        let map = self.map.write();
-        let active: Vec<TxnId> = map.keys().copied().collect();
-        let oldest = map.values().map(|c| c.first_lsn).min();
+        let guards: Vec<_> = self.shards.iter().map(|shard| shard.write()).collect();
+        let active: Vec<TxnId> = guards.iter().flat_map(|g| g.keys().copied()).collect();
+        let oldest = guards
+            .iter()
+            .flat_map(|g| g.values().map(|c| c.first_lsn))
+            .min();
         f(active, oldest)
     }
 
     /// Run `f` with the active transactions and their first LSNs while
-    /// blocking admission (checkpointing).
+    /// blocking admission (checkpointing). Same all-shards protocol as
+    /// [`TxnRegistry::with_admission_blocked`].
     pub fn with_checkpoint_snapshot<R>(&self, f: impl FnOnce(Vec<(TxnId, Lsn)>) -> R) -> R {
-        let map = self.map.write();
-        let entries: Vec<(TxnId, Lsn)> = map.values().map(|c| (c.id, c.first_lsn)).collect();
+        let guards: Vec<_> = self.shards.iter().map(|shard| shard.write()).collect();
+        let entries: Vec<(TxnId, Lsn)> = guards
+            .iter()
+            .flat_map(|g| g.values().map(|c| (c.id, c.first_lsn)))
+            .collect();
         f(entries)
     }
 
     /// Doom a transaction (non-blocking abort synchronization). Returns
     /// `false` if it is no longer active.
     pub fn doom(&self, id: TxnId) -> bool {
-        if let Some(cell) = self.map.read().get(&id) {
+        if let Some(cell) = self.shard_of(id).read().get(&id) {
             cell.doomed.store(true, Ordering::Release);
             true
         } else {
@@ -187,6 +226,32 @@ mod tests {
         assert!(reg.doom(TxnId(1)));
         assert!(cell.is_doomed());
         assert!(!reg.doom(TxnId(99)));
+    }
+
+    #[test]
+    fn sharded_snapshot_spans_every_shard() {
+        // Ids chosen to land on many distinct shards; the admission
+        // snapshot and the counters must still see all of them.
+        let reg = TxnRegistry::new();
+        for i in 0..40u64 {
+            reg.begin_with(TxnId(i), || Lsn(100 + i));
+        }
+        assert_eq!(reg.active_count(), 40);
+        assert_eq!(reg.active_ids().len(), 40);
+        reg.with_admission_blocked(|active, oldest| {
+            assert_eq!(active.len(), 40);
+            assert_eq!(oldest, Some(Lsn(100)));
+        });
+        reg.with_checkpoint_snapshot(|entries| {
+            assert_eq!(entries.len(), 40);
+            assert!(entries
+                .iter()
+                .any(|&(id, lsn)| id == TxnId(39) && lsn == Lsn(139)));
+        });
+        for i in 0..40u64 {
+            reg.remove(TxnId(i));
+        }
+        assert_eq!(reg.active_count(), 0);
     }
 
     #[test]

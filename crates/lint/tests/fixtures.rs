@@ -25,6 +25,10 @@ fn fixture_files() -> Vec<SourceFile> {
     vec![
         SourceFile::from_source("fixtures/clean.rs", include_str!("fixtures/clean.rs")),
         SourceFile::from_source(
+            "fixtures/lane_inversion.rs",
+            include_str!("fixtures/lane_inversion.rs"),
+        ),
+        SourceFile::from_source(
             "fixtures/naked_unwrap.rs",
             include_str!("fixtures/naked_unwrap.rs"),
         ),
@@ -59,6 +63,11 @@ fn every_seeded_defect_is_caught_at_its_line() {
         // says two; `fixture.bogus` never appears in code at all.
         (MANIFEST_PATH, 3, "crash_point"),
         (MANIFEST_PATH, 4, "crash_point"),
+        // Lane-pool inversion: a steal (lane deque lock) under the
+        // held epoch fence lock, directly and through the `steal_task`
+        // call edge; the placement-order hand-off below them is silent.
+        ("fixtures/lane_inversion.rs", 14, "lock_order"),
+        ("fixtures/lane_inversion.rs", 21, "lock_order"),
         // Naked unwrap / expect; the allowed one (line 13) is silent.
         ("fixtures/naked_unwrap.rs", 5, "panic"),
         ("fixtures/naked_unwrap.rs", 9, "panic"),
@@ -125,6 +134,7 @@ fn fixture_messages_name_the_defect() {
     };
     assert!(msg_of("fixtures/rank_inversion.rs", 14).contains("inversion"));
     assert!(msg_of("fixtures/rank_inversion.rs", 21).contains("re-acquisition"));
+    assert!(msg_of("fixtures/lane_inversion.rs", 14).contains("inversion"));
     assert!(msg_of("fixtures/orphan_crash_point.rs", 6).contains("not registered"));
     assert!(msg_of(MANIFEST_PATH, 4).contains("does not appear"));
     assert!(msg_of("fixtures/wal_write.rs", 14).contains("byte order"));

@@ -1,0 +1,34 @@
+//! Pool-lane lock-order fixture: the seeded defect every lane refactor
+//! must keep impossible — stealing from a lane deque while the epoch
+//! fence lock is held (the real pool's caller-steal runs with the
+//! fence lock released precisely to avoid this inversion).
+
+pub struct Pool {
+    lanes: Vec<Mutex<u32>>,
+    sync: Mutex<u32>,
+}
+
+impl Pool {
+    pub fn fence_then_steal(&self) {
+        let fence = self.sync.lock();
+        let task = self.lanes[0].lock();
+        drop(task);
+        drop(fence);
+    }
+
+    pub fn fence_then_steal_via_call(&self) {
+        let fence = self.sync.lock();
+        let task = self.steal_task();
+        drop(task);
+        drop(fence);
+    }
+
+    pub fn handoff_in_placement_order(&self) {
+        let a = self.lanes[0].lock();
+        let b = self.lanes[1].lock();
+        let fence = self.sync.lock();
+        drop(fence);
+        drop(b);
+        drop(a);
+    }
+}

@@ -39,7 +39,7 @@
 
 use crate::scenario::Scenario;
 use morph_common::{DbError, DbResult, Key, Schema, TableId, Value};
-use morph_core::SyncStrategy;
+use morph_core::{ParallelConfig, SyncStrategy};
 use morph_engine::{recover_into, CrashHook, Database};
 use morph_storage::row::Presence;
 use morph_storage::ConsistencyFlag;
@@ -86,6 +86,12 @@ pub struct SimConfig {
     /// fallback — serial is the determinism pin; CI forces
     /// `MORPH_WAL_MODE=group` to prove the matrix holds in both.
     pub wal_mode: WalMode,
+    /// Parallelism of the transformation under test. Defaults to the
+    /// serial pipeline (the determinism pin). The pool kill matrix
+    /// runs `apply_shards > 1`; the reference run the oracle compares
+    /// against is *always* serial, so every parallel sim is also a
+    /// parallel ≡ serial equivalence check.
+    pub parallel: ParallelConfig,
 }
 
 impl SimConfig {
@@ -97,12 +103,21 @@ impl SimConfig {
             kill: None,
             inject_budget: 40,
             wal_mode: WalMode::from_env(WalMode::Serial),
+            parallel: ParallelConfig::serial(),
         }
     }
 
     #[must_use]
     pub fn kill_at(mut self, point: &str, occurrence: usize) -> SimConfig {
         self.kill = Some(Kill::new(point, occurrence));
+        self
+    }
+
+    /// Run the transformation under test with the given parallelism
+    /// (the oracle's reference run stays serial).
+    #[must_use]
+    pub fn parallel(mut self, parallel: ParallelConfig) -> SimConfig {
+        self.parallel = parallel;
         self
     }
 
@@ -396,7 +411,7 @@ fn check_targets(
 /// Run one simulated universe. See module docs for the exact pipeline.
 pub fn run_sim(cfg: &SimConfig) -> Result<SimReport, SimFailure> {
     let run = build(cfg)?;
-    let result = cfg.scenario.run(&run.db, cfg.strategy);
+    let result = cfg.scenario.run_with(&run.db, cfg.strategy, cfg.parallel);
 
     // Pull the hook's state out; the transformation is done with it.
     run.db.clear_crash_hook();
@@ -483,7 +498,7 @@ pub fn run_sim(cfg: &SimConfig) -> Result<SimReport, SimFailure> {
 
             // ---- oracle 2: restart the transformation from prep ----
             cfg.scenario
-                .run(&db2, cfg.strategy)
+                .run_with(&db2, cfg.strategy, cfg.parallel)
                 .map_err(|e| fail(format!("re-transformation failed: {e}"), &trace))?;
             trace.push("re-transformation: ok".to_owned());
 

@@ -13,7 +13,8 @@ use morph_common::{ColumnType, DbResult, Schema, Value};
 use morph_core::foj::figure1_schemas;
 use morph_core::split::example1_schema;
 use morph_core::{
-    FojSpec, SplitSpec, SyncStrategy, TransformOptions, TransformReport, Transformer, UnionSpec,
+    FojSpec, ParallelConfig, SplitSpec, SyncStrategy, TransformOptions, TransformReport,
+    Transformer, UnionSpec,
 };
 use morph_engine::Database;
 use morph_workload::TableProfile;
@@ -263,9 +264,23 @@ impl Scenario {
         }
     }
 
-    /// Run the scenario's transformation synchronously.
+    /// Run the scenario's transformation synchronously on the serial
+    /// pipeline (the determinism pin).
     pub fn run(&self, db: &Arc<Database>, strategy: SyncStrategy) -> DbResult<TransformReport> {
-        let options = sim_options(strategy);
+        self.run_with(db, strategy, ParallelConfig::serial())
+    }
+
+    /// Run the scenario's transformation synchronously under an
+    /// explicit parallel configuration (the pool kill matrix drives
+    /// `apply_shards > 1` through here).
+    pub fn run_with(
+        &self,
+        db: &Arc<Database>,
+        strategy: SyncStrategy,
+        parallel: ParallelConfig,
+    ) -> DbResult<TransformReport> {
+        let mut options = sim_options(strategy);
+        options.parallel = parallel;
         match self {
             Scenario::Foj => {
                 Transformer::run_foj(db, FojSpec::new("R", "S", "T", "c", "c"), options)

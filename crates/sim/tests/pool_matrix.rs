@@ -1,0 +1,119 @@
+//! Kill matrix for the persistent apply pool (`apply.*` crash points).
+//!
+//! These points are `optional` in the registry because the default sim
+//! census runs the serial `ParallelConfig {1, 1}` pipeline, which never
+//! constructs a pool. This sweep runs the same scenarios under
+//! `apply_shards = 4` with the epoch threshold forced to 1 so the
+//! deliberately tiny sim batches still become real epochs — worker
+//! threads are in flight when the kill fires — and demands the full
+//! recovery oracle every time: committed user data survives the torn
+//! WAL exactly, and restarting the transformation from preparation
+//! (still under `apply_shards = 4`) converges to the tables of an
+//! uninterrupted *serial* reference run, so every cell is also a
+//! parallel ≡ serial equivalence check (Theorem 1).
+//!
+//! All five `apply.*` points fire on the caller thread only: a kill
+//! observed mid-epoch (`apply.steal`) is deferred to the epoch fence so
+//! borrowed tasks never outlive an unwinding `run_epoch`. The steal
+//! point is the one genuinely timing-dependent firing (the caller only
+//! steals while fence-waiting), so its kills — and late occurrences of
+//! the others — accept `KillNotReached`: the clean-run oracle is still
+//! checked in that case, and the census test below pins that the
+//! deterministic points do fire.
+
+use morph_core::{ParallelConfig, SyncStrategy};
+use morph_sim::{run_sim, Scenario, SimConfig, Verdict};
+
+/// Four lanes, epoch hand-off for every lane-classified run no matter
+/// how short: maximum pool traffic on sim-sized batches.
+fn pool_config() -> ParallelConfig {
+    ParallelConfig::new(1, 4).with_min_apply_segment(1)
+}
+
+const POOL_POINTS: [&str; 5] = [
+    "apply.pool_spawn",
+    "apply.lane_enqueue",
+    "apply.steal",
+    "apply.epoch_fence",
+    "apply.pool_drain",
+];
+
+const SCENARIOS: [Scenario; 3] = [Scenario::Foj, Scenario::Split, Scenario::Union];
+
+/// Kill every pool point at its first and an early-middle occurrence,
+/// per scenario. `KilledAndRecovered` means the whole oracle passed;
+/// `KillNotReached` is legal (e.g. no steal ever happened, or the pool
+/// spawned fewer times than the armed occurrence) and still checks the
+/// clean-run oracle.
+#[test]
+fn pool_points_survive_kills_with_workers_in_flight() {
+    for scenario in SCENARIOS {
+        for point in POOL_POINTS {
+            for occurrence in [1usize, 3] {
+                let cfg = SimConfig::new(11, scenario, SyncStrategy::NonBlockingAbort)
+                    .parallel(pool_config())
+                    .kill_at(point, occurrence);
+                let report = run_sim(&cfg).unwrap_or_else(|f| panic!("{}", f.render()));
+                assert!(
+                    matches!(
+                        report.verdict,
+                        Verdict::KilledAndRecovered | Verdict::KillNotReached
+                    ),
+                    "{} kill {point}#{occurrence}: unexpected verdict {:?}",
+                    scenario.tag(),
+                    report.verdict
+                );
+            }
+        }
+    }
+}
+
+/// The deterministic pool points must actually fire in a parallel
+/// census — otherwise the sweep above would be vacuously green. The
+/// steal counter is deliberately absent here: whether the fence-waiting
+/// caller ever steals depends on worker timing.
+#[test]
+fn parallel_census_reaches_the_pool_points() {
+    for scenario in SCENARIOS {
+        let census = run_sim(
+            &SimConfig::new(11, scenario, SyncStrategy::NonBlockingAbort).parallel(pool_config()),
+        )
+        .unwrap_or_else(|f| panic!("{}", f.render()));
+        assert_eq!(census.verdict, Verdict::CompletedClean);
+        for point in [
+            "apply.pool_spawn",
+            "apply.lane_enqueue",
+            "apply.epoch_fence",
+            "apply.pool_drain",
+        ] {
+            assert!(
+                census.point_counts.get(point).copied().unwrap_or(0) > 0,
+                "{}: {point} never fired in the parallel census; counts: {:?}",
+                scenario.tag(),
+                census.point_counts
+            );
+        }
+    }
+}
+
+/// A mid-propagation kill under the pool, recovered and re-run, equals
+/// the uninterrupted serial run — the pool-flavored restatement of the
+/// recovery-module doc claim, across all three strategies.
+#[test]
+fn pooled_interrupted_restart_equals_serial_run() {
+    for strategy in [
+        SyncStrategy::BlockingCommit,
+        SyncStrategy::NonBlockingAbort,
+        SyncStrategy::NonBlockingCommit,
+    ] {
+        let cfg = SimConfig::new(12, Scenario::Split, strategy)
+            .parallel(pool_config())
+            .kill_at("propagate.batch", 2);
+        let report = run_sim(&cfg).unwrap_or_else(|f| panic!("{}", f.render()));
+        assert_eq!(
+            report.verdict,
+            Verdict::KilledAndRecovered,
+            "{strategy:?}: propagate.batch#2 never fired under the pool"
+        );
+    }
+}

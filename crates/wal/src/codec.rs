@@ -10,6 +10,238 @@ use crate::record::{LogOp, LogRecord, MigrationPhase};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use morph_common::{DbError, DbResult, Key, Lsn, TableId, TxnId, Value};
 
+/// A decoded value borrowing its string payload from the encoded
+/// buffer. The zero-copy twin of [`Value`]: recovery's analysis pass
+/// and the propagator's batch reads classify millions of records
+/// without ever materializing a `String`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ValueRef<'a> {
+    /// Absent value.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// UTF-8 string slice pointing into the encoded record.
+    Str(&'a str),
+}
+
+impl ValueRef<'_> {
+    /// Materialize an owned [`Value`] (the only point a string
+    /// allocation happens on the decode path).
+    pub fn to_owned(&self) -> Value {
+        match self {
+            ValueRef::Null => Value::Null,
+            ValueRef::Int(i) => Value::Int(*i),
+            ValueRef::Str(s) => Value::Str((*s).to_string()),
+        }
+    }
+}
+
+fn owned_values(vals: &[ValueRef<'_>]) -> Vec<Value> {
+    vals.iter().map(ValueRef::to_owned).collect()
+}
+
+fn owned_cols(cols: &[(usize, ValueRef<'_>)]) -> Vec<(usize, Value)> {
+    cols.iter().map(|(i, v)| (*i, v.to_owned())).collect()
+}
+
+/// A decoded data operation borrowing from the encoded buffer; the
+/// zero-copy twin of [`LogOp`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LogOpRef<'a> {
+    /// A full row was inserted.
+    Insert {
+        /// Target table.
+        table: TableId,
+        /// Complete row image.
+        row: Vec<ValueRef<'a>>,
+    },
+    /// A row was deleted.
+    Delete {
+        /// Target table.
+        table: TableId,
+        /// Primary key of the deleted row.
+        key: Vec<ValueRef<'a>>,
+        /// Full pre-image of the deleted row.
+        old: Vec<ValueRef<'a>>,
+    },
+    /// Some columns of a row changed.
+    Update {
+        /// Target table.
+        table: TableId,
+        /// Primary key of the updated row (pre-update key).
+        key: Vec<ValueRef<'a>>,
+        /// Changed columns, pre-update values.
+        old: Vec<(usize, ValueRef<'a>)>,
+        /// Changed columns, post-update values.
+        new: Vec<(usize, ValueRef<'a>)>,
+    },
+}
+
+impl LogOpRef<'_> {
+    /// The table this operation touches.
+    pub fn table(&self) -> TableId {
+        match self {
+            LogOpRef::Insert { table, .. }
+            | LogOpRef::Delete { table, .. }
+            | LogOpRef::Update { table, .. } => *table,
+        }
+    }
+
+    /// Materialize an owned [`LogOp`].
+    pub fn to_owned(&self) -> LogOp {
+        match self {
+            LogOpRef::Insert { table, row } => LogOp::Insert {
+                table: *table,
+                row: owned_values(row),
+            },
+            LogOpRef::Delete { table, key, old } => LogOp::Delete {
+                table: *table,
+                key: Key(owned_values(key)),
+                old: owned_values(old),
+            },
+            LogOpRef::Update {
+                table,
+                key,
+                old,
+                new,
+            } => LogOp::Update {
+                table: *table,
+                key: Key(owned_values(key)),
+                old: owned_cols(old),
+                new: owned_cols(new),
+            },
+        }
+    }
+}
+
+/// A decoded record borrowing from the encoded buffer; the zero-copy
+/// twin of [`LogRecord`]. Control records decode without any per-value
+/// allocation at all; `Op`/`Clr` allocate only the column vectors,
+/// never the string payloads.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LogRecordRef<'a> {
+    /// Transaction began.
+    Begin { txn: TxnId },
+    /// Transaction committed.
+    Commit { txn: TxnId },
+    /// Transaction rollback started.
+    Abort { txn: TxnId },
+    /// Transaction rollback finished.
+    AbortEnd { txn: TxnId },
+    /// A forward data operation executed under `txn`.
+    Op { txn: TxnId, op: LogOpRef<'a> },
+    /// Compensating Log Record.
+    Clr {
+        txn: TxnId,
+        /// LSN of the forward record this CLR compensates.
+        undone_lsn: Lsn,
+        /// The physical compensation that was executed.
+        op: LogOpRef<'a>,
+    },
+    /// Fuzzy mark (§3.2).
+    FuzzyMark {
+        /// Transactions active on the source tables at mark time.
+        active: Vec<TxnId>,
+        /// Where log propagation must start reading.
+        start_lsn: Lsn,
+    },
+    /// Consistency checker started examining a split-key (§5.3).
+    CcBegin { split_key: Vec<ValueRef<'a>> },
+    /// Consistency checker verdict for a split-key.
+    CcOk {
+        split_key: Vec<ValueRef<'a>>,
+        image: Vec<ValueRef<'a>>,
+    },
+    /// Checkpoint: active transactions and their last LSNs.
+    Checkpoint { active: Vec<(TxnId, Lsn)> },
+    /// Orchestrator state transition; `spec` borrows the log bytes.
+    MigrationState {
+        job: u64,
+        stage: u32,
+        phase: MigrationPhase,
+        spec: &'a str,
+    },
+}
+
+impl<'a> LogRecordRef<'a> {
+    /// The transaction this record belongs to, if any.
+    pub fn txn(&self) -> Option<TxnId> {
+        match self {
+            LogRecordRef::Begin { txn }
+            | LogRecordRef::Commit { txn }
+            | LogRecordRef::Abort { txn }
+            | LogRecordRef::AbortEnd { txn }
+            | LogRecordRef::Op { txn, .. }
+            | LogRecordRef::Clr { txn, .. } => Some(*txn),
+            _ => None,
+        }
+    }
+
+    /// The data operation inside, if this is an `Op` or `Clr` record.
+    pub fn op(&self) -> Option<&LogOpRef<'a>> {
+        match self {
+            LogRecordRef::Op { op, .. } | LogRecordRef::Clr { op, .. } => Some(op),
+            _ => None,
+        }
+    }
+
+    /// Whether this record ends its transaction.
+    pub fn ends_txn(&self) -> bool {
+        matches!(
+            self,
+            LogRecordRef::Commit { .. } | LogRecordRef::AbortEnd { .. }
+        )
+    }
+
+    /// Materialize an owned [`LogRecord`].
+    pub fn to_owned(&self) -> LogRecord {
+        match self {
+            LogRecordRef::Begin { txn } => LogRecord::Begin { txn: *txn },
+            LogRecordRef::Commit { txn } => LogRecord::Commit { txn: *txn },
+            LogRecordRef::Abort { txn } => LogRecord::Abort { txn: *txn },
+            LogRecordRef::AbortEnd { txn } => LogRecord::AbortEnd { txn: *txn },
+            LogRecordRef::Op { txn, op } => LogRecord::Op {
+                txn: *txn,
+                op: op.to_owned(),
+            },
+            LogRecordRef::Clr {
+                txn,
+                undone_lsn,
+                op,
+            } => LogRecord::Clr {
+                txn: *txn,
+                undone_lsn: *undone_lsn,
+                op: op.to_owned(),
+            },
+            LogRecordRef::FuzzyMark { active, start_lsn } => LogRecord::FuzzyMark {
+                active: active.clone(),
+                start_lsn: *start_lsn,
+            },
+            LogRecordRef::CcBegin { split_key } => LogRecord::CcBegin {
+                split_key: Key(owned_values(split_key)),
+            },
+            LogRecordRef::CcOk { split_key, image } => LogRecord::CcOk {
+                split_key: Key(owned_values(split_key)),
+                image: owned_values(image),
+            },
+            LogRecordRef::Checkpoint { active } => LogRecord::Checkpoint {
+                active: active.clone(),
+            },
+            LogRecordRef::MigrationState {
+                job,
+                stage,
+                phase,
+                spec,
+            } => LogRecord::MigrationState {
+                job: *job,
+                stage: *stage,
+                phase: *phase,
+                spec: (*spec).to_string(),
+            },
+        }
+    }
+}
+
 // Record tags.
 const T_BEGIN: u8 = 1;
 const T_COMMIT: u8 = 2;
@@ -232,8 +464,17 @@ impl<'a> Reader<'a> {
 }
 
 /// Decode a record previously produced by [`encode`]. The entire buffer
-/// must be consumed.
+/// must be consumed. This is a convenience over [`decode_ref`] that
+/// materializes an owned record; hot paths (recovery analysis, batch
+/// scans) should use `decode_ref` and convert only what they keep.
 pub fn decode(buf: &[u8]) -> DbResult<LogRecord> {
+    Ok(decode_ref(buf)?.to_owned())
+}
+
+/// Decode a record without copying string payloads: every `Str` value
+/// and the migration `spec` borrow directly from `buf`. The entire
+/// buffer must be consumed.
+pub fn decode_ref(buf: &[u8]) -> DbResult<LogRecordRef<'_>> {
     let mut r = Reader { buf, pos: 0 };
     let rec = decode_record(&mut r)?;
     if r.pos != buf.len() {
@@ -242,26 +483,26 @@ pub fn decode(buf: &[u8]) -> DbResult<LogRecord> {
     Ok(rec)
 }
 
-fn decode_record(r: &mut Reader<'_>) -> DbResult<LogRecord> {
+fn decode_record<'a>(r: &mut Reader<'a>) -> DbResult<LogRecordRef<'a>> {
     let tag = r.u8()?;
     Ok(match tag {
-        T_BEGIN => LogRecord::Begin {
+        T_BEGIN => LogRecordRef::Begin {
             txn: TxnId(r.u64()?),
         },
-        T_COMMIT => LogRecord::Commit {
+        T_COMMIT => LogRecordRef::Commit {
             txn: TxnId(r.u64()?),
         },
-        T_ABORT => LogRecord::Abort {
+        T_ABORT => LogRecordRef::Abort {
             txn: TxnId(r.u64()?),
         },
-        T_ABORT_END => LogRecord::AbortEnd {
+        T_ABORT_END => LogRecordRef::AbortEnd {
             txn: TxnId(r.u64()?),
         },
-        T_OP => LogRecord::Op {
+        T_OP => LogRecordRef::Op {
             txn: TxnId(r.u64()?),
             op: decode_op(r)?,
         },
-        T_CLR => LogRecord::Clr {
+        T_CLR => LogRecordRef::Clr {
             txn: TxnId(r.u64()?),
             undone_lsn: Lsn(r.u64()?),
             op: decode_op(r)?,
@@ -272,16 +513,16 @@ fn decode_record(r: &mut Reader<'_>) -> DbResult<LogRecord> {
             for _ in 0..n {
                 active.push(TxnId(r.u64()?));
             }
-            LogRecord::FuzzyMark {
+            LogRecordRef::FuzzyMark {
                 active,
                 start_lsn: Lsn(r.u64()?),
             }
         }
-        T_CC_BEGIN => LogRecord::CcBegin {
-            split_key: Key(decode_values(r)?),
+        T_CC_BEGIN => LogRecordRef::CcBegin {
+            split_key: decode_values(r)?,
         },
-        T_CC_OK => LogRecord::CcOk {
-            split_key: Key(decode_values(r)?),
+        T_CC_OK => LogRecordRef::CcOk {
+            split_key: decode_values(r)?,
             image: decode_values(r)?,
         },
         T_CHECKPOINT => {
@@ -290,7 +531,7 @@ fn decode_record(r: &mut Reader<'_>) -> DbResult<LogRecord> {
             for _ in 0..n {
                 active.push((TxnId(r.u64()?), Lsn(r.u64()?)));
             }
-            LogRecord::Checkpoint { active }
+            LogRecordRef::Checkpoint { active }
         }
         T_MIGRATION => {
             let job = r.u64()?;
@@ -301,9 +542,8 @@ fn decode_record(r: &mut Reader<'_>) -> DbResult<LogRecord> {
             let n = r.u32()? as usize;
             let raw = r.bytes(n)?;
             let spec = std::str::from_utf8(raw)
-                .map_err(|_| r.corrupt("invalid UTF-8 in migration spec"))?
-                .to_owned();
-            LogRecord::MigrationState {
+                .map_err(|_| r.corrupt("invalid UTF-8 in migration spec"))?;
+            LogRecordRef::MigrationState {
                 job,
                 stage,
                 phase,
@@ -314,21 +554,21 @@ fn decode_record(r: &mut Reader<'_>) -> DbResult<LogRecord> {
     })
 }
 
-fn decode_op(r: &mut Reader<'_>) -> DbResult<LogOp> {
+fn decode_op<'a>(r: &mut Reader<'a>) -> DbResult<LogOpRef<'a>> {
     let tag = r.u8()?;
     Ok(match tag {
-        O_INSERT => LogOp::Insert {
+        O_INSERT => LogOpRef::Insert {
             table: TableId(r.u32()?),
             row: decode_values(r)?,
         },
-        O_DELETE => LogOp::Delete {
+        O_DELETE => LogOpRef::Delete {
             table: TableId(r.u32()?),
-            key: Key(decode_values(r)?),
+            key: decode_values(r)?,
             old: decode_values(r)?,
         },
-        O_UPDATE => LogOp::Update {
+        O_UPDATE => LogOpRef::Update {
             table: TableId(r.u32()?),
-            key: Key(decode_values(r)?),
+            key: decode_values(r)?,
             old: decode_cols(r)?,
             new: decode_cols(r)?,
         },
@@ -336,7 +576,7 @@ fn decode_op(r: &mut Reader<'_>) -> DbResult<LogOp> {
     })
 }
 
-fn decode_values(r: &mut Reader<'_>) -> DbResult<Vec<Value>> {
+fn decode_values<'a>(r: &mut Reader<'a>) -> DbResult<Vec<ValueRef<'a>>> {
     let n = r.u32()? as usize;
     let mut out = Vec::with_capacity(n.min(4096));
     for _ in 0..n {
@@ -345,7 +585,7 @@ fn decode_values(r: &mut Reader<'_>) -> DbResult<Vec<Value>> {
     Ok(out)
 }
 
-fn decode_cols(r: &mut Reader<'_>) -> DbResult<Vec<(usize, Value)>> {
+fn decode_cols<'a>(r: &mut Reader<'a>) -> DbResult<Vec<(usize, ValueRef<'a>)>> {
     let n = r.u32()? as usize;
     let mut out = Vec::with_capacity(n.min(4096));
     for _ in 0..n {
@@ -355,17 +595,17 @@ fn decode_cols(r: &mut Reader<'_>) -> DbResult<Vec<(usize, Value)>> {
     Ok(out)
 }
 
-fn decode_value(r: &mut Reader<'_>) -> DbResult<Value> {
+fn decode_value<'a>(r: &mut Reader<'a>) -> DbResult<ValueRef<'a>> {
     let tag = r.u8()?;
     Ok(match tag {
-        V_NULL => Value::Null,
-        V_INT => Value::Int(r.i64()?),
+        V_NULL => ValueRef::Null,
+        V_INT => ValueRef::Int(r.i64()?),
         V_STR => {
             let n = r.u32()? as usize;
             let raw = r.bytes(n)?;
             let s =
                 std::str::from_utf8(raw).map_err(|_| r.corrupt("invalid UTF-8 in string value"))?;
-            Value::Str(s.to_owned())
+            ValueRef::Str(s)
         }
         other => return Err(r.corrupt(&format!("unknown value tag {other}"))),
     })
@@ -379,6 +619,94 @@ mod tests {
         let bytes = encode(&rec);
         let back = decode(&bytes).expect("decode");
         assert_eq!(back, rec);
+        // The borrowed decoder must agree exactly (decode() is defined
+        // through it, but keep the assertion in case that ever changes).
+        let borrowed = decode_ref(&bytes).expect("decode_ref");
+        assert_eq!(borrowed.to_owned(), rec);
+    }
+
+    /// Range check: `s` must be a sub-slice of `buf` (no copy).
+    fn borrows_from(s: &str, buf: &[u8]) -> bool {
+        let b = buf.as_ptr() as usize;
+        let p = s.as_ptr() as usize;
+        p >= b && p + s.len() <= b + buf.len()
+    }
+
+    #[test]
+    fn decode_ref_borrows_string_payloads() {
+        let bytes = encode(&LogRecord::Op {
+            txn: TxnId(3),
+            op: LogOp::Insert {
+                table: TableId(1),
+                row: vec![Value::str("zero-copy"), Value::Int(7)],
+            },
+        });
+        let rec = decode_ref(&bytes).unwrap();
+        match rec.op() {
+            Some(LogOpRef::Insert { row, .. }) => match row[0] {
+                ValueRef::Str(s) => {
+                    assert_eq!(s, "zero-copy");
+                    assert!(borrows_from(s, &bytes), "string was copied, not borrowed");
+                }
+                ref other => panic!("expected Str, got {other:?}"),
+            },
+            other => panic!("expected insert op, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_ref_borrows_migration_spec() {
+        let bytes = encode(&LogRecord::MigrationState {
+            job: 1,
+            stage: 0,
+            phase: MigrationPhase::Copying,
+            spec: "ALTER TABLE t SPLIT INTO r (a) AND s (b -> c)".into(),
+        });
+        match decode_ref(&bytes).unwrap() {
+            LogRecordRef::MigrationState { spec, .. } => {
+                assert!(borrows_from(spec, &bytes), "spec was copied, not borrowed");
+            }
+            other => panic!("expected migration state, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_ref_accessors_match_owned() {
+        let bytes = encode(&LogRecord::Clr {
+            txn: TxnId(9),
+            undone_lsn: Lsn(4),
+            op: LogOp::Update {
+                table: TableId(2),
+                key: Key::single(5),
+                old: vec![(1, Value::str("a"))],
+                new: vec![(1, Value::str("b"))],
+            },
+        });
+        let rec = decode_ref(&bytes).unwrap();
+        let owned = rec.to_owned();
+        assert_eq!(rec.txn(), owned.txn());
+        assert_eq!(rec.ends_txn(), owned.ends_txn());
+        assert_eq!(rec.op().map(|o| o.table()), owned.op().map(|o| o.table()));
+        assert_eq!(rec.op().map(|o| o.to_owned()).as_ref(), owned.op());
+    }
+
+    #[test]
+    fn decode_ref_truncation_is_corrupt_not_panic() {
+        let bytes = encode(&LogRecord::Op {
+            txn: TxnId(3),
+            op: LogOp::Delete {
+                table: TableId(9),
+                key: Key::new([Value::Int(1), Value::str("k")]),
+                old: vec![Value::Int(1), Value::str("k"), Value::Null],
+            },
+        });
+        for cut in 0..bytes.len() {
+            let err = decode_ref(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, DbError::CorruptLog { .. }),
+                "cut at {cut} gave {err:?}"
+            );
+        }
     }
 
     #[test]

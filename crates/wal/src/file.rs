@@ -42,6 +42,25 @@ pub trait Backend {
 /// fault backend's post-crash recovery reads.
 pub fn decode_stream(bytes: &[u8]) -> DbResult<Vec<LogRecord>> {
     let mut records = Vec::new();
+    scan_stream(bytes, |rec| {
+        records.push(rec.to_owned());
+        Ok(())
+    })?;
+    Ok(records)
+}
+
+/// Walk a length-prefixed record stream without materializing owned
+/// records: `f` is called once per complete record with a borrowed
+/// [`LogRecordRef`] whose string payloads point into `bytes`. Torn-tail
+/// handling is identical to [`decode_stream`] (which is implemented on
+/// top of this). Returns the number of records visited.
+///
+/// [`LogRecordRef`]: codec::LogRecordRef
+pub fn scan_stream(
+    bytes: &[u8],
+    mut f: impl FnMut(codec::LogRecordRef<'_>) -> DbResult<()>,
+) -> DbResult<usize> {
+    let mut count = 0usize;
     let mut pos = 0usize;
     while pos + 4 <= bytes.len() {
         let len = u32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]])
@@ -50,17 +69,18 @@ pub fn decode_stream(bytes: &[u8]) -> DbResult<Vec<LogRecord>> {
             break; // torn final record: stop here
         }
         let body = &bytes[pos + 4..pos + 4 + len];
-        let rec = codec::decode(body).map_err(|e| match e {
+        let rec = codec::decode_ref(body).map_err(|e| match e {
             DbError::CorruptLog { offset, detail } => DbError::CorruptLog {
                 offset: (pos + 4) as u64 + offset,
                 detail,
             },
             other => other,
         })?;
-        records.push(rec);
+        f(rec)?;
+        count += 1;
         pos += 4 + len;
     }
-    Ok(records)
+    Ok(count)
 }
 
 /// Append-only log file.
@@ -217,6 +237,37 @@ mod tests {
         assert_eq!(recs.len(), 2);
         assert_eq!(recs[1], LogRecord::Commit { txn: TxnId(9) });
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn scan_stream_matches_decode_stream_with_torn_tail() {
+        let mut bytes = Vec::new();
+        for i in 0..4u64 {
+            let body = codec::encode(&LogRecord::Begin { txn: TxnId(i) });
+            bytes.extend_from_slice(&(body.len() as u32).to_le_bytes());
+            bytes.extend_from_slice(&body);
+        }
+        bytes.extend_from_slice(&(1000u32).to_le_bytes()); // torn tail
+        bytes.extend_from_slice(&[1, 2, 3]);
+        let owned = decode_stream(&bytes).unwrap();
+        let mut scanned = Vec::new();
+        let n = scan_stream(&bytes, |rec| {
+            scanned.push(rec.to_owned());
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(n, 4);
+        assert_eq!(scanned, owned);
+    }
+
+    #[test]
+    fn scan_stream_propagates_visitor_error() {
+        let mut bytes = Vec::new();
+        let body = codec::encode(&LogRecord::Begin { txn: TxnId(1) });
+        bytes.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&body);
+        let res = scan_stream(&bytes, |_| Err(DbError::Io("stop".into())));
+        assert!(matches!(res, Err(DbError::Io(_))));
     }
 
     #[test]

@@ -34,6 +34,16 @@ cargo run -q -p morph-lint
 if [ "$quick" != "quick" ]; then
     echo "== cargo build --release (tier-1)"
     cargo build --release
+
+    # Apply-pool regression gate (DESIGN.md §10): bounded serial vs
+    # apply_shards=4 drain sweep over the shared FOJ/split scenarios.
+    # On ≥2 detected cores the pooled drain must beat serial by ≥10%
+    # on both operators; a single-CPU host records the numbers into
+    # BENCH_propagation.json (series pool_gate, with a cores field)
+    # without enforcing — 1-core results are overhead readings, not
+    # scaling data.
+    echo "== apply-pool bench gate (bench_check)"
+    cargo run -q --release -p morph-bench --bin bench_check
 fi
 
 echo "== cargo test (tier-1)"

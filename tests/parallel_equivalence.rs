@@ -18,7 +18,8 @@
 use morphdb::core::foj::{self, FojMapping};
 use morphdb::core::propagate::Propagator;
 use morphdb::core::split::{self, SplitMapping};
-use morphdb::core::{FojSpec, ParallelConfig, SplitSpec, TransformOperator};
+use morphdb::core::union::{self, UnionMapping};
+use morphdb::core::{ApplyPool, FojSpec, ParallelConfig, SplitSpec, TransformOperator, UnionSpec};
 use morphdb::{ColumnType, Database, Key, Schema, Value};
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -194,7 +195,12 @@ proptest! {
     fn foj_parallel_pipeline_equals_serial(
         pre in foj_history(20),
         post in foj_history(40),
+        shards in prop_oneof![Just(0usize), 2..6usize],
+        min_seg in prop_oneof![Just(1usize), Just(8), Just(128)],
     ) {
+        // `0` routes to the CI-pinned width so the certified
+        // configuration keeps appearing among the randomized ones.
+        let shards = if shards == 0 { apply_shards() } else { shards };
         let par = Arc::new(Database::new());
         let ser = Arc::new(Database::new());
         foj_sources(&par);
@@ -220,8 +226,14 @@ proptest! {
             run_foj_txn(&ser, steps, *commit);
         }
 
+        // Lane width and epoch threshold are fuzzed alongside the
+        // history: a width the classifier never saw, or a threshold
+        // that turns every two-record run into a real pool epoch, must
+        // not change a single row.
         let mut pp = Propagator::new(&par, start_p, 1.0)
-            .with_parallel(ParallelConfig::new(copy_workers(), apply_shards()));
+            .with_parallel(
+                ParallelConfig::new(copy_workers(), shards).with_min_apply_segment(min_seg),
+            );
         pp.drain_all(&par, &mut mp).unwrap();
         let mut ps = Propagator::new(&ser, start_s, 1.0);
         ps.drain_all(&ser, &mut ms).unwrap();
@@ -369,7 +381,10 @@ proptest! {
     fn split_parallel_pipeline_equals_serial(
         pre in split_history(20),
         post in split_history(40),
+        shards in prop_oneof![Just(0usize), 2..6usize],
+        min_seg in prop_oneof![Just(1usize), Just(8), Just(128)],
     ) {
+        let shards = if shards == 0 { apply_shards() } else { shards };
         let par = Arc::new(Database::new());
         let ser = Arc::new(Database::new());
         split_source(&par);
@@ -396,7 +411,9 @@ proptest! {
         }
 
         let mut pp = Propagator::new(&par, start_p, 1.0)
-            .with_parallel(ParallelConfig::new(copy_workers(), apply_shards()));
+            .with_parallel(
+                ParallelConfig::new(copy_workers(), shards).with_min_apply_segment(min_seg),
+            );
         pp.drain_all(&par, &mut mp).unwrap();
         let mut ps = Propagator::new(&ser, start_s, 1.0);
         ps.drain_all(&ser, &mut ms).unwrap();
@@ -411,6 +428,173 @@ proptest! {
             return Err(TestCaseError::fail(format!("parallel diverged: {e}")));
         }
         if let Err(e) = split::verify_against_reference(&ms) {
+            return Err(TestCaseError::fail(format!("serial diverged: {e}")));
+        }
+    }
+}
+
+// --- union -----------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum UnionStep {
+    InsertA {
+        id: i64,
+        v: i64,
+    },
+    InsertB {
+        id: i64,
+        v: i64,
+    },
+    DeleteA {
+        id: i64,
+    },
+    DeleteB {
+        id: i64,
+    },
+    /// Non-pk update — lane-classified in the union's sharded apply.
+    PayloadA {
+        id: i64,
+        tag: i64,
+    },
+    PayloadB {
+        id: i64,
+        tag: i64,
+    },
+    /// Source pk move — two subjects, possibly two lanes: a barrier.
+    KeyMoveA {
+        id: i64,
+        to: i64,
+    },
+    KeyMoveB {
+        id: i64,
+        to: i64,
+    },
+}
+
+fn union_step() -> impl Strategy<Value = UnionStep> {
+    prop_oneof![
+        (0..24i64, 0..1000i64).prop_map(|(id, v)| UnionStep::InsertA { id, v }),
+        (0..24i64, 0..1000i64).prop_map(|(id, v)| UnionStep::InsertB { id, v }),
+        (0..24i64).prop_map(|id| UnionStep::DeleteA { id }),
+        (0..24i64).prop_map(|id| UnionStep::DeleteB { id }),
+        (0..24i64, 0..1000i64).prop_map(|(id, tag)| UnionStep::PayloadA { id, tag }),
+        (0..24i64, 0..1000i64).prop_map(|(id, tag)| UnionStep::PayloadA { id, tag }),
+        (0..24i64, 0..1000i64).prop_map(|(id, tag)| UnionStep::PayloadB { id, tag }),
+        (0..24i64, 0..1000i64).prop_map(|(id, tag)| UnionStep::PayloadB { id, tag }),
+        (0..24i64, 0..24i64).prop_map(|(id, to)| UnionStep::KeyMoveA { id, to }),
+        (0..24i64, 0..24i64).prop_map(|(id, to)| UnionStep::KeyMoveB { id, to }),
+    ]
+}
+
+fn union_sources(db: &Database) {
+    let part = Schema::builder()
+        .column("id", ColumnType::Int)
+        .nullable("v", ColumnType::Int)
+        .primary_key(&["id"])
+        .build()
+        .unwrap();
+    db.create_table("A", part.clone()).unwrap();
+    db.create_table("B", part).unwrap();
+}
+
+fn run_union_txn(db: &Database, steps: &[UnionStep], commit: bool) {
+    let txn = db.begin();
+    let mut ok = true;
+    for step in steps {
+        let res = match step {
+            UnionStep::InsertA { id, v } => db
+                .insert(txn, "A", vec![Value::Int(*id), Value::Int(*v)])
+                .map(|_| ()),
+            UnionStep::InsertB { id, v } => db
+                .insert(txn, "B", vec![Value::Int(*id), Value::Int(*v)])
+                .map(|_| ()),
+            UnionStep::DeleteA { id } => db.delete(txn, "A", &Key::single(*id)),
+            UnionStep::DeleteB { id } => db.delete(txn, "B", &Key::single(*id)),
+            UnionStep::PayloadA { id, tag } => {
+                db.update(txn, "A", &Key::single(*id), &[(1, Value::Int(*tag))])
+            }
+            UnionStep::PayloadB { id, tag } => {
+                db.update(txn, "B", &Key::single(*id), &[(1, Value::Int(*tag))])
+            }
+            UnionStep::KeyMoveA { id, to } => {
+                db.update(txn, "A", &Key::single(*id), &[(0, Value::Int(*to))])
+            }
+            UnionStep::KeyMoveB { id, to } => {
+                db.update(txn, "B", &Key::single(*id), &[(0, Value::Int(*to))])
+            }
+        };
+        if res.is_err() {
+            ok = false;
+            break;
+        }
+    }
+    if ok && commit {
+        let _ = db.commit(txn);
+    } else {
+        let _ = db.abort(txn);
+    }
+}
+
+type UnionHistory = Vec<(Vec<UnionStep>, bool)>;
+
+fn union_history(max_txns: usize) -> impl Strategy<Value = UnionHistory> {
+    prop::collection::vec(
+        (prop::collection::vec(union_step(), 1..5), any::<bool>()),
+        1..max_txns,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn union_parallel_pipeline_equals_serial(
+        pre in union_history(20),
+        post in union_history(40),
+        shards in prop_oneof![Just(0usize), 2..6usize],
+        min_seg in prop_oneof![Just(1usize), Just(8), Just(128)],
+    ) {
+        let shards = if shards == 0 { apply_shards() } else { shards };
+        let par = Arc::new(Database::new());
+        let ser = Arc::new(Database::new());
+        union_sources(&par);
+        union_sources(&ser);
+        for (steps, commit) in &pre {
+            run_union_txn(&par, steps, *commit);
+            run_union_txn(&ser, steps, *commit);
+        }
+
+        let spec = UnionSpec::new("A", "B", "U");
+        let mut mp = UnionMapping::prepare(&par, &spec).unwrap();
+        let mut ms = UnionMapping::prepare(&ser, &spec).unwrap();
+        let (_, start_p, _) = par.write_fuzzy_mark();
+        let (_, start_s, _) = ser.write_fuzzy_mark();
+        prop_assert_eq!(start_p, start_s);
+        let wp = TransformOperator::populate_parallel(&mut mp, &par, 4, copy_workers(), 1.0)
+            .unwrap();
+        let ws = ms.populate(4).unwrap();
+        prop_assert_eq!(wp, ws);
+
+        for (steps, commit) in &post {
+            run_union_txn(&par, steps, *commit);
+            run_union_txn(&ser, steps, *commit);
+        }
+
+        let mut pp = Propagator::new(&par, start_p, 1.0)
+            .with_parallel(
+                ParallelConfig::new(copy_workers(), shards).with_min_apply_segment(min_seg),
+            );
+        pp.drain_all(&par, &mut mp).unwrap();
+        let mut ps = Propagator::new(&ser, start_s, 1.0);
+        ps.drain_all(&ser, &mut ms).unwrap();
+
+        // Union rules mirror the source record's LSN onto the target
+        // row, so the identifiers are part of the contract too.
+        prop_assert_eq!(rows_with_lsn(&par, "U"), rows_with_lsn(&ser, "U"));
+        if let Err(e) = union::verify_against_reference(&mp) {
+            return Err(TestCaseError::fail(format!("parallel diverged: {e}")));
+        }
+        if let Err(e) = union::verify_against_reference(&ms) {
             return Err(TestCaseError::fail(format!("serial diverged: {e}")));
         }
     }
@@ -571,4 +755,198 @@ fn split_two_lane_burst_on_one_table_equals_serial() {
 
     assert_eq!(rows_with_lsn(&par, "R_t"), rows_with_lsn(&ser, "R_t"));
     assert_eq!(rows_of(&par, "S_t"), rows_of(&ser, "S_t"));
+}
+
+// --- persistent pool: skew, mid-stream barriers, seeded replay -------------
+//
+// The bursts above exercise wide uninterrupted runs. These three tests
+// target the pool machinery itself: lanes of very different lengths
+// (the caller must steal or idle, never misapply), barriers punched
+// into the middle of the stream (every lane must retire at the epoch
+// fence before the barrier record runs), and the seeded placement
+// rotation (`MORPH_POOL_SEED` is the env-var spelling of the same knob
+// for pools the propagator builds internally; tests use
+// `ApplyPool::with_seed` directly so parallel test binaries never race
+// on the process environment).
+
+/// Steal-heavy skew: alternate full-range update rounds (long, evenly
+/// split epochs) with tiny hot-set rounds whose segments — forced into
+/// real epochs by `min_apply_segment = 1` — leave most lanes empty
+/// while the caller fence-waits. Equivalence must survive whatever
+/// stealing the timing produces, and the pool must have genuinely run
+/// (handed-off epochs, not inline fallbacks only).
+#[test]
+fn foj_steal_heavy_skew_under_pool_equals_serial() {
+    const ROWS: i64 = 300;
+    let par = foj_burst_db(ROWS);
+    let ser = foj_burst_db(ROWS);
+
+    let spec = FojSpec::new("R", "S", "T", "c", "c");
+    let mut mp = FojMapping::prepare(&par, &spec).unwrap();
+    let mut ms = FojMapping::prepare(&ser, &spec).unwrap();
+    let (_, start_p, _) = par.write_fuzzy_mark();
+    let (_, start_s, _) = ser.write_fuzzy_mark();
+    TransformOperator::populate_parallel(&mut mp, &par, 64, copy_workers(), 1.0).unwrap();
+    ms.populate(64).unwrap();
+
+    for round in 0..6i64 {
+        // Even rounds touch every row; odd rounds only a 16-key hot
+        // set. Coalescing keeps one record per key and run, so the odd
+        // rounds produce short, skewed epochs.
+        let keys: Vec<i64> = if round % 2 == 0 {
+            (0..ROWS).collect()
+        } else {
+            (0..16).map(|k| (k * 7) % ROWS).collect()
+        };
+        for &a in &keys {
+            for db in [&par, &ser] {
+                let txn = db.begin();
+                db.update(
+                    txn,
+                    "R",
+                    &Key::single(a),
+                    &[(1, Value::Int(round * ROWS + a))],
+                )
+                .unwrap();
+                db.commit(txn).unwrap();
+            }
+        }
+    }
+
+    let mut pp = Propagator::new(&par, start_p, 1.0)
+        .with_parallel(ParallelConfig::new(1, 4).with_min_apply_segment(1))
+        .with_pool(Arc::new(ApplyPool::new(4)));
+    pp.drain_all(&par, &mut mp).unwrap();
+    let stats = pp.pool_stats().expect("pool installed");
+    assert!(stats.epochs > 0, "no epochs ran: {stats:?}");
+    assert!(stats.handoffs > 0, "no lane hand-offs: {stats:?}");
+    pp.shutdown_pool().unwrap();
+
+    let mut ps = Propagator::new(&ser, start_s, 1.0);
+    ps.drain_all(&ser, &mut ms).unwrap();
+
+    assert_eq!(rows_of(&par, "T"), rows_of(&ser, "T"));
+    foj::verify_against_reference(&mp).expect("parallel diverged from reference");
+    foj::verify_against_reference(&ms).expect("serial diverged from reference");
+}
+
+/// Mid-stream barriers: every tenth key does a there-and-back primary
+/// key move (two barrier records) inside an otherwise lane-classified
+/// payload stream. Each barrier forces the preceding short run through
+/// an epoch fence; a lane applying past the fence would see the old
+/// key image and diverge.
+#[test]
+fn split_mid_stream_barriers_under_pool_equals_serial() {
+    const ROWS: i64 = 300;
+    let par = split_burst_db(ROWS);
+    let ser = split_burst_db(ROWS);
+
+    let spec = SplitSpec::new("T", "R_t", "S_t", &["a", "b", "c"], "c", &["d"]);
+    let mut mp = SplitMapping::prepare(&par, &spec).unwrap();
+    let mut ms = SplitMapping::prepare(&ser, &spec).unwrap();
+    let (_, start_p, _) = par.write_fuzzy_mark();
+    let (_, start_s, _) = ser.write_fuzzy_mark();
+    TransformOperator::populate_parallel(&mut mp, &par, 64, copy_workers(), 1.0).unwrap();
+    ms.populate(64).unwrap();
+
+    for round in 0..4i64 {
+        for a in 0..ROWS {
+            for db in [&par, &ser] {
+                let txn = db.begin();
+                if a % 10 == round % 10 {
+                    // Key hop out and back: two pk-move barriers whose
+                    // net effect is a no-op on the key space but whose
+                    // records split the run mid-stream.
+                    db.update(txn, "T", &Key::single(a), &[(0, Value::Int(a + 1000))])
+                        .unwrap();
+                    db.update(txn, "T", &Key::single(a + 1000), &[(0, Value::Int(a))])
+                        .unwrap();
+                } else {
+                    db.update(
+                        txn,
+                        "T",
+                        &Key::single(a),
+                        &[(1, Value::Int(round * ROWS + a))],
+                    )
+                    .unwrap();
+                }
+                db.commit(txn).unwrap();
+            }
+        }
+    }
+
+    let mut pp = Propagator::new(&par, start_p, 1.0)
+        .with_parallel(ParallelConfig::new(1, 4).with_min_apply_segment(1))
+        .with_pool(Arc::new(ApplyPool::new(4)));
+    pp.drain_all(&par, &mut mp).unwrap();
+    let stats = pp.pool_stats().expect("pool installed");
+    assert!(stats.epochs > 0, "no epochs ran: {stats:?}");
+    pp.shutdown_pool().unwrap();
+
+    let mut ps = Propagator::new(&ser, start_s, 1.0);
+    ps.drain_all(&ser, &mut ms).unwrap();
+
+    assert_eq!(rows_with_lsn(&par, "R_t"), rows_with_lsn(&ser, "R_t"));
+    assert_eq!(rows_of(&par, "S_t"), rows_of(&ser, "S_t"));
+    split::verify_against_reference(&mp).expect("parallel diverged from reference");
+    split::verify_against_reference(&ms).expect("serial diverged from reference");
+}
+
+/// Seeded replay: the pool's placement rotation is a pure function of
+/// its seed, so two pools built with `with_seed(width, SEED)` over the
+/// same history must retire the same epochs with the same task
+/// distribution — that is what makes a failure under a logged
+/// `MORPH_POOL_SEED` replayable. Only the handoff/inline *split* may
+/// wobble (overflow depends on how fast workers drain their deques);
+/// the sum is the deterministic task count. A different seed rotates
+/// placement but must not change a row.
+#[test]
+fn pool_seed_replay_is_deterministic() {
+    const ROWS: i64 = 200;
+    const SEED: u64 = 0x5EED_CAFE;
+
+    let run = |seed: u64| {
+        let db = foj_burst_db(ROWS);
+        let spec = FojSpec::new("R", "S", "T", "c", "c");
+        let mut m = FojMapping::prepare(&db, &spec).unwrap();
+        let (_, start, _) = db.write_fuzzy_mark();
+        m.populate(64).unwrap();
+        for round in 0..3i64 {
+            for a in 0..ROWS {
+                let txn = db.begin();
+                db.update(
+                    txn,
+                    "R",
+                    &Key::single(a),
+                    &[(1, Value::Int(round * ROWS + a))],
+                )
+                .unwrap();
+                db.commit(txn).unwrap();
+            }
+        }
+        let mut p = Propagator::new(&db, start, 1.0)
+            .with_parallel(ParallelConfig::new(1, 4).with_min_apply_segment(1))
+            .with_pool(Arc::new(ApplyPool::with_seed(4, seed)));
+        p.drain_all(&db, &mut m).unwrap();
+        let stats = p.pool_stats().expect("pool installed");
+        p.shutdown_pool().unwrap();
+        (rows_of(&db, "T"), stats)
+    };
+
+    let (rows_a, stats_a) = run(SEED);
+    let (rows_b, stats_b) = run(SEED);
+    assert_eq!(rows_a, rows_b, "same seed, different target tables");
+    assert_eq!(
+        stats_a.epochs, stats_b.epochs,
+        "same seed, different epoch count: {stats_a:?} vs {stats_b:?}"
+    );
+    assert_eq!(
+        stats_a.handoffs + stats_a.inline_runs,
+        stats_b.handoffs + stats_b.inline_runs,
+        "same seed, different task count: {stats_a:?} vs {stats_b:?}"
+    );
+
+    let (rows_c, stats_c) = run(SEED ^ 0xFFFF);
+    assert_eq!(rows_a, rows_c, "placement seed leaked into row state");
+    assert_eq!(stats_a.epochs, stats_c.epochs);
 }
