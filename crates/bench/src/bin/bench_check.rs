@@ -1,23 +1,47 @@
-//! CI regression gate for the persistent apply pool: a bounded drain
-//! sweep (serial vs `apply_shards = 4`, cursor batch 1024) over the
-//! update-heavy FOJ and split scenarios shared with the
-//! `propagate_batch` bench.
+//! CI regression gates merged into `BENCH_propagation.json`:
 //!
-//! On a host with ≥ 2 detected cores the pooled drain must beat the
-//! serial pipeline by at least 10 % on *both* operators or the gate
-//! exits non-zero. On a single-CPU host real parallel speedup is
-//! physically unavailable — the lanes time-slice one core — so the
-//! gate records the measurements (merged into `BENCH_propagation.json`
-//! as the `pool_gate` series, tagged with the detected core count) and
-//! passes: a 1-core number is an overhead reading, not scaling data,
-//! and failing on it would just teach people to delete the gate.
+//! 1. **`pool_gate`** — persistent apply pool: a bounded drain sweep
+//!    (serial vs `apply_shards = 4`, cursor batch 1024) over the
+//!    update-heavy FOJ and split scenarios shared with the
+//!    `propagate_batch` bench. On ≥ 2 detected cores the pooled drain
+//!    must beat the serial pipeline by at least 10 % on both operators.
+//! 2. **`reader_gate`** — MVCC snapshot reads: p50/p99 latency of
+//!    lock-based point reads versus snapshot reads, interleaved on the
+//!    same database while a snapshot-mode split migration and four
+//!    writer threads run. Snapshot reads take no transaction locks and
+//!    never touch the WAL, so on ≥ 2 cores their p99 must be at least
+//!    2× better than the locked reader's or the gate fails.
+//! 3. **`transform_mode`** — recorded ablation (never gated): the same
+//!    split migration under writer traffic, once populated by the
+//!    fuzzy copy + log propagation and once by a clean MVCC snapshot
+//!    scan, with population duration and propagation volume per mode.
+//!
+//! On a single-CPU host the comparative gates are physically
+//! unenforceable — lanes and readers time-slice one core — so the
+//! measurements are recorded (tagged with the detected core count) and
+//! the gates pass: a 1-core number is an overhead reading, not scaling
+//! data, and failing on it would just teach people to delete the gate.
 //!
 //! `MORPH_GATE_REPS` overrides the best-of repetitions (default 3).
 
 use morph_bench::apply_sweep::{apply_sweep_point, detected_cores, ApplyOp, ApplyPoint};
+use morph_bench::{bench_split_spec, quick};
+use morph_core::{TransformMode, TransformOptions, Transformer};
+use morph_engine::Database;
+use morph_workload::{setup_split_source, spawn_updaters, UpdateTarget};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 const GATE_SHARDS: usize = 4;
 const MIN_SPEEDUP: f64 = 1.10;
+/// The snapshot reader's p99 must be at least this many times better
+/// than the lock-based reader's.
+const MIN_READER_P99_RATIO: f64 = 2.0;
+
+/// Every series this binary owns inside `BENCH_propagation.json`
+/// (previous results are stripped before the fresh block is spliced).
+const MERGED_SERIES: [&str; 3] = ["pool_gate", "reader_gate", "transform_mode"];
 
 fn print_point(p: &ApplyPoint) {
     println!(
@@ -34,8 +58,8 @@ fn print_point(p: &ApplyPoint) {
     );
 }
 
-/// Splice the `pool_gate` entries into `BENCH_propagation.json`,
-/// replacing any previous gate results (same idiom as `wal_append`'s
+/// Splice this binary's series into `BENCH_propagation.json`,
+/// replacing any previous results (same idiom as `wal_append`'s
 /// commit-rate merge). Inserts a top-level `"cores"` field if the file
 /// predates it.
 fn merge_into_bench_json(cores: usize, mut block: Vec<String>) {
@@ -48,7 +72,11 @@ fn merge_into_bench_json(cores: usize, mut block: Vec<String>) {
     };
     let mut lines: Vec<String> = text
         .lines()
-        .filter(|l| !l.contains("\"series\": \"pool_gate\""))
+        .filter(|l| {
+            !MERGED_SERIES
+                .iter()
+                .any(|s| l.contains(&format!("\"series\": \"{s}\"")))
+        })
         .map(str::to_owned)
         .collect();
     if !lines
@@ -72,7 +100,175 @@ fn merge_into_bench_json(cores: usize, mut block: Vec<String>) {
         }
         lines.splice(close..close, block);
         std::fs::write(&path, lines.join("\n") + "\n").expect("merge propagation json");
-        println!("merged pool_gate series into {}", path.display());
+        println!("merged {:?} series into {}", MERGED_SERIES, path.display());
+    }
+}
+
+// --- reader gate -------------------------------------------------------------
+
+fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ns[idx] as f64 / 1_000.0
+}
+
+struct ReaderGate {
+    lock_p50_us: f64,
+    lock_p99_us: f64,
+    snap_p50_us: f64,
+    snap_p99_us: f64,
+    reads_per_mode: usize,
+    migration_rounds: usize,
+    writer_commits: u64,
+}
+
+/// Options every migration in this binary runs under: sources kept (the
+/// readers and writers need them), generous deadline.
+fn migration_options(mode: TransformMode) -> TransformOptions {
+    TransformOptions::default()
+        .retain_sources()
+        .deadline(Duration::from_secs(120))
+        .transform_mode(mode)
+}
+
+/// Interleave lock-based and snapshot point reads on one database while
+/// a snapshot-mode split migration loops and four writers update the
+/// source. Interleaving (rather than two sequential batches) makes both
+/// sides see the same traffic mix, so the ratio is drift-free.
+fn reader_gate() -> ReaderGate {
+    let rows: i64 = if quick() { 2_000 } else { 10_000 };
+    let reads: usize = if quick() { 300 } else { 1_500 };
+    let db = Arc::new(Database::new());
+    setup_split_source(&db, rows as usize, rows as usize / 5).expect("split source");
+    db.enable_mvcc();
+
+    let pool = spawn_updaters(
+        &db,
+        vec![UpdateTarget::new("T", rows, 1)],
+        4,
+        Duration::from_micros(50),
+    );
+    let stop = Arc::new(AtomicBool::new(false));
+    let mig = {
+        let db = Arc::clone(&db);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut rounds = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                let spec = bench_split_spec(
+                    &format!("__rg{rounds}_r"),
+                    &format!("__rg{rounds}_s"),
+                    false,
+                );
+                Transformer::run_split(&db, spec, migration_options(TransformMode::Snapshot))
+                    .expect("reader-gate migration");
+                let _ = db.catalog().drop_table(&format!("__rg{rounds}_r"));
+                let _ = db.catalog().drop_table(&format!("__rg{rounds}_s"));
+                rounds += 1;
+            }
+            rounds
+        })
+    };
+    // Let the first migration get in flight before measuring.
+    std::thread::sleep(Duration::from_millis(100));
+
+    let mut lock_ns = Vec::with_capacity(reads);
+    let mut snap_ns = Vec::with_capacity(reads);
+    let mut x = 0x9e37_79b9_7f4a_7c15u64;
+    for _ in 0..reads {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let key = morph_common::Key::single(((x >> 33) as i64).rem_euclid(rows));
+
+        // Lock-based: a complete read-only transaction — begin, IS +
+        // S-lock read, commit through the WAL. Lock conflicts (wait-die
+        // aborts, frozen source during sync) are real reader-visible
+        // latency, so errors still count.
+        let t0 = Instant::now();
+        let txn = db.begin();
+        let read = db.read(txn, "T", &key);
+        let _ = if read.is_ok() {
+            db.commit(txn)
+        } else {
+            db.abort(txn)
+        };
+        lock_ns.push(t0.elapsed().as_nanos() as u64);
+
+        // Snapshot: timestamp, versioned read, release. No locks, no WAL.
+        let t0 = Instant::now();
+        let snap = db.begin_snapshot().expect("snapshot");
+        let _ = db.snapshot_read(&snap, "T", &key).expect("snapshot read");
+        drop(snap);
+        snap_ns.push(t0.elapsed().as_nanos() as u64);
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    let migration_rounds = mig.join().expect("migration loop");
+    let writer_commits = pool.stop();
+    lock_ns.sort_unstable();
+    snap_ns.sort_unstable();
+    ReaderGate {
+        lock_p50_us: percentile_us(&lock_ns, 0.50),
+        lock_p99_us: percentile_us(&lock_ns, 0.99),
+        snap_p50_us: percentile_us(&snap_ns, 0.50),
+        snap_p99_us: percentile_us(&snap_ns, 0.99),
+        reads_per_mode: reads,
+        migration_rounds,
+        writer_commits,
+    }
+}
+
+// --- transform-mode ablation -------------------------------------------------
+
+/// One split migration under writer traffic per population mode, on
+/// identical fresh databases. Recorded, never gated: the two modes make
+/// different trade-offs (fuzzy copy needs no version chains; snapshot
+/// scan reads a consistent cut but pays MVCC bookkeeping on writers).
+fn mode_ablation(entries: &mut Vec<String>) {
+    let rows: usize = if quick() { 4_000 } else { 20_000 };
+    for (mode, tag) in [
+        (TransformMode::LogPropagation, "log_propagation"),
+        (TransformMode::Snapshot, "snapshot"),
+    ] {
+        let db = Arc::new(Database::new());
+        setup_split_source(&db, rows, rows / 5).expect("split source");
+        let pool = spawn_updaters(
+            &db,
+            vec![UpdateTarget::new("T", rows as i64, 1)],
+            2,
+            Duration::from_micros(100),
+        );
+        let t0 = Instant::now();
+        let report = Transformer::run_split(
+            &db,
+            bench_split_spec("__ab_r", "__ab_s", false),
+            migration_options(mode),
+        )
+        .expect("ablation migration");
+        let total_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let commits = pool.stop();
+        let propagated: usize = report.iterations.iter().map(|i| i.records).sum();
+        println!(
+            "{tag:>16}: total {total_ms:.1} ms, populate {:.1} ms ({} rows), \
+             {} iterations / {propagated} records propagated, latch pause {:?}, \
+             {commits} writer commits",
+            report.population.duration.as_secs_f64() * 1e3,
+            report.population.rows_read,
+            report.iterations.len(),
+            report.sync.latch_pause,
+        );
+        entries.push(format!(
+            "    {{ \"series\": \"transform_mode\", \"operator\": \"split\", \"mode\": \"{tag}\", \"rows\": {rows}, \"total_ms\": {total_ms:.1}, \"populate_ms\": {:.1}, \"rows_read\": {}, \"iterations\": {}, \"records_propagated\": {propagated}, \"latch_pause_us\": {}, \"writer_commits\": {commits} }}",
+            report.population.duration.as_secs_f64() * 1e3,
+            report.population.rows_read,
+            report.iterations.len(),
+            report.sync.latch_pause.as_micros(),
+        ));
+        let _ = db.catalog().drop_table("__ab_r");
+        let _ = db.catalog().drop_table("__ab_s");
     }
 }
 
@@ -82,7 +278,7 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(3usize);
-    println!("bench_check: persistent-pool apply gate (cores={cores}, best of {reps} reps)");
+    println!("bench_check: apply-pool + MVCC reader gates (cores={cores}, best of {reps} reps)");
     println!(
         "{:>6} {:>7} {:>9} {:>12} {:>12} {:>7} {:>9} {:>7} {:>7}",
         "op", "shards", "records", "ns", "records/s", "epochs", "handoffs", "steals", "inline"
@@ -121,24 +317,65 @@ fn main() {
         }
     }
 
+    println!("reader gate: lock-based vs snapshot point reads during migration + 4 writers");
+    let rg = reader_gate();
+    let ratio = if rg.snap_p99_us > 0.0 {
+        rg.lock_p99_us / rg.snap_p99_us
+    } else {
+        f64::INFINITY
+    };
+    println!(
+        "  lock-based: p50 {:.1} µs, p99 {:.1} µs | snapshot: p50 {:.1} µs, p99 {:.1} µs \
+         | p99 ratio {ratio:.2}x ({} reads/mode, {} migration rounds, {} writer commits)",
+        rg.lock_p50_us,
+        rg.lock_p99_us,
+        rg.snap_p50_us,
+        rg.snap_p99_us,
+        rg.reads_per_mode,
+        rg.migration_rounds,
+        rg.writer_commits,
+    );
+    entries.push(format!(
+        "    {{ \"series\": \"reader_gate\", \"cores\": {cores}, \"lock_p50_us\": {:.1}, \"lock_p99_us\": {:.1}, \"snapshot_p50_us\": {:.1}, \"snapshot_p99_us\": {:.1}, \"p99_ratio\": {ratio:.2}, \"reads_per_mode\": {}, \"migration_rounds\": {}, \"writer_commits\": {} }}",
+        rg.lock_p50_us,
+        rg.lock_p99_us,
+        rg.snap_p50_us,
+        rg.snap_p99_us,
+        rg.reads_per_mode,
+        rg.migration_rounds,
+        rg.writer_commits,
+    ));
+    if ratio < MIN_READER_P99_RATIO {
+        failures.push(format!(
+            "reader: snapshot p99 {:.1} µs is only {ratio:.2}x better than lock-based {:.1} µs \
+             (need ≥ {MIN_READER_P99_RATIO:.1}x)",
+            rg.snap_p99_us, rg.lock_p99_us
+        ));
+    }
+
+    println!("transform-mode ablation: fuzzy copy vs snapshot scan population (recorded)");
+    mode_ablation(&mut entries);
+
     merge_into_bench_json(cores, entries);
 
     if cores < 2 {
         println!(
-            "single CPU detected: the ≥{:.0}% multi-core speedup gate is not \
-             enforceable here — results recorded with cores={cores}, gate passes",
+            "single CPU detected: the comparative gates (pool ≥{:.0}% speedup, reader p99 \
+             ≥{MIN_READER_P99_RATIO:.1}x) are not enforceable here — results recorded with \
+             cores={cores}, gate passes",
             (MIN_SPEEDUP - 1.0) * 100.0
         );
         return;
     }
     if failures.is_empty() {
         println!(
-            "pool gate OK: shards={GATE_SHARDS} beats serial by ≥{:.0}% on both operators",
+            "gates OK: shards={GATE_SHARDS} beats serial by ≥{:.0}% on both operators and \
+             snapshot reads beat locked reads by ≥{MIN_READER_P99_RATIO:.1}x at p99",
             (MIN_SPEEDUP - 1.0) * 100.0
         );
     } else {
         for f in &failures {
-            eprintln!("pool gate FAILED: {f}");
+            eprintln!("bench gate FAILED: {f}");
         }
         std::process::exit(1);
     }

@@ -252,6 +252,7 @@ impl FojMapping {
             counter: 1,
             flag: morph_storage::ConsistencyFlag::Consistent,
             presence,
+            writer: morph_storage::SYSTEM,
         }) {
             Ok(_) => Ok(()),
             Err(DbError::DuplicateKey(_)) => Ok(()),

@@ -66,7 +66,7 @@ pub use progress::{Progress, ProgressHandle, ProgressPhase};
 pub use report::{IterationStats, PopulationStats, SyncStats, TransformReport};
 pub use spec::{
     FojSpec, NonConvergencePolicy, ParallelConfig, SplitMode, SplitSpec, SyncStrategy,
-    TransformOptions,
+    TransformMode, TransformOptions,
 };
 pub use split::SplitMapping;
 pub use transform::{TransformHandle, TransformJob, TransformPlan, Transformer};

@@ -285,6 +285,30 @@ pub(crate) fn scan_source_throttled(
     throttle: &mut Throttle,
     mut sink: impl FnMut(Vec<(Key, Row)>) -> DbResult<()>,
 ) -> DbResult<usize> {
+    // Snapshot-mode population (`TransformMode::Snapshot`): a pinned
+    // copy snapshot replaces the fuzzy image with a clean MVCC cut.
+    // Same chunking, same throttle; only the read mechanism differs —
+    // and the propagation that follows starts from the fuzzy mark
+    // either way, so Theorem 1 is untouched (a clean cut is a special
+    // case of a fuzzy image).
+    if let Some(d) = db {
+        if let Some(snap) = d.copy_snapshot_for(table.id()) {
+            let mut scan = table.snapshot_scan(chunk, snap.lsn(), d.commit_table());
+            let mut rows = 0usize;
+            loop {
+                d.crash_point("copy.snapshot_scan")?;
+                // morph-lint: allow(nondet, chunk timing feeds throttle pacing and stats only; wall time never enters table or WAL state)
+                let t0 = Instant::now();
+                let batch = scan.next_chunk();
+                if batch.is_empty() {
+                    return Ok(rows);
+                }
+                rows += batch.len();
+                sink(batch)?;
+                throttle.pay(t0.elapsed());
+            }
+        }
+    }
     let mut scan = table.fuzzy_scan(chunk);
     let mut rows = 0usize;
     loop {
@@ -343,6 +367,34 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 scope.spawn(move || -> DbResult<usize> {
+                    // Snapshot-mode branch, as in `scan_source_throttled`:
+                    // each worker reads its shard class through the same
+                    // pinned clean cut.
+                    if let Some(d) = db {
+                        if let Some(snap) = d.copy_snapshot_for(table.id()) {
+                            let mut scan = table.snapshot_scan_partition(
+                                chunk,
+                                w,
+                                workers,
+                                snap.lsn(),
+                                d.commit_table(),
+                            );
+                            let mut throttle = Throttle::new(worker_share(priority, workers));
+                            let mut rows = 0usize;
+                            loop {
+                                d.crash_point("copy.snapshot_scan")?;
+                                // morph-lint: allow(nondet, chunk timing feeds throttle pacing and stats only; wall time never enters table or WAL state)
+                                let t0 = Instant::now();
+                                let batch = scan.next_chunk();
+                                if batch.is_empty() {
+                                    return Ok(rows);
+                                }
+                                rows += batch.len();
+                                sink(w, batch)?;
+                                throttle.pay(t0.elapsed());
+                            }
+                        }
+                    }
                     let mut scan = table.fuzzy_scan_partition(chunk, w, workers);
                     let mut throttle = Throttle::new(worker_share(priority, workers));
                     let mut rows = 0usize;

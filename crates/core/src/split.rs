@@ -409,6 +409,7 @@ impl SplitMapping {
                     counter: 1,
                     flag: ConsistencyFlag::Consistent,
                     presence: Default::default(),
+                    writer: morph_storage::SYSTEM,
                 })?;
                 Ok(())
             }
@@ -976,6 +977,7 @@ impl SplitMapping {
                         counter: 1,
                         flag: ConsistencyFlag::Consistent,
                         presence: Default::default(),
+                        writer: morph_storage::SYSTEM,
                     })?;
                 }
                 Ok(())
@@ -1267,6 +1269,7 @@ impl SplitMapping {
                 } else {
                     ConsistencyFlag::Unknown
                 },
+                writer: morph_storage::SYSTEM,
                 presence: Default::default(),
             })?;
         }

@@ -20,7 +20,9 @@ use crate::pool::ApplyPool;
 use crate::progress::{Progress, ProgressHandle, ProgressPhase};
 use crate::propagate::Propagator;
 use crate::report::{PopulationStats, TransformReport};
-use crate::spec::{FojSpec, NonConvergencePolicy, SplitMode, SplitSpec, TransformOptions};
+use crate::spec::{
+    FojSpec, NonConvergencePolicy, SplitMode, SplitSpec, TransformMode, TransformOptions,
+};
 use crate::split::SplitMapping;
 use crate::sync::synchronize;
 use crate::union::{UnionMapping, UnionSpec};
@@ -239,6 +241,29 @@ impl TransformJob {
         // morph-lint: allow(nondet, phase timing stats for the report; wall time never enters table or WAL state)
         let p0 = Instant::now();
         let (_, start_lsn, _) = self.db.write_fuzzy_mark();
+        if self.options.mode == TransformMode::Snapshot {
+            // Snapshot-mode population: pin one clean MVCC cut, shared
+            // by every source table, for the scan loops to read
+            // through. Taken *after* the fuzzy mark — propagation
+            // still starts at `start_lsn`, so records the cut already
+            // reflects are re-applied idempotently, exactly as over a
+            // fuzzy image; starting propagation at the snapshot
+            // instead would lose updates of transactions active at the
+            // mark (the §3.2 trap the mark exists to close).
+            if !self.db.mvcc_enabled() {
+                self.db.enable_mvcc();
+            }
+            let snap = match self.db.begin_snapshot() {
+                Ok(s) => s,
+                Err(e) => {
+                    self.cleanup();
+                    return Err(e);
+                }
+            };
+            for id in self.oper.source_ids() {
+                self.db.register_copy_snapshot(id, Arc::clone(&snap));
+            }
+        }
         let mut prop = Propagator::new(&self.db, start_lsn, self.options.priority)
             .with_parallel(self.options.parallel);
         if self.options.parallel.apply_shards > 1 {
@@ -278,6 +303,8 @@ impl TransformJob {
                 return Err(e);
             }
         };
+        // Population is done: release the clean cut (and its GC pin).
+        self.clear_copy_snapshots();
         if let Err(e) = self.db.crash_point("transform.populated") {
             self.cleanup();
             return Err(e);
@@ -540,6 +567,10 @@ impl TransformJob {
     /// interceptor would remain to remove (and it is removed on the
     /// post-sync error paths directly).
     pub fn cleanup(&self) {
+        // Unpin any copy snapshot first (idempotent): a job that dies
+        // during population must not leave a stale snapshot pinning
+        // version GC forever.
+        self.clear_copy_snapshots();
         if self.synced {
             return;
         }
@@ -547,6 +578,13 @@ impl TransformJob {
             let _ = self.db.catalog().drop_table(name);
         }
         self.progress.set_phase(ProgressPhase::Aborted);
+    }
+
+    /// Release the snapshot-mode copy pins for every source table.
+    fn clear_copy_snapshots(&self) {
+        for id in self.oper.source_ids() {
+            self.db.clear_copy_snapshot(id);
+        }
     }
 
     fn remove_interceptor(&mut self) {
@@ -756,6 +794,62 @@ mod tests {
         assert!(report.sync.latch_pause < Duration::from_millis(50));
         let t = db.catalog().get("T").unwrap();
         assert_eq!(t.len(), 100); // every S value matched
+    }
+
+    #[test]
+    fn snapshot_mode_foj_end_to_end() {
+        let db = db_with_sources(100, 10);
+        db.enable_mvcc();
+        let spec = FojSpec::new("R", "S", "T", "c", "c");
+        let report = Transformer::run_foj(
+            &db,
+            spec,
+            opts().transform_mode(crate::spec::TransformMode::Snapshot),
+        )
+        .unwrap();
+        assert!(report.population.rows_read >= 110);
+        assert_eq!(db.catalog().get("T").unwrap().len(), 100);
+        // The copy's clean cut is released once population finishes.
+        assert_eq!(db.live_snapshots(), 0);
+    }
+
+    #[test]
+    fn snapshot_mode_split_under_writers_matches_sources() {
+        let db = db_with_sources(150, 6);
+        db.enable_mvcc();
+        let stop = Arc::new(AtomicBool::new(false));
+        let db2 = Arc::clone(&db);
+        let stop2 = Arc::clone(&stop);
+        let worker = std::thread::spawn(move || {
+            let mut i = 0u64;
+            while !stop2.load(Ordering::Relaxed) {
+                i += 1;
+                let txn = db2.begin();
+                let key = Key::single((i % 150) as i64);
+                match db2.update(txn, "R", &key, &[(1, Value::str(format!("w{i}")))]) {
+                    Ok(()) => {
+                        let _ = db2.commit(txn);
+                    }
+                    Err(_) => {
+                        let _ = db2.abort(txn);
+                    }
+                }
+                std::thread::sleep(Duration::from_micros(50));
+            }
+        });
+        let spec = FojSpec::new("R", "S", "T", "c", "c");
+        let handle = Transformer::spawn_foj(
+            Arc::clone(&db),
+            spec,
+            opts().transform_mode(crate::spec::TransformMode::Snapshot),
+        );
+        let report = handle.join().expect("snapshot-mode transformation");
+        stop.store(true, Ordering::Relaxed);
+        worker.join().unwrap();
+        assert!(report.population.rows_read >= 150);
+        // Propagation over the clean cut caught the concurrent writes.
+        assert!(db.catalog().get("T").unwrap().len() >= 150);
+        assert_eq!(db.live_snapshots(), 0);
     }
 
     #[test]

@@ -18,6 +18,9 @@ pub struct Counters {
     pub doomed_aborts: AtomicU64,
     /// Data operations executed (insert + update + delete).
     pub ops: AtomicU64,
+    /// Archived row versions reclaimed by MVCC garbage collection
+    /// ([`Database::mvcc_gc`](../database/struct.Database.html)).
+    pub mvcc_reclaimed: AtomicU64,
 }
 
 impl Counters {

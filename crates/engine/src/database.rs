@@ -33,11 +33,12 @@ use crate::counters::Counters;
 use crate::interceptor::OpInterceptor;
 use crate::migrations::MigrationRegistry;
 use crate::registry::{TxnCell, TxnRegistry};
-use morph_common::{DbError, DbResult, Key, Lsn, Schema, TxnId, Value};
-use morph_storage::{Catalog, Table};
+use morph_common::{DbError, DbResult, Key, Lsn, Schema, TableId, TxnId, Value};
+use morph_storage::{Catalog, CommitTable, Snapshot, SnapshotTracker, Table, SYSTEM};
 use morph_txn::{GranularMode, LockManager, LockManagerConfig, LockMode, TableLocks};
 use morph_wal::{LogManager, LogOp, LogRecord};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -117,6 +118,45 @@ impl Drop for LogProtection {
     }
 }
 
+/// Multi-version state of a database: the commit table snapshot
+/// readers consult for visibility, the tracker of live snapshot
+/// timestamps (the GC low-watermark source), and the commit seal.
+///
+/// ## The seal
+///
+/// A snapshot's timestamp is the published log tail; a committing
+/// writer becomes visible by recording its commit LSN in the commit
+/// table. Those are two steps — without ordering, a reader could
+/// observe `last_lsn() ≥ commit_lsn` while the commit-table entry is
+/// not yet written, fall through to the floor rule, and wrongly treat
+/// a committed-before-its-snapshot transaction as invisible. The
+/// `seal` mutex makes `append(Commit) + record_commit` atomic with
+/// respect to `last_lsn() + register`: a snapshot sees a commit's LSN
+/// if and only if it sees its outcome. It is held across one log
+/// append and two map writes — never across a durability wait — so
+/// commit throughput is unaffected (the fsync stays outside).
+///
+/// Aborts need no seal: an active or aborted transaction is invisible
+/// either way, and the floor rule keeps pruned aborts invisible (see
+/// `morph_storage::mvcc` module docs for the full argument).
+struct MvccState {
+    enabled: AtomicBool,
+    commit: Arc<CommitTable>,
+    snapshots: Arc<SnapshotTracker>,
+    seal: Mutex<()>,
+}
+
+impl Default for MvccState {
+    fn default() -> Self {
+        MvccState {
+            enabled: AtomicBool::new(false),
+            commit: Arc::new(CommitTable::default()),
+            snapshots: Arc::new(SnapshotTracker::default()),
+            seal: Mutex::new(()),
+        }
+    }
+}
+
 /// The morphdb database: catalog + WAL + lock manager + transactions.
 pub struct Database {
     catalog: Catalog,
@@ -137,6 +177,15 @@ pub struct Database {
     /// Table claims of running migration jobs (orchestrator conflict
     /// detection).
     migrations: MigrationRegistry,
+    /// Multi-version read state (see [`MvccState`]). Inert until
+    /// [`Database::enable_mvcc`].
+    mvcc: MvccState,
+    /// Snapshots pinned by in-flight snapshot-mode transformations
+    /// ([`morph_storage::Snapshot`] per source table): the copy step
+    /// registers one after writing its fuzzy mark so the population
+    /// scan reads a clean cut instead of a fuzzy image, and clears it
+    /// when population finishes (or the transformation dies).
+    copy_snapshots: RwLock<HashMap<TableId, Arc<Snapshot>>>,
 }
 
 impl Default for Database {
@@ -169,6 +218,8 @@ impl Database {
             crash_hook: RwLock::new(None),
             has_crash_hook: AtomicBool::new(false),
             migrations: MigrationRegistry::new(),
+            mvcc: MvccState::default(),
+            copy_snapshots: RwLock::new(HashMap::new()),
         }
     }
 
@@ -268,7 +319,19 @@ impl Database {
         // watermark: one backend flush may cover many committers.
         let wrote = !cell.state.lock().undo.is_empty();
         self.crash_point("commit.wal_append")?;
-        let commit_lsn = self.log.append(LogRecord::Commit { txn });
+        let commit_lsn = if self.mvcc_enabled() {
+            // Atomic with respect to snapshot acquisition: a snapshot
+            // whose timestamp covers this commit's LSN must also see
+            // its outcome in the commit table (see [`MvccState`]). The
+            // seal spans one append and one map insert only — the
+            // durability wait below stays outside it.
+            let _seal = self.mvcc.seal.lock();
+            let lsn = self.log.append(LogRecord::Commit { txn });
+            self.mvcc.commit.record_commit(txn, lsn);
+            lsn
+        } else {
+            self.log.append(LogRecord::Commit { txn })
+        };
         if wrote {
             self.log.wait_durable(commit_lsn)?;
         }
@@ -312,6 +375,16 @@ impl Database {
             }
         }
         let end_lsn = self.log.append(LogRecord::AbortEnd { txn });
+        if self.mvcc_enabled() {
+            // No seal needed: the transaction was invisible while
+            // active (no outcome entry, ops above the floor) and stays
+            // invisible as Aborted — there is no visibility edge for a
+            // snapshot to race with. The end LSN bounds commit-table
+            // pruning: once it is at or below the GC watermark, the
+            // compensating SYSTEM-stamped CLR versions resolve every
+            // read that could still reach the aborted entries.
+            self.mvcc.commit.record_abort(txn, end_lsn);
+        }
         if wrote {
             // CLRs must be durable before the rollback acknowledges,
             // through the same group-commit watermark as commits.
@@ -354,10 +427,11 @@ impl Database {
                     op: inverse.clone(),
                 };
                 let log = &self.log;
-                table.delete_with(key, |_| {
-                    log.append(rec);
-                    Ok(())
-                })?;
+                // The CLR's tombstone is stamped SYSTEM (visible by
+                // LSN order): snapshots taken after the rollback see
+                // the compensated state without consulting the — soon
+                // pruned — aborted writer's outcome.
+                table.delete_with_writer(key, SYSTEM, |_| Ok(log.append(rec)))?;
             }
             LogOp::Update { key, new, .. } => {
                 let rec = LogRecord::Clr {
@@ -416,6 +490,144 @@ impl Database {
     pub fn write_checkpoint(&self) -> Lsn {
         self.registry
             .with_checkpoint_snapshot(|active| self.log.append(LogRecord::Checkpoint { active }))
+    }
+
+    // --- MVCC snapshot reads ----------------------------------------------
+
+    /// Switch multi-version reads on: every table (current and future)
+    /// starts archiving pre-images on writes, commits and aborts are
+    /// recorded in the commit table, and [`Database::begin_snapshot`]
+    /// hands out consistent read timestamps. One-way and idempotent;
+    /// rows written before the switch stay visible to every snapshot
+    /// (they carry the `SYSTEM` writer stamp, visible by LSN order).
+    pub fn enable_mvcc(&self) {
+        self.catalog.enable_versioning_everywhere();
+        self.mvcc.enabled.store(true, Ordering::Release);
+    }
+
+    /// Whether [`Database::enable_mvcc`] has been called.
+    pub fn mvcc_enabled(&self) -> bool {
+        self.mvcc.enabled.load(Ordering::Acquire)
+    }
+
+    /// The commit table snapshot visibility checks consult. Handed to
+    /// [`morph_storage::Table::snapshot_scan`] and friends by callers
+    /// that drive scanners directly (the transformation copy step, the
+    /// benches).
+    pub fn commit_table(&self) -> Arc<CommitTable> {
+        Arc::clone(&self.mvcc.commit)
+    }
+
+    /// Number of snapshots currently live (tests and GC diagnostics).
+    pub fn live_snapshots(&self) -> usize {
+        self.mvcc.snapshots.live_count()
+    }
+
+    /// Take a consistent read timestamp: everything committed up to
+    /// now is visible, nothing that commits later is. The snapshot
+    /// pins the GC watermark until dropped and **never takes a record
+    /// or table lock** — reads through it cannot block on, or be
+    /// blocked by, writers or in-flight schema changes.
+    pub fn begin_snapshot(&self) -> DbResult<Arc<Snapshot>> {
+        self.crash_point("mvcc.snapshot_acquire")?;
+        // The seal orders this against committers: a commit whose LSN
+        // is at or below our timestamp has its outcome recorded before
+        // we read the tail (see [`MvccState`]).
+        let _seal = self.mvcc.seal.lock();
+        let lsn = self.log.last_lsn();
+        Ok(Arc::new(Snapshot::register(
+            Arc::clone(&self.mvcc.snapshots),
+            lsn,
+        )))
+    }
+
+    /// Read the row at `key` as of `snap`. Lock-free (one shard latch).
+    pub fn snapshot_read(
+        &self,
+        snap: &Snapshot,
+        table: &str,
+        key: &Key,
+    ) -> DbResult<Option<Vec<Value>>> {
+        let t = self.catalog.get(table)?;
+        Ok(t.snapshot_get(key, snap.lsn(), &self.mvcc.commit)
+            .map(|r| r.values))
+    }
+
+    /// All rows of `table` as of `snap`, in key order. Lock-free; the
+    /// scan takes each shard latch briefly per chunk, so it neither
+    /// blocks writers for long nor waits on any transaction lock.
+    pub fn snapshot_scan(&self, snap: &Snapshot, table: &str) -> DbResult<Vec<(Key, Vec<Value>)>> {
+        let t = self.catalog.get(table)?;
+        let rows = t
+            .snapshot_scan(256, snap.lsn(), self.commit_table())
+            .collect_all()
+            .into_iter()
+            .map(|(k, r)| (k, r.values))
+            .collect();
+        Ok(rows)
+    }
+
+    /// Reclaim archived versions nothing can see any more. The
+    /// low-watermark is the minimum of
+    ///
+    /// 1. the oldest live snapshot timestamp,
+    /// 2. the first LSN of the oldest active transaction (its ops all
+    ///    carry LSNs at or above it, so they stay resolvable while it
+    ///    can still commit or abort),
+    /// 3. the WAL durability watermark (restart recovery replays from
+    ///    genesis, but tying GC to durability means a crash can never
+    ///    lose the outcome of a transaction whose versions were
+    ///    already reclaimed).
+    ///
+    /// Also prunes the commit table: outcomes ending at or below the
+    /// watermark are dropped and the visibility *floor* rises, which
+    /// is what keeps pruned history correctly visible (see
+    /// `morph_storage::mvcc`). Returns the number of version entries
+    /// reclaimed. No-op until [`Database::enable_mvcc`].
+    pub fn mvcc_gc(&self) -> DbResult<u64> {
+        if !self.mvcc_enabled() {
+            return Ok(0);
+        }
+        let durable = self.log.durability_watermark();
+        let oldest_txn = self
+            .registry
+            .with_checkpoint_snapshot(|active| active.iter().map(|(_, l)| *l).min());
+        let mut watermark = durable;
+        if let Some(l) = oldest_txn {
+            watermark = watermark.min(l);
+        }
+        if let Some(l) = self.mvcc.snapshots.oldest() {
+            watermark = watermark.min(l);
+        }
+        self.crash_point("mvcc.gc_reclaim")?;
+        let mut reclaimed = 0u64;
+        for t in self.catalog.tables() {
+            reclaimed += t.gc_versions(watermark, &self.mvcc.commit);
+        }
+        self.mvcc.commit.prune(watermark);
+        self.counters
+            .mvcc_reclaimed
+            .fetch_add(reclaimed, Ordering::Relaxed);
+        Ok(reclaimed)
+    }
+
+    /// Pin a copy snapshot for `table` (snapshot-mode transformation
+    /// population; see the `copy_snapshots` field).
+    pub fn register_copy_snapshot(&self, table: TableId, snap: Arc<Snapshot>) {
+        self.copy_snapshots.write().insert(table, snap);
+    }
+
+    /// Release the copy snapshot for `table`, if any.
+    pub fn clear_copy_snapshot(&self, table: TableId) {
+        self.copy_snapshots.write().remove(&table);
+    }
+
+    /// The pinned copy snapshot for `table`, if a snapshot-mode
+    /// transformation is populating from it right now. The operator
+    /// scan loops branch on this: `Some` → clean snapshot cut, `None`
+    /// → fuzzy scan.
+    pub fn copy_snapshot_for(&self, table: TableId) -> Option<Arc<Snapshot>> {
+        self.copy_snapshots.read().get(&table).cloned()
     }
 
     /// Register an LSN that log truncation must never cross (a live
@@ -544,7 +756,7 @@ impl Database {
             row: values.clone(),
         };
         let mut lsn = Lsn::ZERO;
-        table.insert_with(values.clone(), || {
+        table.insert_with_writer(values.clone(), txn, || {
             // Re-check access under the latch: a synchronization step
             // may have frozen the table since the entry check.
             table.check_access(txn)?;
@@ -614,7 +826,7 @@ impl Database {
         self.run_interceptors(txn, table, &PlannedOp::Update { key, cols })?;
 
         let mut lsn = Lsn::ZERO;
-        let outcome = table.update_with(key, cols, |plan| {
+        let outcome = table.update_with_writer(key, cols, txn, |plan| {
             table.check_access(txn)?;
             lsn = self.log.append(LogRecord::Op {
                 txn,
@@ -656,7 +868,7 @@ impl Database {
 
         let mut pre_image = Vec::new();
         let mut lsn = Lsn::ZERO;
-        table.delete_with(key, |row| {
+        table.delete_with_writer(key, txn, |row| {
             table.check_access(txn)?;
             pre_image = row.values.clone();
             lsn = self.log.append(LogRecord::Op {
@@ -667,7 +879,7 @@ impl Database {
                     old: row.values.clone(),
                 },
             });
-            Ok(())
+            Ok(lsn)
         })?;
         cell.state.lock().undo.push((
             lsn,
@@ -1016,6 +1228,120 @@ mod tests {
             LogRecord::Checkpoint { active } => assert!(active.is_empty()),
             other => panic!("expected checkpoint, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn snapshot_sees_only_prior_commits() {
+        let (db, _t) = db_with_table();
+        db.enable_mvcc();
+        let w = db.begin();
+        db.insert(w, "t", row(1, "v1")).unwrap();
+        db.commit(w).unwrap();
+
+        let snap = db.begin_snapshot().unwrap();
+        // Later committed work is invisible to the snapshot…
+        let w2 = db.begin();
+        db.update(w2, "t", &Key::single(1), &[(1, Value::str("v2"))])
+            .unwrap();
+        db.insert(w2, "t", row(2, "new")).unwrap();
+        db.commit(w2).unwrap();
+        assert_eq!(
+            db.snapshot_read(&snap, "t", &Key::single(1)).unwrap(),
+            Some(row(1, "v1"))
+        );
+        assert_eq!(db.snapshot_read(&snap, "t", &Key::single(2)).unwrap(), None);
+        // …while a fresh snapshot sees it.
+        let snap2 = db.begin_snapshot().unwrap();
+        assert_eq!(
+            db.snapshot_read(&snap2, "t", &Key::single(1)).unwrap(),
+            Some(row(1, "v2"))
+        );
+        assert_eq!(db.snapshot_scan(&snap, "t").unwrap().len(), 1);
+        assert_eq!(db.snapshot_scan(&snap2, "t").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn snapshot_ignores_uncommitted_and_aborted_work() {
+        let (db, _t) = db_with_table();
+        db.enable_mvcc();
+        let setup = db.begin();
+        db.insert(setup, "t", row(1, "clean")).unwrap();
+        db.commit(setup).unwrap();
+
+        let dirty = db.begin();
+        db.update(dirty, "t", &Key::single(1), &[(1, Value::str("dirty"))])
+            .unwrap();
+        // A snapshot taken while `dirty` is in flight never sees it —
+        // neither active nor after its rollback.
+        let snap = db.begin_snapshot().unwrap();
+        assert_eq!(
+            db.snapshot_read(&snap, "t", &Key::single(1)).unwrap(),
+            Some(row(1, "clean"))
+        );
+        db.abort(dirty).unwrap();
+        assert_eq!(
+            db.snapshot_read(&snap, "t", &Key::single(1)).unwrap(),
+            Some(row(1, "clean"))
+        );
+        let after = db.begin_snapshot().unwrap();
+        assert_eq!(
+            db.snapshot_read(&after, "t", &Key::single(1)).unwrap(),
+            Some(row(1, "clean"))
+        );
+    }
+
+    #[test]
+    fn mvcc_gc_respects_live_snapshots() {
+        let (db, t) = db_with_table();
+        db.enable_mvcc();
+        let w = db.begin();
+        db.insert(w, "t", row(1, "v1")).unwrap();
+        db.commit(w).unwrap();
+        let snap = db.begin_snapshot().unwrap();
+        for i in 0..3 {
+            let w = db.begin();
+            db.update(
+                w,
+                "t",
+                &Key::single(1),
+                &[(1, Value::str(format!("v{}", i + 2)))],
+            )
+            .unwrap();
+            db.commit(w).unwrap();
+        }
+        assert!(t.version_count() > 0);
+        // The live snapshot pins every version it can still reach.
+        db.mvcc_gc().unwrap();
+        assert_eq!(
+            db.snapshot_read(&snap, "t", &Key::single(1)).unwrap(),
+            Some(row(1, "v1"))
+        );
+        drop(snap);
+        let reclaimed = db.mvcc_gc().unwrap();
+        assert!(reclaimed > 0, "unpinned history must be reclaimed");
+        assert_eq!(t.version_count(), 0);
+        assert_eq!(Counters::get(&db.counters().mvcc_reclaimed), reclaimed);
+        // Current state is untouched.
+        let now = db.begin_snapshot().unwrap();
+        assert_eq!(
+            db.snapshot_read(&now, "t", &Key::single(1)).unwrap(),
+            Some(row(1, "v4"))
+        );
+    }
+
+    #[test]
+    fn mvcc_disabled_is_inert() {
+        let (db, t) = db_with_table();
+        let w = db.begin();
+        db.insert(w, "t", row(1, "a")).unwrap();
+        db.commit(w).unwrap();
+        let w = db.begin();
+        db.update(w, "t", &Key::single(1), &[(1, Value::str("b"))])
+            .unwrap();
+        db.commit(w).unwrap();
+        assert_eq!(t.version_count(), 0, "no archiving without enable_mvcc");
+        assert_eq!(db.mvcc_gc().unwrap(), 0);
+        assert!(db.mvcc.commit.is_empty(), "no outcomes recorded");
     }
 
     #[test]

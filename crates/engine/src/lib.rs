@@ -31,4 +31,5 @@ pub use counters::Counters;
 pub use database::{CrashHook, Database, LogProtection, PlannedOp};
 pub use interceptor::OpInterceptor;
 pub use migrations::MigrationRegistry;
+pub use morph_storage::{CommitTable, Snapshot, SnapshotTracker};
 pub use recovery::{recover_from_bytes, recover_into, RecoveryReport};

@@ -245,7 +245,10 @@ fn apply_physical_ref(db: &Database, op: &LogOpRef<'_>, lsn: Lsn) -> DbResult<()
             table.insert_row(Row::new(owned(row), lsn))?;
         }
         LogOpRef::Delete { key, .. } => {
-            table.delete(&Key(owned(key)))?;
+            // SYSTEM-stamped so a replayed delete stays visible by LSN
+            // order under versioning (recovered logs carry no
+            // commit-table state to resolve original writers).
+            table.delete_with_writer(&Key(owned(key)), morph_storage::SYSTEM, |_| Ok(lsn))?;
         }
         LogOpRef::Update { key, new, .. } => {
             let new: Vec<(usize, Value)> = new.iter().map(|(i, v)| (*i, v.to_owned())).collect();
@@ -263,7 +266,9 @@ pub fn apply_physical(db: &Database, op: &LogOp, lsn: Lsn) -> DbResult<()> {
             table.insert_row(Row::new(row.clone(), lsn))?;
         }
         LogOp::Delete { key, .. } => {
-            table.delete(key)?;
+            // See `apply_physical_ref`: SYSTEM stamp, LSN of the
+            // replayed record.
+            table.delete_with_writer(key, morph_storage::SYSTEM, |_| Ok(lsn))?;
         }
         LogOp::Update { key, new, .. } => {
             table.update(key, new, lsn)?;

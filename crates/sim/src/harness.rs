@@ -39,7 +39,7 @@
 
 use crate::scenario::Scenario;
 use morph_common::{DbError, DbResult, Key, Schema, TableId, Value};
-use morph_core::{ParallelConfig, SyncStrategy};
+use morph_core::{ParallelConfig, SyncStrategy, TransformMode};
 use morph_engine::{recover_into, CrashHook, Database};
 use morph_storage::row::Presence;
 use morph_storage::ConsistencyFlag;
@@ -92,6 +92,14 @@ pub struct SimConfig {
     /// against is *always* serial, so every parallel sim is also a
     /// parallel ≡ serial equivalence check.
     pub parallel: ParallelConfig,
+    /// Initial-population mode of the transformation under test.
+    /// Defaults to the fuzzy copy + log propagation pipeline (the
+    /// determinism pin: with the default, MVCC stays disabled and the
+    /// trace is byte-identical to pre-MVCC runs). The reference run
+    /// the oracle compares against *always* uses the default, so every
+    /// [`TransformMode::Snapshot`] sim is also a snapshot ≡
+    /// log-propagation equivalence check.
+    pub mode: TransformMode,
 }
 
 impl SimConfig {
@@ -104,6 +112,7 @@ impl SimConfig {
             inject_budget: 40,
             wal_mode: WalMode::from_env(WalMode::Serial),
             parallel: ParallelConfig::serial(),
+            mode: TransformMode::LogPropagation,
         }
     }
 
@@ -125,6 +134,14 @@ impl SimConfig {
     #[must_use]
     pub fn wal_mode(mut self, mode: WalMode) -> SimConfig {
         self.wal_mode = mode;
+        self
+    }
+
+    /// Populate via a clean MVCC snapshot scan instead of the fuzzy
+    /// copy (the reference run stays on the default pipeline).
+    #[must_use]
+    pub fn transform_mode(mut self, mode: TransformMode) -> SimConfig {
+        self.mode = mode;
         self
     }
 }
@@ -411,7 +428,20 @@ fn check_targets(
 /// Run one simulated universe. See module docs for the exact pipeline.
 pub fn run_sim(cfg: &SimConfig) -> Result<SimReport, SimFailure> {
     let run = build(cfg)?;
-    let result = cfg.scenario.run_with(&run.db, cfg.strategy, cfg.parallel);
+    let result = cfg
+        .scenario
+        .run_with_mode(&run.db, cfg.strategy, cfg.parallel, cfg.mode)
+        .and_then(|report| {
+            // A snapshot-mode universe ends with a GC sweep so that
+            // `mvcc.gc_reclaim` is part of the census (and killable):
+            // the transformation released its snapshot, so the sweep
+            // may reclaim every archived version up to the durable
+            // watermark.
+            if cfg.mode == TransformMode::Snapshot {
+                run.db.mvcc_gc()?;
+            }
+            Ok(report)
+        });
 
     // Pull the hook's state out; the transformation is done with it.
     run.db.clear_crash_hook();
@@ -498,7 +528,7 @@ pub fn run_sim(cfg: &SimConfig) -> Result<SimReport, SimFailure> {
 
             // ---- oracle 2: restart the transformation from prep ----
             cfg.scenario
-                .run_with(&db2, cfg.strategy, cfg.parallel)
+                .run_with_mode(&db2, cfg.strategy, cfg.parallel, cfg.mode)
                 .map_err(|e| fail(format!("re-transformation failed: {e}"), &trace))?;
             trace.push("re-transformation: ok".to_owned());
 

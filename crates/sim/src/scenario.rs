@@ -13,8 +13,8 @@ use morph_common::{ColumnType, DbResult, Schema, Value};
 use morph_core::foj::figure1_schemas;
 use morph_core::split::example1_schema;
 use morph_core::{
-    FojSpec, ParallelConfig, SplitSpec, SyncStrategy, TransformOptions, TransformReport,
-    Transformer, UnionSpec,
+    FojSpec, ParallelConfig, SplitSpec, SyncStrategy, TransformMode, TransformOptions,
+    TransformReport, Transformer, UnionSpec,
 };
 use morph_engine::Database;
 use morph_workload::TableProfile;
@@ -279,8 +279,24 @@ impl Scenario {
         strategy: SyncStrategy,
         parallel: ParallelConfig,
     ) -> DbResult<TransformReport> {
+        self.run_with_mode(db, strategy, parallel, TransformMode::LogPropagation)
+    }
+
+    /// Run the scenario's transformation under an explicit population
+    /// mode: [`TransformMode::LogPropagation`] is the determinism pin
+    /// (the default everywhere else delegates here), while
+    /// [`TransformMode::Snapshot`] populates from a clean MVCC
+    /// snapshot scan (the `mvcc_matrix` kill sweep drives it).
+    pub fn run_with_mode(
+        &self,
+        db: &Arc<Database>,
+        strategy: SyncStrategy,
+        parallel: ParallelConfig,
+        mode: TransformMode,
+    ) -> DbResult<TransformReport> {
         let mut options = sim_options(strategy);
         options.parallel = parallel;
+        options.mode = mode;
         match self {
             Scenario::Foj => {
                 Transformer::run_foj(db, FojSpec::new("R", "S", "T", "c", "c"), options)

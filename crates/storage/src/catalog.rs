@@ -9,7 +9,7 @@ use crate::table::Table;
 use morph_common::{DbError, DbResult, Schema, TableId};
 use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 #[derive(Default)]
@@ -27,6 +27,11 @@ pub struct Catalog {
     /// name→table resolutions (the propagator's drain context) are
     /// revalidated against this instead of re-resolving per iteration.
     epoch: AtomicU64,
+    /// When set (MVCC enabled on the owning database), every table
+    /// created from then on — including transformation targets created
+    /// by preparation steps — starts with versioning enabled, so
+    /// snapshot readers keep working across a cutover.
+    versioning_default: AtomicBool,
 }
 
 impl Catalog {
@@ -44,6 +49,9 @@ impl Catalog {
         inner.next_id += 1;
         let id = TableId(inner.next_id);
         let table = Arc::new(Table::new(id, name, schema));
+        if self.versioning_default.load(Ordering::Acquire) {
+            table.enable_versioning();
+        }
         inner.by_name.insert(name.to_owned(), id);
         inner.tables.insert(id, Arc::clone(&table));
         self.epoch.fetch_add(1, Ordering::Release);
@@ -66,11 +74,29 @@ impl Catalog {
             return Err(DbError::TableExists(format!("id {id:?}")));
         }
         let table = Arc::new(Table::new(id, name, schema));
+        if self.versioning_default.load(Ordering::Acquire) {
+            table.enable_versioning();
+        }
         inner.next_id = inner.next_id.max(id.0);
         inner.by_name.insert(name.to_owned(), id);
         inner.tables.insert(id, Arc::clone(&table));
         self.epoch.fetch_add(1, Ordering::Release);
         Ok(table)
+    }
+
+    /// Enable versioning on every current table and default it on for
+    /// tables created later (the database's MVCC switch).
+    pub fn enable_versioning_everywhere(&self) {
+        self.versioning_default.store(true, Ordering::Release);
+        for t in self.tables() {
+            t.enable_versioning();
+        }
+    }
+
+    /// Handles to all live tables (GC sweeps and the MVCC switch;
+    /// collected under one read lock, iterated without it).
+    pub fn tables(&self) -> Vec<Arc<Table>> {
+        self.inner.read().tables.values().cloned().collect()
     }
 
     /// Current structural epoch (see the field doc). A cached

@@ -20,13 +20,15 @@
 
 pub mod catalog;
 pub mod index;
+pub mod mvcc;
 pub mod row;
 pub mod table;
 
 pub use catalog::Catalog;
 pub use index::SecondaryIndex;
+pub use mvcc::{CommitTable, Snapshot, SnapshotTracker, VersionEntry, SYSTEM};
 pub use row::{ConsistencyFlag, Row};
 pub use table::{
-    shard_stride, FuzzyScanner, Table, TableExclusiveLatch, TableSharedLatch, TableState,
-    WriteSession, TABLE_SHARDS,
+    shard_stride, FuzzyScanner, SnapshotScanner, Table, TableExclusiveLatch, TableSharedLatch,
+    TableState, WriteSession, TABLE_SHARDS,
 };

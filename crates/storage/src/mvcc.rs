@@ -1,0 +1,308 @@
+//! Multi-version storage primitives: version chains, the commit table
+//! that decides visibility, and the live-snapshot tracker that drives
+//! version garbage collection.
+//!
+//! # Version chains
+//!
+//! Each table shard keeps, next to its row heap, a map from primary
+//! key to a chain of [`VersionEntry`] pre-images, stored *oldest
+//! first* (writers push at the tail, readers walk `.iter().rev()`).
+//! The inline row in the heap is always the newest state and is never
+//! duplicated in the chain — the unversioned hot path pays nothing.
+//! A `data: None` entry is a tombstone: at that point in history the
+//! key did not exist (delete, or the old key of a primary-key move).
+//!
+//! # Visibility
+//!
+//! A snapshot is just an LSN `s` (the log tail at acquisition). A
+//! version written by `writer` at `lsn` is visible at `s` iff
+//!
+//! * `writer == SYSTEM` and `lsn <= s` — engine-internal writes
+//!   (recovery replay, CLR compensation, propagation) are ordered by
+//!   their log position alone;
+//! * `writer` committed at `c` and `c <= s`;
+//! * `writer` aborted — never visible (its pre-image entry below it
+//!   in the chain, pushed by the compensating CLR, is what readers
+//!   see);
+//! * `writer` has no commit-table entry: visible iff `lsn` is below
+//!   the prune **floor** (see below); otherwise the writer is still
+//!   active and invisible.
+//!
+//! # The prune floor
+//!
+//! The commit table cannot grow forever. [`CommitTable::prune`]
+//! removes every outcome whose end LSN is at or below the GC
+//! watermark `W` and records `W` as the *floor*. The floor rule —
+//! "missing entry is visible iff its `lsn < floor`" — is sound
+//! because `W` is computed as the minimum of (a) the oldest live
+//! snapshot, (b) the first LSN of the oldest active transaction and
+//! (c) the WAL durability watermark:
+//!
+//! * a pruned *committed* outcome had `c <= W`, so every surviving
+//!   snapshot `s >= W >= c` must see it — and its version LSNs are
+//!   `< c <= floor`, so the floor rule says visible;
+//! * every *active* transaction has operation LSNs `>= first_lsn >=
+//!   W = floor`, so the floor rule keeps it invisible;
+//! * a pruned *aborted* outcome is never consulted: the compensating
+//!   CLR pushed a `SYSTEM` entry above the aborted one with
+//!   `clr_lsn < abort_end <= W <= s`, which every surviving snapshot
+//!   resolves first.
+
+use crate::row::Row;
+use morph_common::{Lsn, TxnId};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The engine-internal writer id: recovery replay, CLR compensation,
+/// log propagation and every write made while versioning is disabled.
+/// User transaction ids start at 1, so 0 is free.
+pub const SYSTEM: TxnId = TxnId(0);
+
+/// One archived version of a row: the pre-image displaced by a newer
+/// write, or a tombstone marking that the key did not exist.
+#[derive(Clone, Debug)]
+pub struct VersionEntry {
+    /// LSN of the operation that *created* this version (the archived
+    /// row's own stamp for pre-images; the deleting operation's LSN
+    /// for tombstones).
+    pub lsn: Lsn,
+    /// Transaction that created this version ([`SYSTEM`] for
+    /// engine-internal writes).
+    pub writer: TxnId,
+    /// The archived row, or `None` for a tombstone.
+    pub data: Option<Row>,
+}
+
+/// A version chain: oldest entry first (push at the tail).
+pub type VersionChain = Vec<VersionEntry>;
+
+/// Recorded fate of a finished transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TxnOutcome {
+    /// Committed; the LSN is the Commit record's.
+    Committed(Lsn),
+    /// Rolled back; the LSN is the AbortEnd record's (prune bound).
+    Aborted(Lsn),
+}
+
+/// The commit table: transaction id → outcome, plus the prune floor.
+///
+/// Writers record outcomes at commit/abort; readers consult it for
+/// every visibility decision. Entries below the GC watermark are
+/// pruned in bulk (see the module docs for why that is sound).
+#[derive(Default)]
+pub struct CommitTable {
+    outcomes: RwLock<HashMap<TxnId, TxnOutcome>>,
+    /// Every outcome with end LSN `<= floor` has been pruned; a
+    /// missing entry with a version LSN below the floor is therefore
+    /// a committed one.
+    floor: AtomicU64,
+}
+
+impl CommitTable {
+    /// Empty table (floor 0: nothing pruned yet).
+    pub fn new() -> CommitTable {
+        CommitTable::default()
+    }
+
+    /// Record a commit at `commit_lsn`.
+    pub fn record_commit(&self, txn: TxnId, commit_lsn: Lsn) {
+        self.outcomes
+            .write()
+            .insert(txn, TxnOutcome::Committed(commit_lsn));
+    }
+
+    /// Record a completed rollback (`end_lsn` = the AbortEnd record).
+    pub fn record_abort(&self, txn: TxnId, end_lsn: Lsn) {
+        self.outcomes
+            .write()
+            .insert(txn, TxnOutcome::Aborted(end_lsn));
+    }
+
+    /// Current prune floor.
+    pub fn floor(&self) -> Lsn {
+        Lsn(self.floor.load(Ordering::Acquire))
+    }
+
+    /// Whether a version written by `writer` at `lsn` is visible to a
+    /// snapshot taken at `snapshot` (see the module docs).
+    pub fn is_visible(&self, writer: TxnId, lsn: Lsn, snapshot: Lsn) -> bool {
+        if writer == SYSTEM {
+            return lsn <= snapshot;
+        }
+        match self.outcomes.read().get(&writer) {
+            Some(TxnOutcome::Committed(c)) => *c <= snapshot,
+            Some(TxnOutcome::Aborted(_)) => false,
+            None => lsn < self.floor(),
+        }
+    }
+
+    /// Drop every outcome whose end LSN is `<= watermark` and raise
+    /// the floor to the watermark. Returns the number of outcomes
+    /// pruned. The caller must guarantee the watermark discipline
+    /// described in the module docs.
+    pub fn prune(&self, watermark: Lsn) -> usize {
+        let mut g = self.outcomes.write();
+        let before = g.len();
+        g.retain(|_, o| match o {
+            TxnOutcome::Committed(l) | TxnOutcome::Aborted(l) => *l > watermark,
+        });
+        let pruned = before - g.len();
+        // Monotone raise under the write lock (prunes serialize here).
+        self.floor.fetch_max(watermark.0, Ordering::AcqRel);
+        pruned
+    }
+
+    /// Number of outcomes currently recorded (tests / introspection).
+    pub fn len(&self) -> usize {
+        self.outcomes.read().len()
+    }
+
+    /// Whether no outcomes are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Registry of live snapshots, keyed by snapshot LSN with a refcount
+/// (many read transactions may share an acquisition LSN). Its minimum
+/// is one leg of the GC watermark: no version visible at or after the
+/// oldest live snapshot is ever reclaimed.
+#[derive(Default)]
+pub struct SnapshotTracker {
+    live: Mutex<BTreeMap<u64, usize>>,
+}
+
+impl SnapshotTracker {
+    /// Empty tracker.
+    pub fn new() -> SnapshotTracker {
+        SnapshotTracker::default()
+    }
+
+    /// Register a live snapshot at `lsn`.
+    pub fn register(&self, lsn: Lsn) {
+        *self.live.lock().entry(lsn.0).or_insert(0) += 1;
+    }
+
+    /// Release one registration at `lsn`.
+    pub fn release(&self, lsn: Lsn) {
+        let mut g = self.live.lock();
+        if let Some(n) = g.get_mut(&lsn.0) {
+            *n -= 1;
+            if *n == 0 {
+                g.remove(&lsn.0);
+            }
+        }
+    }
+
+    /// Oldest live snapshot, if any.
+    pub fn oldest(&self) -> Option<Lsn> {
+        self.live.lock().keys().next().copied().map(Lsn)
+    }
+
+    /// Number of live snapshot registrations (tests / introspection).
+    pub fn live_count(&self) -> usize {
+        self.live.lock().values().sum()
+    }
+}
+
+/// A read snapshot: an LSN plus its tracker registration, released on
+/// drop so a reader that dies on any path cannot pin GC forever.
+pub struct Snapshot {
+    lsn: Lsn,
+    tracker: Arc<SnapshotTracker>,
+}
+
+impl Snapshot {
+    /// Register a snapshot at `lsn` with `tracker`.
+    pub fn register(tracker: Arc<SnapshotTracker>, lsn: Lsn) -> Snapshot {
+        tracker.register(lsn);
+        Snapshot { lsn, tracker }
+    }
+
+    /// The snapshot LSN: this reader sees exactly the state committed
+    /// at or before it.
+    pub fn lsn(&self) -> Lsn {
+        self.lsn
+    }
+}
+
+impl Drop for Snapshot {
+    fn drop(&mut self) {
+        self.tracker.release(self.lsn);
+    }
+}
+
+impl std::fmt::Debug for Snapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Snapshot").field("lsn", &self.lsn).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn visibility_follows_commit_lsn() {
+        let ct = CommitTable::new();
+        ct.record_commit(TxnId(7), Lsn(10));
+        assert!(ct.is_visible(TxnId(7), Lsn(5), Lsn(10)));
+        assert!(ct.is_visible(TxnId(7), Lsn(5), Lsn(11)));
+        assert!(!ct.is_visible(TxnId(7), Lsn(5), Lsn(9)));
+    }
+
+    #[test]
+    fn aborted_and_active_writers_invisible() {
+        let ct = CommitTable::new();
+        ct.record_abort(TxnId(3), Lsn(20));
+        assert!(!ct.is_visible(TxnId(3), Lsn(5), Lsn(100)));
+        // Active (no entry, floor 0): invisible.
+        assert!(!ct.is_visible(TxnId(4), Lsn(5), Lsn(100)));
+    }
+
+    #[test]
+    fn system_writer_ordered_by_lsn() {
+        let ct = CommitTable::new();
+        assert!(ct.is_visible(SYSTEM, Lsn(5), Lsn(5)));
+        assert!(!ct.is_visible(SYSTEM, Lsn(6), Lsn(5)));
+    }
+
+    #[test]
+    fn prune_raises_floor_and_preserves_visibility() {
+        let ct = CommitTable::new();
+        ct.record_commit(TxnId(1), Lsn(10));
+        ct.record_commit(TxnId(2), Lsn(30));
+        assert_eq!(ct.prune(Lsn(20)), 1);
+        assert_eq!(ct.floor(), Lsn(20));
+        // Pruned committed writer: version LSNs < commit <= floor, so
+        // the floor rule keeps it visible to surviving snapshots.
+        assert!(ct.is_visible(TxnId(1), Lsn(8), Lsn(25)));
+        // Unpruned entry still consults the real commit LSN.
+        assert!(!ct.is_visible(TxnId(2), Lsn(25), Lsn(25)));
+        assert!(ct.is_visible(TxnId(2), Lsn(25), Lsn(30)));
+        // Active transactions begun after the prune stay invisible:
+        // their LSNs sit above the floor.
+        assert!(!ct.is_visible(TxnId(9), Lsn(21), Lsn(25)));
+    }
+
+    #[test]
+    fn snapshot_tracker_refcounts() {
+        let tr = Arc::new(SnapshotTracker::new());
+        assert_eq!(tr.oldest(), None);
+        let a = Snapshot::register(Arc::clone(&tr), Lsn(5));
+        let b = Snapshot::register(Arc::clone(&tr), Lsn(5));
+        let c = Snapshot::register(Arc::clone(&tr), Lsn(9));
+        assert_eq!(tr.oldest(), Some(Lsn(5)));
+        assert_eq!(tr.live_count(), 3);
+        drop(a);
+        assert_eq!(tr.oldest(), Some(Lsn(5)), "refcounted twin still live");
+        drop(b);
+        assert_eq!(tr.oldest(), Some(Lsn(9)));
+        assert_eq!(c.lsn(), Lsn(9));
+        drop(c);
+        assert_eq!(tr.oldest(), None);
+    }
+}

@@ -1,6 +1,6 @@
 //! Stored rows and their transformation metadata.
 
-use morph_common::{Lsn, Value};
+use morph_common::{Lsn, TxnId, Value};
 
 /// The C/U consistency flag of §5.3: transformed S-records whose
 /// contributing T-rows are known to agree carry `Consistent`; records
@@ -47,7 +47,7 @@ impl Default for Presence {
 
 /// A stored row: attribute values plus the metadata the transformation
 /// framework needs.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, Debug)]
 pub struct Row {
     /// Attribute values, positionally matching the table schema.
     pub values: Vec<Value>,
@@ -63,7 +63,29 @@ pub struct Row {
     pub flag: ConsistencyFlag,
     /// FOJ half-presence (see [`Presence`]). `BOTH` for ordinary rows.
     pub presence: Presence,
+    /// MVCC visibility stamp: the transaction that produced this
+    /// version. `TxnId(0)` (the engine's SYSTEM id) for rows written
+    /// while versioning is disabled or by engine-internal paths; such
+    /// versions are visible purely by LSN order.
+    pub writer: TxnId,
 }
+
+// The writer stamp is visibility bookkeeping, not row identity: two
+// rows with identical data and state identifier are equal regardless
+// of which transaction produced them (the sim oracles and the
+// parallel-equivalence proptests compare rows across databases whose
+// transaction ids differ).
+impl PartialEq for Row {
+    fn eq(&self, other: &Row) -> bool {
+        self.values == other.values
+            && self.lsn == other.lsn
+            && self.counter == other.counter
+            && self.flag == other.flag
+            && self.presence == other.presence
+    }
+}
+
+impl Eq for Row {}
 
 impl Row {
     /// An ordinary row: counter 1, consistent, both halves present.
@@ -74,6 +96,7 @@ impl Row {
             counter: 1,
             flag: ConsistencyFlag::Consistent,
             presence: Presence::BOTH,
+            writer: TxnId(0),
         }
     }
 

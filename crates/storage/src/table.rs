@@ -20,13 +20,14 @@
 //! without ever sharing a latch.
 
 use crate::index::SecondaryIndex;
+use crate::mvcc::{CommitTable, VersionChain, VersionEntry, SYSTEM};
 use crate::row::Row;
 use morph_common::{DbError, DbResult, Key, Lsn, Schema, TableId, TxnId, Value};
 use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::collections::{BTreeMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::ops::Bound;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Number of storage shards per table. A power of two so that lane
@@ -81,10 +82,16 @@ pub enum TableState {
 
 /// One storage shard: a slice of the row heap plus the matching slice
 /// of every secondary index (a row's index entries live in the shard
-/// that owns the row).
+/// that owns the row) and, when versioning is enabled, the archived
+/// version chains for keys this shard owns.
 struct TableShard {
     rows: BTreeMap<Key, Row>,
     indexes: Vec<SecondaryIndex>,
+    /// Pre-images displaced by versioned writes, oldest first. The
+    /// inline row in `rows` is the newest state and never appears
+    /// here; a key present here but absent from `rows` was deleted
+    /// (its chain ends in a tombstone).
+    versions: BTreeMap<Key, VersionChain>,
 }
 
 impl TableShard {
@@ -122,11 +129,14 @@ impl TableShard {
         &mut self,
         schema: &Schema,
         values: Vec<Value>,
+        writer: TxnId,
         mk_lsn: impl FnOnce() -> DbResult<Lsn>,
     ) -> DbResult<Key> {
         let key = self.check_insert(schema, &values)?;
         let lsn = mk_lsn()?;
-        Ok(self.insert_unchecked(key, Row::new(values, lsn)))
+        let mut row = Row::new(values, lsn);
+        row.writer = writer;
+        Ok(self.insert_unchecked(key, row))
     }
 
     /// Insert a row with explicit metadata in one pass (counter, flag,
@@ -164,6 +174,14 @@ impl TableShard {
 /// latches are then held by the caller). Unique-index pre-checks that
 /// need cross-shard visibility are the caller's responsibility; the
 /// local unique check against the destination shard happens here.
+///
+/// `ver` is `Some(writer)` when the write must maintain version
+/// chains: the displaced inline state is archived at the old key (plus
+/// a tombstone there if the key moves) and the new inline row is
+/// stamped with `writer`. `None` leaves chains and writer stamps
+/// untouched (versioning disabled, or a transformation-internal write
+/// below the snapshot horizon).
+#[allow(clippy::too_many_arguments)]
 fn update_core(
     old_shard: &mut TableShard,
     new_shard: Option<&mut TableShard>,
@@ -171,6 +189,7 @@ fn update_core(
     arity: usize,
     key: &Key,
     cols: &[(usize, Value)],
+    ver: Option<TxnId>,
     mk_lsn: impl FnOnce(&UpdateOutcome) -> DbResult<Lsn>,
 ) -> DbResult<UpdateOutcome> {
     for (i, _) in cols {
@@ -234,8 +253,27 @@ fn update_core(
     for idx in &mut old_shard.indexes {
         idx.remove(&row.values, key);
     }
+    if let Some(writer) = ver {
+        let chain = old_shard.versions.entry(key.clone()).or_default();
+        chain.push(VersionEntry {
+            lsn: row.lsn,
+            writer: row.writer,
+            data: Some(row.clone()),
+        });
+        if new_key != *key {
+            // The old key ceases to exist as of this operation.
+            chain.push(VersionEntry {
+                lsn,
+                writer,
+                data: None,
+            });
+        }
+    }
     row.apply_updates(cols);
     row.lsn = lsn;
+    if let Some(writer) = ver {
+        row.writer = writer;
+    }
     let target = match new_shard {
         Some(t) => t,
         None => old_shard,
@@ -282,6 +320,9 @@ pub struct Table {
     /// visibility, so single-key writes fall back to the all-shard path
     /// while this is non-zero.
     unique_indexes: AtomicUsize,
+    /// Whether single-key writes maintain version chains (MVCC). Off by
+    /// default: the unversioned engine pays nothing for the feature.
+    versioning: AtomicBool,
     shards: [RwLock<TableShard>; TABLE_SHARDS],
 }
 
@@ -295,10 +336,12 @@ impl Table {
             state: RwLock::new(TableState::Active),
             shard_key: RwLock::new(None),
             unique_indexes: AtomicUsize::new(0),
+            versioning: AtomicBool::new(false),
             shards: std::array::from_fn(|_| {
                 RwLock::new(TableShard {
                     rows: BTreeMap::new(),
                     indexes: Vec::new(),
+                    versions: BTreeMap::new(),
                 })
             }),
         }
@@ -321,6 +364,30 @@ impl Table {
     /// A clone of the current schema.
     pub fn schema(&self) -> Schema {
         self.schema.read().clone()
+    }
+
+    // --- versioning -----------------------------------------------------
+
+    /// Turn on version-chain maintenance for single-key writes. Never
+    /// turned back off: chains whose entries predate enablement simply
+    /// don't exist, and the inline rows' `SYSTEM` stamps make them
+    /// visible to every snapshot by LSN order alone.
+    pub fn enable_versioning(&self) {
+        self.versioning.store(true, Ordering::Release);
+    }
+
+    /// Whether versioned writes maintain chains.
+    pub fn versioning_enabled(&self) -> bool {
+        self.versioning.load(Ordering::Acquire)
+    }
+
+    /// Total archived version entries across all shards (GC accounting
+    /// and tests; takes each shard latch once).
+    pub fn version_count(&self) -> usize {
+        self.all_read()
+            .iter()
+            .map(|g| g.versions.values().map(Vec::len).sum::<usize>())
+            .sum()
     }
 
     // --- shard routing -------------------------------------------------
@@ -516,12 +583,31 @@ impl Table {
         values: Vec<Value>,
         mk_lsn: impl FnOnce() -> DbResult<Lsn>,
     ) -> DbResult<Key> {
+        self.insert_with_writer(values, SYSTEM, mk_lsn)
+    }
+
+    /// [`Table::insert_with`] with an explicit writing transaction for
+    /// MVCC visibility. While versioning is disabled the stamp is
+    /// forced to `SYSTEM` — rows written before a later
+    /// [`Table::enable_versioning`] must stay visible by LSN order
+    /// (their writers are not in any commit table).
+    pub fn insert_with_writer(
+        &self,
+        values: Vec<Value>,
+        writer: TxnId,
+        mk_lsn: impl FnOnce() -> DbResult<Lsn>,
+    ) -> DbResult<Key> {
+        let writer = if self.versioning_enabled() {
+            writer
+        } else {
+            SYSTEM
+        };
         let schema = self.schema.read();
         schema.validate(&values)?;
         if self.unique_indexes.load(Ordering::Relaxed) == 0 {
             let key = schema.key_of(&values);
             let mut g = self.shards[self.route(&key)].write();
-            g.insert_with(&schema, values, mk_lsn)
+            g.insert_with(&schema, values, writer, mk_lsn)
         } else {
             // Unique constraints need cross-shard visibility: take the
             // composite latch (rare path; production transformations
@@ -544,7 +630,9 @@ impl Table {
                 }
             }
             let lsn = mk_lsn()?;
-            Ok(guards[target].insert_unchecked(key, Row::new(values, lsn)))
+            let mut row = Row::new(values, lsn);
+            row.writer = writer;
+            Ok(guards[target].insert_unchecked(key, row))
         }
     }
 
@@ -580,6 +668,12 @@ impl Table {
     }
 
     /// Delete by primary key, returning the removed row.
+    ///
+    /// This is the *unversioned* delete: on a versioned table it also
+    /// erases the key's archived history (a chain without the context
+    /// of a logged tombstone would resurrect stale versions for
+    /// snapshot readers). Transactional deletes that must preserve
+    /// history go through [`Table::delete_with_writer`].
     pub fn delete(&self, key: &Key) -> DbResult<Row> {
         self.delete_with(key, |_| Ok(()))
     }
@@ -587,8 +681,50 @@ impl Table {
     /// Delete with a fallible logging closure run under the latch after
     /// the row is found (receives the pre-image for undo logging) and
     /// before it is removed; a closure error leaves the row untouched.
+    /// Unversioned — see [`Table::delete`].
     pub fn delete_with(&self, key: &Key, log: impl FnOnce(&Row) -> DbResult<()>) -> DbResult<Row> {
-        self.shards[self.route(key)].write().delete_with(key, log)
+        let mut g = self.shards[self.route(key)].write();
+        let row = g.delete_with(key, log)?;
+        if self.versioning_enabled() {
+            g.versions.remove(key);
+        }
+        Ok(row)
+    }
+
+    /// Versioned delete: archives the pre-image and a tombstone stamped
+    /// with the deleting operation's LSN (produced under the latch by
+    /// `log`, which sees the pre-image for undo logging). Snapshots
+    /// older than the tombstone keep seeing the row; newer ones see it
+    /// absent. Falls back to plain removal while versioning is off.
+    pub fn delete_with_writer(
+        &self,
+        key: &Key,
+        writer: TxnId,
+        log: impl FnOnce(&Row) -> DbResult<Lsn>,
+    ) -> DbResult<Row> {
+        let mut g = self.shards[self.route(key)].write();
+        if !g.rows.contains_key(key) {
+            return Err(DbError::KeyNotFound(format!("{key:?}")));
+        }
+        let lsn = log(&g.rows[key])?;
+        let row = g.rows.remove(key).expect("checked above"); // morph-lint: allow(panic, presence was checked earlier in the same latched section)
+        for idx in &mut g.indexes {
+            idx.remove(&row.values, key);
+        }
+        if self.versioning_enabled() {
+            let chain = g.versions.entry(key.clone()).or_default();
+            chain.push(VersionEntry {
+                lsn: row.lsn,
+                writer: row.writer,
+                data: Some(row.clone()),
+            });
+            chain.push(VersionEntry {
+                lsn,
+                writer,
+                data: None,
+            });
+        }
+        Ok(row)
     }
 
     /// Sparse-column update by primary key. Handles primary-key column
@@ -614,6 +750,25 @@ impl Table {
         cols: &[(usize, Value)],
         mk_lsn: impl FnOnce(&UpdateOutcome) -> DbResult<Lsn>,
     ) -> DbResult<UpdateOutcome> {
+        self.update_with_writer(key, cols, SYSTEM, mk_lsn)
+    }
+
+    /// [`Table::update_with`] with an explicit writing transaction.
+    /// When versioning is on, the displaced state is archived and the
+    /// new inline row is stamped with `writer` (see [`update_core`]);
+    /// otherwise identical to [`Table::update_with`].
+    pub fn update_with_writer(
+        &self,
+        key: &Key,
+        cols: &[(usize, Value)],
+        writer: TxnId,
+        mk_lsn: impl FnOnce(&UpdateOutcome) -> DbResult<Lsn>,
+    ) -> DbResult<UpdateOutcome> {
+        let ver = if self.versioning_enabled() {
+            Some(writer)
+        } else {
+            None
+        };
         let schema = self.schema.read();
         let pkey_cols = schema.pkey().to_vec();
         let arity = schema.arity();
@@ -660,14 +815,16 @@ impl Table {
             }
             let s_new = self.route(&new_key);
             let (old_shard, new_shard) = split_pair(&mut guards, s_old, s_new);
-            return update_core(old_shard, new_shard, &pkey_cols, arity, key, cols, mk_lsn);
+            return update_core(
+                old_shard, new_shard, &pkey_cols, arity, key, cols, ver, mk_lsn,
+            );
         }
 
         // Fast path: no primary-key column is touched, so the key (and
         // with it the shard) cannot change — one shard latch suffices.
         if !cols.iter().any(|(i, _)| pkey_cols.contains(i)) {
             let mut g = self.shards[self.route(key)].write();
-            return update_core(&mut g, None, &pkey_cols, arity, key, cols, mk_lsn);
+            return update_core(&mut g, None, &pkey_cols, arity, key, cols, ver, mk_lsn);
         }
         // A key column changes: the row may move shards. Take the
         // composite latch and split-borrow source and destination.
@@ -691,7 +848,9 @@ impl Table {
             self.route(&Key::project(&nv, &pkey_cols))
         };
         let (old_shard, new_shard) = split_pair(&mut guards, s_old, s_new);
-        update_core(old_shard, new_shard, &pkey_cols, arity, key, cols, mk_lsn)
+        update_core(
+            old_shard, new_shard, &pkey_cols, arity, key, cols, ver, mk_lsn,
+        )
     }
 
     /// Mutate a row in place under the latch (propagator-only path for
@@ -734,6 +893,138 @@ impl Table {
             .collect();
         out.sort_by(|a, b| a.0.cmp(&b.0));
         out
+    }
+
+    // --- snapshot reads (MVCC) ------------------------------------------
+
+    /// The row at `key` as visible to a snapshot taken at `snapshot`:
+    /// the inline row if its version is visible, otherwise the newest
+    /// visible archived version (`None` when that is a tombstone or no
+    /// version qualifies). Takes only the owning shard's *read* latch —
+    /// no transaction locks, ever.
+    pub fn snapshot_get(&self, key: &Key, snapshot: Lsn, commit: &CommitTable) -> Option<Row> {
+        let g = self.shards[self.route(key)].read();
+        resolve_at(&g, key, snapshot, commit)
+    }
+
+    /// Rows visible at `snapshot` whose index key equals `ik`, in key
+    /// order. Indexes are unversioned (they track inline rows only), so
+    /// the probe unions the current index entries with the shard's
+    /// archived keys, resolves every candidate through the snapshot and
+    /// re-checks index-key equality on the resolved values.
+    pub fn snapshot_index_rows(
+        &self,
+        idx: usize,
+        ik: &Key,
+        snapshot: Lsn,
+        commit: &CommitTable,
+    ) -> Vec<(Key, Row)> {
+        let guards = self.all_read();
+        let mut out: Vec<(Key, Row)> = Vec::new();
+        for g in &guards {
+            let mut cands: Vec<&Key> = g.indexes[idx].pk_set(ik).into_iter().flatten().collect();
+            cands.extend(g.versions.keys());
+            cands.sort();
+            cands.dedup();
+            for pk in cands {
+                if let Some(r) = resolve_at(g, pk, snapshot, commit) {
+                    if g.indexes[idx].covers(&r.values, ik) {
+                        out.push((pk.clone(), r));
+                    }
+                }
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Begin a snapshot scan: chunked iteration in global primary-key
+    /// order over the table *as of* `snapshot`. Unlike the fuzzy scan
+    /// this is one consistent cut — concurrent writers keep committing,
+    /// but their effects are invisible to the scan. Lock-free like the
+    /// fuzzy scan: only short shard read latches per chunk.
+    pub fn snapshot_scan(
+        self: &Arc<Self>,
+        chunk_size: usize,
+        snapshot: Lsn,
+        commit: Arc<CommitTable>,
+    ) -> SnapshotScanner {
+        SnapshotScanner {
+            table: Arc::clone(self),
+            commit,
+            snapshot,
+            shards: (0..TABLE_SHARDS).collect(),
+            after: None,
+            chunk_size: chunk_size.max(1),
+        }
+    }
+
+    /// Snapshot scan over one shard partition (`s % parts == part`),
+    /// the snapshot-mode analogue of [`Table::fuzzy_scan_partition`].
+    pub fn snapshot_scan_partition(
+        self: &Arc<Self>,
+        chunk_size: usize,
+        part: usize,
+        parts: usize,
+        snapshot: Lsn,
+        commit: Arc<CommitTable>,
+    ) -> SnapshotScanner {
+        let parts = shard_stride(parts.max(1));
+        SnapshotScanner {
+            table: Arc::clone(self),
+            commit,
+            snapshot,
+            shards: (0..TABLE_SHARDS)
+                .filter(|s| s % parts == part % parts)
+                .collect(),
+            after: None,
+            chunk_size: chunk_size.max(1),
+        }
+    }
+
+    // --- version GC -----------------------------------------------------
+
+    /// Reclaim archived versions that no snapshot at or after
+    /// `watermark` can ever resolve; returns the number of entries
+    /// dropped. Per chain (newest first, with the inline row as the
+    /// implicit top): once a version visible at the watermark is found,
+    /// everything older is unreachable — every surviving snapshot
+    /// resolves at or above it. A chain whose watermark-visible answer
+    /// is "absent" (visible tombstone, no newer state) is dropped
+    /// whole. The caller supplies a sound watermark: no older live
+    /// snapshot, no active transaction with an older first LSN.
+    pub fn gc_versions(&self, watermark: Lsn, commit: &CommitTable) -> u64 {
+        let mut reclaimed = 0u64;
+        for i in 0..self.shards.len() {
+            let mut g = self.shards[i].write();
+            let TableShard { rows, versions, .. } = &mut *g;
+            versions.retain(|key, chain| {
+                let inline_visible = rows
+                    .get(key)
+                    .is_some_and(|r| commit.is_visible(r.writer, r.lsn, watermark));
+                if inline_visible {
+                    // Every surviving snapshot resolves the inline row.
+                    reclaimed += chain.len() as u64;
+                    return false;
+                }
+                if let Some(pos) = chain
+                    .iter()
+                    .rposition(|e| commit.is_visible(e.writer, e.lsn, watermark))
+                {
+                    if pos == chain.len() - 1
+                        && chain[pos].data.is_none()
+                        && !rows.contains_key(key)
+                    {
+                        reclaimed += chain.len() as u64;
+                        return false;
+                    }
+                    reclaimed += pos as u64;
+                    chain.drain(..pos);
+                }
+                true
+            });
+        }
+        reclaimed
     }
 
     // --- latches --------------------------------------------------------
@@ -785,6 +1076,7 @@ impl Table {
         let pkey = schema.pkey().to_vec();
         let arity = schema.arity();
         let shard_key = self.shard_key.read().clone();
+        let versioning = self.versioning_enabled();
         let guards: Vec<Option<RwLockWriteGuard<'_, TableShard>>> = (0..TABLE_SHARDS)
             .map(|s| {
                 if s % stride == offset {
@@ -799,6 +1091,7 @@ impl Table {
             pkey,
             arity,
             shard_key,
+            versioning,
             guards,
         }
     }
@@ -900,6 +1193,11 @@ impl Table {
                 g.rows.insert(key, row);
             }
             g.indexes = new_indexes;
+            // Archived versions carry the old schema's shape; after the
+            // projection they cannot be resolved against the new one.
+            // Schema surgery erases history (snapshots that straddle a
+            // cutover see the post-surgery state).
+            g.versions.clear();
         }
         // Every shard drops the same index set; count it once.
         if dropped_unique > 0 {
@@ -910,6 +1208,23 @@ impl Table {
         *self.schema.write() = new_schema;
         Ok(())
     }
+}
+
+/// Resolve `key` within one latched shard as of `snapshot`: inline row
+/// if visible, else the newest visible archived version (whose `None`
+/// data — a tombstone — means "absent at that time").
+fn resolve_at(shard: &TableShard, key: &Key, snapshot: Lsn, commit: &CommitTable) -> Option<Row> {
+    if let Some(r) = shard.rows.get(key) {
+        if commit.is_visible(r.writer, r.lsn, snapshot) {
+            return Some(r.clone());
+        }
+    }
+    let chain = shard.versions.get(key)?;
+    chain
+        .iter()
+        .rev()
+        .find(|e| commit.is_visible(e.writer, e.lsn, snapshot))
+        .and_then(|e| e.data.clone())
 }
 
 /// Split-borrow two shards from the composite guard vector. With
@@ -954,6 +1269,13 @@ pub struct WriteSession<'a> {
     pkey: Vec<usize>,
     arity: usize,
     shard_key: Option<Vec<usize>>,
+    /// Snapshot of the table's versioning flag at open. Session writes
+    /// do *not* archive versions — they are transformation-internal
+    /// physical writes below the snapshot horizon (pre-cutover target
+    /// population and propagation) — but on a versioned table a delete
+    /// must still erase the key's chain so later snapshot readers
+    /// cannot resurrect stale history.
+    versioning: bool,
     guards: Vec<Option<RwLockWriteGuard<'a, TableShard>>>,
 }
 
@@ -1016,10 +1338,17 @@ impl WriteSession<'_> {
         self.shard_mut(s)?.insert_row(&schema, row)
     }
 
-    /// Delete by primary key, returning the removed row.
+    /// Delete by primary key, returning the removed row (unversioned;
+    /// erases the key's archived history, see the `versioning` field).
     pub fn delete(&mut self, key: &Key) -> DbResult<Row> {
         let s = self.route(key);
-        self.shard_mut(s)?.delete_with(key, |_| Ok(()))
+        let versioning = self.versioning;
+        let shard = self.shard_mut(s)?;
+        let row = shard.delete_with(key, |_| Ok(()))?;
+        if versioning {
+            shard.versions.remove(key);
+        }
+        Ok(row)
     }
 
     /// Sparse-column update by primary key (moves the row on a
@@ -1114,7 +1443,7 @@ impl WriteSession<'_> {
         let pkey = self.pkey.clone();
         let arity = self.arity;
         let (old_shard, new_shard) = split_pair_opt(&mut self.guards, s_old, s_new)?;
-        update_core(old_shard, new_shard, &pkey, arity, key, cols, |_| {
+        update_core(old_shard, new_shard, &pkey, arity, key, cols, None, |_| {
             Ok(new_lsn)
         })
     }
@@ -1264,6 +1593,110 @@ impl FuzzyScanner {
         }
         if let Some((k, _)) = chunk.last() {
             self.after = Some(k.clone());
+        }
+        chunk
+    }
+
+    /// Drain the remaining chunks into one vector.
+    pub fn collect_all(mut self) -> Vec<(Key, Row)> {
+        let mut out = Vec::new();
+        loop {
+            let chunk = self.next_chunk();
+            if chunk.is_empty() {
+                return out;
+            }
+            out.extend(chunk);
+        }
+    }
+}
+
+/// Chunked snapshot scanner (see [`Table::snapshot_scan`]): the fuzzy
+/// scanner's shard-merge walk, extended to candidate keys that exist
+/// only as archived history (a key deleted after the snapshot lives in
+/// the versions map alone) and filtered through snapshot visibility.
+pub struct SnapshotScanner {
+    table: Arc<Table>,
+    commit: Arc<CommitTable>,
+    snapshot: Lsn,
+    shards: Vec<usize>,
+    after: Option<Key>,
+    chunk_size: usize,
+}
+
+impl SnapshotScanner {
+    /// Next chunk of snapshot-visible rows, or an empty vector when the
+    /// scan is done. Chunks come out in global primary-key order.
+    pub fn next_chunk(&mut self) -> Vec<(Key, Row)> {
+        let guards: Vec<RwLockReadGuard<'_, TableShard>> = self
+            .shards
+            .iter()
+            .map(|&s| self.table.shards[s].read())
+            .collect();
+        fn ranged<'a, V>(
+            map: &'a BTreeMap<Key, V>,
+            after: &Option<Key>,
+        ) -> std::collections::btree_map::Range<'a, Key, V> {
+            match after {
+                None => map.range::<Key, _>(..),
+                Some(k) => map.range::<Key, _>((Bound::Excluded(k.clone()), Bound::Unbounded)),
+            }
+        }
+        let mut row_iters: Vec<_> = guards
+            .iter()
+            .map(|g| ranged(&g.rows, &self.after).peekable())
+            .collect();
+        let mut ver_iters: Vec<_> = guards
+            .iter()
+            .map(|g| ranged(&g.versions, &self.after).peekable())
+            .collect();
+        let mut chunk: Vec<(Key, Row)> = Vec::new();
+        while chunk.len() < self.chunk_size {
+            // Global minimum over both iterator families. A key lives
+            // in exactly one shard (routing), so at most one row and
+            // one chain iterator can sit at it — both are consumed.
+            let mut best: Option<Key> = None;
+            for it in row_iters.iter_mut() {
+                if let Some(&(k, _)) = it.peek() {
+                    if best.as_ref().is_none_or(|b| k < b) {
+                        best = Some(k.clone());
+                    }
+                }
+            }
+            for it in ver_iters.iter_mut() {
+                if let Some(&(k, _)) = it.peek() {
+                    if best.as_ref().is_none_or(|b| k < b) {
+                        best = Some(k.clone());
+                    }
+                }
+            }
+            let Some(key) = best else { break };
+            let mut inline: Option<&Row> = None;
+            for it in row_iters.iter_mut() {
+                if it.peek().is_some_and(|&(k, _)| *k == key) {
+                    inline = it.next().map(|(_, r)| r);
+                }
+            }
+            let mut chain: Option<&VersionChain> = None;
+            for it in ver_iters.iter_mut() {
+                if it.peek().is_some_and(|&(k, _)| *k == key) {
+                    chain = it.next().map(|(_, c)| c);
+                }
+            }
+            let resolved = match inline {
+                Some(r) if self.commit.is_visible(r.writer, r.lsn, self.snapshot) => {
+                    Some(r.clone())
+                }
+                _ => chain.and_then(|c| {
+                    c.iter()
+                        .rev()
+                        .find(|e| self.commit.is_visible(e.writer, e.lsn, self.snapshot))
+                        .and_then(|e| e.data.clone())
+                }),
+            };
+            self.after = Some(key.clone());
+            if let Some(r) = resolved {
+                chunk.push((key, r));
+            }
         }
         chunk
     }

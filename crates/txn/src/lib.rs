@@ -25,4 +25,4 @@ pub use granular::{GranularMode, TableLocks};
 pub use manager::{LockManager, LockManagerConfig};
 pub use mode::LockMode;
 pub use origin::LockOrigin;
-pub use wait::Deadline;
+pub use wait::{thread_lock_waits, Deadline};

@@ -10,7 +10,24 @@
 //! rest of the crate stay lint-clean.
 
 use parking_lot::{Condvar, MutexGuard};
+use std::cell::Cell;
 use std::time::{Duration, Instant};
+
+thread_local! {
+    /// Lock waits this thread has entered (see [`thread_lock_waits`]).
+    static LOCK_WAITS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of times *this thread* has blocked on a transaction-lock
+/// condvar. Every lock wait in the engine funnels through
+/// [`Deadline::wait_on`], so this is an exact per-thread count — the
+/// observable behind the MVCC promise: a snapshot reader's count stays
+/// at zero no matter what migrations and writers are doing (a global
+/// counter could not assert that; concurrent writers legitimately wait
+/// on each other).
+pub fn thread_lock_waits() -> u64 {
+    LOCK_WAITS.with(Cell::get)
+}
 
 /// An absolute wall-clock deadline for a lock wait.
 #[derive(Debug, Clone, Copy)]
@@ -41,6 +58,7 @@ impl Deadline {
         if self.expired() {
             return true;
         }
+        LOCK_WAITS.with(|c| c.set(c.get() + 1));
         cv.wait_until(guard, self.at).timed_out()
     }
 }

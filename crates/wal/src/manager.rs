@@ -586,6 +586,21 @@ impl LogManager {
         Lsn(self.durable.load(Ordering::Acquire))
     }
 
+    /// The LSN below which a crash can lose nothing: the flush
+    /// watermark when a backend is attached, the published tail when
+    /// the log is pure in-memory (every record of an in-memory log is
+    /// trivially "durable" — see [`LogManager::wait_durable`]). This
+    /// is the durability leg of the MVCC garbage-collection watermark:
+    /// versions at or below it can only be needed by live snapshots or
+    /// active transactions, never by restart recovery.
+    pub fn durability_watermark(&self) -> Lsn {
+        if self.backend.is_some() {
+            self.durable_lsn()
+        } else {
+            self.last_lsn()
+        }
+    }
+
     /// Backend flushes attempted so far. Group-commit benchmarks
     /// compare this against the commit count to show fsyncs ≪ commits.
     pub fn flush_count(&self) -> u64 {

@@ -35,14 +35,20 @@ if [ "$quick" != "quick" ]; then
     echo "== cargo build --release (tier-1)"
     cargo build --release
 
-    # Apply-pool regression gate (DESIGN.md §10): bounded serial vs
-    # apply_shards=4 drain sweep over the shared FOJ/split scenarios.
-    # On ≥2 detected cores the pooled drain must beat serial by ≥10%
-    # on both operators; a single-CPU host records the numbers into
-    # BENCH_propagation.json (series pool_gate, with a cores field)
-    # without enforcing — 1-core results are overhead readings, not
-    # scaling data.
-    echo "== apply-pool bench gate (bench_check)"
+    # Bench regression gates (DESIGN.md §10, §14). Three series, all
+    # merged into BENCH_propagation.json with a cores field:
+    #   pool_gate    — bounded serial vs apply_shards=4 drain sweep
+    #                  over the shared FOJ/split scenarios; pooled
+    #                  drain must beat serial by ≥10% on both.
+    #   reader_gate  — lock-based vs MVCC-snapshot point reads
+    #                  interleaved under four pacing writers and a
+    #                  looping snapshot-mode migration; snapshot p99
+    #                  must be ≥2× better than the locked read path.
+    #   transform_mode — log-propagation vs snapshot-scan migration
+    #                  ablation (record only, never enforced).
+    # On a single-CPU host both gates record without enforcing —
+    # 1-core results are overhead readings, not scaling data.
+    echo "== bench gates (bench_check: apply pool + MVCC reader)"
     cargo run -q --release -p morph-bench --bin bench_check
 fi
 
