@@ -216,7 +216,7 @@ fn drain(
     apply_shards: usize,
 ) -> (usize, usize) {
     let mut prop =
-        Propagator::new(db, start, 1.0).with_parallel(ParallelConfig::new(1, apply_shards));
+        Propagator::new(db, start, 1.0).with_parallel(ParallelConfig::new(1, apply_shards).exact());
     let records = prop.drain_with_batch(db, m, batch_size).expect("drain");
     (records, prop.coalesced())
 }

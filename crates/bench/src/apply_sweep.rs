@@ -225,7 +225,8 @@ pub fn drain_pooled(
     pool: Option<&Arc<ApplyPool>>,
 ) -> (usize, usize, PoolStats) {
     let shards = pool.map_or(1, |p| p.width());
-    let mut prop = Propagator::new(db, start, 1.0).with_parallel(ParallelConfig::new(1, shards));
+    let mut prop =
+        Propagator::new(db, start, 1.0).with_parallel(ParallelConfig::new(1, shards).exact());
     if let Some(p) = pool {
         prop = prop.with_pool(Arc::clone(p));
     }

@@ -1,0 +1,543 @@
+//! Lazy (SLSM-style) migration: cut the catalog over first, transform
+//! records on first touch.
+//!
+//! The eager §3 pipeline copies and propagates *before* switching; the
+//! lazy alternative inverts the order. Synchronization happens
+//! immediately — sources are latched for one short pause, the locks of
+//! still-active transactions are treated NBA-style (the transactions
+//! are doomed), the sources freeze, and a [`ResidualSet`] of every
+//! not-yet-transformed source key is built under the latch. From that
+//! point new transactions run against the target tables; a record is
+//! transformed on the first read/write that touches it (an
+//! [`OpInterceptor`] in the engine's operation path) while a throttled
+//! background [`backfill`] drains the cold remainder.
+//!
+//! Correctness rides on two facts:
+//!
+//! * All three operators' propagation rules reconstruct the target
+//!   from an `Insert` of the frozen source row regardless of arrival
+//!   order — FOJ by content checks, split and union by LSN gating
+//!   (Theorem 1). So "transform record r" is simply
+//!   `oper.apply(r.lsn, Insert{r})`, and a row the workload already
+//!   re-wrote in the target wins over the stale frozen image.
+//! * The backfill ∥ on-access race is settled by the residual set's
+//!   per-key claim: whoever claims transforms; everyone else blocks
+//!   until the claim completes, so each record is transformed exactly
+//!   once ([`ResidualSet`] invariants, DESIGN.md §15).
+//!
+//! Rows dirtied by a doomed (grandfathered) transaction are *deferred*:
+//! their transform waits until the transaction's rollback has restored
+//! the committed image in the frozen source. This mirrors eager
+//! non-blocking-abort, where transferred proxy locks block access to
+//! exactly those rows until propagation processes the rollback.
+//!
+//! [`backfill`]: LazyMigration::backfill
+
+use crate::operator::TransformOperator;
+use crate::spec::SplitMode;
+use crate::sync::MirrorMap;
+use crate::throttle::Throttle;
+use crate::transform::TransformPlan;
+use morph_common::{DbError, DbResult, Key, TableId, TxnId, Value};
+use morph_engine::{Database, OpInterceptor, PlannedOp};
+use morph_storage::{Claim, ClaimGuard, ResidualSet, Table};
+use morph_txn::LockMode;
+use morph_wal::LogOp;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+
+/// Sentinel for "no interceptor installed".
+const NO_TOKEN: u64 = u64::MAX;
+
+/// Inverse key mapping: which frozen source record must exist before a
+/// target-table access at a given key can proceed. Where a target key
+/// identifies exactly one source record the touch is per-key; where it
+/// aggregates many (a split's S side, any FOJ key) the touch falls back
+/// to draining the whole residual — correct, and documented as the
+/// fallback in DESIGN.md §15.
+enum Inverse {
+    Union {
+        src_r: TableId,
+        src_s: TableId,
+        target: TableId,
+        r_tag: Value,
+        s_tag: Value,
+    },
+    Split {
+        source: TableId,
+        r2: Option<TableId>,
+        s2: TableId,
+    },
+    Foj {
+        target: TableId,
+    },
+}
+
+/// A lazily-executing migration: catalog already cut over, records
+/// transformed on access and by background backfill.
+pub struct LazyMigration {
+    db: Arc<Database>,
+    oper: Mutex<Box<dyn TransformOperator>>,
+    residual: Arc<ResidualSet>,
+    sources: Vec<Arc<Table>>,
+    inverse: Inverse,
+    /// Source keys dirtied by a doomed old transaction, transformable
+    /// only once that transaction's rollback has completed.
+    deferred: Mutex<HashMap<(TableId, Key), TxnId>>,
+    token: AtomicU64,
+}
+
+/// On-access hook: resolves the touched target key back to its source
+/// record and transforms it before the operation proceeds. Holds only a
+/// weak reference so a dropped migration leaves a dead no-op hook, not
+/// a leak-cycle through the database.
+struct LazyInterceptor {
+    lazy: Weak<LazyMigration>,
+}
+
+impl OpInterceptor for LazyInterceptor {
+    fn before_op(
+        &self,
+        _db: &Database,
+        _txn: TxnId,
+        table: &Table,
+        op: &PlannedOp<'_>,
+    ) -> DbResult<()> {
+        match self.lazy.upgrade() {
+            Some(lazy) => lazy.on_access(table, op),
+            None => Ok(()),
+        }
+    }
+}
+
+impl LazyMigration {
+    /// Cut over immediately: latch the sources, doom still-active
+    /// holders NBA-style, freeze the sources, build the residual set,
+    /// and install the on-access hook. Returns with the catalog
+    /// switched and **zero** records transformed.
+    ///
+    /// Rename-in-place split plans are rejected: the lazy scheme needs
+    /// the frozen source intact as the transform input, which the
+    /// in-place rename destroys.
+    pub fn start(db: &Arc<Database>, plan: &TransformPlan) -> DbResult<Arc<LazyMigration>> {
+        if let TransformPlan::Split(s) = plan {
+            if s.mode == SplitMode::RenameInPlace {
+                return Err(DbError::TransformationAborted(
+                    "lazy migration does not support rename-in-place splits".into(),
+                ));
+            }
+        }
+        let (oper, _names) = plan.prepare_operator(db)?;
+        let sources = crate::sync::sorted_sources(db, &*oper)?;
+        let inverse = match oper.mirror_map() {
+            MirrorMap::Union {
+                r_id,
+                s_id,
+                t_id,
+                r_tag,
+                s_tag,
+                ..
+            } => Inverse::Union {
+                src_r: r_id,
+                src_s: s_id,
+                target: t_id,
+                r_tag,
+                s_tag,
+            },
+            MirrorMap::Split { t, r_id, s_id, .. } => Inverse::Split {
+                source: t.id(),
+                r2: r_id,
+                s2: s_id,
+            },
+            MirrorMap::Foj { t, .. } => Inverse::Foj { target: t.id() },
+        };
+
+        let lazy = Arc::new(LazyMigration {
+            db: Arc::clone(db),
+            oper: Mutex::new(oper),
+            residual: Arc::new(ResidualSet::new()),
+            sources,
+            inverse,
+            deferred: Mutex::new(HashMap::new()),
+            token: AtomicU64::new(NO_TOKEN),
+        });
+
+        // --- the cutover pause: everything below runs under the latch.
+        let guards: Vec<_> = lazy.sources.iter().map(|t| t.latch_exclusive()).collect();
+
+        // Old transactions: anyone holding locks on a source. Their
+        // exclusively-locked keys are dirty — track them (a rolled-back
+        // delete restores a row the snapshot cannot see) and defer
+        // their transform past the rollback.
+        let mut old = std::collections::HashSet::new();
+        for txn in db.active_txns() {
+            for src in &lazy.sources {
+                let held = db.locks().held_keys_in(txn, src.id());
+                if held.is_empty() {
+                    continue;
+                }
+                old.insert(txn);
+                let mut defer = lazy.deferred.lock(); // morph-lint: rank(core.scratch)
+                for (key, mode) in held {
+                    if mode == LockMode::Exclusive {
+                        lazy.residual.track(src.id(), key.clone());
+                        defer.insert((src.id(), key), txn);
+                    }
+                }
+            }
+        }
+        for txn in &old {
+            db.doom(*txn);
+        }
+        for (src, guard) in lazy.sources.iter().zip(&guards) {
+            src.freeze(old.iter().copied().collect());
+            for key in guard.keys() {
+                lazy.residual.track(src.id(), key);
+            }
+        }
+        let token = db.add_interceptor(Arc::new(LazyInterceptor {
+            lazy: Arc::downgrade(&lazy),
+        }));
+        lazy.token.store(token, Ordering::SeqCst);
+        if let Err(e) = db.crash_point("router.lazy_cutover") {
+            db.remove_interceptor(token);
+            return Err(e);
+        }
+        drop(guards);
+        Ok(lazy)
+    }
+
+    /// Keys still awaiting transformation.
+    pub fn remaining(&self) -> usize {
+        self.residual.remaining()
+    }
+
+    /// Whether every source record has been transformed.
+    pub fn is_drained(&self) -> bool {
+        self.residual.is_drained()
+    }
+
+    /// The underlying residual set (diagnostics and tests).
+    pub fn residual(&self) -> &ResidualSet {
+        &self.residual
+    }
+
+    /// Transform one source record now if it is still pending; blocks
+    /// while another claimant is transforming it.
+    pub fn touch(&self, source: TableId, key: &Key) -> DbResult<()> {
+        match self.residual.claim(source, key) {
+            Claim::Done => Ok(()),
+            Claim::Transform(guard) => self.transform_one(guard),
+        }
+    }
+
+    /// Throttled background backfill: claim and transform pending
+    /// records in batches of `batch`, paying the priority throttle per
+    /// batch so user transactions keep the machine. Returns the number
+    /// of records this call transformed; the residual may still hold
+    /// keys in flight with on-access claimants when it returns.
+    pub fn backfill(&self, batch: usize, priority: f64) -> DbResult<usize> {
+        let batch = batch.max(1);
+        let mut throttle = Throttle::new(priority);
+        let mut total = 0usize;
+        loop {
+            self.db.crash_point("router.backfill_batch")?;
+            // morph-lint: allow(nondet, batch timing feeds throttle pacing only; wall time never enters table or WAL state)
+            let t0 = Instant::now();
+            let mut n = 0usize;
+            while n < batch {
+                match self.residual.claim_next() {
+                    Some(guard) => {
+                        self.transform_one(guard)?;
+                        n += 1;
+                    }
+                    None => break,
+                }
+            }
+            if n == 0 {
+                return Ok(total);
+            }
+            total += n;
+            throttle.pay(t0.elapsed());
+        }
+    }
+
+    /// Unthrottled full drain (a backfill at full priority).
+    pub fn drain_now(&self) -> DbResult<usize> {
+        self.backfill(usize::MAX, 1.0)
+    }
+
+    /// Complete the migration: requires a drained residual, removes the
+    /// on-access hook and drops the frozen sources.
+    pub fn finish(&self) -> DbResult<()> {
+        if !self.residual.is_drained() {
+            return Err(DbError::TransformationAborted(
+                "lazy migration finished before the residual set drained".into(),
+            ));
+        }
+        let token = self.token.swap(NO_TOKEN, Ordering::SeqCst);
+        if token != NO_TOKEN {
+            self.db.remove_interceptor(token);
+        }
+        self.db.crash_point("router.lazy_done")?;
+        for src in &self.sources {
+            self.db.catalog().drop_table(&src.name())?;
+        }
+        let oper = self.oper.lock();
+        oper.finalize(&self.db)?;
+        Ok(())
+    }
+
+    /// The interceptor's entry: resolve a target-table access to the
+    /// source record(s) that must be transformed first.
+    fn on_access(&self, table: &Table, op: &PlannedOp<'_>) -> DbResult<()> {
+        if self.residual.is_drained() {
+            return Ok(());
+        }
+        match &self.inverse {
+            Inverse::Union {
+                src_r,
+                src_s,
+                target,
+                r_tag,
+                s_tag,
+            } => {
+                if table.id() != *target {
+                    return Ok(());
+                }
+                let key = Self::op_key(table, op);
+                let Some((tag, rest)) = key.values().split_first() else {
+                    return Ok(());
+                };
+                let src = if tag == r_tag {
+                    *src_r
+                } else if tag == s_tag {
+                    *src_s
+                } else {
+                    return Ok(());
+                };
+                self.touch(src, &Key(rest.to_vec()))
+            }
+            Inverse::Split { source, r2, s2 } => {
+                if Some(table.id()) == *r2 {
+                    // R₂'s key is the source key verbatim.
+                    let key = Self::op_key(table, op);
+                    self.touch(*source, &key)
+                } else if table.id() == *s2 {
+                    // An S₂ record aggregates many source rows (its
+                    // reference counter sums over them): no single
+                    // source key to touch — drain.
+                    self.drain_now().map(|_| ())
+                } else {
+                    Ok(())
+                }
+            }
+            Inverse::Foj { target } => {
+                if table.id() == *target {
+                    // FOJ keys pair rows of both sources; resolving one
+                    // touch may require join partners from either side
+                    // — drain.
+                    self.drain_now().map(|_| ())
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// The target key an operation addresses (for inserts, the key the
+    /// new row would get).
+    fn op_key(table: &Table, op: &PlannedOp<'_>) -> Key {
+        match op {
+            PlannedOp::Insert { values } => table.schema().key_of(values),
+            PlannedOp::Update { key, .. } | PlannedOp::Delete { key } | PlannedOp::Read { key } => {
+                (*key).clone()
+            }
+        }
+    }
+
+    /// Transform one claimed source record: wait out a doomed writer's
+    /// rollback, read the frozen row, feed it through the operator's
+    /// propagation rules as an `Insert` at the row's own LSN.
+    fn transform_one(&self, guard: ClaimGuard<'_>) -> DbResult<()> {
+        let Some(src) = self.sources.iter().find(|t| t.id() == guard.table()) else {
+            guard.complete();
+            return Ok(());
+        };
+        // Deferred key: a doomed old transaction wrote this row; its
+        // committed image is only back once the rollback finishes. The
+        // wait mirrors eager NBA's transferred proxy locks, which block
+        // access to exactly these rows for exactly this long.
+        let owner = {
+            let defer = self.deferred.lock(); // morph-lint: rank(core.scratch)
+            defer.get(&(guard.table(), guard.key().clone())).copied()
+        };
+        if let Some(txn) = owner {
+            while self.db.is_active(txn) {
+                std::thread::sleep(Duration::from_micros(100));
+            }
+            let mut defer = self.deferred.lock(); // morph-lint: rank(core.scratch)
+            defer.remove(&(guard.table(), guard.key().clone()));
+        }
+        let Some(row) = src.get(guard.key()) else {
+            // The row is gone from the frozen source (a doomed insert,
+            // rolled back): nothing to transform.
+            guard.complete();
+            return Ok(());
+        };
+        self.db.crash_point("router.lazy_touch")?;
+        let op = LogOp::Insert {
+            table: guard.table(),
+            row: row.values,
+        };
+        {
+            let mut oper = self.oper.lock();
+            oper.apply(row.lsn, &op)?;
+        }
+        guard.complete();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::union::UnionSpec;
+    use morph_common::{ColumnType, Schema};
+
+    fn setup_union() -> Arc<Database> {
+        let db = Arc::new(Database::new());
+        let schema = || {
+            Schema::builder()
+                .column("id", ColumnType::Int)
+                .column("v", ColumnType::Int)
+                .primary_key(&["id"])
+                .build()
+                .unwrap()
+        };
+        db.create_table("r", schema()).unwrap();
+        db.create_table("s", schema()).unwrap();
+        for i in 0..8 {
+            let t = db.begin();
+            db.insert(t, "r", vec![Value::Int(i), Value::Int(i * 10)])
+                .unwrap();
+            db.insert(t, "s", vec![Value::Int(i), Value::Int(i * 100)])
+                .unwrap();
+            db.commit(t).unwrap();
+        }
+        db
+    }
+
+    fn union_plan() -> TransformPlan {
+        TransformPlan::Union(UnionSpec::new("r", "s", "t"))
+    }
+
+    fn t_key(src: &str, id: i64) -> Key {
+        Key::new([Value::str(src), Value::Int(id)])
+    }
+
+    #[test]
+    fn lazy_union_backfill_drains_and_finishes() {
+        let db = setup_union();
+        let lazy = LazyMigration::start(&db, &union_plan()).unwrap();
+        assert_eq!(lazy.remaining(), 16);
+        let n = lazy.backfill(4, 1.0).unwrap();
+        assert_eq!(n, 16);
+        assert!(lazy.is_drained());
+        lazy.finish().unwrap();
+        let t = db.begin();
+        let row = db.read(t, "t", &t_key("r", 3)).unwrap().unwrap();
+        assert_eq!(row[2], Value::Int(30));
+        db.commit(t).unwrap();
+        assert!(db.catalog().get("r").is_err());
+    }
+
+    #[test]
+    fn lazy_union_on_access_transforms_before_read() {
+        let db = setup_union();
+        let lazy = LazyMigration::start(&db, &union_plan()).unwrap();
+        // No backfill: the read itself must materialize the record.
+        let t = db.begin();
+        let row = db.read(t, "t", &t_key("s", 5)).unwrap().unwrap();
+        assert_eq!(row[2], Value::Int(500));
+        db.commit(t).unwrap();
+        assert_eq!(lazy.remaining(), 15);
+        lazy.drain_now().unwrap();
+        lazy.finish().unwrap();
+    }
+
+    #[test]
+    fn lazy_union_write_beats_stale_backfill() {
+        let db = setup_union();
+        let lazy = LazyMigration::start(&db, &union_plan()).unwrap();
+        // Workload updates a record through the target; the on-access
+        // touch transforms it first, then the update lands on top. The
+        // later backfill of everything else must not resurrect the
+        // frozen image.
+        let t = db.begin();
+        let key = t_key("r", 2);
+        db.update(t, "t", &key, &[(2, Value::Int(-1))]).unwrap();
+        db.commit(t).unwrap();
+        lazy.drain_now().unwrap();
+        lazy.finish().unwrap();
+        let t = db.begin();
+        let row = db.read(t, "t", &key).unwrap().unwrap();
+        assert_eq!(row[2], Value::Int(-1));
+        db.commit(t).unwrap();
+    }
+
+    #[test]
+    fn lazy_rejects_rename_in_place() {
+        let db = Arc::new(Database::new());
+        let schema = Schema::builder()
+            .column("id", ColumnType::Int)
+            .column("g", ColumnType::Int)
+            .column("d", ColumnType::Int)
+            .primary_key(&["id"])
+            .build()
+            .unwrap();
+        db.create_table("w", schema).unwrap();
+        let plan = TransformPlan::Split(crate::spec::SplitSpec {
+            source: "w".into(),
+            r_target: "w2".into(),
+            s_target: "g2".into(),
+            r_cols: vec!["id".into(), "g".into()],
+            split_col: "g".into(),
+            s_dep_cols: vec!["d".into()],
+            check_consistency: false,
+            mode: SplitMode::RenameInPlace,
+        });
+        assert!(LazyMigration::start(&db, &plan).is_err());
+    }
+
+    #[test]
+    fn lazy_defers_doomed_writers_rows() {
+        let db = setup_union();
+        // An in-flight transaction dirties r#4 and is still active at
+        // cutover: it gets doomed, and the touch of its row must wait
+        // for the rollback to restore the committed image.
+        let old = db.begin();
+        db.update(old, "r", &Key::single(4), &[(1, Value::Int(999))])
+            .unwrap();
+        let lazy = LazyMigration::start(&db, &union_plan()).unwrap();
+        let done = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(Duration::from_millis(20));
+                done.store(true, Ordering::SeqCst);
+                db.abort(old).unwrap();
+            });
+            let t = db.begin();
+            let row = db.read(t, "t", &t_key("r", 4)).unwrap().unwrap();
+            // The touch blocked until the rollback finished.
+            assert!(done.load(Ordering::SeqCst));
+            assert_eq!(row[2], Value::Int(40));
+            db.commit(t).unwrap();
+        });
+        lazy.drain_now().unwrap();
+        lazy.finish().unwrap();
+    }
+}

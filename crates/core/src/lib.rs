@@ -45,6 +45,7 @@
 pub mod baseline;
 pub mod cc;
 pub mod foj;
+pub mod lazy;
 pub mod operator;
 pub mod pool;
 pub mod progress;
@@ -60,6 +61,7 @@ pub mod transform;
 pub mod union;
 
 pub use foj::FojMapping;
+pub use lazy::LazyMigration;
 pub use operator::{CoalescePolicy, LaneScratch, TransformOperator};
 pub use pool::{ApplyPool, EpochTask, PoolStats};
 pub use progress::{Progress, ProgressHandle, ProgressPhase};

@@ -88,6 +88,10 @@ struct Counters {
     handoffs: AtomicU64,
     steals: AtomicU64,
     inline_runs: AtomicU64,
+    /// Steals already rolled up into the engine's counters (the
+    /// engine-facing flush happens in `halt`, which both `shutdown`
+    /// and `Drop` reach — the delta keeps it idempotent).
+    steals_flushed: AtomicU64,
 }
 
 /// First failure of the active epoch. A worker panic is re-raised at
@@ -444,6 +448,19 @@ impl ApplyPool {
     }
 
     fn halt(&self) {
+        // Roll this pool's steal count up into the owning engine's
+        // counters so `ShardedDatabase::counters` sees per-shard steal
+        // totals after migrations finish.
+        if let Some(db) = &self.shared.db {
+            let c = &self.shared.counters;
+            let now = c.steals.load(Ordering::Relaxed);
+            let prev = c.steals_flushed.swap(now, Ordering::Relaxed);
+            if now > prev {
+                db.counters()
+                    .steals
+                    .fetch_add(now - prev, Ordering::Relaxed);
+            }
+        }
         {
             let mut g = self.shared.sync.lock();
             g.shutdown = true;

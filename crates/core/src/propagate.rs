@@ -386,11 +386,11 @@ impl Propagator {
         for (lsn, rop) in &batch {
             refs.push((*lsn, rop.op()?));
         }
-        if self.parallel.apply_shards > 1 {
+        if self.parallel.effective_apply_shards() > 1 {
             let pool = match &self.pool {
                 Some(pool) => Arc::clone(pool),
                 None => {
-                    let pool = Arc::new(ApplyPool::new(self.parallel.apply_shards));
+                    let pool = Arc::new(ApplyPool::new(self.parallel.effective_apply_shards()));
                     self.pool = Some(Arc::clone(&pool));
                     pool
                 }

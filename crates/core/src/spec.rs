@@ -84,6 +84,15 @@ pub struct ParallelConfig {
     /// tests and the crash simulator lower it to force real epochs
     /// (workers in flight) on deliberately tiny batches.
     pub min_apply_segment: usize,
+    /// Honor `apply_shards` exactly even beyond the host's core count.
+    /// By default the *effective* lane count is clamped to
+    /// `available_parallelism()` — on an N-core host, more than N apply
+    /// lanes only adds hand-off and fence overhead (the measured FOJ
+    /// regression: 8 lanes at 1.31M rec/s vs 1.66M serial on 1 CPU).
+    /// Width-sweep benches and the parallel-equivalence tests opt out
+    /// via [`ParallelConfig::exact`] to exercise the configured width
+    /// regardless of host.
+    pub exact: bool,
 }
 
 impl ParallelConfig {
@@ -93,6 +102,7 @@ impl ParallelConfig {
             copy_workers: 1,
             apply_shards: 1,
             min_apply_segment: crate::operator::PARALLEL_SEGMENT_MIN,
+            exact: true,
         }
     }
 
@@ -104,6 +114,7 @@ impl ParallelConfig {
             copy_workers: copy_workers.max(1),
             apply_shards: apply_shards.max(1),
             min_apply_segment: crate::operator::PARALLEL_SEGMENT_MIN,
+            exact: false,
         }
     }
 
@@ -112,6 +123,31 @@ impl ParallelConfig {
     pub fn with_min_apply_segment(mut self, min: usize) -> ParallelConfig {
         self.min_apply_segment = min.max(1);
         self
+    }
+
+    /// Opt out of the core-count clamp: use `apply_shards` verbatim
+    /// even when it exceeds `available_parallelism()` (width sweeps,
+    /// equivalence tests pinning an exact pool shape).
+    #[must_use]
+    pub fn exact(mut self) -> ParallelConfig {
+        self.exact = true;
+        self
+    }
+
+    /// The apply-lane count actually used: `apply_shards`, clamped to
+    /// the host's `available_parallelism()` unless
+    /// [`ParallelConfig::exact`] was requested. Over-sharding past the
+    /// core count is a measured pessimization (BENCH_propagation.json
+    /// `parallel` series: FOJ 8 lanes 1.31M rec/s vs 1.66M serial on
+    /// 1 CPU), so the default config never does it.
+    pub fn effective_apply_shards(&self) -> usize {
+        if self.exact {
+            return self.apply_shards;
+        }
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.apply_shards.min(cores).max(1)
     }
 
     /// Whether this configuration is the exact serial pipeline.

@@ -272,13 +272,16 @@ pub fn synchronize(
     }
 }
 
-fn sorted_sources(db: &Database, oper: &dyn TransformOperator) -> DbResult<Vec<Arc<Table>>> {
+pub(crate) fn sorted_sources(
+    db: &Database,
+    oper: &dyn TransformOperator,
+) -> DbResult<Vec<Arc<Table>>> {
     let mut sources = source_tables(db, oper)?;
     sources.sort_by_key(|t| t.id());
     Ok(sources)
 }
 
-fn transfer_locks(
+pub(crate) fn transfer_locks(
     db: &Database,
     oper: &dyn TransformOperator,
     sources: &[Arc<Table>],

@@ -42,7 +42,7 @@ const TRUNCATE_SPAN: u64 = 262_144;
 pub struct Transformer;
 
 /// Names involved in a transformation, for cleanup and final drops.
-struct Names {
+pub(crate) struct Names {
     sources: Vec<String>,
     targets: Vec<String>,
     /// Internal bookkeeping tables (P) to drop at completion.
@@ -93,7 +93,7 @@ impl TransformPlan {
 
     /// Prepare the operator (creates target tables) and collect the
     /// name sets used for cleanup and final drops.
-    fn prepare_operator(
+    pub(crate) fn prepare_operator(
         &self,
         db: &Arc<Database>,
     ) -> DbResult<(Box<dyn TransformOperator>, Names)> {
@@ -266,19 +266,19 @@ impl TransformJob {
         }
         let mut prop = Propagator::new(&self.db, start_lsn, self.options.priority)
             .with_parallel(self.options.parallel);
-        if self.options.parallel.apply_shards > 1 {
+        let apply_width = self.options.parallel.effective_apply_shards();
+        if apply_width > 1 {
             // Spawn the persistent apply pool once, here, as a
             // crash-instrumented step of the job; every parallel batch
             // until `finish` reuses these workers. Serial jobs never
             // reach the pool (or its crash point).
-            let pool =
-                match ApplyPool::for_db(self.options.parallel.apply_shards, Arc::clone(&self.db)) {
-                    Ok(pool) => pool,
-                    Err(e) => {
-                        self.cleanup();
-                        return Err(e);
-                    }
-                };
+            let pool = match ApplyPool::for_db(apply_width, Arc::clone(&self.db)) {
+                Ok(pool) => pool,
+                Err(e) => {
+                    self.cleanup();
+                    return Err(e);
+                }
+            };
             prop = prop.with_pool(Arc::new(pool));
         }
         self.prop = Some(prop);

@@ -281,6 +281,17 @@ impl Database {
         &self.counters
     }
 
+    /// Point-in-time snapshot of this engine's counters with the WAL
+    /// and lock-manager figures folded in — the per-shard leaf of
+    /// [`ShardedDatabase::counters`](crate::router::ShardedDatabase::counters).
+    pub fn counters_snapshot(&self) -> crate::counters::CountersSnapshot {
+        let mut s = self.counters.full_snapshot();
+        s.wal_flushes = self.log.flush_count();
+        s.wal_records = self.log.len() as u64;
+        s.lock_waits = self.locks.waits();
+        s
+    }
+
     /// Table claims of running migration jobs (see
     /// [`MigrationRegistry`]).
     pub fn migrations(&self) -> &MigrationRegistry {

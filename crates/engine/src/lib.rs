@@ -26,10 +26,12 @@ pub mod interceptor;
 pub mod migrations;
 pub mod recovery;
 pub mod registry;
+pub mod router;
 
-pub use counters::Counters;
+pub use counters::{Counters, CountersSnapshot};
 pub use database::{CrashHook, Database, LogProtection, PlannedOp};
 pub use interceptor::OpInterceptor;
 pub use migrations::MigrationRegistry;
 pub use morph_storage::{CommitTable, Snapshot, SnapshotTracker};
 pub use recovery::{recover_from_bytes, recover_into, RecoveryReport};
+pub use router::{ShardCounters, ShardedDatabase};

@@ -33,8 +33,10 @@
 
 pub mod orchestrator;
 pub mod parser;
+pub mod sharded;
 pub mod spec;
 
 pub use orchestrator::{MigrationHandle, Orchestrator, RecoveredMigration};
 pub use parser::parse;
+pub use sharded::{start_lazy_sharded, submit_sharded, ShardedLazyMigration, ShardedMigration};
 pub use spec::{Migration, MigrationBuilder, MigrationSpec};

@@ -27,7 +27,7 @@ use morph_sim::{run_sim, Scenario, SimConfig, Verdict};
 /// Four lanes, epoch hand-off for every lane-classified run no matter
 /// how short: maximum pool traffic on sim-sized batches.
 fn pool_config() -> ParallelConfig {
-    ParallelConfig::new(1, 4).with_min_apply_segment(1)
+    ParallelConfig::new(1, 4).with_min_apply_segment(1).exact()
 }
 
 const POOL_POINTS: [&str; 5] = [

@@ -21,12 +21,14 @@
 pub mod catalog;
 pub mod index;
 pub mod mvcc;
+pub mod residual;
 pub mod row;
 pub mod table;
 
 pub use catalog::Catalog;
 pub use index::SecondaryIndex;
 pub use mvcc::{CommitTable, Snapshot, SnapshotTracker, VersionEntry, SYSTEM};
+pub use residual::{Claim, ClaimGuard, ResidualSet};
 pub use row::{ConsistencyFlag, Row};
 pub use table::{
     shard_stride, FuzzyScanner, SnapshotScanner, Table, TableExclusiveLatch, TableSharedLatch,

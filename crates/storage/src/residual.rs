@@ -1,0 +1,281 @@
+//! Residual-set tracking for lazy (SLSM-style) migrations.
+//!
+//! After a lazy cutover the source tables are frozen but their records
+//! have not been transformed yet. The *residual set* is the set of
+//! source keys still awaiting transformation — the per-table "migrated
+//! bit", stored as presence in the set rather than a bit on the row so
+//! the frozen source pages are never written again.
+//!
+//! Two actors shrink the set concurrently: the background backfill and
+//! on-access transforms racing in from the read/write path. The race is
+//! resolved by a **per-key claim**: `claim` atomically moves a key from
+//! *pending* to *in-flight* and hands the caller a [`ClaimGuard`]; every
+//! other claimant for the same key blocks until the guard is completed
+//! (key transformed exactly once) or abandoned (key returns to
+//! *pending*, e.g. the transform hit a simulated crash). The residual
+//! count only ever decreases on `complete`, so `remaining()` is
+//! monotonically non-increasing — the invariant DESIGN.md §15 pins.
+
+use morph_common::{Key, TableId};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+#[derive(Default)]
+struct Inner {
+    /// Keys awaiting transformation, per source table.
+    pending: BTreeMap<TableId, BTreeSet<Key>>,
+    /// Keys currently being transformed by some claimant.
+    in_flight: BTreeSet<(TableId, Key)>,
+}
+
+/// The set of source records a lazy migration has not transformed yet.
+pub struct ResidualSet {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+    remaining: AtomicUsize,
+}
+
+/// Outcome of [`ResidualSet::claim`].
+pub enum Claim<'a> {
+    /// The caller owns the transform for this key; call
+    /// [`ClaimGuard::complete`] once the record is in the targets.
+    Transform(ClaimGuard<'a>),
+    /// The key is not in the residual set (already transformed — any
+    /// in-flight transform by another claimant has been waited out —
+    /// or it was never a source key).
+    Done,
+}
+
+impl ResidualSet {
+    /// An empty residual set.
+    pub fn new() -> ResidualSet {
+        ResidualSet {
+            inner: Mutex::new(Inner::default()),
+            cv: Condvar::new(),
+            remaining: AtomicUsize::new(0),
+        }
+    }
+
+    /// Record `key` of source `table` as not yet transformed. Called
+    /// only while building the set under the cutover latch.
+    pub fn track(&self, table: TableId, key: Key) {
+        let mut inner = self.inner.lock();
+        if inner.pending.entry(table).or_default().insert(key) {
+            self.remaining.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Keys still awaiting transformation (pending + in-flight).
+    pub fn remaining(&self) -> usize {
+        self.remaining.load(Ordering::Relaxed)
+    }
+
+    /// Whether every tracked key has completed its transform.
+    pub fn is_drained(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Claim `key` of `table` for transformation. Blocks while another
+    /// claimant holds the key in flight; returns [`Claim::Done`] once
+    /// the key is no longer pending.
+    pub fn claim(&self, table: TableId, key: &Key) -> Claim<'_> {
+        let mut inner = self.inner.lock();
+        loop {
+            if inner
+                .pending
+                .get_mut(&table)
+                .map(|set| set.remove(key))
+                .unwrap_or(false)
+            {
+                inner.in_flight.insert((table, key.clone()));
+                return Claim::Transform(ClaimGuard {
+                    set: self,
+                    table,
+                    key: key.clone(),
+                    completed: false,
+                });
+            }
+            if !inner.in_flight.contains(&(table, key.clone())) {
+                return Claim::Done;
+            }
+            // Another claimant is transforming this key right now:
+            // wait until it completes (key gone) or abandons (key back
+            // in pending), then re-examine.
+            self.cv.wait(&mut inner);
+        }
+    }
+
+    /// Claim an arbitrary pending key (backfill order: ascending table,
+    /// ascending key). Returns `None` when nothing is pending — note
+    /// in-flight keys may still exist; poll [`ResidualSet::is_drained`]
+    /// for completion.
+    pub fn claim_next(&self) -> Option<ClaimGuard<'_>> {
+        let mut inner = self.inner.lock();
+        let (table, key) = inner
+            .pending
+            .iter()
+            .find_map(|(t, set)| set.iter().next().map(|k| (*t, k.clone())))?;
+        inner.pending.get_mut(&table).map(|set| set.remove(&key));
+        inner.in_flight.insert((table, key.clone()));
+        Some(ClaimGuard {
+            set: self,
+            table,
+            key,
+            completed: false,
+        })
+    }
+
+    /// Pending keys of one source table (diagnostics / tests).
+    pub fn pending_for(&self, table: TableId) -> Vec<Key> {
+        let inner = self.inner.lock();
+        inner
+            .pending
+            .get(&table)
+            .map(|set| set.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+}
+
+impl Default for ResidualSet {
+    fn default() -> Self {
+        ResidualSet::new()
+    }
+}
+
+/// Exclusive ownership of one key's transformation (see
+/// [`ResidualSet::claim`]).
+pub struct ClaimGuard<'a> {
+    set: &'a ResidualSet,
+    table: TableId,
+    key: Key,
+    completed: bool,
+}
+
+impl ClaimGuard<'_> {
+    /// The claimed source table.
+    pub fn table(&self) -> TableId {
+        self.table
+    }
+
+    /// The claimed source key.
+    pub fn key(&self) -> &Key {
+        &self.key
+    }
+
+    /// Mark the record transformed: the key leaves the residual set
+    /// for good and the residual count shrinks.
+    pub fn complete(mut self) {
+        self.completed = true;
+        let mut inner = self.set.inner.lock();
+        inner.in_flight.remove(&(self.table, self.key.clone()));
+        drop(inner);
+        self.set.remaining.fetch_sub(1, Ordering::Relaxed);
+        self.set.cv.notify_all();
+    }
+}
+
+impl Drop for ClaimGuard<'_> {
+    fn drop(&mut self) {
+        if self.completed {
+            return;
+        }
+        // Abandoned (transform errored / simulated crash): the key
+        // returns to pending so recovery or a later access retries it.
+        let mut inner = self.set.inner.lock();
+        inner.in_flight.remove(&(self.table, self.key.clone()));
+        inner
+            .pending
+            .entry(self.table)
+            .or_default()
+            .insert(self.key.clone());
+        drop(inner);
+        self.set.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morph_common::Value;
+
+    fn k(i: i64) -> Key {
+        Key::single(Value::Int(i))
+    }
+
+    #[test]
+    fn claim_complete_shrinks_monotonically() {
+        let set = ResidualSet::new();
+        let t = TableId(1);
+        for i in 0..4 {
+            set.track(t, k(i));
+        }
+        assert_eq!(set.remaining(), 4);
+        match set.claim(t, &k(2)) {
+            Claim::Transform(g) => g.complete(),
+            Claim::Done => panic!("expected a fresh claim"),
+        }
+        assert_eq!(set.remaining(), 3);
+        assert!(matches!(set.claim(t, &k(2)), Claim::Done));
+        assert_eq!(set.remaining(), 3);
+    }
+
+    #[test]
+    fn abandoned_claim_returns_to_pending() {
+        let set = ResidualSet::new();
+        let t = TableId(1);
+        set.track(t, k(7));
+        match set.claim(t, &k(7)) {
+            Claim::Transform(g) => drop(g), // simulated crash mid-transform
+            Claim::Done => panic!("expected a fresh claim"),
+        }
+        assert_eq!(set.remaining(), 1);
+        // Retry succeeds.
+        match set.claim(t, &k(7)) {
+            Claim::Transform(g) => g.complete(),
+            Claim::Done => panic!("abandoned key must be claimable again"),
+        }
+        assert!(set.is_drained());
+    }
+
+    #[test]
+    fn claim_next_drains_in_order() {
+        let set = ResidualSet::new();
+        let t = TableId(3);
+        for i in [5, 1, 9] {
+            set.track(t, k(i));
+        }
+        let mut seen = Vec::new();
+        while let Some(g) = set.claim_next() {
+            seen.push(g.key().clone());
+            g.complete();
+        }
+        assert_eq!(seen, vec![k(1), k(5), k(9)]);
+        assert!(set.is_drained());
+    }
+
+    #[test]
+    fn concurrent_claims_transform_exactly_once() {
+        use std::sync::atomic::AtomicUsize;
+        let set = std::sync::Arc::new(ResidualSet::new());
+        let t = TableId(1);
+        for i in 0..64 {
+            set.track(t, k(i));
+        }
+        let transforms = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for i in 0..64 {
+                        if let Claim::Transform(g) = set.claim(t, &k(i)) {
+                            transforms.fetch_add(1, Ordering::Relaxed);
+                            g.complete();
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(transforms.load(Ordering::Relaxed), 64);
+        assert!(set.is_drained());
+    }
+}

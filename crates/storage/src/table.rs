@@ -1255,6 +1255,22 @@ pub struct TableExclusiveLatch<'a> {
     _guards: [RwLockWriteGuard<'a, TableShard>; TABLE_SHARDS],
 }
 
+impl TableExclusiveLatch<'_> {
+    /// Every key currently in the table, read through the held latch.
+    /// A lazy cutover builds its residual set from this — calling
+    /// [`Table::snapshot`] instead would re-acquire the shard locks the
+    /// latch already holds and self-deadlock.
+    pub fn keys(&self) -> Vec<Key> {
+        let mut out: Vec<Key> = self
+            ._guards
+            .iter()
+            .flat_map(|g| g.rows.keys().cloned())
+            .collect();
+        out.sort();
+        out
+    }
+}
+
 /// An open write session on one table: shard latches held across many
 /// physical operations (see [`Table::write_session`] and
 /// [`Table::write_session_masked`]).

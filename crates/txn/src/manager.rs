@@ -77,6 +77,9 @@ pub struct LockManager {
     /// commit/abort can release everything without scanning the world.
     held: Vec<Mutex<HashMap<TxnId, HashSet<LockKey>>>>,
     config: LockManagerConfig,
+    /// Blocking waits entered on this manager (statistics; the
+    /// per-thread tally lives in [`crate::wait::thread_lock_waits`]).
+    waits: std::sync::atomic::AtomicU64,
 }
 
 impl Default for LockManager {
@@ -99,7 +102,13 @@ impl LockManager {
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
             config,
+            waits: std::sync::atomic::AtomicU64::new(0),
         }
+    }
+
+    /// Total blocking lock waits entered on this manager.
+    pub fn waits(&self) -> u64 {
+        self.waits.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     fn shard_of(&self, lk: &LockKey) -> &Shard {
@@ -195,6 +204,8 @@ impl LockManager {
             }
 
             // Wait for a release, bounded by the timeout.
+            self.waits
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             if deadline.wait_on(&shard.cv, &mut map) {
                 return Err(DbError::LockTimeout(txn));
             }

@@ -46,8 +46,14 @@ if [ "$quick" != "quick" ]; then
     #                  must be ≥2× better than the locked read path.
     #   transform_mode — log-propagation vs snapshot-scan migration
     #                  ablation (record only, never enforced).
-    # On a single-CPU host both gates record without enforcing —
-    # 1-core results are overhead readings, not scaling data.
+    #   shard_gate   — aggregate router commit + migration throughput
+    #                  at shards 1/2/4/8 under 8 clients; ≥1.8×
+    #                  aggregate speedup at 4 shards (cores ≥ 4 only).
+    #   lazy_tail    — hot-shard p99 read/write mid-migration, lazy
+    #                  (SLSM) vs eager; lazy must win on ≥4 cores.
+    # On a single-CPU host the comparative gates record without
+    # enforcing — 1-core results are overhead readings, not scaling
+    # data. bench_check also asserts the apply_shards core-count clamp.
     echo "== bench gates (bench_check: apply pool + MVCC reader)"
     cargo run -q --release -p morph-bench --bin bench_check
 fi
@@ -62,6 +68,13 @@ cargo test -q
 echo "== parallel equivalence (copy_workers=4, apply_shards=4)"
 MORPH_PAR_COPY_WORKERS=4 MORPH_PAR_APPLY_SHARDS=4 \
     cargo test -q --test parallel_equivalence
+
+# Sharded-router equivalence: proptests driving the same FOJ/split/
+# union datasets through a ShardedDatabase at 1–4 shards — eager
+# fan-out and SLSM lazy mode both — and through a single engine,
+# comparing target images record-for-record (DESIGN.md §15).
+echo "== sharded equivalence (router, eager + lazy)"
+cargo test -q --test sharded_equivalence
 
 # Bounded crash-simulation smoke sweep (fixed seeds, well under a
 # minute). SIM_SEEDS=N widens the sweep: census + 3 seeded kills per
@@ -89,5 +102,14 @@ echo "== orchestrator kill matrix"
 cargo test -q -p morph-sim --test orchestrator_matrix
 echo "== orchestrator kill matrix, group-commit WAL"
 MORPH_WAL_MODE=group cargo test -q -p morph-sim --test orchestrator_matrix
+
+# Shard kill matrix (DESIGN.md §15): kill one shard of a fanned-out
+# migration at every orchestrator.* point plus the router.* lazy
+# points, recover just that shard, and require the reassembled router
+# to converge to the uninterrupted reference — both WAL modes.
+echo "== shard kill matrix"
+cargo test -q -p morph-sim --test shard_matrix
+echo "== shard kill matrix, group-commit WAL"
+MORPH_WAL_MODE=group cargo test -q -p morph-sim --test shard_matrix
 
 echo "CI OK"

@@ -232,7 +232,7 @@ proptest! {
         // not change a single row.
         let mut pp = Propagator::new(&par, start_p, 1.0)
             .with_parallel(
-                ParallelConfig::new(copy_workers(), shards).with_min_apply_segment(min_seg),
+                ParallelConfig::new(copy_workers(), shards).with_min_apply_segment(min_seg).exact(),
             );
         pp.drain_all(&par, &mut mp).unwrap();
         let mut ps = Propagator::new(&ser, start_s, 1.0);
@@ -412,7 +412,7 @@ proptest! {
 
         let mut pp = Propagator::new(&par, start_p, 1.0)
             .with_parallel(
-                ParallelConfig::new(copy_workers(), shards).with_min_apply_segment(min_seg),
+                ParallelConfig::new(copy_workers(), shards).with_min_apply_segment(min_seg).exact(),
             );
         pp.drain_all(&par, &mut mp).unwrap();
         let mut ps = Propagator::new(&ser, start_s, 1.0);
@@ -582,7 +582,7 @@ proptest! {
 
         let mut pp = Propagator::new(&par, start_p, 1.0)
             .with_parallel(
-                ParallelConfig::new(copy_workers(), shards).with_min_apply_segment(min_seg),
+                ParallelConfig::new(copy_workers(), shards).with_min_apply_segment(min_seg).exact(),
             );
         pp.drain_all(&par, &mut mp).unwrap();
         let mut ps = Propagator::new(&ser, start_s, 1.0);
@@ -670,7 +670,8 @@ fn foj_two_lane_burst_on_one_table_equals_serial() {
         }
     }
 
-    let mut pp = Propagator::new(&par, start_p, 1.0).with_parallel(ParallelConfig::new(1, 2));
+    let mut pp =
+        Propagator::new(&par, start_p, 1.0).with_parallel(ParallelConfig::new(1, 2).exact());
     pp.drain_all(&par, &mut mp).unwrap();
     let mut ps = Propagator::new(&ser, start_s, 1.0);
     ps.drain_all(&ser, &mut ms).unwrap();
@@ -748,7 +749,8 @@ fn split_two_lane_burst_on_one_table_equals_serial() {
         }
     }
 
-    let mut pp = Propagator::new(&par, start_p, 1.0).with_parallel(ParallelConfig::new(1, 2));
+    let mut pp =
+        Propagator::new(&par, start_p, 1.0).with_parallel(ParallelConfig::new(1, 2).exact());
     pp.drain_all(&par, &mut mp).unwrap();
     let mut ps = Propagator::new(&ser, start_s, 1.0);
     ps.drain_all(&ser, &mut ms).unwrap();
@@ -814,7 +816,7 @@ fn foj_steal_heavy_skew_under_pool_equals_serial() {
     }
 
     let mut pp = Propagator::new(&par, start_p, 1.0)
-        .with_parallel(ParallelConfig::new(1, 4).with_min_apply_segment(1))
+        .with_parallel(ParallelConfig::new(1, 4).with_min_apply_segment(1).exact())
         .with_pool(Arc::new(ApplyPool::new(4)));
     pp.drain_all(&par, &mut mp).unwrap();
     let stats = pp.pool_stats().expect("pool installed");
@@ -876,7 +878,7 @@ fn split_mid_stream_barriers_under_pool_equals_serial() {
     }
 
     let mut pp = Propagator::new(&par, start_p, 1.0)
-        .with_parallel(ParallelConfig::new(1, 4).with_min_apply_segment(1))
+        .with_parallel(ParallelConfig::new(1, 4).with_min_apply_segment(1).exact())
         .with_pool(Arc::new(ApplyPool::new(4)));
     pp.drain_all(&par, &mut mp).unwrap();
     let stats = pp.pool_stats().expect("pool installed");
@@ -925,7 +927,7 @@ fn pool_seed_replay_is_deterministic() {
             }
         }
         let mut p = Propagator::new(&db, start, 1.0)
-            .with_parallel(ParallelConfig::new(1, 4).with_min_apply_segment(1))
+            .with_parallel(ParallelConfig::new(1, 4).with_min_apply_segment(1).exact())
             .with_pool(Arc::new(ApplyPool::with_seed(4, seed)));
         p.drain_all(&db, &mut m).unwrap();
         let stats = p.pool_stats().expect("pool installed");

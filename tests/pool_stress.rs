@@ -71,7 +71,7 @@ fn rows_sans_lsn(db: &Database, name: &str) -> Vec<(morphdb::Key, Vec<Value>, u3
 /// Pool configuration every test here runs: four lanes, every
 /// lane-classified run forced through a real epoch.
 fn pooled() -> ParallelConfig {
-    ParallelConfig::new(2, 4).with_min_apply_segment(1)
+    ParallelConfig::new(2, 4).with_min_apply_segment(1).exact()
 }
 
 const SPLIT_TEXT: &str =

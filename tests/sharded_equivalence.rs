@@ -1,0 +1,378 @@
+//! Shared-nothing router correctness: a migration fanned out over N
+//! shards must end in exactly the state a single engine ends in.
+//!
+//! For every operator (FOJ, split, union), the same generated data set
+//! is loaded into a single-engine reference and into a
+//! [`ShardedDatabase`] at several shard counts, co-partitioned on the
+//! attribute the operator's propagation rules group by (the join
+//! attribute for FOJ, the split attribute for split — union needs no
+//! co-partitioning, its rules are row-local). The migration then runs
+//! **eagerly** (per-shard §3 pipelines) and **lazily** (per-shard
+//! cutover + on-access/backfill transforms), and the union of the
+//! per-shard targets is compared row-for-row — values, LSN-independent
+//! metadata (split reference counters, FOJ presence) included.
+
+use morphdb::core::spec::TransformOptions;
+use morphdb::engine::ShardedDatabase;
+use morphdb::orchestrator::Orchestrator;
+use morphdb::orchestrator::{start_lazy_sharded, submit_sharded, Migration, MigrationSpec};
+use morphdb::{ColumnType, Database, Key, Schema, Value};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+// --- schemas and seeding -------------------------------------------------
+
+fn foj_schemas() -> (Schema, Schema) {
+    let r = Schema::builder()
+        .column("a", ColumnType::Int)
+        .column("b", ColumnType::Str)
+        .column("c", ColumnType::Int)
+        .primary_key(&["a"])
+        .build()
+        .unwrap();
+    let s = Schema::builder()
+        .column("c", ColumnType::Int)
+        .column("d", ColumnType::Str)
+        .primary_key(&["c"])
+        .build()
+        .unwrap();
+    (r, s)
+}
+
+fn split_schema() -> Schema {
+    Schema::builder()
+        .column("id", ColumnType::Int)
+        .column("g", ColumnType::Int)
+        .column("d", ColumnType::Str)
+        .primary_key(&["id"])
+        .build()
+        .unwrap()
+}
+
+fn union_schema() -> Schema {
+    Schema::builder()
+        .column("id", ColumnType::Int)
+        .column("v", ColumnType::Int)
+        .primary_key(&["id"])
+        .build()
+        .unwrap()
+}
+
+/// Rows loaded into both the reference and every sharded instance.
+#[derive(Clone, Debug)]
+struct DataSet {
+    r_rows: Vec<Vec<Value>>,
+    s_rows: Vec<Vec<Value>>,
+}
+
+fn foj_dataset() -> impl Strategy<Value = DataSet> {
+    // Generated as key/value pair vectors, collected through BTreeMaps
+    // so primary keys are unique and ordering is canonical.
+    let r = proptest::collection::vec((0..40i64, (0..8i64, ".{1,3}")), 0..24);
+    let s = proptest::collection::vec((0..8i64, ".{1,3}"), 0..8);
+    (r, s).prop_map(|(r, s)| DataSet {
+        r_rows: r
+            .into_iter()
+            .collect::<BTreeMap<_, _>>()
+            .into_iter()
+            .map(|(a, (c, b))| vec![Value::Int(a), Value::str(b), Value::Int(c)])
+            .collect(),
+        s_rows: s
+            .into_iter()
+            .collect::<BTreeMap<_, _>>()
+            .into_iter()
+            .map(|(c, d)| vec![Value::Int(c), Value::str(d)])
+            .collect(),
+    })
+}
+
+fn split_dataset() -> impl Strategy<Value = DataSet> {
+    // The functional dependency g → d must hold: derive d from g.
+    let t = proptest::collection::vec((0..40i64, 0..6i64), 0..24);
+    t.prop_map(|t| DataSet {
+        r_rows: t
+            .into_iter()
+            .collect::<BTreeMap<_, _>>()
+            .into_iter()
+            .map(|(id, g)| vec![Value::Int(id), Value::Int(g), Value::str(format!("d{g}"))])
+            .collect(),
+        s_rows: Vec::new(),
+    })
+}
+
+fn union_dataset() -> impl Strategy<Value = DataSet> {
+    let r = proptest::collection::vec((0..40i64, 0..100i64), 0..20);
+    let s = proptest::collection::vec((0..40i64, 0..100i64), 0..20);
+    (r, s).prop_map(|(r, s)| DataSet {
+        r_rows: r
+            .into_iter()
+            .collect::<BTreeMap<_, _>>()
+            .into_iter()
+            .map(|(id, v)| vec![Value::Int(id), Value::Int(v)])
+            .collect(),
+        s_rows: s
+            .into_iter()
+            .collect::<BTreeMap<_, _>>()
+            .into_iter()
+            .map(|(id, v)| vec![Value::Int(id), Value::Int(v)])
+            .collect(),
+    })
+}
+
+/// Which operator a case runs, with its tables and co-partitioning.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Foj,
+    Split,
+    Union,
+}
+
+impl Op {
+    fn create_tables(self, db: &Database) {
+        match self {
+            Op::Foj => {
+                let (r, s) = foj_schemas();
+                db.create_table("R", r).unwrap();
+                db.create_table("S", s).unwrap();
+            }
+            Op::Split => {
+                db.create_table("T", split_schema()).unwrap();
+            }
+            Op::Union => {
+                db.create_table("r", union_schema()).unwrap();
+                db.create_table("s", union_schema()).unwrap();
+            }
+        }
+    }
+
+    fn create_sharded(self, sdb: &ShardedDatabase) {
+        match self {
+            Op::Foj => {
+                let (r, s) = foj_schemas();
+                sdb.create_table("R", r).unwrap();
+                sdb.create_table("S", s).unwrap();
+                // Co-partition on the join attribute: every join group
+                // lives wholly inside one shard, so the per-shard FOJ
+                // rules see all their partners.
+                sdb.route_by("R", vec![2]);
+                sdb.route_by("S", vec![0]);
+            }
+            Op::Split => {
+                sdb.create_table("T", split_schema()).unwrap();
+                // Co-partition on the split attribute: each shared
+                // S-record (and its reference counter) stays whole.
+                sdb.route_by("T", vec![1]);
+            }
+            Op::Union => {
+                sdb.create_table("r", union_schema()).unwrap();
+                sdb.create_table("s", union_schema()).unwrap();
+                // The union target's key prepends a provenance tag to
+                // the source key; route point accesses by the suffix so
+                // a target row lands on its source row's shard.
+                sdb.route_key_suffix("u", 1);
+            }
+        }
+    }
+
+    fn tables(self) -> (&'static str, &'static str) {
+        match self {
+            Op::Foj => ("R", "S"),
+            Op::Split => ("T", ""),
+            Op::Union => ("r", "s"),
+        }
+    }
+
+    fn spec(self) -> MigrationSpec {
+        match self {
+            Op::Foj => Migration::join("R", "S", "J", "c", "c").build(),
+            Op::Split => Migration::split("T", "T2", "G", &["id", "g"], "g", &["d"]).build(),
+            Op::Union => Migration::union("r", "s", "u").build(),
+        }
+    }
+
+    fn targets(self) -> Vec<&'static str> {
+        match self {
+            Op::Foj => vec!["J"],
+            Op::Split => vec!["T2", "G"],
+            Op::Union => vec!["u"],
+        }
+    }
+}
+
+fn load(db: &Database, op: Op, data: &DataSet) {
+    let (rt, st) = op.tables();
+    for row in &data.r_rows {
+        let t = db.begin();
+        db.insert(t, rt, row.clone()).unwrap();
+        db.commit(t).unwrap();
+    }
+    for row in &data.s_rows {
+        let t = db.begin();
+        db.insert(t, st, row.clone()).unwrap();
+        db.commit(t).unwrap();
+    }
+}
+
+fn load_sharded(sdb: &ShardedDatabase, op: Op, data: &DataSet) {
+    let (rt, st) = op.tables();
+    for row in &data.r_rows {
+        sdb.insert(rt, row.clone()).unwrap();
+    }
+    for row in &data.s_rows {
+        sdb.insert(st, row.clone()).unwrap();
+    }
+}
+
+/// Observable target state: key → (values, split counter, FOJ
+/// presence). LSNs are excluded — they are physical per-engine state.
+type TargetImage = BTreeMap<(String, Key), (Vec<Value>, u32, u8)>;
+
+fn image_of(db: &Database, targets: &[&str]) -> TargetImage {
+    let mut out = TargetImage::new();
+    for name in targets {
+        let t = db.catalog().get(name).unwrap();
+        for (k, row) in t.snapshot() {
+            out.insert(
+                ((*name).to_owned(), k),
+                (
+                    row.values,
+                    row.counter,
+                    row.presence.left as u8 | ((row.presence.right as u8) << 1),
+                ),
+            );
+        }
+    }
+    out
+}
+
+fn sharded_image(sdb: &ShardedDatabase, targets: &[&str]) -> TargetImage {
+    let mut out = TargetImage::new();
+    for shard in sdb.shards() {
+        let img = image_of(shard, targets);
+        for (k, v) in img {
+            let prev = out.insert(k.clone(), v.clone());
+            assert!(
+                prev.is_none() || prev == Some(v),
+                "key {k:?} present on two shards with different images"
+            );
+        }
+    }
+    out
+}
+
+/// Reference: the migration run eagerly on a single engine.
+fn reference_image(op: Op, data: &DataSet) -> TargetImage {
+    let db = Arc::new(Database::new());
+    op.create_tables(&db);
+    load(&db, op, data);
+    let orch = Orchestrator::new(Arc::clone(&db));
+    let h = orch.submit(op.spec(), TransformOptions::default()).unwrap();
+    h.join().unwrap();
+    image_of(&db, &op.targets())
+}
+
+fn check_eager(op: Op, data: &DataSet, shards: usize) {
+    let expected = reference_image(op, data);
+    let sdb = ShardedDatabase::new(shards);
+    op.create_sharded(&sdb);
+    load_sharded(&sdb, op, data);
+    let (_orchs, mig) = submit_sharded(&sdb, &op.spec(), &TransformOptions::default()).unwrap();
+    mig.join().unwrap();
+    assert_eq!(
+        sharded_image(&sdb, &op.targets()),
+        expected,
+        "eager {op:?} over {shards} shards diverged from the single engine"
+    );
+}
+
+fn check_lazy(op: Op, data: &DataSet, shards: usize) {
+    let expected = reference_image(op, data);
+    let sdb = ShardedDatabase::new(shards);
+    op.create_sharded(&sdb);
+    load_sharded(&sdb, op, data);
+    let mig = start_lazy_sharded(&sdb, &op.spec()).unwrap();
+    // Interleave on-access touches with background backfill: read a few
+    // target keys through the engines so the interceptor transforms
+    // them, then drain the rest.
+    if let Op::Union = op {
+        for shard in sdb.shards() {
+            for row in data.r_rows.iter().take(3) {
+                let t = shard.begin();
+                let key = Key::new([Value::str("r"), row[0].clone()]);
+                let _ = shard.read(t, "u", &key).unwrap();
+                shard.commit(t).unwrap();
+            }
+        }
+    }
+    while !mig.is_drained() {
+        mig.backfill_round(4, 1.0).unwrap();
+    }
+    mig.finish().unwrap();
+    assert_eq!(
+        sharded_image(&sdb, &op.targets()),
+        expected,
+        "lazy {op:?} over {shards} shards diverged from the single engine"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn sharded_foj_matches_single_engine(data in foj_dataset(), shards in 1usize..4) {
+        check_eager(Op::Foj, &data, shards);
+        check_lazy(Op::Foj, &data, shards);
+    }
+
+    #[test]
+    fn sharded_split_matches_single_engine(data in split_dataset(), shards in 1usize..4) {
+        check_eager(Op::Split, &data, shards);
+        check_lazy(Op::Split, &data, shards);
+    }
+
+    #[test]
+    fn sharded_union_matches_single_engine(data in union_dataset(), shards in 1usize..4) {
+        check_eager(Op::Union, &data, shards);
+        check_lazy(Op::Union, &data, shards);
+    }
+}
+
+/// Deterministic smoke: 4-shard union, lazy, with writes racing the
+/// backfill through the router's own single-shot ops.
+#[test]
+fn lazy_union_write_through_router_wins_over_backfill() {
+    let data = DataSet {
+        r_rows: (0..16)
+            .map(|i| vec![Value::Int(i), Value::Int(i * 10)])
+            .collect(),
+        s_rows: (0..16)
+            .map(|i| vec![Value::Int(i), Value::Int(i * 100)])
+            .collect(),
+    };
+    let sdb = ShardedDatabase::new(4);
+    Op::Union.create_sharded(&sdb);
+    load_sharded(&sdb, Op::Union, &data);
+    let mig = start_lazy_sharded(&sdb, &Op::Union.spec()).unwrap();
+    // Update half the keys through the cut-over catalog before any
+    // backfill ran: the touch must transform first, the update lands
+    // on top, and the later backfill must not resurrect frozen images.
+    for i in 0..8 {
+        let key = Key::new([Value::str("r"), Value::Int(i)]);
+        sdb.update("u", &key, &[(2, Value::Int(-i))]).unwrap();
+    }
+    while !mig.is_drained() {
+        mig.backfill_round(4, 1.0).unwrap();
+    }
+    mig.finish().unwrap();
+    for i in 0..8 {
+        let key = Key::new([Value::str("r"), Value::Int(i)]);
+        let row = sdb.read("u", &key).unwrap().unwrap();
+        assert_eq!(row[2], Value::Int(-i));
+    }
+    for i in 8..16 {
+        let key = Key::new([Value::str("r"), Value::Int(i)]);
+        let row = sdb.read("u", &key).unwrap().unwrap();
+        assert_eq!(row[2], Value::Int(i * 10));
+    }
+}

@@ -242,7 +242,7 @@ fn snapshot_readers_never_block_during_pooled_migration() {
         TransformOptions::default()
             .deadline(Duration::from_secs(60))
             .retain_sources()
-            .parallel(ParallelConfig::new(2, 2))
+            .parallel(ParallelConfig::new(2, 2).exact())
             .transform_mode(TransformMode::Snapshot),
     );
     let report = handle.join().expect("snapshot-mode split under fire");
