@@ -430,7 +430,9 @@ fn shard_gate(entries: &mut Vec<String>, failures: &mut Vec<String>, cores: usiz
         0.0
     };
     println!("  shard speedup 4 vs 1: {speedup:.2}x");
-    if cores >= 4 && speedup < SHARD_MIN_SPEEDUP {
+    if cores < 4 {
+        println!("  shard_gate: SKIPPED (cores={cores} < 4) — speedup recorded, not enforced");
+    } else if speedup < SHARD_MIN_SPEEDUP {
         failures.push(format!(
             "shard: 4 shards is {speedup:.2}x the 1-shard commit rate (need ≥ {SHARD_MIN_SPEEDUP:.1}x)"
         ));
@@ -605,9 +607,9 @@ fn lazy_tail(entries: &mut Vec<String>, failures: &mut Vec<String>, cores: usize
             p.samples, p.mid_migration,
         ));
     }
-    if cores >= 4
-        && (lazy.read_p99_us >= eager.read_p99_us || lazy.write_p99_us >= eager.write_p99_us)
-    {
+    if cores < 4 {
+        println!("  lazy_tail: SKIPPED (cores={cores} < 4) — percentiles recorded, not enforced");
+    } else if lazy.read_p99_us >= eager.read_p99_us || lazy.write_p99_us >= eager.write_p99_us {
         failures.push(format!(
             "lazy tail: lazy p99 (read {:.1} µs, write {:.1} µs) does not beat eager \
              (read {:.1} µs, write {:.1} µs)",
@@ -723,10 +725,12 @@ fn main() {
 
     if cores < 2 {
         println!(
-            "single CPU detected: the comparative gates (pool ≥{:.0}% speedup, reader p99 \
-             ≥{MIN_READER_P99_RATIO:.1}x) are not enforceable here — results recorded with \
-             cores={cores}, gate passes",
+            "  pool_gate: SKIPPED (cores={cores} < 2) — ≥{:.0}% speedup recorded, not enforced",
             (MIN_SPEEDUP - 1.0) * 100.0
+        );
+        println!(
+            "  reader_gate: SKIPPED (cores={cores} < 2) — p99 ≥{MIN_READER_P99_RATIO:.1}x \
+             ratio recorded, not enforced"
         );
         return;
     }

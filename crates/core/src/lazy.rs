@@ -173,6 +173,7 @@ impl LazyMigration {
         // delete restores a row the snapshot cannot see) and defer
         // their transform past the rollback.
         let mut old = std::collections::HashSet::new();
+        // morph-lint: allow(lock_order, cutover pause: the coordinator alone holds these exclusive latches and user txns never latch shards while holding registry/side locks, so the rank protocol's reverse order cannot occur concurrently)
         for txn in db.active_txns() {
             for src in &lazy.sources {
                 let held = db.locks().held_keys_in(txn, src.id());
@@ -193,11 +194,13 @@ impl LazyMigration {
             db.doom(*txn);
         }
         for (src, guard) in lazy.sources.iter().zip(&guards) {
+            // morph-lint: allow(lock_order, cutover pause: freezing under the exclusive latch is the point — nothing else can hold table.meta while every shard latch is ours)
             src.freeze(old.iter().copied().collect());
             for key in guard.keys() {
                 lazy.residual.track(src.id(), key);
             }
         }
+        // morph-lint: allow(lock_order, cutover pause: interceptor registration under the latch is what makes the cut atomic; writers blocked on the latch observe the interceptor the instant they resume)
         let token = db.add_interceptor(Arc::new(LazyInterceptor {
             lazy: Arc::downgrade(&lazy),
         }));

@@ -103,7 +103,7 @@ impl ShardedDatabase {
     /// builds shards over fault-injecting WAL backends, then routes
     /// through them like production code would).
     pub fn from_parts(shards: Vec<Arc<Database>>) -> ShardedDatabase {
-        assert!(!shards.is_empty(), "a router needs at least one shard"); // morph-lint: allow(panic, construction-time shape check, not a data-path invariant)
+        assert!(!shards.is_empty(), "a router needs at least one shard");
         ShardedDatabase {
             shards,
             route_cols: RwLock::new(HashMap::new()),

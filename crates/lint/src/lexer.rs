@@ -58,11 +58,19 @@ pub struct Lexed {
 
 impl Lexed {
     /// Directive on `line` or the line immediately above it (a comment
-    /// line dedicated to the escape), matching verb and argument.
+    /// line dedicated to the escape), matching verb and argument. A
+    /// same-line directive wins over one on the line above, so two
+    /// adjacent annotated lines each consume their own escape (the
+    /// stale-allow audit depends on this).
     pub fn directive_for(&self, line: usize, verb: &str, arg: &str) -> Option<&Directive> {
         self.directives
             .iter()
-            .find(|d| (d.line == line || d.line + 1 == line) && d.verb == verb && d.arg == arg)
+            .find(|d| d.line == line && d.verb == verb && d.arg == arg)
+            .or_else(|| {
+                self.directives
+                    .iter()
+                    .find(|d| d.line + 1 == line && d.verb == verb && d.arg == arg)
+            })
     }
 }
 

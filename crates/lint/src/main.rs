@@ -1,6 +1,13 @@
-//! `morph-lint` CLI: run the five passes over the workspace and fail
-//! on any finding. `cargo run -p morph-lint` from anywhere inside the
-//! repo; scripts/ci.sh runs it between clippy and the sim sweeps.
+//! `morph-lint` CLI: run the passes over the workspace and fail on
+//! any finding. `cargo run -p morph-lint` from anywhere inside the
+//! repo; scripts/ci.sh runs it before the release build.
+//!
+//! Flags:
+//!   --fast         one-level lock pass only (pre-commit speed): skips
+//!                  the interprocedural fixed point, the purity proof,
+//!                  and the stale-allow audit
+//!   --json[=PATH]  machine-readable findings with stable IDs, written
+//!                  to PATH (or stdout); human output still printed
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -23,8 +30,25 @@ fn workspace_root() -> Result<PathBuf, String> {
 }
 
 fn run() -> Result<bool, String> {
+    let mut fast = false;
+    let mut json: Option<Option<String>> = None;
+    for arg in std::env::args().skip(1) {
+        if arg == "--fast" {
+            fast = true;
+        } else if arg == "--json" {
+            json = Some(None);
+        } else if let Some(path) = arg.strip_prefix("--json=") {
+            json = Some(Some(path.to_string()));
+        } else {
+            return Err(format!(
+                "unknown flag {arg} (expected --fast / --json[=PATH])"
+            ));
+        }
+    }
+
     let root = workspace_root()?;
-    let cfg = morph_lint::Config::for_repo(&root)?;
+    let mut cfg = morph_lint::Config::for_repo(&root)?;
+    cfg.fast = fast;
     let files = morph_lint::load_workspace(&root)?;
     let findings = morph_lint::run_all(&cfg, &files);
 
@@ -32,13 +56,31 @@ fn run() -> Result<bool, String> {
         println!("{finding}");
     }
     println!(
-        "morph-lint: {} file(s) scanned, {} finding(s)",
+        "morph-lint: {} file(s) scanned, {} finding(s){}",
         files.len(),
-        findings.len()
+        findings.len(),
+        if fast { " [fast mode]" } else { "" }
     );
     for pass in morph_lint::PASSES {
         let n = findings.iter().filter(|f| f.pass == pass).count();
         println!("  {pass:<12} {n}");
+    }
+
+    if let Some(dest) = json {
+        let body = morph_lint::to_json(&findings);
+        match dest {
+            Some(path) => {
+                let path = root.join(&path);
+                if let Some(parent) = path.parent() {
+                    std::fs::create_dir_all(parent)
+                        .map_err(|e| format!("mkdir {}: {e}", parent.display()))?;
+                }
+                std::fs::write(&path, &body)
+                    .map_err(|e| format!("write {}: {e}", path.display()))?;
+                println!("morph-lint: JSON artifact written to {}", path.display());
+            }
+            None => println!("{body}"),
+        }
     }
     Ok(findings.is_empty())
 }

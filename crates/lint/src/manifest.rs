@@ -24,6 +24,18 @@
 //! ```text
 //! point <name> sites=<n> strategy=<any|bc|nba|nbc> kind=<loop|step> [inject] [optional]
 //! ```
+//!
+//! `manifest/atomics.txt` — the atomics ordering protocol (pass 6).
+//! Grammar:
+//!
+//! ```text
+//! atomic <field> <decl-file-substring> <publish|consume|counter|seal>
+//! ```
+//!
+//! The role fixes the minimum `Ordering` per site kind — see
+//! `passes::atomics` for the lattice. Every `Atomic*` struct field in
+//! the strict zone must be declared, and every declared field must
+//! still exist, so the manifest and the code cannot drift apart.
 
 use std::collections::HashMap;
 
@@ -235,6 +247,93 @@ impl CrashManifest {
                 }
             }
             m.points.push(point);
+        }
+        Ok(m)
+    }
+}
+
+/// Protocol role of an atomic field; each role fixes the minimum
+/// `Ordering` the atomics pass accepts per site kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtomicRole {
+    /// Single-writer published value (watermark, flag): stores release,
+    /// loads acquire, RMWs at least release.
+    Publish,
+    /// Value whose RMWs participate on both sides of the handoff
+    /// (fence words, prune floors): like `publish` plus `AcqRel` RMWs.
+    Consume,
+    /// Statistics / ID allocation: `Relaxed` is fine everywhere.
+    Counter,
+    /// Single-total-order word (lazy cut-over token): `SeqCst`
+    /// everywhere.
+    Seal,
+}
+
+impl AtomicRole {
+    pub fn name(self) -> &'static str {
+        match self {
+            AtomicRole::Publish => "publish",
+            AtomicRole::Consume => "consume",
+            AtomicRole::Counter => "counter",
+            AtomicRole::Seal => "seal",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct AtomicEntry {
+    /// Struct-field (or static) identifier.
+    pub field: String,
+    /// Substring of the repo-relative path of the *declaring* file —
+    /// disambiguates same-named fields across crates.
+    pub file_sub: String,
+    pub role: AtomicRole,
+    /// 1-based line in the manifest file, for findings.
+    pub line: usize,
+}
+
+#[derive(Debug, Default)]
+pub struct AtomicsManifest {
+    pub entries: Vec<AtomicEntry>,
+}
+
+impl AtomicsManifest {
+    pub fn parse(src: &str) -> Result<AtomicsManifest, String> {
+        let mut m = AtomicsManifest::default();
+        for (ln, raw) in src.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |msg: String| format!("atomics.txt:{}: {}", ln + 1, msg);
+            let mut parts = line.split_whitespace();
+            if parts.next() != Some("atomic") {
+                return Err(err("expected `atomic`".into()));
+            }
+            let field = parts.next().ok_or_else(|| err("missing field".into()))?;
+            let file_sub = parts.next().ok_or_else(|| err("missing file".into()))?;
+            let role = match parts.next() {
+                Some("publish") => AtomicRole::Publish,
+                Some("consume") => AtomicRole::Consume,
+                Some("counter") => AtomicRole::Counter,
+                Some("seal") => AtomicRole::Seal,
+                other => return Err(err(format!("bad role {other:?}"))),
+            };
+            if let Some(extra) = parts.next() {
+                return Err(err(format!("unexpected field {extra}")));
+            }
+            if m.entries
+                .iter()
+                .any(|e| e.field == field && e.file_sub == file_sub)
+            {
+                return Err(err(format!("duplicate entry {field} {file_sub}")));
+            }
+            m.entries.push(AtomicEntry {
+                field: field.to_string(),
+                file_sub: file_sub.to_string(),
+                role,
+                line: ln + 1,
+            });
         }
         Ok(m)
     }

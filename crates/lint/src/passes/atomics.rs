@@ -1,0 +1,379 @@
+//! Pass 6: atomics ordering protocol against `manifest/atomics.txt`.
+//!
+//! Every `Atomic*` struct field (and static) declared inside the
+//! strict zone (`core`, `wal`, `storage`, `txn`, `engine`) must be
+//! registered in the manifest with a protocol role, and every use
+//! site must pass an `Ordering` at least as strong as the role's
+//! minimum for that site kind:
+//!
+//! | role    | load    | store   | rmw     | cas ok  | cas err |
+//! |---------|---------|---------|---------|---------|---------|
+//! | counter | Relaxed | Relaxed | Relaxed | Relaxed | Relaxed |
+//! | publish | Acquire | Release | Release | Release | Relaxed |
+//! | consume | Acquire | Release | AcqRel  | AcqRel  | Acquire |
+//! | seal    | SeqCst  | SeqCst  | SeqCst  | SeqCst  | SeqCst  |
+//!
+//! Strength is the lattice triple (acquire, release, seqcst); an
+//! ordering meets a minimum when it has every bit the minimum has.
+//! A deliberately weaker site (e.g. a `Relaxed` re-read of a publish
+//! watermark under the very mutex that orders its writers) carries
+//! `// morph-lint: allow(atomics, why the ordering is enough)`.
+//!
+//! An undeclared field, a manifest entry whose field no longer
+//! exists, an ambiguous site (same-named fields with different
+//! roles and no file match), and a non-literal `Ordering` argument
+//! are all findings — the manifest and the code cannot drift apart.
+
+use crate::lexer::TokKind;
+use crate::manifest::AtomicRole;
+use crate::passes::chain_ending_at;
+use crate::{Config, Finding, SourceFile};
+
+const ATOMIC_TYPES: [&str; 9] = [
+    "AtomicU64",
+    "AtomicUsize",
+    "AtomicU32",
+    "AtomicU16",
+    "AtomicU8",
+    "AtomicI64",
+    "AtomicIsize",
+    "AtomicI32",
+    "AtomicBool",
+];
+
+const RMW_METHODS: [&str; 10] = [
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "fetch_nand",
+    "fetch_update",
+];
+
+const CAS_METHODS: [&str; 2] = ["compare_exchange", "compare_exchange_weak"];
+
+/// (acquire, release, seqcst) strength triple of an `Ordering` name.
+fn strength(name: &str) -> Option<(bool, bool, bool)> {
+    match name {
+        "Relaxed" => Some((false, false, false)),
+        "Acquire" => Some((true, false, false)),
+        "Release" => Some((false, true, false)),
+        "AcqRel" => Some((true, true, false)),
+        "SeqCst" => Some((true, true, true)),
+        _ => None,
+    }
+}
+
+fn meets(given: (bool, bool, bool), min: (bool, bool, bool)) -> bool {
+    (!min.0 || given.0) && (!min.1 || given.1) && (!min.2 || given.2)
+}
+
+fn min_name(min: (bool, bool, bool)) -> &'static str {
+    match min {
+        (false, false, false) => "Relaxed",
+        (true, false, false) => "Acquire",
+        (false, true, false) => "Release",
+        (true, true, false) => "AcqRel",
+        _ => "SeqCst",
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SiteKind {
+    Load,
+    Store,
+    Rmw,
+}
+
+/// Minimum ordering for a role at a site kind; CAS failure orderings
+/// are checked against the role's `Load` minimum (`Rmw` for `seal`).
+fn role_min(role: AtomicRole, kind: SiteKind) -> (bool, bool, bool) {
+    use AtomicRole::*;
+    use SiteKind::*;
+    match (role, kind) {
+        (Counter, _) => (false, false, false),
+        (Publish, Load) => (true, false, false),
+        (Publish, Store) | (Publish, Rmw) => (false, true, false),
+        (Consume, Load) => (true, false, false),
+        (Consume, Store) => (false, true, false),
+        (Consume, Rmw) => (true, true, false),
+        (Seal, _) => (true, true, true),
+    }
+}
+
+pub fn run(cfg: &Config, files: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let m = &cfg.atomics;
+    let mut entry_used = vec![false; m.entries.len()];
+
+    for f in files {
+        if !cfg
+            .atomics_zones
+            .iter()
+            .any(|z| f.rel.starts_with(z.as_str()))
+        {
+            continue;
+        }
+        scan_decls(cfg, f, &mut entry_used, &mut out);
+        scan_sites(cfg, f, &mut out);
+    }
+
+    for (i, e) in m.entries.iter().enumerate() {
+        if !entry_used[i] {
+            out.push(Finding {
+                pass: "atomics",
+                file: cfg.atomics_manifest_path.clone(),
+                line: e.line,
+                key: e.field.clone(),
+                msg: format!(
+                    "manifest entry `{} {}` matches no atomic declaration in the zone — \
+                     remove the stale entry or fix the file substring",
+                    e.field, e.file_sub
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Find `name: Atomic*` / `name: Arc<Atomic*>` struct-field and
+/// `static NAME: Atomic*` declarations and require a manifest entry.
+fn scan_decls(cfg: &Config, f: &SourceFile, entry_used: &mut [bool], out: &mut Vec<Finding>) {
+    let toks = &f.lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if f.regions.in_test[i]
+            || t.kind != TokKind::Ident
+            || !ATOMIC_TYPES.contains(&t.text.as_str())
+        {
+            continue;
+        }
+        // Walk back over wrapper generics (`Arc<`) and path segments
+        // (`std::sync::atomic::`) to the field's own single `:`. A
+        // `use` import ends the walk at the `use` keyword instead of a
+        // colon and falls through the field check below.
+        let mut j = i;
+        loop {
+            if j >= 3
+                && toks[j - 1].is_punct(':')
+                && toks[j - 2].is_punct(':')
+                && toks[j - 3].kind == TokKind::Ident
+            {
+                j -= 3; // `seg::` path segment
+            } else if j >= 2 && toks[j - 1].is_punct('<') && toks[j - 2].kind == TokKind::Ident {
+                j -= 2; // `Arc<` wrapper
+            } else {
+                break;
+            }
+        }
+        if j < 2 || !toks[j - 1].is_punct(':') || toks[j - 2].kind != TokKind::Ident {
+            continue; // not `name: …Atomic*`
+        }
+        let name = &toks[j - 2].text;
+        // Field / static position only: the token before the name (or
+        // before a `pub` visibility) must open a field list or be
+        // `static`; `let` locals and `&Atomic*` params are exempt.
+        let mut k = j - 2;
+        while k > 0 && (toks[k - 1].is_ident("pub") || toks[k - 1].is_punct(')')) {
+            if toks[k - 1].is_punct(')') {
+                // `pub(crate)` visibility — skip to its `pub`.
+                let mut depth = 0usize;
+                let mut p = k - 1;
+                loop {
+                    if toks[p].is_punct(')') {
+                        depth += 1;
+                    } else if toks[p].is_punct('(') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    if p == 0 {
+                        break;
+                    }
+                    p -= 1;
+                }
+                k = p;
+            } else {
+                k -= 1;
+            }
+        }
+        let positional = k == 0
+            || toks[k - 1].is_punct('{')
+            || toks[k - 1].is_punct(',')
+            || toks[k - 1].is_ident("static");
+        if !positional {
+            continue;
+        }
+        let line = toks[j - 2].line;
+        let matched: Vec<usize> = cfg
+            .atomics
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.field == *name && f.rel.contains(&e.file_sub))
+            .map(|(idx, _)| idx)
+            .collect();
+        if matched.is_empty() {
+            out.push(Finding {
+                pass: "atomics",
+                file: f.rel.clone(),
+                line,
+                key: name.clone(),
+                msg: format!(
+                    "atomic field `{name}` is not declared in {} — add \
+                     `atomic {name} <file> <publish|consume|counter|seal>`",
+                    cfg.atomics_manifest_path
+                ),
+            });
+        }
+        for idx in matched {
+            entry_used[idx] = true;
+        }
+    }
+}
+
+/// Check the `Ordering` literal(s) of every atomic method call whose
+/// receiver field is declared in the manifest.
+fn scan_sites(cfg: &Config, f: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = &f.lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if f.regions.in_test[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        if i == 0 || !toks[i - 1].is_punct('.') {
+            continue;
+        }
+        if !toks.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            continue;
+        }
+        let name = t.text.as_str();
+        let kind = if name == "load" {
+            SiteKind::Load
+        } else if name == "store" {
+            SiteKind::Store
+        } else if RMW_METHODS.contains(&name) || CAS_METHODS.contains(&name) {
+            SiteKind::Rmw
+        } else {
+            continue;
+        };
+        let is_cas = CAS_METHODS.contains(&name);
+
+        let chain = chain_ending_at(toks, i);
+        let mut segs: Vec<&str> = chain.split('.').collect();
+        segs.pop(); // the method itself
+        let Some(field_seg) = segs.pop() else {
+            continue;
+        };
+        let field = field_seg.trim_end_matches("()").trim_end_matches("[]");
+
+        let candidates: Vec<&crate::manifest::AtomicEntry> = cfg
+            .atomics
+            .entries
+            .iter()
+            .filter(|e| e.field == field)
+            .collect();
+        if candidates.is_empty() {
+            // Not a declared atomic (plain collection `.load()` name
+            // collisions land here); the declaration scan is the
+            // enforcement point for missing entries.
+            continue;
+        }
+        let line = t.line;
+        let role = {
+            let local: Vec<_> = candidates
+                .iter()
+                .filter(|e| f.rel.contains(&e.file_sub))
+                .collect();
+            if local.len() == 1 {
+                local[0].role
+            } else if candidates.iter().all(|e| e.role == candidates[0].role) {
+                candidates[0].role
+            } else {
+                out.push(Finding {
+                    pass: "atomics",
+                    file: f.rel.clone(),
+                    line,
+                    key: field.to_string(),
+                    msg: format!(
+                        "ambiguous atomic field `{field}`: multiple manifest roles match and \
+                         none is declared for this file — split the entries by file substring"
+                    ),
+                });
+                continue;
+            }
+        };
+
+        let orderings = ordering_args(toks, i + 1);
+        if orderings.is_empty() {
+            out.push(Finding {
+                pass: "atomics",
+                file: f.rel.clone(),
+                line,
+                key: field.to_string(),
+                msg: format!(
+                    "atomic `{field}`.{name}: Ordering is not a literal — the protocol \
+                     cannot be checked; pass `Ordering::…` directly or annotate \
+                     `// morph-lint: allow(atomics, why)`"
+                ),
+            });
+            continue;
+        }
+        let min = role_min(role, kind);
+        let fail_min = if role == AtomicRole::Seal {
+            role_min(role, SiteKind::Rmw)
+        } else {
+            role_min(role, SiteKind::Load)
+        };
+        for (oi, (oname, ostrength)) in orderings.iter().enumerate() {
+            let (required, what) = if is_cas && oi == 1 {
+                (fail_min, "failure ordering")
+            } else {
+                (min, "ordering")
+            };
+            if !meets(*ostrength, required) {
+                out.push(Finding {
+                    pass: "atomics",
+                    file: f.rel.clone(),
+                    line,
+                    key: field.to_string(),
+                    msg: format!(
+                        "atomic `{field}` (role {}) {name} {what} `{oname}` is weaker than \
+                         the manifest minimum `{}`",
+                        role.name(),
+                        min_name(required)
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// `Ordering` literal names inside the argument list opening at
+/// `open_idx` (a `(` token), in argument order. Nested calls are
+/// included — closures passed to `fetch_update` name their orderings
+/// at the outer level anyway.
+fn ordering_args(toks: &[crate::lexer::Tok], open_idx: usize) -> Vec<(String, (bool, bool, bool))> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut k = open_idx;
+    while k < toks.len() {
+        if toks[k].is_punct('(') {
+            depth += 1;
+        } else if toks[k].is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if toks[k].kind == TokKind::Ident {
+            if let Some(s) = strength(&toks[k].text) {
+                out.push((toks[k].text.clone(), s));
+            }
+        }
+        k += 1;
+    }
+    out
+}

@@ -27,6 +27,7 @@ pub fn run(cfg: &Config, files: &[SourceFile]) -> Vec<Finding> {
                 pass: "crash_point",
                 file: cfg.crash_manifest_path.clone(),
                 line: p.line,
+                key: p.name.clone(),
                 msg: format!(
                     "duplicate registration of crash point `{}` (first at line {first})",
                     p.name
@@ -59,6 +60,7 @@ pub fn run(cfg: &Config, files: &[SourceFile]) -> Vec<Finding> {
                         pass: "crash_point",
                         file: f.rel.clone(),
                         line: t.line,
+                        key: lit.clone(),
                         msg: format!(
                             "crash_point(\"{lit}\") is not registered in {} — the sim kill \
                              matrix would never test it",
@@ -77,6 +79,7 @@ pub fn run(cfg: &Config, files: &[SourceFile]) -> Vec<Finding> {
                 pass: "crash_point",
                 file: cfg.crash_manifest_path.clone(),
                 line: p.line,
+                key: p.name.clone(),
                 msg: format!(
                     "registered crash point `{}` does not appear in non-test code — remove \
                      the bogus registry entry or add the crash_point call",
@@ -88,6 +91,7 @@ pub fn run(cfg: &Config, files: &[SourceFile]) -> Vec<Finding> {
                 pass: "crash_point",
                 file: cfg.crash_manifest_path.clone(),
                 line: p.line,
+                key: p.name.clone(),
                 msg: format!(
                     "crash point `{}`: {} literal site(s) in code but manifest says sites={}",
                     p.name, n, p.sites

@@ -1,248 +1,174 @@
 //! Pass 1: lock-order checking against `manifest/lock_ranks.txt`.
 //!
-//! A lexical guard tracker walks each file: `let`-bound results of
-//! `.lock()/.read()/.write()` (and of manifest `fn … guard` calls)
-//! become live guards until their scope closes or an explicit
-//! `drop(name)`. At every acquisition the live guard set is checked:
-//! acquiring a class whose rank is **smaller** than a held class's
-//! rank is an inversion (ranks order acquisition, outermost first);
-//! acquiring a held class again is a re-acquire unless the class is
-//! `multi` (sharded siblings taken in a canonical order).
+//! Both modes share the lexical guard tracker in [`crate::dataflow`]:
+//! `let`-bound results of `.lock()/.read()/.write()` (and of manifest
+//! `fn … guard` calls) are live guards until their scope closes or an
+//! explicit `drop(name)`. At every acquisition the live guard set is
+//! checked: acquiring a class whose rank is **smaller** than a held
+//! class's rank is an inversion (ranks order acquisition, outermost
+//! first); acquiring a held class again is a re-acquire unless the
+//! class is `multi` (sharded siblings taken in a canonical order).
+//!
+//! Full mode additionally propagates each function's *entry lock-set*
+//! through the whole-workspace call graph to a fixed point, so an
+//! acquisition three frames beneath a held guard is flagged with the
+//! complete inter-file call chain. `--fast` skips the propagation and
+//! keeps the historical one-level approximation for pre-commit runs.
 //!
 //! Non-blocking acquisitions (`try_*`, manifest `try` fns) cannot
 //! participate in a deadlock cycle's wait edge, so they are tracked
 //! as held but never reported as inversions themselves.
 
-use super::{chain_ending_at, chain_matches};
-use crate::lexer::TokKind;
+use crate::callgraph::CallGraph;
+use crate::dataflow::{self, FnFacts};
 use crate::{Config, Finding, SourceFile};
 
-const LOCK_METHODS: [&str; 6] = ["lock", "read", "write", "try_lock", "try_read", "try_write"];
-
-struct Guard {
-    name: Option<String>,
-    class: usize,
-}
-
-pub fn run(cfg: &Config, files: &[SourceFile]) -> Vec<Finding> {
+pub fn run(
+    cfg: &Config,
+    files: &[SourceFile],
+    graph: &CallGraph,
+    facts: &[FnFacts],
+) -> Vec<Finding> {
     let mut out = Vec::new();
-    for f in files {
-        run_file(cfg, f, &mut out);
+    intraprocedural(cfg, files, graph, facts, &mut out);
+    if !cfg.fast {
+        interprocedural(cfg, files, graph, facts, &mut out);
     }
     out
 }
 
-fn run_file(cfg: &Config, f: &SourceFile, out: &mut Vec<Finding>) {
-    let toks = &f.lexed.toks;
-    let m = &cfg.lock_ranks;
-    let mut scopes: Vec<Vec<Guard>> = vec![Vec::new()];
-    let mut cur_let: Option<String> = None;
-
-    let mut i = 0usize;
-    while i < toks.len() {
-        if f.regions.in_test[i] {
-            i += 1;
-            continue;
-        }
-        match &toks[i].kind {
-            TokKind::Punct('{') => {
-                scopes.push(Vec::new());
-                cur_let = None;
-            }
-            TokKind::Punct('}') => {
-                if scopes.len() > 1 {
-                    scopes.pop();
-                }
-                cur_let = None;
-            }
-            TokKind::Punct(';') => cur_let = None,
-            TokKind::Ident if toks[i].text == "let" => {
-                cur_let = let_binding_name(toks, i);
-            }
-            TokKind::Ident if toks[i].text == "drop" => {
-                // `drop(name)` / `mem::drop(name)` releases the guard.
-                if let (Some(a), Some(b), Some(c)) =
-                    (toks.get(i + 1), toks.get(i + 2), toks.get(i + 3))
-                {
-                    if a.is_punct('(') && b.kind == TokKind::Ident && c.is_punct(')') {
-                        release_named(&mut scopes, &b.text);
-                    }
-                }
-            }
-            TokKind::Ident => {
-                let name = toks[i].text.as_str();
-                let zero_arg = toks.get(i + 1).is_some_and(|t| t.is_punct('('))
-                    && toks.get(i + 2).is_some_and(|t| t.is_punct(')'));
-                let is_call = toks.get(i + 1).is_some_and(|t| t.is_punct('('));
-                let after_dot = i > 0 && toks[i - 1].is_punct('.');
-                let is_def = i > 0 && toks[i - 1].is_ident("fn");
-
-                if after_dot && zero_arg && LOCK_METHODS.contains(&name) {
-                    // Raw lock site.
-                    let line = toks[i].line;
-                    let chain = chain_ending_at(toks, i);
-                    let recv = match chain.rsplit_once('.') {
-                        Some((head, _)) => head.to_string(),
-                        None => chain.clone(),
-                    };
-                    let class = resolve_class(cfg, f, line, &recv);
-                    let class = match class {
-                        Ok(c) => c,
-                        Err(msg) => {
-                            if !f.allowed(line, "lock_order") {
-                                out.push(Finding {
-                                    pass: "lock_order",
-                                    file: f.rel.clone(),
-                                    line,
-                                    msg,
-                                });
-                            }
-                            i += 1;
-                            continue;
-                        }
-                    };
-                    let non_blocking = name.starts_with("try_");
-                    check_acquire(cfg, f, line, class, non_blocking, &scopes, out);
-                    // `let g = x.lock();` keeps the guard; a chained use
-                    // (`x.lock().field…`) is a statement temporary.
-                    let chained = toks.get(i + 3).is_some_and(|t| t.is_punct('.'));
-                    if let Some(bind) = cur_let.clone() {
-                        if !chained {
-                            push_guard(&mut scopes, Some(bind), class);
-                        }
-                    }
-                } else if is_call && !is_def {
-                    // One-level call graph: calls into functions the
-                    // manifest says acquire a lock class internally.
-                    let chain = chain_ending_at(toks, i);
-                    if let Some(pat) = m.fns.iter().find(|p| chain_matches(&chain, &p.call)) {
-                        let line = toks[i].line;
-                        check_acquire(cfg, f, line, pat.class, pat.non_blocking, &scopes, out);
-                        if pat.guard {
-                            if let Some(bind) = cur_let.clone() {
-                                push_guard(&mut scopes, Some(bind), pat.class);
-                            }
-                        }
-                    }
-                }
-            }
-            _ => {}
-        }
-        i += 1;
-    }
-}
-
-/// Class of a raw lock site: an explicit `// morph-lint: rank(class)`
-/// annotation wins; otherwise the site patterns keyed by file and
-/// receiver suffix.
-fn resolve_class(cfg: &Config, f: &SourceFile, line: usize, recv: &str) -> Result<usize, String> {
-    let m = &cfg.lock_ranks;
-    if let Some(d) = f
-        .lexed
-        .directives
-        .iter()
-        .find(|d| (d.line == line || d.line + 1 == line) && d.verb == "rank")
-    {
-        return m
-            .class_idx(&d.arg)
-            .ok_or_else(|| format!("rank({}) names an unknown lock class", d.arg));
-    }
-    m.sites
-        .iter()
-        .find(|s| f.rel.contains(&s.file_sub) && chain_matches(recv, &s.recv))
-        .map(|s| s.class)
-        .ok_or_else(|| {
-            format!(
-                "unranked lock site (receiver `{recv}`): add a `site` pattern to \
-                 lock_ranks.txt or a `// morph-lint: rank(<class>)` annotation"
-            )
-        })
-}
-
-fn check_acquire(
+/// Checks every acquisition against the guards lexically held at that
+/// point — identical in `--fast` and full mode.
+fn intraprocedural(
     cfg: &Config,
-    f: &SourceFile,
-    line: usize,
-    class: usize,
-    non_blocking: bool,
-    scopes: &[Vec<Guard>],
+    files: &[SourceFile],
+    graph: &CallGraph,
+    facts: &[FnFacts],
     out: &mut Vec<Finding>,
 ) {
-    if non_blocking || f.allowed(line, "lock_order") {
-        return;
-    }
     let m = &cfg.lock_ranks;
-    let new = &m.classes[class];
-    for g in scopes.iter().flatten() {
-        let held = &m.classes[g.class];
-        if held.rank > new.rank {
+    for (fi, ff) in facts.iter().enumerate() {
+        let file = &files[graph.fns[fi].file];
+        for u in &ff.unranked {
             out.push(Finding {
                 pass: "lock_order",
-                file: f.rel.clone(),
-                line,
-                msg: format!(
-                    "lock-order inversion: acquiring `{}` (rank {}) while holding `{}` (rank {})",
-                    new.name, new.rank, held.name, held.rank
-                ),
-            });
-        } else if g.class == class && !new.multi {
-            out.push(Finding {
-                pass: "lock_order",
-                file: f.rel.clone(),
-                line,
-                msg: format!(
-                    "re-acquisition of lock class `{}` (rank {}) already held in this scope",
-                    new.name, new.rank
-                ),
+                file: file.rel.clone(),
+                line: u.line,
+                key: "unranked".to_string(),
+                msg: u.msg.clone(),
             });
         }
-    }
-}
-
-fn push_guard(scopes: &mut [Vec<Guard>], name: Option<String>, class: usize) {
-    if let Some(top) = scopes.last_mut() {
-        top.push(Guard { name, class });
-    }
-}
-
-fn release_named(scopes: &mut [Vec<Guard>], name: &str) {
-    for scope in scopes.iter_mut().rev() {
-        if let Some(pos) = scope.iter().rposition(|g| g.name.as_deref() == Some(name)) {
-            scope.remove(pos);
-            return;
-        }
-    }
-}
-
-/// Binding name of a `let` statement: the last plain identifier
-/// between `let` and `=` (skipping `mut`/`ref` and enum/wrapper
-/// constructors), so `let mut g`, `let Some(g)`, `let (n, g)` all
-/// yield `g`. Type ascriptions stop the scan at `:`.
-fn let_binding_name(toks: &[crate::lexer::Tok], let_idx: usize) -> Option<String> {
-    let mut name = None;
-    let mut j = let_idx + 1;
-    let mut in_type = false;
-    while let Some(t) = toks.get(j) {
-        match &t.kind {
-            TokKind::Punct('=') => break,
-            TokKind::Punct(';') | TokKind::Punct('{') => return None,
-            TokKind::Punct(':') => {
-                // `let g: Guard = …` — but `::` paths inside types are
-                // handled by staying in type position until `=`.
-                in_type = true;
+        for a in &ff.acquires {
+            if a.non_blocking {
+                continue;
             }
-            TokKind::Ident if !in_type => {
-                let s = t.text.as_str();
-                if !matches!(s, "mut" | "ref" | "Some" | "Ok" | "Err" | "Box") {
-                    name = Some(s.to_string());
+            let new = &m.classes[a.class];
+            for h in &a.held {
+                let held = &m.classes[h.class];
+                if held.rank > new.rank {
+                    out.push(Finding {
+                        pass: "lock_order",
+                        file: file.rel.clone(),
+                        line: a.line,
+                        key: format!("{}<-{}", held.name, new.name),
+                        msg: format!(
+                            "lock-order inversion: acquiring `{}` (rank {}) while holding \
+                             `{}` (rank {})",
+                            new.name, new.rank, held.name, held.rank
+                        ),
+                    });
+                } else if h.class == a.class && !new.multi {
+                    out.push(Finding {
+                        pass: "lock_order",
+                        file: file.rel.clone(),
+                        line: a.line,
+                        key: format!("{}x2", new.name),
+                        msg: format!(
+                            "re-acquisition of lock class `{}` (rank {}) already held in \
+                             this scope",
+                            new.name, new.rank
+                        ),
+                    });
                 }
             }
-            _ => {}
-        }
-        j += 1;
-        if j > let_idx + 64 {
-            return None;
         }
     }
-    name
+}
+
+/// Checks every acquisition against the function's propagated *entry*
+/// lock-set: classes held by some caller (any number of frames up)
+/// whenever this function can run.
+fn interprocedural(
+    cfg: &Config,
+    files: &[SourceFile],
+    graph: &CallGraph,
+    facts: &[FnFacts],
+    out: &mut Vec<Finding>,
+) {
+    let m = &cfg.lock_ranks;
+    let entry = dataflow::propagate(graph, facts);
+    for (fi, ff) in facts.iter().enumerate() {
+        if entry[fi].is_empty() {
+            continue;
+        }
+        let file = &files[graph.fns[fi].file];
+        let mut held: Vec<usize> = entry[fi].keys().copied().collect();
+        held.sort_by_key(|&c| m.classes[c].rank);
+        for a in &ff.acquires {
+            if a.non_blocking {
+                continue;
+            }
+            let new = &m.classes[a.class];
+            for &c in &held {
+                // A class both inherited and lexically re-held here is
+                // reported by the intraprocedural check already.
+                if a.held.iter().any(|h| h.class == c) {
+                    continue;
+                }
+                let held_class = &m.classes[c];
+                let chain = dataflow::chain_for(&entry, graph, files, fi, c);
+                // Anchor at the origin frame — the call made while the
+                // lock is lexically held — so an `allow` there covers
+                // exactly this chain, not every caller of the shared
+                // callee that performs the acquisition.
+                let (anchor_file, anchor_line) = match dataflow::origin_for(&entry, fi, c) {
+                    Some((origin, call_line)) => {
+                        (files[graph.fns[origin].file].rel.clone(), call_line)
+                    }
+                    None => (file.rel.clone(), a.line),
+                };
+                if held_class.rank > new.rank {
+                    out.push(Finding {
+                        pass: "lock_order",
+                        file: anchor_file,
+                        line: anchor_line,
+                        key: format!("{}<-{}", held_class.name, new.name),
+                        msg: format!(
+                            "lock-order inversion (interprocedural): `{}` (rank {}) acquired \
+                             at {}:{} with `{}` (rank {}) held by a caller; call chain: {}",
+                            new.name,
+                            new.rank,
+                            file.rel,
+                            a.line,
+                            held_class.name,
+                            held_class.rank,
+                            chain
+                        ),
+                    });
+                } else if c == a.class && !new.multi {
+                    out.push(Finding {
+                        pass: "lock_order",
+                        file: anchor_file,
+                        line: anchor_line,
+                        key: format!("{}x2", new.name),
+                        msg: format!(
+                            "re-acquisition (interprocedural) of lock class `{}` (rank {}) at \
+                             {}:{}, already held by a caller; call chain: {}",
+                            new.name, new.rank, file.rel, a.line, chain
+                        ),
+                    });
+                }
+            }
+        }
+    }
 }

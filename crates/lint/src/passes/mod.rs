@@ -1,7 +1,9 @@
+pub mod atomics;
 pub mod crash_points;
 pub mod lock_order;
 pub mod nondet;
 pub mod panic_audit;
+pub mod purity;
 pub mod wal_bytes;
 
 use crate::lexer::{Tok, TokKind};

@@ -42,17 +42,16 @@ pub fn run(cfg: &Config, files: &[SourceFile]) -> Vec<Finding> {
                 None
             };
             if let Some(what) = hit {
-                if !f.allowed(t.line, "nondet") {
-                    out.push(Finding {
-                        pass: "nondet",
-                        file: f.rel.clone(),
-                        line: t.line,
-                        msg: format!(
-                            "`{what}` in replay-deterministic code: thread a deterministic \
-                             clock/seed through, or annotate `// morph-lint: allow(nondet, why)`"
-                        ),
-                    });
-                }
+                out.push(Finding {
+                    pass: "nondet",
+                    file: f.rel.clone(),
+                    line: t.line,
+                    key: what.clone(),
+                    msg: format!(
+                        "`{what}` in replay-deterministic code: thread a deterministic \
+                         clock/seed through, or annotate `// morph-lint: allow(nondet, why)`"
+                    ),
+                });
             }
         }
     }

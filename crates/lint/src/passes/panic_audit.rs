@@ -47,17 +47,16 @@ pub fn run(cfg: &Config, files: &[SourceFile]) -> Vec<Finding> {
                 None
             };
             if let Some(what) = what {
-                if !f.allowed(t.line, "panic") {
-                    out.push(Finding {
-                        pass: "panic",
-                        file: f.rel.clone(),
-                        line: t.line,
-                        msg: format!(
-                            "{what} in non-test library code: return a DbError or annotate \
-                             `// morph-lint: allow(panic, why the invariant holds)`"
-                        ),
-                    });
-                }
+                out.push(Finding {
+                    pass: "panic",
+                    file: f.rel.clone(),
+                    line: t.line,
+                    key: name.to_string(),
+                    msg: format!(
+                        "{what} in non-test library code: return a DbError or annotate \
+                         `// morph-lint: allow(panic, why the invariant holds)`"
+                    ),
+                });
             }
         }
     }

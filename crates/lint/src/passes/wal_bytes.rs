@@ -49,11 +49,12 @@ pub fn run(cfg: &Config, files: &[SourceFile]) -> Vec<Finding> {
                 .wal_write_fns
                 .iter()
                 .any(|(file, func)| f.rel == *file && here_fn == func);
-            if !approved && !f.allowed(t.line, "wal_bytes") {
+            if !approved {
                 out.push(Finding {
                     pass: "wal_bytes",
                     file: f.rel.clone(),
                     line: t.line,
+                    key: name.to_string(),
                     msg: format!(
                         "backend byte write (`{name}`) outside the approved WAL append/drain \
                          functions — byte order must equal LSN order (DESIGN.md §11)"

@@ -1,10 +1,18 @@
 //! Fixture suite: every seeded defect must be caught by exactly its
-//! pass at exactly its file:line — and the clean fixture must stay
-//! silent across all five passes. These pins are what make the lint
+//! pass at exactly its file:line — and the clean fixtures must stay
+//! silent across all passes. These pins are what make the lint
 //! trustworthy as a CI gate: a pass that drifts (wrong line, wrong
 //! pass, silent miss, noisy false positive) fails here first.
+//!
+//! The interprocedural pins deserve a note: `deep_inversion.rs` seeds
+//! a lock inversion that only exists across three call frames, and
+//! the expected line is the *origin call site* (the call made while
+//! the guard is held), not the acquire buried in the leaf — that is
+//! where an `allow` or a restructure belongs. `clean_interproc.rs`
+//! is its control: the same shape with the guard dropped before the
+//! descent must produce nothing.
 
-use morph_lint::manifest::{CrashManifest, LockRanks};
+use morph_lint::manifest::{AtomicsManifest, CrashManifest, LockRanks};
 use morph_lint::{run_all, Config, SourceFile};
 
 const MANIFEST_PATH: &str = "crates/lint/tests/fixtures/crash_points.txt";
@@ -18,12 +26,35 @@ fn fixture_config() -> Config {
         panic_exempt: Vec::new(),
         wal_write_fns: vec![("fixtures/wal_write.rs".into(), "append_serial".into())],
         wal_backend_impls: Vec::new(),
+        atomics: AtomicsManifest::parse(include_str!("fixtures/atomics.txt")).unwrap(),
+        atomics_manifest_path: "crates/lint/tests/fixtures/atomics.txt".to_string(),
+        atomics_zones: vec!["fixtures/".into()],
+        purity_roots: vec!["Reader::snapshot_read".into()],
+        purity_forbidden: vec!["lock.table".into()],
+        fast: false,
+        crate_deps: std::collections::HashMap::new(),
     }
 }
 
 fn fixture_files() -> Vec<SourceFile> {
     vec![
+        SourceFile::from_source(
+            "fixtures/atomic_ordering.rs",
+            include_str!("fixtures/atomic_ordering.rs"),
+        ),
         SourceFile::from_source("fixtures/clean.rs", include_str!("fixtures/clean.rs")),
+        SourceFile::from_source(
+            "fixtures/clean_interproc.rs",
+            include_str!("fixtures/clean_interproc.rs"),
+        ),
+        SourceFile::from_source(
+            "fixtures/deep_inversion.rs",
+            include_str!("fixtures/deep_inversion.rs"),
+        ),
+        SourceFile::from_source(
+            "fixtures/impure_snapshot.rs",
+            include_str!("fixtures/impure_snapshot.rs"),
+        ),
         SourceFile::from_source(
             "fixtures/lane_inversion.rs",
             include_str!("fixtures/lane_inversion.rs"),
@@ -45,6 +76,10 @@ fn fixture_files() -> Vec<SourceFile> {
             include_str!("fixtures/rank_inversion.rs"),
         ),
         SourceFile::from_source(
+            "fixtures/stale_allow.rs",
+            include_str!("fixtures/stale_allow.rs"),
+        ),
+        SourceFile::from_source(
             "fixtures/wal_write.rs",
             include_str!("fixtures/wal_write.rs"),
         ),
@@ -63,6 +98,16 @@ fn every_seeded_defect_is_caught_at_its_line() {
         // says two; `fixture.bogus` never appears in code at all.
         (MANIFEST_PATH, 3, "crash_point"),
         (MANIFEST_PATH, 4, "crash_point"),
+        // Undeclared atomic field `rogue` (declaration is the pin),
+        // and the Relaxed store to the `publish`-role `flag`; the
+        // correctly ordered Release/Acquire pair is silent.
+        ("fixtures/atomic_ordering.rs", 9, "atomics"),
+        ("fixtures/atomic_ordering.rs", 14, "atomics"),
+        // 3-deep interprocedural inversion, pinned at the origin call
+        // site in `hold_and_descend` (see module doc).
+        ("fixtures/deep_inversion.rs", 16, "lock_order"),
+        // Snapshot root reaches the lock manager two frames down.
+        ("fixtures/impure_snapshot.rs", 17, "purity"),
         // Lane-pool inversion: a steal (lane deque lock) under the
         // held epoch fence lock, directly and through the `steal_task`
         // call edge; the placement-order hand-off below them is silent.
@@ -82,6 +127,8 @@ fn every_seeded_defect_is_caught_at_its_line() {
         ("fixtures/rank_inversion.rs", 14, "lock_order"),
         ("fixtures/rank_inversion.rs", 21, "lock_order"),
         ("fixtures/rank_inversion.rs", 28, "lock_order"),
+        // An escape that suppresses nothing is itself a finding.
+        ("fixtures/stale_allow.rs", 6, "stale_allow"),
         // sink.append outside the approved fn, and a raw write_all;
         // the same chain inside `append_serial` is silent.
         ("fixtures/wal_write.rs", 10, "wal_bytes"),
@@ -100,25 +147,60 @@ fn every_seeded_defect_is_caught_at_its_line() {
 }
 
 #[test]
-fn clean_fixture_is_silent_on_every_pass() {
-    // Run the clean file alone, against a registry whose only demands
-    // the other fixtures satisfy removed — no manifest-side findings
-    // can leak in.
+fn clean_fixtures_are_silent_on_every_pass() {
+    // Run the clean files alone, with the manifest-side demands the
+    // other fixtures satisfy removed — no registry or stale-entry
+    // findings can leak in.
     let mut cfg = fixture_config();
     cfg.crash_points = CrashManifest::parse("").unwrap();
-    let files = vec![SourceFile::from_source(
-        "fixtures/clean.rs",
-        include_str!("fixtures/clean.rs"),
-    )];
+    cfg.atomics = AtomicsManifest::parse("").unwrap();
+    cfg.purity_roots = Vec::new();
+    let files = vec![
+        SourceFile::from_source("fixtures/clean.rs", include_str!("fixtures/clean.rs")),
+        SourceFile::from_source(
+            "fixtures/clean_interproc.rs",
+            include_str!("fixtures/clean_interproc.rs"),
+        ),
+    ];
     let findings = run_all(&cfg, &files);
     assert!(
         findings.is_empty(),
-        "clean fixture produced findings:\n{}",
+        "clean fixtures produced findings:\n{}",
         findings
             .iter()
             .map(|f| format!("  {f}"))
             .collect::<Vec<_>>()
             .join("\n")
+    );
+}
+
+#[test]
+fn fast_mode_keeps_the_intraprocedural_pins() {
+    // `--fast` must still catch every lexical defect; the deep
+    // inversion, the purity proof, and the stale-allow audit are the
+    // full-mode extras that legitimately disappear.
+    let mut cfg = fixture_config();
+    cfg.fast = true;
+    cfg.purity_roots = Vec::new();
+    let findings = run_all(&cfg, &fixture_files());
+    let has = |file: &str, line: usize, pass: &str| {
+        findings
+            .iter()
+            .any(|f| f.file == file && f.line == line && f.pass == pass)
+    };
+    assert!(has("fixtures/rank_inversion.rs", 14, "lock_order"));
+    assert!(has("fixtures/atomic_ordering.rs", 14, "atomics"));
+    assert!(
+        !has("fixtures/deep_inversion.rs", 16, "lock_order"),
+        "fast mode should skip the interprocedural fixed point"
+    );
+    assert!(
+        !has("fixtures/stale_allow.rs", 6, "stale_allow"),
+        "fast mode should skip the stale-allow audit"
+    );
+    assert!(
+        !findings.iter().any(|f| f.pass == "purity"),
+        "fast mode should skip the purity proof"
     );
 }
 
@@ -138,4 +220,41 @@ fn fixture_messages_name_the_defect() {
     assert!(msg_of("fixtures/orphan_crash_point.rs", 6).contains("not registered"));
     assert!(msg_of(MANIFEST_PATH, 4).contains("does not appear"));
     assert!(msg_of("fixtures/wal_write.rs", 14).contains("byte order"));
+    // The interprocedural finding carries the whole chain, frame by
+    // frame, and names the acquire site it anchors away from.
+    let deep = msg_of("fixtures/deep_inversion.rs", 16);
+    assert!(deep.contains("hold_and_descend"), "chain start: {deep}");
+    assert!(deep.contains("step_leaf"), "chain end: {deep}");
+    assert!(
+        deep.contains("deep_inversion.rs:25"),
+        "acquire site: {deep}"
+    );
+    // The purity finding prints the root-to-acquire path.
+    let pure = msg_of("fixtures/impure_snapshot.rs", 17);
+    assert!(pure.contains("snapshot_read"), "purity root: {pure}");
+    assert!(pure.contains("fetch_version"), "purity path: {pure}");
+    assert!(msg_of("fixtures/atomic_ordering.rs", 14).contains("weaker"));
+    assert!(msg_of("fixtures/atomic_ordering.rs", 9).contains("not declared"));
+    assert!(msg_of("fixtures/stale_allow.rs", 6).contains("stale"));
+}
+
+#[test]
+fn finding_ids_are_stable_and_json_escapes() {
+    let findings = run_all(&fixture_config(), &fixture_files());
+    let deep = findings
+        .iter()
+        .find(|f| f.file == "fixtures/deep_inversion.rs")
+        .expect("deep inversion finding");
+    assert_eq!(
+        deep.id(),
+        "lock_order@fixtures/deep_inversion.rs:16#lane.sync<-lane.queue"
+    );
+    let json = morph_lint::to_json(&findings);
+    assert!(json.starts_with('['), "json array: {json}");
+    assert!(
+        json.contains("\"id\":\"lock_order@fixtures/deep_inversion.rs:16#lane.sync<-lane.queue\""),
+        "stable id in json: {json}"
+    );
+    // Every finding appears exactly once.
+    assert_eq!(json.matches("\"id\"").count(), findings.len());
 }

@@ -1,0 +1,25 @@
+//! Atomics protocol fixture: `flag` is declared `publish` in the
+//! fixture manifest, so its Relaxed store is too weak (findings pin
+//! the store site); `rogue` is declared nowhere, so its declaration
+//! itself is the finding. The correctly-ordered publish pair below
+//! must stay silent.
+
+pub struct A {
+    flag: AtomicU64,
+    rogue: AtomicUsize,
+}
+
+impl A {
+    pub fn wrong_publish(&self) {
+        self.flag.store(1, Ordering::Relaxed);
+    }
+
+    pub fn correct_publish(&self) -> u64 {
+        self.flag.store(2, Ordering::Release);
+        self.flag.load(Ordering::Acquire)
+    }
+
+    pub fn rogue_touch(&self) {
+        self.rogue.store(3, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,22 @@
+//! Clean interprocedural fixture: the fence guard is dropped *before*
+//! the descent, so the leaf's lane acquisition happens with an empty
+//! entry lock-set. The dataflow must honor the early `drop(g)` — any
+//! finding here is a false positive in the guard tracker.
+
+pub struct E {
+    sync: Mutex<u32>,
+    lanes: Vec<Mutex<u32>>,
+}
+
+impl E {
+    pub fn release_then_descend(&self) {
+        let g = self.sync.lock();
+        drop(g);
+        self.grab_lane();
+    }
+
+    fn grab_lane(&self) {
+        let q = self.lanes[0].lock();
+        drop(q);
+    }
+}

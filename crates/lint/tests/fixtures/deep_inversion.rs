@@ -1,0 +1,28 @@
+//! Interprocedural fixture: a fence-lock guard held across a 3-deep
+//! call chain whose leaf steals from a lane deque. No single function
+//! is wrong on its own — the inversion only exists once the entry
+//! lock-set flows `hold_and_descend` → `step_middle` → `step_leaf`,
+//! and the finding must anchor at the origin call site (the call made
+//! while the guard is held) with the full chain in the message.
+
+pub struct D {
+    sync: Mutex<u32>,
+    lanes: Vec<Mutex<u32>>,
+}
+
+impl D {
+    pub fn hold_and_descend(&self) {
+        let g = self.sync.lock();
+        self.step_middle();
+        drop(g);
+    }
+
+    fn step_middle(&self) {
+        self.step_leaf();
+    }
+
+    fn step_leaf(&self) {
+        let q = self.lanes[0].lock();
+        drop(q);
+    }
+}

@@ -1,0 +1,25 @@
+//! Purity fixture: the configured snapshot root reaches a blocking
+//! lock-manager acquire two frames down (through the manifest `fn`
+//! summary for `locks().lock`). The purity pass must print the path
+//! and pin the acquire line; the version peek that stays on plain
+//! data must not trip anything.
+
+pub struct Reader {
+    versions: Vec<u64>,
+}
+
+impl Reader {
+    pub fn snapshot_read(&self, key: u64) -> u64 {
+        self.fetch_version(key)
+    }
+
+    fn fetch_version(&self, key: u64) -> u64 {
+        let g = self.locks().lock(key);
+        drop(g);
+        self.versions[key as usize]
+    }
+
+    pub fn version_peek(&self, key: u64) -> u64 {
+        self.versions[key as usize]
+    }
+}

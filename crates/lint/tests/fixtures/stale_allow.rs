@@ -1,0 +1,8 @@
+//! Stale-allow fixture: the escape below suppresses nothing — the
+//! expression it once covered was refactored away — so the audit must
+//! flag the directive line itself.
+
+pub fn tidy() -> u32 {
+    // morph-lint: allow(panic, nothing left on this line can panic)
+    1 + 1
+}

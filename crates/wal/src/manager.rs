@@ -339,7 +339,7 @@ impl LogManager {
     /// byte order trivially matches LSN order.
     fn append_serial(&self, rec: LogRecord) -> Lsn {
         let _order = self.order.lock();
-        let lsn = self.published.load(Ordering::Relaxed) + 1;
+        let lsn = self.published.load(Ordering::Relaxed) + 1; // morph-lint: allow(atomics, read under the order mutex that serializes every published-store; the lock is the fence)
         if let Some(backend) = &self.backend {
             let mut be = backend.lock();
             be.sink.append(&codec::encode(&rec));
@@ -375,7 +375,7 @@ impl LogManager {
     /// appender is guaranteed to run this again after filling it.
     fn publish_filled(&self) {
         let _order = self.order.lock();
-        let mut p = self.published.load(Ordering::Relaxed);
+        let mut p = self.published.load(Ordering::Relaxed); // morph-lint: allow(atomics, read under the order mutex that serializes every published-store; the lock is the fence)
         let reserved = self.reserved.load(Ordering::Relaxed);
         let mut chunk: Option<Arc<Chunk>> = None;
         while p < reserved {

@@ -25,11 +25,16 @@ else
     echo "== cargo clippy unavailable, skipping"
 fi
 
-# In-repo static analysis (DESIGN.md §12): lock-rank order, replay
-# determinism, crash-point registry, panic audit, WAL byte order.
-# Zero findings required; diagnostics are file:line: [pass] message.
-echo "== morph-lint"
-cargo run -q -p morph-lint
+# In-repo static analysis (DESIGN.md §12): interprocedural lock-rank
+# order, replay determinism, crash-point registry, panic audit, WAL
+# byte order, atomics ordering protocol, snapshot-path purity, and the
+# stale-allow audit. Zero findings required; diagnostics are
+# file:line: [pass] message. Runs before the release build so a lint
+# failure fails fast; the machine-readable findings (stable IDs) land
+# in target/lint/findings.json as the CI artifact.
+echo "== morph-lint (self-test + full passes)"
+cargo test -q -p morph-lint
+cargo run -q -p morph-lint -- --json=target/lint/findings.json
 
 if [ "$quick" != "quick" ]; then
     echo "== cargo build --release (tier-1)"
